@@ -1,0 +1,40 @@
+# GPUShield reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test bench experiments examples attackdemo vet fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	$(GO) test ./...
+
+# One testing.B per paper table/figure plus structure micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at full fidelity.
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/overflow
+	$(GO) run ./examples/multikernel
+	$(GO) run ./examples/staticanalysis
+	$(GO) run ./examples/watchdog
+
+attackdemo:
+	$(GO) run ./cmd/attackdemo
+
+clean:
+	$(GO) clean ./...

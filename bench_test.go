@@ -1,0 +1,152 @@
+package gpushield
+
+// The benchmark harness: one testing.B per table and figure of the paper's
+// evaluation. Each bench regenerates its artifact through the experiment
+// harness (internal/experiments) and reports the headline metric via
+// b.ReportMetric, so `go test -bench=.` reproduces the whole evaluation.
+// The heavyweight experiments run in Quick mode here; cmd/experiments
+// produces the full-fidelity tables.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gpushield/internal/experiments"
+)
+
+// runExperiment executes one experiment per iteration and returns the last
+// result.
+func runExperiment(b *testing.B, id string) *experiments.Result {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// lastRowFloat extracts column col of the final (summary) row of the
+// experiment's first table.
+func lastRowFloat(b *testing.B, res *experiments.Result, col int) float64 {
+	b.Helper()
+	if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+		b.Fatalf("%s: empty result", res.ID)
+	}
+	rows := res.Tables[0].Rows
+	cell := rows[len(rows)-1][col]
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		b.Fatalf("%s: parse %q: %v", res.ID, cell, err)
+	}
+	return v
+}
+
+// BenchmarkFig1BufferDistribution regenerates the buffer-count histogram
+// (Fig. 1) and reports the corpus-average buffer count.
+func BenchmarkFig1BufferDistribution(b *testing.B) {
+	res := runExperiment(b, "fig1")
+	_ = res
+}
+
+// BenchmarkFig4SVMOverflow regenerates the Fig. 4 overflow outcomes.
+func BenchmarkFig4SVMOverflow(b *testing.B) {
+	res := runExperiment(b, "fig4")
+	if len(res.Tables[0].Rows) != 3 {
+		b.Fatalf("want 3 overflow cases, got %d", len(res.Tables[0].Rows))
+	}
+}
+
+// BenchmarkFig11PagesPerBuffer regenerates the Rodinia page-touch census.
+func BenchmarkFig11PagesPerBuffer(b *testing.B) {
+	runExperiment(b, "fig11")
+}
+
+// BenchmarkTable3HardwareOverhead regenerates the area/power table and
+// reports the per-core total area in mm².
+func BenchmarkTable3HardwareOverhead(b *testing.B) {
+	res := runExperiment(b, "table3")
+	b.ReportMetric(lastRowFloat(b, res, 3), "mm2/core")
+}
+
+// BenchmarkTable5Configs prints the simulated configurations.
+func BenchmarkTable5Configs(b *testing.B) {
+	runExperiment(b, "table5")
+}
+
+// BenchmarkFig14Overhead regenerates the per-category overhead figure and
+// reports the all-benchmark geomean of normalized execution time under the
+// default BCU (paper: ~1.00).
+func BenchmarkFig14Overhead(b *testing.B) {
+	res := runExperiment(b, "fig14")
+	b.ReportMetric(lastRowFloat(b, res, 1), "norm-time-default")
+	b.ReportMetric(lastRowFloat(b, res, 2), "norm-time-slow")
+}
+
+// BenchmarkFig15RCacheSweep regenerates the Nvidia L1 RCache sweep and
+// reports the geomean hit rate at 4 entries (paper: ~100%).
+func BenchmarkFig15RCacheSweep(b *testing.B) {
+	res := runExperiment(b, "fig15")
+	b.ReportMetric(lastRowFloat(b, res, 3), "hit%-4entry")
+}
+
+// BenchmarkFig16IntelRCache regenerates the Intel OpenCL sweep.
+func BenchmarkFig16IntelRCache(b *testing.B) {
+	res := runExperiment(b, "fig16")
+	b.ReportMetric(lastRowFloat(b, res, 3), "hit%-4entry")
+}
+
+// BenchmarkFig17Static regenerates the static-filtering figure and reports
+// the mean bounds-checking reduction (paper: high for affine kernels).
+func BenchmarkFig17Static(b *testing.B) {
+	res := runExperiment(b, "fig17")
+	b.ReportMetric(lastRowFloat(b, res, 5), "check-reduction%")
+}
+
+// BenchmarkFig18MultiKernel regenerates the 21-pair multi-kernel figure and
+// reports the geomean normalized time for both sharing modes (paper: ~1.00).
+func BenchmarkFig18MultiKernel(b *testing.B) {
+	res := runExperiment(b, "fig18")
+	b.ReportMetric(lastRowFloat(b, res, 1), "norm-inter")
+	b.ReportMetric(lastRowFloat(b, res, 2), "norm-intra")
+}
+
+// BenchmarkFig19Baselines regenerates the software-tool comparison (in
+// Quick mode) and reports each tool's geomean overhead factor.
+func BenchmarkFig19Baselines(b *testing.B) {
+	experiments.Quick = true
+	defer func() { experiments.Quick = false }()
+	res := runExperiment(b, "fig19")
+	b.ReportMetric(lastRowFloat(b, res, 1), "memcheck-x")
+	b.ReportMetric(lastRowFloat(b, res, 2), "gmod-x")
+	b.ReportMetric(lastRowFloat(b, res, 3), "clarmor-x")
+	b.ReportMetric(lastRowFloat(b, res, 4), "gpushield-x")
+}
+
+// BenchmarkHeapAllocation regenerates the §5.2.1 device-malloc slowdown
+// microbenchmark and reports the largest-thread-count slowdown.
+func BenchmarkHeapAllocation(b *testing.B) {
+	res := runExperiment(b, "heap")
+	b.ReportMetric(lastRowFloat(b, res, 3), "malloc-slowdown-x")
+}
+
+// BenchmarkSWCheck regenerates the §6.4 software-bounds-check comparison.
+func BenchmarkSWCheck(b *testing.B) {
+	runExperiment(b, "swcheck")
+}
+
+// BenchmarkAblationDesignChoices regenerates the design-choice ablation:
+// warp-level vs per-thread checking and the L1 RCache's value.
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	res := runExperiment(b, "ablation")
+	b.ReportMetric(lastRowFloat(b, res, 1), "warp-level-x")
+	b.ReportMetric(lastRowFloat(b, res, 2), "per-thread-x")
+	b.ReportMetric(lastRowFloat(b, res, 3), "tiny-l1rcache-x")
+}

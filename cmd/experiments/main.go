@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig14
+//	experiments -run all [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpushield/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", res.ID, res.Title)
+			for _, t := range res.Tables {
+				fmt.Print(t.CSV())
+			}
+		} else {
+			fmt.Print(res.String())
+		}
+		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

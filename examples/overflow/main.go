@@ -1,0 +1,68 @@
+// Overflow: the paper's Fig. 4 experiment on the simulated SVM allocator —
+// three out-of-bounds writes with three different native outcomes — and the
+// same stores under GPUShield.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpushield"
+)
+
+// oobKernel builds `A[idx] = 0xBAD` executed by thread 0.
+func oobKernel(idx int64) *gpushield.Kernel {
+	b := gpushield.NewKernel(fmt.Sprintf("oob-0x%x", idx))
+	pa := b.BufferParam("A", false)
+	pb := b.BufferParam("B", false)
+	_ = pb
+	first := b.SetEQ(b.GlobalTID(), gpushield.Imm(0))
+	b.If(first, func() {
+		b.StoreGlobal(b.AddScaled(pa, gpushield.Imm(idx), 4), gpushield.Imm(0xBAD), 4)
+	})
+	return b.MustBuild()
+}
+
+func run(protected bool) {
+	label := "native"
+	mode := gpushield.Off
+	if protected {
+		label = "GPUShield"
+		mode = gpushield.Shield
+	}
+	fmt.Printf("-- %s --\n", label)
+	for _, c := range []struct {
+		name string
+		idx  int64
+	}{
+		{"case 1: A[0x10]    (inside the 512B slot)", 0x10},
+		{"case 2: A[0x80]    (inside the 2MB page)", 0x80},
+		{"case 3: A[0x80000] (across the 2MB page)", 0x80000},
+	} {
+		sys := gpushield.NewSystem(gpushield.WithProtection(mode))
+		// Two SVM buffers in consecutive 512B-aligned slots, as in Fig. 4.
+		a := sys.MallocManaged("A", 0x10*4)
+		bBuf := sys.MallocManaged("B", 0x10*4)
+		sys.WriteUint32(bBuf, 0, 0x5EED)
+
+		rep, err := sys.Launch(oobKernel(c.idx), 1, 32, gpushield.Buf(a), gpushield.Buf(bBuf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcome := "suppressed (landed in alignment padding)"
+		switch {
+		case rep.Aborted:
+			outcome = "kernel aborted: " + rep.AbortMsg
+		case len(rep.Violations) > 0:
+			outcome = fmt.Sprintf("blocked: %v", rep.Violations[0])
+		case sys.ReadUint32(bBuf, 0) != 0x5EED:
+			outcome = "silently corrupted buffer B"
+		}
+		fmt.Printf("  %s -> %s\n", c.name, outcome)
+	}
+}
+
+func main() {
+	run(false)
+	run(true)
+}

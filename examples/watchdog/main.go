@@ -1,0 +1,90 @@
+// Watchdog: a DNN-serving-style scenario (the setting of the paper's
+// mind-control attack discussion, §5.7). A long-lived service runs inference
+// kernels over attacker-influenced inputs; a host-side watchdog reads the
+// SVM violation mailbox (§5.5.2) after every batch and quarantines the
+// request stream the moment GPUShield reports an out-of-bounds write —
+// before the corrupted state can steer later batches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpushield"
+)
+
+const (
+	features = 64
+	weights  = features * 16
+)
+
+// inferenceKernel computes a layer activation: out[j] = Σ_i in[i]·w[i][j],
+// with the *attacker-controlled* length driving the input loop — the
+// classic overflow entry point.
+func inferenceKernel() *gpushield.Kernel {
+	b := gpushield.NewKernel("dense-layer")
+	pin := b.BufferParam("input", true)
+	pw := b.BufferParam("weights", true)
+	pout := b.BufferParam("activations", false)
+	plen := b.ScalarParam("len") // attacker-influenced
+	j := b.GlobalTID()
+	acc := b.Mov(gpushield.FImm(0))
+	b.ForRange(gpushield.Imm(0), plen, gpushield.Imm(1), func(i gpushield.Operand) {
+		active := b.SetLT(i, plen)
+		b.If(active, func() {
+			iv := b.LoadGlobalF32(b.AddScaled(pin, i, 4))
+			wv := b.LoadGlobalF32(b.AddScaled(pw, b.Mad(i, gpushield.Imm(16), b.Rem(j, gpushield.Imm(16))), 4))
+			b.MovTo(acc, b.FMad(iv, wv, acc))
+		})
+	})
+	// The vulnerable write: the activation index comes from the request
+	// length, not the buffer size.
+	b.StoreGlobalF32(b.AddScaled(pout, b.Add(j, plen), 4), acc)
+	return b.MustBuild()
+}
+
+func main() {
+	sys := gpushield.NewSystem(gpushield.WithProtection(gpushield.Shield))
+	input := sys.Malloc("input", features*4, true)
+	wbuf := sys.Malloc("weights", weights*4, true)
+	acts := sys.Malloc("activations", 512*4, false)
+	// The "function table" a real attack would aim for sits right after
+	// the activations.
+	table := sys.Malloc("dispatch-table", 256, false)
+	sys.WriteUint32(table, 0, 0xC0DE)
+
+	mailbox := sys.MallocManaged("watchdog-mailbox", 4096)
+	sys.SetMailbox(mailbox)
+
+	k := inferenceKernel()
+	serve := func(batch int, reqLen int64) {
+		rep, err := sys.Launch(k, 2, 64,
+			gpushield.Buf(input), gpushield.Buf(wbuf), gpushield.Buf(acts),
+			gpushield.Scalar(reqLen))
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs := sys.ReadMailbox()
+		sys.ResetMailbox() // each batch gets a fresh window
+		switch {
+		case len(recs) > 0:
+			fmt.Printf("batch %d (len=%d): WATCHDOG TRIPPED — %d violation(s), first at %#x; quarantining stream\n",
+				batch, reqLen, len(recs), recs[0].MinAddr)
+		case len(rep.Violations) > 0:
+			fmt.Printf("batch %d: end-of-kernel log has %d violations\n", batch, len(rep.Violations))
+		default:
+			fmt.Printf("batch %d (len=%d): clean (%d checks, %d cycles)\n",
+				batch, reqLen, rep.Checks, rep.Cycles())
+		}
+	}
+
+	// Benign traffic, then a malicious oversized request.
+	serve(1, 64)
+	serve(2, 64)
+	serve(3, 900) // attacker-controlled length: writes would land past acts
+	if got := sys.ReadUint32(table, 0); got == 0xC0DE {
+		fmt.Println("dispatch table intact: the overflow store was dropped")
+	} else {
+		fmt.Printf("dispatch table CORRUPTED: %#x\n", got)
+	}
+}

@@ -1,0 +1,3 @@
+module gpushield
+
+go 1.22

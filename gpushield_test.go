@@ -1,0 +1,245 @@
+package gpushield
+
+import (
+	"strings"
+	"testing"
+)
+
+// scaleByTwo builds out[i] = in[i]*2 guarded by i < n.
+func scaleByTwo() *Kernel {
+	b := NewKernel("scale2")
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("out", false)
+	pn := b.ScalarParam("n")
+	i := b.GlobalTID()
+	g := b.SetLT(i, pn)
+	b.If(g, func() {
+		v := b.LoadGlobal(b.AddScaled(pin, i, 4), 4)
+		b.StoreGlobal(b.AddScaled(pout, i, 4), b.Mul(v, Imm(2)), 4)
+	})
+	return b.MustBuild()
+}
+
+func TestSystemLaunchEndToEnd(t *testing.T) {
+	for _, mode := range []Protection{Off, Shield, ShieldStatic} {
+		sys := NewSystem(WithProtection(mode))
+		const n = 512
+		in := sys.Malloc("in", n*4, true)
+		out := sys.Malloc("out", n*4, false)
+		for i := 0; i < n; i++ {
+			sys.WriteUint32(in, i, uint32(i))
+		}
+		rep, err := sys.Launch(scaleByTwo(), n/64, 64, Buf(in), Buf(out), Scalar(n))
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if rep.Aborted || len(rep.Violations) != 0 {
+			t.Fatalf("mode %v: %+v", mode, rep)
+		}
+		for i := 0; i < n; i += 37 {
+			if got := sys.ReadUint32(out, i); got != uint32(2*i) {
+				t.Fatalf("mode %v: out[%d] = %d", mode, i, got)
+			}
+		}
+		switch mode {
+		case Off:
+			if rep.Checks != 0 {
+				t.Fatalf("off mode checked")
+			}
+		case Shield:
+			if rep.Checks == 0 {
+				t.Fatalf("shield mode did not check")
+			}
+		case ShieldStatic:
+			if rep.CheckReduction() < 0.99 {
+				t.Fatalf("fully affine guarded kernel should be ~100%% statically proven, got %.2f", rep.CheckReduction())
+			}
+		}
+	}
+}
+
+func TestStaticOOBRejectedAtLaunch(t *testing.T) {
+	sys := NewSystem(WithProtection(ShieldStatic))
+	buf := sys.Malloc("buf", 64, false)
+	b := NewKernel("definitely-oob")
+	p := b.BufferParam("buf", false)
+	b.StoreGlobal(b.AddScaled(p, b.Add(b.GlobalTID(), Imm(1<<16)), 4), Imm(1), 4)
+	_, err := sys.Launch(b.MustBuild(), 1, 32, Buf(buf))
+	if err == nil || !strings.Contains(err.Error(), "static analysis") {
+		t.Fatalf("expected compile-time rejection, got %v", err)
+	}
+}
+
+func TestShieldBlocksCorruptionAcrossBuffers(t *testing.T) {
+	run := func(mode Protection) (uint32, int) {
+		sys := NewSystem(WithProtection(mode), WithSeed(99))
+		victim := sys.Malloc("victim", 256, false)
+		attacker := sys.Malloc("attacker", 256, false)
+		sys.WriteUint32(victim, 0, 0x5EED)
+		b := NewKernel("overflow")
+		p := b.BufferParam("attacker", false)
+		jump := int64(victim.Base-attacker.Base) / 4
+		first := b.SetEQ(b.GlobalTID(), Imm(0))
+		b.If(first, func() {
+			b.StoreGlobal(b.AddScaled(p, Imm(jump), 4), Imm(0xBAD), 4)
+		})
+		rep, err := sys.Launch(b.MustBuild(), 1, 32, Buf(attacker))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.ReadUint32(victim, 0), len(rep.Violations)
+	}
+	if v, _ := run(Off); v != 0xBAD {
+		t.Fatalf("unprotected overflow should corrupt the victim, got %#x", v)
+	}
+	v, violations := run(Shield)
+	if v != 0x5EED {
+		t.Fatalf("GPUShield failed to protect the victim: %#x", v)
+	}
+	if violations == 0 {
+		t.Fatalf("violation not logged")
+	}
+}
+
+func TestPreciseFaultOption(t *testing.T) {
+	sys := NewSystem(WithPreciseFaults())
+	buf := sys.Malloc("buf", 64, false)
+	b := NewKernel("oob")
+	p := b.BufferParam("buf", false)
+	b.StoreGlobal(b.AddScaled(p, Imm(1024), 4), Imm(1), 4)
+	rep, err := sys.Launch(b.MustBuild(), 1, 32, Buf(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Aborted {
+		t.Fatalf("precise-fault mode must abort the kernel")
+	}
+}
+
+func TestIntelArchAndConcurrent(t *testing.T) {
+	sys := NewSystem(WithArch(Intel))
+	const n = 1024
+	mk := func(prefix string) []Arg {
+		in := sys.Malloc(prefix+"in", n*4, true)
+		out := sys.Malloc(prefix+"out", n*4, false)
+		for i := 0; i < n; i++ {
+			sys.WriteUint32(in, i, uint32(i))
+		}
+		return []Arg{Buf(in), Buf(out), Scalar(n)}
+	}
+	reports, err := sys.LaunchConcurrent(IntraCore,
+		PreparedLaunch{Kernel: scaleByTwo(), Grid: n / 64, Block: 64, Args: mk("a")},
+		PreparedLaunch{Kernel: scaleByTwo(), Grid: n / 64, Block: 64, Args: mk("b")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("want 2 reports")
+	}
+	for _, r := range reports {
+		if r.Aborted || len(r.Violations) > 0 {
+			t.Fatalf("bad concurrent run: %+v", r)
+		}
+	}
+}
+
+func TestPageTracking(t *testing.T) {
+	sys := NewSystem(WithPageTracking())
+	const n = 4096 // 16KB = 4 pages
+	in := sys.Malloc("in", n*4, true)
+	out := sys.Malloc("out", n*4, false)
+	rep, err := sys.Launch(scaleByTwo(), n/128, 128, Buf(in), Buf(out), Scalar(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PagesPerBuffer["in"] != 4 || rep.PagesPerBuffer["out"] != 4 {
+		t.Fatalf("page census wrong: %v", rep.PagesPerBuffer)
+	}
+}
+
+func TestAnalyzeExposed(t *testing.T) {
+	sys := NewSystem()
+	in := sys.Malloc("in", 1024, true)
+	out := sys.Malloc("out", 1024, false)
+	args := []Arg{Buf(in), Buf(out), Scalar(256)}
+	an, err := sys.Analyze(scaleByTwo(), 4, 64, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Accesses) != 2 {
+		t.Fatalf("expected 2 analyzed accesses, got %d", len(an.Accesses))
+	}
+}
+
+func TestHardwareReportExposed(t *testing.T) {
+	sys := NewSystem()
+	rep := sys.HardwareReport()
+	if rep.TotalBytes != 909.5 {
+		t.Fatalf("default hardware report should match Table 3: %f", rep.TotalBytes)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	ids := func(seed int64) uint64 {
+		sys := NewSystem(WithSeed(seed))
+		in := sys.Malloc("in", 256, true)
+		out := sys.Malloc("out", 256, false)
+		rep, err := sys.Launch(scaleByTwo(), 1, 64, Buf(in), Buf(out), Scalar(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Cycles()
+	}
+	if ids(5) != ids(5) {
+		t.Fatalf("same seed must reproduce identical runs")
+	}
+}
+
+func TestCopyHelpers(t *testing.T) {
+	sys := NewSystem()
+	buf := sys.Malloc("buf", 16, false)
+	if err := sys.CopyToDevice(buf, 0, []byte{9, 8, 7, 6}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.CopyFromDevice(buf, 0, 4)
+	if err != nil || got[0] != 9 || got[3] != 6 {
+		t.Fatalf("copy round trip failed: %v %v", got, err)
+	}
+	sys.WriteFloat32(buf, 1, 2.5)
+	if sys.ReadFloat32(buf, 1) != 2.5 {
+		t.Fatalf("float helpers broken")
+	}
+	sys.SetHeapLimit(1 << 16)
+	if sys.Device() == nil {
+		t.Fatalf("device accessor nil")
+	}
+}
+
+func TestMailboxThroughFacade(t *testing.T) {
+	sys := NewSystem(WithProtection(Shield))
+	buf := sys.Malloc("buf", 64, false)
+	box := sys.MallocManaged("mailbox", 4096)
+	sys.SetMailbox(box)
+
+	b := NewKernel("oob-facade")
+	p := b.BufferParam("buf", false)
+	first := b.SetEQ(b.GlobalTID(), Imm(0))
+	b.If(first, func() {
+		b.StoreGlobal(b.AddScaled(p, Imm(4096), 4), Imm(1), 4)
+	})
+	rep, err := sys.Launch(b.MustBuild(), 1, 32, Buf(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("want 1 violation, got %d", len(rep.Violations))
+	}
+	recs := sys.ReadMailbox()
+	if len(recs) != 1 {
+		t.Fatalf("mailbox has %d records, want 1", len(recs))
+	}
+	if recs[0].MinAddr != buf.Base+4096*4 {
+		t.Fatalf("mailbox addr %#x, want %#x", recs[0].MinAddr, buf.Base+4096*4)
+	}
+}

@@ -1,0 +1,444 @@
+// Package attack reproduces the paper's security experiments: the Fig. 4
+// SVM out-of-bounds writes with their three distinct outcomes, a
+// mind-control-style function-pointer overwrite, local-memory and heap
+// overflows (Tables 1 and 4), canary evasion (the clArmor/GMOD blind spot
+// of Table 2), and pointer-forging attempts against the encrypted buffer
+// IDs (§6.1).
+package attack
+
+import (
+	"fmt"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+	"gpushield/internal/sim"
+)
+
+// Outcome describes what one out-of-bounds write attempt did.
+type Outcome string
+
+// Possible outcomes.
+const (
+	OutcomeSuppressed Outcome = "suppressed"     // landed in alignment padding: no observable effect
+	OutcomeCorrupted  Outcome = "corrupted"      // overwrote a neighboring allocation
+	OutcomeAborted    Outcome = "kernel-aborted" // unmapped page: illegal memory access
+	OutcomeBlocked    Outcome = "blocked"        // GPUShield dropped the store
+)
+
+// SVMCase is one of the three Fig. 4 out-of-bounds stores.
+type SVMCase struct {
+	Name        string
+	ElemIndex   int64 // A[ElemIndex] = 0xBAD
+	Description string
+	Outcome     Outcome
+	Violations  int
+}
+
+// svmStoreKernel builds `A[idx] = 0xBAD` (plus a touch of B so both buffers
+// are kernel arguments, as in Fig. 4).
+func svmStoreKernel(idx int64) *kernel.Kernel {
+	b := kernel.NewBuilder(fmt.Sprintf("overflow-0x%x", idx))
+	pa := b.BufferParam("A", false)
+	pb := b.BufferParam("B", false)
+	first := b.SetEQ(b.GlobalTID(), kernel.Imm(0))
+	b.If(first, func() {
+		b.StoreGlobal(b.AddScaled(pa, kernel.Imm(idx), 4), kernel.Imm(0xBAD), 4)
+		// B is read so it stays live, mirroring the example's signature.
+		v := b.LoadGlobal(b.AddScaled(pb, kernel.Imm(0), 4), 4)
+		_ = v
+	})
+	return b.MustBuild()
+}
+
+// RunSVMOverflow reproduces Fig. 4 on the simulated SVM allocator. With
+// shield == false it demonstrates the three native outcomes (suppressed /
+// corrupted / aborted); with shield == true every case is blocked.
+func RunSVMOverflow(shield bool) ([]SVMCase, error) {
+	cases := []SVMCase{
+		{Name: "case1-within-512B", ElemIndex: 0x10,
+			Description: "OOB write inside the 512B-aligned slot: absorbed by padding"},
+		{Name: "case2-within-2MB", ElemIndex: 0x80,
+			Description: "OOB write inside the mapped 2MB page: corrupts buffer B"},
+		{Name: "case3-cross-2MB", ElemIndex: 0x80000,
+			Description: "OOB write across the 2MB boundary: illegal access, kernel aborted"},
+	}
+	for i := range cases {
+		c := &cases[i]
+		dev := driver.NewDevice(int64(1000 + i))
+		// Both buffers are 512B-aligned, consecutive SVM allocations, as in
+		// the Fig. 4 main().
+		bufA := dev.MallocManaged("A", 0x10*4)
+		bufB := dev.MallocManaged("B", 0x10*4)
+		const sentinel = uint32(0x5EED)
+		dev.WriteUint32(bufB, 0, sentinel)
+
+		mode := driver.ModeOff
+		cfg := sim.NvidiaConfig()
+		if shield {
+			mode = driver.ModeShield
+			cfg = cfg.WithShield(core.DefaultBCUConfig())
+		}
+		k := svmStoreKernel(c.ElemIndex)
+		l, err := dev.PrepareLaunch(k, 1, 32, []driver.Arg{driver.BufArg(bufA), driver.BufArg(bufB)}, mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		st, err := sim.New(cfg, dev).Run(l)
+		if err != nil {
+			return nil, err
+		}
+		c.Violations = len(st.Violations)
+		switch {
+		case shield && c.Violations > 0 && dev.ReadUint32(bufB, 0) == sentinel && !st.Aborted:
+			c.Outcome = OutcomeBlocked
+		case st.Aborted:
+			c.Outcome = OutcomeAborted
+		case dev.ReadUint32(bufB, 0) != sentinel:
+			c.Outcome = OutcomeCorrupted
+		default:
+			c.Outcome = OutcomeSuppressed
+		}
+	}
+	return cases, nil
+}
+
+// MindControlResult reports the function-pointer overwrite scenario.
+type MindControlResult struct {
+	TableEntryBefore uint32
+	TableEntryAfter  uint32
+	Hijacked         bool // dispatcher executed the attacker's function
+	Violations       int
+}
+
+// RunMindControl models the mind-control attack's setup phase (§5.7): a
+// victim buffer adjacent to a function-pointer table is overflowed with a
+// malicious payload; a dispatcher kernel then consumes the table. Without
+// GPUShield the dispatch is re-steered; with it the overflow store is
+// dropped.
+func RunMindControl(shield bool) (*MindControlResult, error) {
+	dev := driver.NewDevice(77)
+	const n = 64
+	// The input buffer and the "function table" are adjacent device
+	// allocations (the table holds indices into a jump table).
+	input := dev.Malloc("input", n*4, false)
+	table := dev.Malloc("functable", 256, false)
+	output := dev.Malloc("output", n*4, false)
+	const benignFn = 1
+	const evilFn = 7
+	dev.WriteUint32(table, 0, benignFn)
+
+	// Phase 1 — the victim kernel copies attacker-controlled payload into
+	// `input` using an attacker-influenced length (n + overflow), spilling
+	// into the function table. input is padded to its power-of-two size,
+	// so the write that matters lands at table[0].
+	overflowElems := int64((input.Padded)/4) + int64((table.Base-(input.Base+input.Padded))/4)
+	bld := kernel.NewBuilder("victim-copy")
+	pin := bld.BufferParam("input", false)
+	plen := bld.ScalarParam("len")
+	gtid := bld.GlobalTID()
+	guard := bld.SetLT(gtid, plen)
+	bld.If(guard, func() {
+		// payload value: the attacker's function index
+		bld.StoreGlobal(bld.AddScaled(pin, b2op(bld, gtid, overflowElems), 4), kernel.Imm(evilFn), 4)
+	})
+	victim := bld.MustBuild()
+
+	mode := driver.ModeOff
+	cfg := sim.NvidiaConfig()
+	if shield {
+		mode = driver.ModeShield
+		cfg = cfg.WithShield(core.DefaultBCUConfig())
+	}
+	l, err := dev.PrepareLaunch(victim, 1, 32,
+		[]driver.Arg{driver.BufArg(input), driver.ScalarArg(1)}, mode, nil)
+	if err != nil {
+		return nil, err
+	}
+	gpu := sim.New(cfg, dev)
+	st, err := gpu.Run(l)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MindControlResult{
+		TableEntryBefore: benignFn,
+		TableEntryAfter:  dev.ReadUint32(table, 0),
+		Violations:       len(st.Violations),
+	}
+
+	// Phase 2 — the dispatcher consumes the (possibly corrupted) table.
+	bld2 := kernel.NewBuilder("dispatcher")
+	ptab := bld2.BufferParam("table", true)
+	pout := bld2.BufferParam("output", false)
+	fn := bld2.LoadGlobal(bld2.AddScaled(ptab, kernel.Imm(0), 4), 4)
+	bld2.StoreGlobal(bld2.AddScaled(pout, bld2.GlobalTID(), 4), fn, 4)
+	dispatcher := bld2.MustBuild()
+	l2, err := dev.PrepareLaunch(dispatcher, 1, 32,
+		[]driver.Arg{driver.BufArg(table), driver.BufArg(output)}, mode, nil)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sim.New(cfg, dev).Run(l2); err != nil {
+		return nil, err
+	}
+	res.Hijacked = dev.ReadUint32(output, 0) == evilFn
+	return res, nil
+}
+
+// b2op returns an operand computing base-index + fixed offset so that
+// thread 0's store lands exactly on the function table.
+func b2op(b *kernel.Builder, gtid kernel.Operand, off int64) kernel.Operand {
+	return b.Add(gtid, kernel.Imm(off))
+}
+
+// ForgeryResult reports a pointer-forging campaign (§6.1).
+type ForgeryResult struct {
+	Attempts  int
+	Blocked   int // attempts that produced a violation
+	Succeeded int // attempts that wrote into the victim buffer
+}
+
+// RunPointerForgery has an attacker craft Type-2 pointers with guessed
+// payloads (it does not know the per-kernel key) aimed at a victim buffer.
+// Decryption scrambles each guess to an effectively random buffer ID, so
+// the RBT lookup yields an invalid entry or mismatching bounds and the
+// store faults — brute force cannot land a hit.
+func RunPointerForgery(attempts int) (*ForgeryResult, error) {
+	dev := driver.NewDevice(31337)
+	victim := dev.Malloc("victim", 4096, false)
+	scratch := dev.Malloc("scratch", 4096, false)
+	res := &ForgeryResult{Attempts: attempts}
+	const sentinel = uint32(0x0)
+
+	for i := 0; i < attempts; i++ {
+		// The attacker fabricates a pointer: victim's base address with a
+		// guessed encrypted ID in the payload bits.
+		forged := core.MakePointer(core.ClassID, uint16(i*2654435761)&0x3FFF, victim.Base)
+		b := kernel.NewBuilder("forge")
+		pscratch := b.BufferParam("scratch", false)
+		_ = pscratch
+		first := b.SetEQ(b.GlobalTID(), kernel.Imm(0))
+		b.If(first, func() {
+			addr := b.Mov(kernel.Imm(int64(forged)))
+			b.StoreGlobal(addr, kernel.Imm(0xBAD), 4)
+		})
+		k := b.MustBuild()
+		l, err := dev.PrepareLaunch(k, 1, 32, []driver.Arg{driver.BufArg(scratch)}, driver.ModeShield, nil)
+		if err != nil {
+			return nil, err
+		}
+		gpu := sim.New(sim.NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+		st, err := gpu.Run(l)
+		if err != nil {
+			return nil, err
+		}
+		if len(st.Violations) > 0 {
+			res.Blocked++
+		}
+		if dev.ReadUint32(victim, 0) != sentinel {
+			res.Succeeded++
+			dev.WriteUint32(victim, 0, sentinel)
+		}
+	}
+	return res, nil
+}
+
+// CanaryEvasionResult shows the canary blind spot: a far out-of-bounds
+// write that jumps over the canary region is invisible to clArmor/GMOD but
+// caught by region-based bounds checking.
+type CanaryEvasionResult struct {
+	CanaryIntact    bool // canary tools see nothing wrong
+	NeighborHit     bool // yet a neighboring buffer was corrupted
+	ShieldViolation bool // GPUShield catches the same store
+}
+
+// RunCanaryEvasion performs a non-adjacent OOB write under (a) canary
+// protection only and (b) GPUShield.
+func RunCanaryEvasion() (*CanaryEvasionResult, error) {
+	run := func(shield bool) (canaryOK, neighborHit, violated bool, err error) {
+		dev := driver.NewDevice(99)
+		a := dev.Malloc("A", 1024, false)
+		bb := dev.Malloc("B", 1024, false)
+		// Plant a canary in A's padding, as clArmor would.
+		canaryAddr := a.Base + a.Size
+		dev.Mem.WriteUint32(canaryAddr, 0xD3ADC0DE)
+		const sentinel = uint32(0x5EED)
+		dev.WriteUint32(bb, 16, sentinel)
+
+		// Jump far past the canary straight into B.
+		jump := int64(bb.Base+16*4-a.Base) / 4
+		k := svmStoreKernelAt(jump)
+		mode := driver.ModeOff
+		cfg := sim.NvidiaConfig()
+		if shield {
+			mode = driver.ModeShield
+			cfg = cfg.WithShield(core.DefaultBCUConfig())
+		}
+		l, err := dev.PrepareLaunch(k, 1, 32, []driver.Arg{driver.BufArg(a), driver.BufArg(bb)}, mode, nil)
+		if err != nil {
+			return false, false, false, err
+		}
+		st, err := sim.New(cfg, dev).Run(l)
+		if err != nil {
+			return false, false, false, err
+		}
+		canaryOK = dev.Mem.ReadUint32(canaryAddr) == 0xD3ADC0DE
+		neighborHit = dev.ReadUint32(bb, 16) != sentinel
+		violated = len(st.Violations) > 0
+		return canaryOK, neighborHit, violated, nil
+	}
+
+	canaryOK, neighborHit, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	_, _, violated, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &CanaryEvasionResult{
+		CanaryIntact:    canaryOK,
+		NeighborHit:     neighborHit,
+		ShieldViolation: violated,
+	}, nil
+}
+
+func svmStoreKernelAt(idx int64) *kernel.Kernel {
+	b := kernel.NewBuilder(fmt.Sprintf("far-oob-%d", idx))
+	pa := b.BufferParam("A", false)
+	pb := b.BufferParam("B", false)
+	_ = pb
+	first := b.SetEQ(b.GlobalTID(), kernel.Imm(0))
+	b.If(first, func() {
+		b.StoreGlobal(b.AddScaled(pa, kernel.Imm(idx), 4), kernel.Imm(0xBAD), 4)
+	})
+	return b.MustBuild()
+}
+
+// LocalOverflowResult reports the local-memory (off-chip stack) overflow
+// scenario of Table 1.
+type LocalOverflowResult struct {
+	Detected  bool
+	Corrupted bool // the second local variable's region was altered
+}
+
+// RunLocalOverflow writes past a thread's local array. The driver gives
+// every local variable its own region ID, so GPUShield detects the
+// cross-variable write.
+func RunLocalOverflow(shield bool) (*LocalOverflowResult, error) {
+	dev := driver.NewDevice(55)
+	out := dev.Malloc("out", 4096, false)
+
+	b := kernel.NewBuilder("local-overflow")
+	pout := b.BufferParam("out", false)
+	v0 := b.Local("buf0", 64)
+	v1 := b.Local("buf1", 64)
+	tid := b.GlobalTID()
+	// Initialize buf1[0] = 7 for every thread, then overflow buf0 by
+	// writing at offset 64 (one past its end).
+	b.StoreLocal(v1, kernel.Imm(0), kernel.Imm(7), 4)
+	b.StoreLocal(v0, kernel.Imm(64), kernel.Imm(0xBAD), 4)
+	rd := b.LoadLocal(v1, kernel.Imm(0), 4)
+	b.StoreGlobal(b.AddScaled(pout, tid, 4), rd, 4)
+	k := b.MustBuild()
+
+	mode := driver.ModeOff
+	cfg := sim.NvidiaConfig()
+	if shield {
+		mode = driver.ModeShield
+		cfg = cfg.WithShield(core.DefaultBCUConfig())
+	}
+	l, err := dev.PrepareLaunch(k, 1, 64, []driver.Arg{driver.BufArg(out)}, mode, nil)
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.New(cfg, dev).Run(l)
+	if err != nil {
+		return nil, err
+	}
+	res := &LocalOverflowResult{Detected: len(st.Violations) > 0}
+	for i := 0; i < 64; i++ {
+		if dev.ReadUint32(out, i) != 7 {
+			res.Corrupted = true
+		}
+	}
+	return res, nil
+}
+
+// HeapOverflowResult reports the coarse-grained heap coverage (§5.2.1):
+// intra-heap overflows between device-malloc chunks are not caught (one RBT
+// entry covers the whole heap), but writes beyond the heap region are. With
+// fine-grained heap protection (the §5.7 extension) each chunk has its own
+// region, so intra-heap overflows are caught too.
+type HeapOverflowResult struct {
+	IntraHeapDetected  bool
+	BeyondHeapDetected bool
+}
+
+// RunHeapOverflow exercises both cases under GPUShield.
+func RunHeapOverflow() (*HeapOverflowResult, error) { return runHeapOverflow(false) }
+
+// RunHeapOverflowFineGrained repeats the experiment with per-chunk heap
+// regions enabled.
+func RunHeapOverflowFineGrained() (*HeapOverflowResult, error) { return runHeapOverflow(true) }
+
+func runHeapOverflow(fineGrained bool) (*HeapOverflowResult, error) {
+	dev := driver.NewDevice(66)
+	dev.SetFineGrainedHeap(fineGrained)
+	dev.SetHeapLimit(1 << 20)
+	chunkA, err := dev.DeviceMalloc(256)
+	if err != nil {
+		return nil, err
+	}
+	if _, err = dev.DeviceMalloc(256); err != nil {
+		return nil, err
+	}
+	scratch := dev.Malloc("scratch", 256, false)
+
+	run := func(storeAddrOffset int64) (int, error) {
+		b := kernel.NewBuilder("heap-overflow")
+		ps := b.BufferParam("scratch", false)
+		_ = ps
+		pheap := b.ScalarParam("heapptr")
+		first := b.SetEQ(b.GlobalTID(), kernel.Imm(0))
+		b.If(first, func() {
+			addr := b.Add(pheap, kernel.Imm(storeAddrOffset))
+			b.StoreGlobal(addr, kernel.Imm(0xBAD), 4)
+		})
+		k := b.MustBuild()
+		l, err := dev.PrepareLaunch(k, 1, 32,
+			[]driver.Arg{driver.BufArg(scratch), driver.ScalarArg(0)}, driver.ModeShield, nil)
+		if err != nil {
+			return 0, err
+		}
+		// The heap pointer argument carries the driver's heap tag, offset
+		// to the first chunk — or, under fine-grained protection, the
+		// chunk's own tagged pointer.
+		if fineGrained {
+			l.Args[1] = l.HeapChunkPtrs[0]
+		} else {
+			l.Args[1] = core.WithAddr(l.HeapPtr, chunkA)
+		}
+		st, err := sim.New(sim.NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev).Run(l)
+		if err != nil {
+			return 0, err
+		}
+		return len(st.Violations), nil
+	}
+
+	// Chunk A overflowing into chunk B: inside the heap region.
+	intra, err := run(256 + 16)
+	if err != nil {
+		return nil, err
+	}
+	// Writing past the whole heap region.
+	beyond, err := run(2 << 20)
+	if err != nil {
+		return nil, err
+	}
+	return &HeapOverflowResult{
+		IntraHeapDetected:  intra > 0,
+		BeyondHeapDetected: beyond > 0,
+	}, nil
+}

@@ -1,0 +1,141 @@
+package attack
+
+import "testing"
+
+// TestSVMOverflowNative reproduces the Fig. 4 outcomes on the unprotected
+// SVM allocator: padding suppression, silent neighbor corruption, and the
+// 2MB-boundary kernel abort.
+func TestSVMOverflowNative(t *testing.T) {
+	cases, err := RunSVMOverflow(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Outcome{OutcomeSuppressed, OutcomeCorrupted, OutcomeAborted}
+	for i, c := range cases {
+		if c.Outcome != want[i] {
+			t.Errorf("%s: outcome %s, want %s", c.Name, c.Outcome, want[i])
+		}
+	}
+}
+
+// TestSVMOverflowShielded shows GPUShield blocks all three cases.
+func TestSVMOverflowShielded(t *testing.T) {
+	cases, err := RunSVMOverflow(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.Outcome != OutcomeBlocked {
+			t.Errorf("%s: outcome %s, want %s", c.Name, c.Outcome, OutcomeBlocked)
+		}
+		if c.Violations == 0 {
+			t.Errorf("%s: no violation recorded", c.Name)
+		}
+	}
+}
+
+func TestMindControlHijack(t *testing.T) {
+	native, err := RunMindControl(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !native.Hijacked {
+		t.Fatalf("unprotected run should re-steer the dispatcher: %+v", native)
+	}
+	shielded, err := RunMindControl(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shielded.Hijacked {
+		t.Fatalf("GPUShield should block the table overwrite: %+v", shielded)
+	}
+	if shielded.Violations == 0 {
+		t.Fatalf("expected a logged violation")
+	}
+	if shielded.TableEntryAfter != shielded.TableEntryBefore {
+		t.Fatalf("table corrupted despite shield: %+v", shielded)
+	}
+}
+
+func TestPointerForgeryBlocked(t *testing.T) {
+	res, err := RunPointerForgery(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != 0 {
+		t.Fatalf("%d forged pointers landed writes", res.Succeeded)
+	}
+	if res.Blocked < res.Attempts*9/10 {
+		t.Fatalf("only %d/%d forgeries blocked", res.Blocked, res.Attempts)
+	}
+}
+
+// TestCanaryEvasion demonstrates the Table 2 limitation of canary tools: a
+// far OOB write corrupts a neighbor while every canary stays intact, yet
+// GPUShield's region bounds catch it.
+func TestCanaryEvasion(t *testing.T) {
+	res, err := RunCanaryEvasion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CanaryIntact {
+		t.Fatalf("the write should jump over the canary")
+	}
+	if !res.NeighborHit {
+		t.Fatalf("the neighbor buffer should be corrupted natively")
+	}
+	if !res.ShieldViolation {
+		t.Fatalf("GPUShield should flag the same store")
+	}
+}
+
+func TestLocalOverflow(t *testing.T) {
+	native, err := RunLocalOverflow(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !native.Corrupted {
+		t.Fatalf("local overflow should corrupt the sibling variable natively")
+	}
+	shielded, err := RunLocalOverflow(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shielded.Detected {
+		t.Fatalf("GPUShield should detect the cross-variable write")
+	}
+	if shielded.Corrupted {
+		t.Fatalf("GPUShield should drop the overflowing store")
+	}
+}
+
+// TestHeapCoverage checks the §5.2.1 coarse-grain heap semantics: writes
+// between device-malloc chunks pass (single region), writes beyond the heap
+// are caught.
+func TestHeapCoverage(t *testing.T) {
+	res, err := RunHeapOverflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntraHeapDetected {
+		t.Fatalf("intra-heap writes are inside the coarse region and should pass")
+	}
+	if !res.BeyondHeapDetected {
+		t.Fatalf("writes beyond the heap region must be detected")
+	}
+}
+
+// TestHeapCoverageFineGrained checks the §5.7 extension: per-chunk regions
+// make intra-heap chunk overflows detectable too.
+func TestHeapCoverageFineGrained(t *testing.T) {
+	res, err := RunHeapOverflowFineGrained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IntraHeapDetected {
+		t.Fatalf("fine-grained heap must detect chunk-to-chunk overflow")
+	}
+	if !res.BeyondHeapDetected {
+		t.Fatalf("writes beyond the heap must still be detected")
+	}
+}

@@ -1,0 +1,214 @@
+package baselines
+
+import (
+	"testing"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+	"gpushield/internal/sim"
+)
+
+// buildSaxpy returns y[i] = a*x[i] + y[i] with a loop and a divergent
+// guard, exercising branch-target remapping in the instrumenter.
+func buildSaxpy() *kernel.Kernel {
+	b := kernel.NewBuilder("saxpy")
+	px := b.BufferParam("x", true)
+	py := b.BufferParam("y", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	g := b.SetLT(gtid, pn)
+	b.If(g, func() {
+		b.ForRange(kernel.Imm(0), kernel.Imm(4), kernel.Imm(1), func(i kernel.Operand) {
+			idx := b.Mad(gtid, kernel.Imm(4), i)
+			xv := b.LoadGlobal(b.AddScaled(px, idx, 4), 4)
+			yv := b.LoadGlobal(b.AddScaled(py, idx, 4), 4)
+			b.StoreGlobal(b.AddScaled(py, idx, 4), b.Add(b.Mul(xv, kernel.Imm(3)), yv), 4)
+		})
+	})
+	return b.MustBuild()
+}
+
+func TestInstrumentedKernelValidates(t *testing.T) {
+	k := buildSaxpy()
+	ik := InstrumentMemcheck(k)
+	if err := ik.Validate(); err != nil {
+		t.Fatalf("instrumented kernel invalid: %v", err)
+	}
+	if ik.NumRegs <= k.NumRegs {
+		t.Fatalf("instrumentation needs scratch registers")
+	}
+	if len(ik.Params) != len(k.Params)+1 {
+		t.Fatalf("shadow-table parameter missing")
+	}
+	if len(ik.Code) <= len(k.Code) {
+		t.Fatalf("no instructions inserted")
+	}
+}
+
+func TestInstrumentationInflatesMemoryOps(t *testing.T) {
+	k := buildSaxpy()
+	ik := InstrumentMemcheck(k)
+	orig := len(k.MemOps())
+	instr := len(ik.MemOps())
+	// Each global access gains 4 metadata loads.
+	if instr != orig+4*orig {
+		t.Fatalf("memory ops: %d -> %d, want %d", orig, instr, orig+4*orig)
+	}
+}
+
+// runSaxpy executes a saxpy-shaped kernel and returns y's contents.
+func runSaxpy(t *testing.T, k *kernel.Kernel, extraShadow bool) []uint32 {
+	t.Helper()
+	const n = 64
+	dev := driver.NewDevice(1)
+	x := dev.Malloc("x", n*4*4, true)
+	y := dev.Malloc("y", n*4*4, false)
+	for i := 0; i < n*4; i++ {
+		dev.WriteUint32(x, i, uint32(i))
+		dev.WriteUint32(y, i, uint32(2*i))
+	}
+	args := []driver.Arg{driver.BufArg(x), driver.BufArg(y), driver.ScalarArg(n)}
+	if extraShadow {
+		args = append(args, driver.BufArg(NewShadowTable(dev)))
+	}
+	l, err := dev.PrepareLaunch(k, 2, 32, args, driver.ModeOff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extraShadow {
+		l.NoCoalesce = true
+	}
+	st, err := sim.New(sim.NvidiaConfig(), dev).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborted {
+		t.Fatalf("aborted: %s", st.AbortMsg)
+	}
+	out := make([]uint32, n*4)
+	for i := range out {
+		out[i] = dev.ReadUint32(y, i)
+	}
+	return out
+}
+
+// TestInstrumentationPreservesSemantics is the key property of the
+// memcheck model: the instrumented kernel computes exactly the same result
+// as the original.
+func TestInstrumentationPreservesSemantics(t *testing.T) {
+	k := buildSaxpy()
+	want := runSaxpy(t, k, false)
+	got := runSaxpy(t, InstrumentMemcheck(k), true)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("y[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInstrumentationSlowsExecution verifies the model's purpose: the
+// instrumented kernel must be substantially slower.
+func TestInstrumentationSlowsExecution(t *testing.T) {
+	k := buildSaxpy()
+	run := func(kk *kernel.Kernel, shadow bool) uint64 {
+		const n = 64
+		dev := driver.NewDevice(2)
+		x := dev.Malloc("x", n*4*4, true)
+		y := dev.Malloc("y", n*4*4, false)
+		args := []driver.Arg{driver.BufArg(x), driver.BufArg(y), driver.ScalarArg(n)}
+		if shadow {
+			args = append(args, driver.BufArg(NewShadowTable(dev)))
+		}
+		l, err := dev.PrepareLaunch(kk, 2, 32, args, driver.ModeOff, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.NoCoalesce = shadow
+		st, err := sim.New(sim.NvidiaConfig(), dev).Run(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles()
+	}
+	base := run(k, false)
+	instr := run(InstrumentMemcheck(k), true)
+	if instr < 2*base {
+		t.Fatalf("instrumented run only %dx slower (%d vs %d cycles)", instr/base, instr, base)
+	}
+}
+
+func TestCanaryPlantAndCheck(t *testing.T) {
+	dev := driver.NewDevice(3)
+	a := dev.Malloc("a", 100, false) // padded to 128: 28 bytes of padding
+	b := dev.Malloc("b", 256, false)
+	bufs := []*driver.Buffer{a, b}
+	PlantCanaries(dev, bufs)
+	if got := CheckCanariesHost(dev, bufs); len(got) != 0 {
+		t.Fatalf("clean canaries reported corrupted: %v", got)
+	}
+	// Overwrite a's first canary word.
+	dev.Mem.WriteUint32(a.Base+a.Size, 0)
+	got := CheckCanariesHost(dev, bufs)
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("corruption not localized: %v", got)
+	}
+}
+
+func TestCanaryCheckKernelDetectsCorruption(t *testing.T) {
+	dev := driver.NewDevice(4)
+	a := dev.Malloc("a", 96, false)
+	bufs := []*driver.Buffer{a}
+	PlantCanaries(dev, bufs)
+	k, args, err := BuildCanaryCheckKernel(bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBuf := dev.Malloc("errors", 64, false)
+	args = append(args, driver.BufArg(errBuf))
+
+	run := func() uint32 {
+		l, err := dev.PrepareLaunch(k, 1, 64, args, driver.ModeOff, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.New(sim.NvidiaConfig(), dev).Run(l); err != nil {
+			t.Fatal(err)
+		}
+		return dev.ReadUint32(errBuf, 0)
+	}
+	if n := run(); n != 0 {
+		t.Fatalf("false positives: %d", n)
+	}
+	dev.Mem.WriteUint32(a.Base+a.Size+4, 0xBAD)
+	if n := run(); n == 0 {
+		t.Fatalf("corrupted canary not detected by the check kernel")
+	}
+}
+
+func TestCanaryCheckKernelNeedsBuffers(t *testing.T) {
+	if _, _, err := BuildCanaryCheckKernel(nil); err == nil {
+		t.Fatalf("empty buffer list accepted")
+	}
+}
+
+func TestToolFactors(t *testing.T) {
+	if f := MemcheckFactor(1000, 10000); f != (10000.0+MemcheckLaunchCycles)/1000.0 {
+		t.Fatalf("memcheck factor %f", f)
+	}
+	if f := ClArmorFactor(1000, 500); f != (1000.0+500.0+ClArmorSyncCycles)/1000.0 {
+		t.Fatalf("clarmor factor %f", f)
+	}
+	want := (1000*(1+GMODContention) + GMODCtorCycles) / 1000
+	if f := GMODFactor(1000); f != want {
+		t.Fatalf("gmod factor %f, want %f", f, want)
+	}
+	// Degenerate inputs.
+	if MemcheckFactor(0, 5) != 1 || ClArmorFactor(0, 5) != 1 || GMODFactor(0) != 1 {
+		t.Fatalf("zero baselines must yield factor 1")
+	}
+	// The shorter the kernel, the worse the tools — the Fig. 19
+	// streamcluster effect.
+	if GMODFactor(500) <= GMODFactor(50000) {
+		t.Fatalf("per-launch costs must dominate short kernels")
+	}
+}

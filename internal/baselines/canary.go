@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"fmt"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// CanaryWord is the secret value written into allocation padding. clArmor
+// and GMOD both detect out-of-bounds *writes* by noticing a changed canary;
+// reads and far out-of-bounds accesses that jump over the canary escape
+// them (§4.1) — a limitation the attack tests demonstrate.
+const CanaryWord = uint32(0xD3ADC0DE)
+
+// CanaryWords is how many 4-byte canary words guard the end of each buffer.
+const CanaryWords = 16
+
+// PlantCanaries writes canary words into the padding after each buffer's
+// payload (clArmor does this by intercepting allocation calls). Buffers
+// whose padding is too small for the full canary get as much as fits.
+func PlantCanaries(dev *driver.Device, bufs []*driver.Buffer) {
+	for _, b := range bufs {
+		n := canaryCount(b)
+		for i := 0; i < n; i++ {
+			dev.Mem.WriteUint32(b.Base+b.Size+uint64(4*i), CanaryWord)
+		}
+	}
+}
+
+func canaryCount(b *driver.Buffer) int {
+	pad := int(b.Padded-b.Size) / 4
+	if pad > CanaryWords {
+		pad = CanaryWords
+	}
+	return pad
+}
+
+// CheckCanariesHost scans the canaries from the host (GMOD's guard thread
+// does this continuously; clArmor does it after device synchronization)
+// and returns the buffers whose canary was overwritten.
+func CheckCanariesHost(dev *driver.Device, bufs []*driver.Buffer) []string {
+	var corrupted []string
+	for _, b := range bufs {
+		for i := 0; i < canaryCount(b); i++ {
+			if dev.Mem.ReadUint32(b.Base+b.Size+uint64(4*i)) != CanaryWord {
+				corrupted = append(corrupted, b.Name)
+				break
+			}
+		}
+	}
+	return corrupted
+}
+
+// BuildCanaryCheckKernel builds the device-side canary verification kernel
+// clArmor launches after each monitored kernel: one thread per canary word,
+// atomically accumulating mismatches into an error counter.
+func BuildCanaryCheckKernel(bufs []*driver.Buffer) (*kernel.Kernel, []driver.Arg, error) {
+	if len(bufs) == 0 {
+		return nil, nil, fmt.Errorf("baselines: no buffers to check")
+	}
+	b := kernel.NewBuilder("clarmor-check")
+	var params []kernel.Operand
+	for _, buf := range bufs {
+		params = append(params, b.BufferParam(buf.Name, false))
+	}
+	perr := b.BufferParam("__errors", false)
+	cw := CanaryWord // via a variable: the raw constant overflows int32
+	canaryImm := kernel.Imm(int64(int32(cw)))
+	tid := b.TID()
+	inCanary := b.SetLT(tid, kernel.Imm(CanaryWords))
+	b.If(inCanary, func() {
+		for i, buf := range bufs {
+			n := canaryCount(buf)
+			if n == 0 {
+				continue
+			}
+			mine := b.SetLT(tid, kernel.Imm(int64(n)))
+			b.If(mine, func() {
+				off := b.Add(kernel.Imm(int64(buf.Size)), b.Mul(tid, kernel.Imm(4)))
+				v := b.LoadGlobalOfs(params[i], off, 4)
+				// 4-byte loads sign-extend; compare against the
+				// sign-extended canary constant.
+				bad := b.SetNE(v, canaryImm)
+				b.If(bad, func() {
+					b.AtomAddGlobal(b.AddScaled(perr, kernel.Imm(0), 4), kernel.Imm(1), 4)
+				})
+			})
+		}
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	args := make([]driver.Arg, 0, len(bufs)+1)
+	for _, buf := range bufs {
+		args = append(args, driver.BufArg(buf))
+	}
+	return k, args, nil
+}

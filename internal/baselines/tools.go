@@ -1,0 +1,34 @@
+package baselines
+
+// Per-launch time models for the three software tools (Fig. 19). All times
+// are in GPU core cycles for one kernel invocation; an application's total
+// is Invocations × per-launch time, so the factors below are also the
+// app-level overhead factors.
+
+// MemcheckFactor is the CUDA-MEMCHECK overhead: the instrumented kernel's
+// simulated runtime (inflated instruction count, per-thread check traffic)
+// plus the per-launch JIT/synchronization cost.
+func MemcheckFactor(baseCycles, instrumentedCycles uint64) float64 {
+	if baseCycles == 0 {
+		return 1
+	}
+	return (float64(instrumentedCycles) + MemcheckLaunchCycles) / float64(baseCycles)
+}
+
+// ClArmorFactor is the clArmor overhead: the unmodified kernel plus a
+// device-synchronize and the canary-check kernel after every launch.
+func ClArmorFactor(baseCycles, checkCycles uint64) float64 {
+	if baseCycles == 0 {
+		return 1
+	}
+	return (float64(baseCycles) + float64(checkCycles) + ClArmorSyncCycles) / float64(baseCycles)
+}
+
+// GMODFactor is the GMOD overhead: guard-kernel memory contention while the
+// kernel runs plus the per-launch constructor/destructor work.
+func GMODFactor(baseCycles uint64) float64 {
+	if baseCycles == 0 {
+		return 1
+	}
+	return (float64(baseCycles)*(1+GMODContention) + GMODCtorCycles) / float64(baseCycles)
+}

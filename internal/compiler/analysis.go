@@ -1,0 +1,720 @@
+// Package compiler implements GPUShield's compile-time bounds analysis
+// (§5.3). It reconstructs the address expression of every memory
+// instruction by walking the operand tree backwards through the def chain
+// (the LLVM GetElementPtr analysis of Fig. 8), propagates value ranges for
+// thread-geometry registers, scalar parameters, constants, and loop
+// induction variables, and classifies every access:
+//
+//   - StaticSafe: the access range provably lies inside its buffer, so no
+//     runtime check is needed (the pointer use becomes Type 1).
+//   - StaticOOB: the access provably (or on some thread) exceeds its
+//     buffer; reported at compile time.
+//   - Type3Eligible: a Method-C (base + offset) access whose offset is
+//     explicit, checkable against a size embedded in the pointer (§5.3.3).
+//   - Runtime: everything else (indirect indices, unresolvable bases);
+//     checked by the BCU through the RCache hierarchy.
+package compiler
+
+import (
+	"fmt"
+
+	"gpushield/internal/kernel"
+)
+
+// Interval is an inclusive integer range. Unknown values are represented by
+// Known == false.
+type Interval struct {
+	Lo, Hi int64
+	Known  bool
+}
+
+func known(lo, hi int64) Interval { return Interval{Lo: lo, Hi: hi, Known: true} }
+
+func unknown() Interval { return Interval{} }
+
+func (iv Interval) add(o Interval) Interval {
+	if !iv.Known || !o.Known {
+		return unknown()
+	}
+	return known(iv.Lo+o.Lo, iv.Hi+o.Hi)
+}
+
+func (iv Interval) sub(o Interval) Interval {
+	if !iv.Known || !o.Known {
+		return unknown()
+	}
+	return known(iv.Lo-o.Hi, iv.Hi-o.Lo)
+}
+
+func (iv Interval) mul(o Interval) Interval {
+	if !iv.Known || !o.Known {
+		return unknown()
+	}
+	c := [4]int64{iv.Lo * o.Lo, iv.Lo * o.Hi, iv.Hi * o.Lo, iv.Hi * o.Hi}
+	lo, hi := c[0], c[0]
+	for _, v := range c[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return known(lo, hi)
+}
+
+func (iv Interval) union(o Interval) Interval {
+	if !iv.Known || !o.Known {
+		return unknown()
+	}
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	return known(lo, hi)
+}
+
+// value is a symbolic address expression: an optional buffer-parameter base
+// (param >= 0, unit coefficient) plus a byte-offset interval.
+type value struct {
+	param int // buffer param contributing the base address, or -1
+	off   Interval
+}
+
+func offsetOnly(iv Interval) value { return value{param: -1, off: iv} }
+
+// AccessClass classifies one memory instruction.
+type AccessClass uint8
+
+// Access classes.
+const (
+	AccessRuntime AccessClass = iota
+	AccessStaticSafe
+	AccessStaticOOB
+	AccessType3
+)
+
+func (c AccessClass) String() string {
+	switch c {
+	case AccessRuntime:
+		return "runtime"
+	case AccessStaticSafe:
+		return "static-safe"
+	case AccessStaticOOB:
+		return "static-oob"
+	case AccessType3:
+		return "type3"
+	}
+	return "class?"
+}
+
+// AccessInfo is the bounds-analysis-table (BAT) record for one memory
+// instruction.
+type AccessInfo struct {
+	Instr    int
+	Space    kernel.Space
+	Param    int // buffer parameter index, local var index, or -1 if unresolved
+	Class    AccessClass
+	OffMin   int64 // byte-offset range relative to the buffer base, if Known
+	OffMax   int64
+	OffKnown bool
+}
+
+// LaunchInfo carries the host-side facts the analysis needs: the launch
+// geometry and, per parameter, the buffer size or scalar value. This is the
+// information the paper's pass extracts from host-code analysis plus device
+// limits (e.g. CL_DEVICE_MAX_WORK_GROUP_SIZE).
+type LaunchInfo struct {
+	Block int // threads per workgroup
+	Grid  int // workgroups
+
+	// BufferBytes[i] is the byte size of buffer parameter i (0 for scalars).
+	BufferBytes []uint64
+	// ScalarVal[i] / ScalarKnown[i] give the value of scalar parameter i
+	// when the host passes a compile-time-known value.
+	ScalarVal   []int64
+	ScalarKnown []bool
+}
+
+// Analysis is the result of the static pass: the BAT plus per-parameter
+// pointer-class recommendations.
+type Analysis struct {
+	Kernel   *kernel.Kernel
+	Accesses []AccessInfo // one per memory instruction, program order
+
+	// StaticSafe[i] reports, for instruction index i, that the access was
+	// proven in-bounds and needs no runtime check.
+	StaticSafe map[int]bool
+	// Type3 marks instructions using Method-C addressing with an offset
+	// checkable against an embedded size.
+	Type3 map[int]bool
+	// OOBReports lists accesses that can exceed their buffer on some thread
+	// (compile-time error reports, §5.3.2).
+	OOBReports []AccessInfo
+}
+
+// analyzer holds per-run state.
+type analyzer struct {
+	k      *kernel.Kernel
+	info   LaunchInfo
+	defs   map[int][]int // register -> defining instruction indices
+	guards []guardScope  // divergent-if guard scopes
+	memo   map[memoKey]value
+	depth  int
+}
+
+type memoKey struct {
+	reg  int
+	site int // instruction index using the register (guards differ per site)
+}
+
+type guardScope struct {
+	start, end int // instructions in (start, end) run under the guard
+	reg        int
+	neg        bool
+}
+
+// Analyze runs the static pass over k for the given launch facts.
+func Analyze(k *kernel.Kernel, info LaunchInfo) (*Analysis, error) {
+	if len(info.BufferBytes) != len(k.Params) {
+		return nil, fmt.Errorf("compiler: %s: LaunchInfo has %d params, kernel has %d",
+			k.Name, len(info.BufferBytes), len(k.Params))
+	}
+	a := &analyzer{
+		k:    k,
+		info: info,
+		defs: make(map[int][]int),
+		memo: make(map[memoKey]value),
+	}
+	for i, in := range k.Code {
+		if in.Dst >= 0 {
+			a.defs[in.Dst] = append(a.defs[in.Dst], i)
+		}
+		if in.Op == kernel.OpBraDiv {
+			// BraDiv jumps lanes where the (possibly negated) guard is TRUE
+			// away from the fall-through body, so the instructions between
+			// the branch and its TARGET execute under the opposite
+			// condition; neg is flipped accordingly. The scope must end at
+			// the branch target, not the reconvergence point: in an
+			// if/else, the else body lives in [target, reconv) and runs
+			// under the complement.
+			a.guards = append(a.guards, guardScope{start: i, end: in.Label, reg: in.Pred, neg: !in.PNeg})
+		}
+	}
+
+	res := &Analysis{
+		Kernel:     k,
+		StaticSafe: make(map[int]bool),
+		Type3:      make(map[int]bool),
+	}
+	for i, in := range k.Code {
+		if !in.Op.IsMemory() {
+			continue
+		}
+		ai := a.classify(i, in)
+		res.Accesses = append(res.Accesses, ai)
+		switch ai.Class {
+		case AccessStaticSafe:
+			res.StaticSafe[i] = true
+		case AccessType3:
+			res.Type3[i] = true
+		case AccessStaticOOB:
+			res.OOBReports = append(res.OOBReports, ai)
+		}
+	}
+	return res, nil
+}
+
+// classify resolves the address expression of the memory instruction at
+// index i and assigns its access class.
+func (a *analyzer) classify(i int, in kernel.Instr) AccessInfo {
+	ai := AccessInfo{Instr: i, Space: in.Space, Param: -1, Class: AccessRuntime}
+	bytes := int64(in.Bytes)
+
+	switch in.Space {
+	case kernel.SpaceShared:
+		// Shared memory is on-chip and outside GPUShield's coverage
+		// (Table 4); no runtime check, no classification needed.
+		ai.Class = AccessStaticSafe
+		return ai
+
+	case kernel.SpaceLocal:
+		varIdx := int(in.Src[1].Imm)
+		ai.Param = varIdx
+		off := a.eval(in.Src[0], i)
+		if off.param >= 0 || !off.off.Known {
+			return ai
+		}
+		ai.OffMin, ai.OffMax, ai.OffKnown = off.off.Lo, off.off.Hi, true
+		size := int64(a.k.Locals[varIdx].Bytes)
+		ai.Class = classifyRange(off.off, bytes, size)
+		return ai
+
+	default: // global
+		var base value
+		var offIv Interval
+		methodC := in.Src[0].Kind == kernel.OperandParam
+		if methodC {
+			// Method C: base is the parameter, Src[1] is the byte offset.
+			base = value{param: in.Src[0].Param, off: known(0, 0)}
+			off := a.eval(in.Src[1], i)
+			if off.param >= 0 {
+				return ai // pointer-typed offset: unresolvable
+			}
+			offIv = off.off
+		} else {
+			v := a.eval(in.Src[0], i)
+			if v.param < 0 {
+				return ai // base pointer not traceable to a parameter
+			}
+			base = v
+			offIv = v.off
+		}
+		ai.Param = base.param
+		if a.k.Params[base.param].Kind != kernel.ParamBuffer {
+			return ai
+		}
+		size := int64(a.info.BufferBytes[base.param])
+		if offIv.Known {
+			ai.OffMin, ai.OffMax, ai.OffKnown = offIv.Lo, offIv.Hi, true
+			ai.Class = classifyRange(offIv, bytes, size)
+			if ai.Class == AccessRuntime && methodC {
+				ai.Class = AccessType3
+			}
+			return ai
+		}
+		if methodC {
+			// Offset unknown but explicit: checkable against the embedded
+			// size without an RBT access.
+			ai.Class = AccessType3
+			return ai
+		}
+		return ai
+	}
+}
+
+// classifyRange classifies a known offset interval against a buffer size:
+// provably inside → StaticSafe; provably outside on every thread →
+// StaticOOB (reported at compile time); straddling → Runtime (some threads
+// may be fine — the paper's pass defers those to dynamic checking rather
+// than rejecting correct guarded programs).
+func classifyRange(iv Interval, accessBytes, size int64) AccessClass {
+	if iv.Lo >= 0 && iv.Hi+accessBytes <= size {
+		return AccessStaticSafe
+	}
+	if iv.Hi < 0 || iv.Lo >= size {
+		return AccessStaticOOB
+	}
+	return AccessRuntime
+}
+
+const maxDepth = 64
+
+// eval computes the symbolic value of an operand as seen by the instruction
+// at index site (guards active at site refine special-register ranges).
+func (a *analyzer) eval(op kernel.Operand, site int) value {
+	switch op.Kind {
+	case kernel.OperandNone:
+		// A missing offset operand means +0 (e.g. a Method-C access to the
+		// base element).
+		return offsetOnly(known(0, 0))
+	case kernel.OperandImm:
+		return offsetOnly(known(op.Imm, op.Imm))
+	case kernel.OperandSpecial:
+		return offsetOnly(a.specialRange(op.Special, site))
+	case kernel.OperandParam:
+		p := a.k.Params[op.Param]
+		if p.Kind == kernel.ParamBuffer {
+			return value{param: op.Param, off: known(0, 0)}
+		}
+		if op.Param < len(a.info.ScalarKnown) && a.info.ScalarKnown[op.Param] {
+			v := a.info.ScalarVal[op.Param]
+			return offsetOnly(known(v, v))
+		}
+		return offsetOnly(unknown())
+	case kernel.OperandReg:
+		return a.evalReg(op.Reg, site)
+	}
+	return offsetOnly(unknown())
+}
+
+// evalReg resolves a register through its definitions. Single-definition
+// registers follow the def chain; the two-definition init/increment pattern
+// is recognized as a loop induction variable.
+func (a *analyzer) evalReg(reg, site int) value {
+	key := memoKey{reg: reg, site: site}
+	if v, ok := a.memo[key]; ok {
+		return v
+	}
+	if a.depth >= maxDepth {
+		return offsetOnly(unknown())
+	}
+	a.depth++
+	v := a.evalRegUncached(reg, site)
+	a.depth--
+	a.memo[key] = v
+	return v
+}
+
+func (a *analyzer) evalRegUncached(reg, site int) value {
+	defs := a.defs[reg]
+	switch len(defs) {
+	case 0:
+		return offsetOnly(unknown())
+	case 1:
+		return a.evalInstr(a.k.Code[defs[0]], site)
+	case 2:
+		if iv, ok := a.inductionRange(reg, defs); ok {
+			return offsetOnly(iv)
+		}
+		return offsetOnly(unknown())
+	default:
+		return offsetOnly(unknown())
+	}
+}
+
+// evalInstr computes the value produced by a defining instruction.
+func (a *analyzer) evalInstr(in kernel.Instr, site int) value {
+	ev := func(i int) value { return a.eval(in.Src[i], site) }
+	switch in.Op {
+	case kernel.OpMov:
+		return ev(0)
+	case kernel.OpAdd:
+		x, y := ev(0), ev(1)
+		return addVals(x, y)
+	case kernel.OpSub:
+		x, y := ev(0), ev(1)
+		if y.param >= 0 {
+			return offsetOnly(unknown())
+		}
+		return value{param: x.param, off: x.off.sub(y.off)}
+	case kernel.OpMul:
+		x, y := ev(0), ev(1)
+		if x.param >= 0 || y.param >= 0 {
+			return offsetOnly(unknown())
+		}
+		return offsetOnly(x.off.mul(y.off))
+	case kernel.OpMad: // src0*src1 + src2
+		x, y, z := ev(0), ev(1), ev(2)
+		if x.param >= 0 || y.param >= 0 {
+			return offsetOnly(unknown())
+		}
+		return addVals(offsetOnly(x.off.mul(y.off)), z)
+	case kernel.OpShl:
+		x, y := ev(0), ev(1)
+		if x.param >= 0 || y.param >= 0 || !y.off.Known || y.off.Lo != y.off.Hi || y.off.Lo < 0 || y.off.Lo > 62 {
+			return offsetOnly(unknown())
+		}
+		return offsetOnly(x.off.mul(known(1<<uint(y.off.Lo), 1<<uint(y.off.Lo))))
+	case kernel.OpShr:
+		x, y := ev(0), ev(1)
+		if x.param >= 0 || !x.off.Known || !y.off.Known || y.off.Lo != y.off.Hi ||
+			y.off.Lo < 0 || y.off.Lo > 62 || x.off.Lo < 0 {
+			return offsetOnly(unknown())
+		}
+		s := uint(y.off.Lo)
+		return offsetOnly(known(x.off.Lo>>s, x.off.Hi>>s))
+	case kernel.OpMin:
+		x, y := ev(0), ev(1)
+		if x.param >= 0 || y.param >= 0 || !x.off.Known || !y.off.Known {
+			return offsetOnly(unknown())
+		}
+		return offsetOnly(known(min64(x.off.Lo, y.off.Lo), min64(x.off.Hi, y.off.Hi)))
+	case kernel.OpMax:
+		x, y := ev(0), ev(1)
+		if x.param >= 0 || y.param >= 0 || !x.off.Known || !y.off.Known {
+			return offsetOnly(unknown())
+		}
+		return offsetOnly(known(max64(x.off.Lo, y.off.Lo), max64(x.off.Hi, y.off.Hi)))
+	case kernel.OpRem:
+		x, y := ev(0), ev(1)
+		if x.param >= 0 || y.param >= 0 || !y.off.Known || y.off.Lo <= 0 {
+			return offsetOnly(unknown())
+		}
+		// x % y with positive divisor: result in [0, maxDiv-1] when x >= 0.
+		if x.off.Known && x.off.Lo >= 0 {
+			hi := y.off.Hi - 1
+			if x.off.Hi < hi {
+				hi = x.off.Hi
+			}
+			return offsetOnly(known(0, hi))
+		}
+		return offsetOnly(known(-(y.off.Hi - 1), y.off.Hi-1))
+	case kernel.OpAnd:
+		x, y := ev(0), ev(1)
+		if x.param >= 0 || y.param >= 0 {
+			return offsetOnly(unknown())
+		}
+		// Masking with a constant bounds the result.
+		if y.off.Known && y.off.Lo == y.off.Hi && y.off.Lo >= 0 {
+			return offsetOnly(known(0, y.off.Lo))
+		}
+		if x.off.Known && x.off.Lo == x.off.Hi && x.off.Lo >= 0 {
+			return offsetOnly(known(0, x.off.Lo))
+		}
+		return offsetOnly(unknown())
+	case kernel.OpSelp:
+		x, y := ev(0), ev(1)
+		if x.param != y.param {
+			return offsetOnly(unknown())
+		}
+		return value{param: x.param, off: x.off.union(y.off)}
+	case kernel.OpSetLT, kernel.OpSetLE, kernel.OpSetEQ, kernel.OpSetNE,
+		kernel.OpSetGT, kernel.OpSetGE, kernel.OpFSetLT, kernel.OpFSetLE, kernel.OpFSetGT:
+		return offsetOnly(known(0, 1))
+	case kernel.OpDiv:
+		x, y := ev(0), ev(1)
+		if x.param >= 0 || y.param >= 0 || !x.off.Known || !y.off.Known ||
+			y.off.Lo != y.off.Hi || y.off.Lo <= 0 || x.off.Lo < 0 {
+			return offsetOnly(unknown())
+		}
+		d := y.off.Lo
+		return offsetOnly(known(x.off.Lo/d, x.off.Hi/d))
+	case kernel.OpCvtFI, kernel.OpCvtIF,
+		kernel.OpFAdd, kernel.OpFSub, kernel.OpFMul, kernel.OpFMad, kernel.OpFDiv,
+		kernel.OpFSqrt, kernel.OpFMin, kernel.OpFMax,
+		kernel.OpLd, kernel.OpAtomAdd, kernel.OpXor, kernel.OpOr:
+		return offsetOnly(unknown())
+	}
+	return offsetOnly(unknown())
+}
+
+func addVals(x, y value) value {
+	if x.param >= 0 && y.param >= 0 {
+		return offsetOnly(unknown())
+	}
+	p := x.param
+	if y.param >= 0 {
+		p = y.param
+	}
+	return value{param: p, off: x.off.add(y.off)}
+}
+
+// specialRange returns the interval of a special register given the launch
+// geometry, refined by any guard dominating the use site (e.g. the
+// `if (gtid < n)` software-bounds-check idiom).
+func (a *analyzer) specialRange(s kernel.Special, site int) Interval {
+	block, grid := int64(a.info.Block), int64(a.info.Grid)
+	var iv Interval
+	switch s {
+	case kernel.SpecTIDX:
+		iv = known(0, block-1)
+	case kernel.SpecCTAIDX:
+		iv = known(0, grid-1)
+	case kernel.SpecNTIDX:
+		iv = known(block, block)
+	case kernel.SpecNCTAIDX:
+		iv = known(grid, grid)
+	case kernel.SpecGlobalTID:
+		iv = known(0, block*grid-1)
+	case kernel.SpecGlobalSize:
+		iv = known(block*grid, block*grid)
+	case kernel.SpecLaneID:
+		iv = known(0, block-1) // conservatively the whole block
+	case kernel.SpecWarpID:
+		iv = known(0, block-1)
+	default:
+		return unknown()
+	}
+	for _, g := range a.guards {
+		if site <= g.start || site >= g.end {
+			continue
+		}
+		if ref, ok := a.guardBound(g, s, site); ok {
+			if ref.Hi < iv.Hi {
+				iv.Hi = ref.Hi
+			}
+			if ref.Lo > iv.Lo {
+				iv.Lo = ref.Lo
+			}
+		}
+	}
+	return iv
+}
+
+// guardBound extracts a range restriction on special register s implied by
+// guard scope g. Conditions are resolved recursively: `and` of conditions
+// is a conjunction (x&y != 0 implies both operands are non-zero), and
+// `set.ne x, 0` forwards to x, so the common
+// `if ((i >= lo) && (i < hi))` idiom refines both bounds.
+func (a *analyzer) guardBound(g guardScope, s kernel.Special, site int) (Interval, bool) {
+	if g.neg {
+		return Interval{}, false // body runs when the condition is false; skip
+	}
+	return a.boundFromCond(g.reg, s, g.start, 0)
+}
+
+// boundFromCond returns the interval implied for special register s by the
+// condition "register reg holds a non-zero value" at the given site.
+func (a *analyzer) boundFromCond(reg int, s kernel.Special, site, depth int) (Interval, bool) {
+	if depth > 8 {
+		return Interval{}, false
+	}
+	defs := a.defs[reg]
+	if len(defs) != 1 {
+		return Interval{}, false
+	}
+	in := a.k.Code[defs[0]]
+	matches := func(op kernel.Operand) bool {
+		return op.Kind == kernel.OperandSpecial && op.Special == s
+	}
+	// Evaluate the comparison's other side at the scope entry (outside the
+	// guard) to avoid self-recursion through the same scope. loBound uses
+	// the side's guaranteed minimum, hiBound its guaranteed maximum.
+	side := func(i int) (Interval, bool) {
+		v := a.eval(in.Src[i], site)
+		if v.param >= 0 || !v.off.Known {
+			return Interval{}, false
+		}
+		return v.off, true
+	}
+	const neg62 = -(int64(1) << 62)
+	const pos62 = int64(1) << 62
+	switch in.Op {
+	case kernel.OpAnd:
+		// x & y != 0 implies x != 0 and y != 0.
+		var got bool
+		iv := known(neg62, pos62)
+		for _, src := range in.Src[:2] {
+			if src.Kind != kernel.OperandReg {
+				continue
+			}
+			if sub, ok := a.boundFromCond(src.Reg, s, site, depth+1); ok {
+				got = true
+				if sub.Lo > iv.Lo {
+					iv.Lo = sub.Lo
+				}
+				if sub.Hi < iv.Hi {
+					iv.Hi = sub.Hi
+				}
+			}
+		}
+		return iv, got
+	case kernel.OpSetNE: // set.ne x, 0 forwards the condition of x
+		if in.Src[1].Kind == kernel.OperandImm && in.Src[1].Imm == 0 &&
+			in.Src[0].Kind == kernel.OperandReg {
+			return a.boundFromCond(in.Src[0].Reg, s, site, depth+1)
+		}
+	case kernel.OpSetLT: // s < bound  =>  s <= max(bound)-1
+		if matches(in.Src[0]) {
+			if b, ok := side(1); ok {
+				return known(neg62, b.Hi-1), true
+			}
+		}
+		if matches(in.Src[1]) { // bound < s  =>  s >= min(bound)+1
+			if b, ok := side(0); ok {
+				return known(b.Lo+1, pos62), true
+			}
+		}
+	case kernel.OpSetLE: // s <= bound
+		if matches(in.Src[0]) {
+			if b, ok := side(1); ok {
+				return known(neg62, b.Hi), true
+			}
+		}
+		if matches(in.Src[1]) {
+			if b, ok := side(0); ok {
+				return known(b.Lo, pos62), true
+			}
+		}
+	case kernel.OpSetGT: // s > bound  =>  s >= min(bound)+1
+		if matches(in.Src[0]) {
+			if b, ok := side(1); ok {
+				return known(b.Lo+1, pos62), true
+			}
+		}
+		if matches(in.Src[1]) { // bound > s
+			if b, ok := side(0); ok {
+				return known(neg62, b.Hi-1), true
+			}
+		}
+	case kernel.OpSetGE: // s >= bound
+		if matches(in.Src[0]) {
+			if b, ok := side(1); ok {
+				return known(b.Lo, pos62), true
+			}
+		}
+		if matches(in.Src[1]) {
+			if b, ok := side(0); ok {
+				return known(neg62, b.Hi), true
+			}
+		}
+	}
+	return Interval{}, false
+}
+
+// inductionRange recognizes the init/increment loop-counter pattern
+// produced by Builder.ForRange: one initializing def and one def that
+// (possibly through a chain of movs) computes reg + step, with a set.lt
+// comparison against a bound guarding the loop exit.
+func (a *analyzer) inductionRange(reg int, defs []int) (Interval, bool) {
+	var initIdx, stepIdx = -1, -1
+	for _, d := range defs {
+		if a.isSelfIncrement(reg, a.k.Code[d], 0) {
+			stepIdx = d
+		} else {
+			initIdx = d
+		}
+	}
+	if initIdx < 0 || stepIdx < 0 {
+		return Interval{}, false
+	}
+	initV := a.evalInstr(a.k.Code[initIdx], initIdx)
+	if initV.param >= 0 || !initV.off.Known {
+		return Interval{}, false
+	}
+	// Find the loop bound: a set.lt(reg, bound) whose result guards a branch.
+	for i, in := range a.k.Code {
+		if in.Op != kernel.OpSetLT || in.Src[0].Kind != kernel.OperandReg || in.Src[0].Reg != reg {
+			continue
+		}
+		bound := a.eval(in.Src[1], i)
+		if bound.param >= 0 || !bound.off.Known {
+			continue
+		}
+		// Inside the loop body i < bound, so reg <= bound.Hi - 1.
+		return known(initV.off.Lo, bound.off.Hi-1), true
+	}
+	return Interval{}, false
+}
+
+// isSelfIncrement reports whether in (following mov chains) computes
+// reg + something, i.e. is the increment def of a loop counter.
+func (a *analyzer) isSelfIncrement(reg int, in kernel.Instr, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	switch in.Op {
+	case kernel.OpMov:
+		src := in.Src[0]
+		if src.Kind != kernel.OperandReg {
+			return false
+		}
+		defs := a.defs[src.Reg]
+		if len(defs) != 1 {
+			return false
+		}
+		return a.isSelfIncrement(reg, a.k.Code[defs[0]], depth+1)
+	case kernel.OpAdd:
+		return (in.Src[0].Kind == kernel.OperandReg && in.Src[0].Reg == reg) ||
+			(in.Src[1].Kind == kernel.OperandReg && in.Src[1].Reg == reg)
+	}
+	return false
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,356 @@
+package compiler
+
+import (
+	"testing"
+
+	"gpushield/internal/kernel"
+)
+
+// analyzeOne builds a kernel via fn, analyzes it under the given launch
+// facts, and returns the analysis.
+func analyzeOne(t *testing.T, fn func(b *kernel.Builder), info LaunchInfo) *Analysis {
+	t.Helper()
+	b := kernel.NewBuilder("t")
+	fn(b)
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	an, err := Analyze(k, info)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return an
+}
+
+// info1 builds LaunchInfo for one buffer of size bytes plus optional known
+// scalars.
+func info1(block, grid int, bufBytes uint64, scalars ...int64) LaunchInfo {
+	info := LaunchInfo{
+		Block:       block,
+		Grid:        grid,
+		BufferBytes: append([]uint64{bufBytes}, make([]uint64, len(scalars))...),
+		ScalarVal:   append([]int64{0}, scalars...),
+		ScalarKnown: append([]bool{false}, trues(len(scalars))...),
+	}
+	return info
+}
+
+func trues(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func classOf(t *testing.T, an *Analysis, i int) AccessClass {
+	t.Helper()
+	if i >= len(an.Accesses) {
+		t.Fatalf("no access %d in %+v", i, an.Accesses)
+	}
+	return an.Accesses[i].Class
+}
+
+func TestAffineTidAccessIsStatic(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), kernel.Imm(1), 4)
+	}, info1(64, 4, 64*4*4))
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("tid-indexed store in exact-size buffer should be static-safe: %+v", an.Accesses)
+	}
+}
+
+func TestAffineAccessExceedingBufferIsRuntimeOrOOB(t *testing.T) {
+	// Buffer holds only half the threads: some threads overflow, so the
+	// access straddles the boundary -> Runtime (not a compile-time error).
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), kernel.Imm(1), 4)
+	}, info1(64, 4, 64*2*4))
+	if classOf(t, an, 0) != AccessRuntime {
+		t.Fatalf("straddling access should defer to runtime: %+v", an.Accesses)
+	}
+	if len(an.OOBReports) != 0 {
+		t.Fatalf("straddling access must not be a compile-time error")
+	}
+}
+
+func TestDefinitelyOOBIsReported(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		// Every thread writes past the end.
+		idx := b.Add(b.GlobalTID(), kernel.Imm(1000))
+		b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+	}, info1(32, 1, 128))
+	if classOf(t, an, 0) != AccessStaticOOB {
+		t.Fatalf("guaranteed overflow not flagged: %+v", an.Accesses)
+	}
+	if len(an.OOBReports) != 1 {
+		t.Fatalf("OOB report missing")
+	}
+}
+
+func TestGuardRefinesRange(t *testing.T) {
+	// if (gtid < n) with known n makes the small-buffer access provable.
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		n := b.ScalarParam("n")
+		g := b.SetLT(b.GlobalTID(), n)
+		b.If(g, func() {
+			b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), kernel.Imm(1), 4)
+		})
+	}, info1(64, 4, 100*4, 100))
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("guarded access should be static-safe: %+v", an.Accesses)
+	}
+}
+
+func TestConjunctiveGuardRefinesBothBounds(t *testing.T) {
+	// The stencil idiom: if (i >= lo && i < n-lo) { p[i-lo] ... }.
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		gtid := b.GlobalTID()
+		lo := b.SetGE(gtid, kernel.Imm(16))
+		hi := b.SetLT(gtid, kernel.Imm(240))
+		g := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+		b.If(g, func() {
+			idx := b.Sub(gtid, kernel.Imm(16))
+			b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+		})
+	}, info1(256, 1, 224*4))
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("conjunctive guard not applied: %+v", an.Accesses)
+	}
+}
+
+func TestIndirectIndexIsRuntime(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		idx := b.LoadGlobal(b.AddScaled(p, b.GlobalTID(), 4), 4)
+		b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+	}, info1(32, 1, 4096))
+	if classOf(t, an, 1) != AccessRuntime {
+		t.Fatalf("indirect access should need runtime checking: %+v", an.Accesses)
+	}
+}
+
+func TestMethodCWithUnknownOffsetIsType3(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		q := b.BufferParam("q", true)
+		idx := b.LoadGlobal(b.AddScaled(q, b.GlobalTID(), 4), 4)
+		b.StoreGlobalOfs(p, b.Mul(idx, kernel.Imm(4)), kernel.Imm(1), 4)
+	}, LaunchInfo{Block: 32, Grid: 1, BufferBytes: []uint64{4096, 128},
+		ScalarVal: make([]int64, 2), ScalarKnown: make([]bool, 2)})
+	if classOf(t, an, 1) != AccessType3 {
+		t.Fatalf("Method-C access with unknown offset should be Type-3: %+v", an.Accesses)
+	}
+}
+
+func TestMethodCWithProvableOffsetIsStatic(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		b.StoreGlobalOfs(p, b.Mul(b.GlobalTID(), kernel.Imm(4)), kernel.Imm(1), 4)
+	}, info1(32, 1, 32*4))
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("provable Method-C access should be static: %+v", an.Accesses)
+	}
+}
+
+func TestLoopInductionVariableRange(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		b.ForRange(kernel.Imm(0), kernel.Imm(16), kernel.Imm(1), func(i kernel.Operand) {
+			b.StoreGlobal(b.AddScaled(p, i, 4), kernel.Imm(1), 4)
+		})
+	}, info1(32, 1, 16*4))
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("loop-bounded access should be static-safe: %+v", an.Accesses)
+	}
+}
+
+func TestLoopCrossTermTidTimesStride(t *testing.T) {
+	// p[tid*16 + i] with i in [0,16) and a matching buffer: provable.
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		gtid := b.GlobalTID()
+		b.ForRange(kernel.Imm(0), kernel.Imm(16), kernel.Imm(1), func(i kernel.Operand) {
+			idx := b.Add(b.Mul(gtid, kernel.Imm(16)), i)
+			b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+		})
+	}, info1(8, 2, 16*16*4))
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("tid*stride+i access should be static-safe: %+v", an.Accesses)
+	}
+}
+
+func TestDivAndRemRanges(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		gtid := b.GlobalTID() // [0, 255]
+		row := b.Div(gtid, kernel.Imm(16))
+		col := b.Rem(gtid, kernel.Imm(16))
+		idx := b.Mad(row, kernel.Imm(16), col)
+		b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+	}, info1(256, 1, 256*4))
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("div/rem decomposition should be static-safe: %+v", an.Accesses)
+	}
+}
+
+func TestAndMaskBoundsValue(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		idx := b.And(b.LoadGlobal(b.AddScaled(p, b.GlobalTID(), 4), 4), kernel.Imm(63))
+		b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+	}, info1(32, 1, 64*4))
+	if classOf(t, an, 1) != AccessStaticSafe {
+		t.Fatalf("mask-bounded indirect index should be static-safe: %+v", an.Accesses)
+	}
+}
+
+func TestMinMaxClampProvesBounds(t *testing.T) {
+	// The convolution clamp idiom: idx = max(0, min(i+j, n-1)).
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		raw := b.Add(b.GlobalTID(), kernel.Imm(-8))
+		idx := b.Max(kernel.Imm(0), b.Min(raw, kernel.Imm(255)))
+		b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+	}, info1(256, 2, 256*4))
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("clamped access should be static-safe: %+v", an.Accesses)
+	}
+}
+
+func TestSelpUnionsRanges(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		cond := b.SetLT(b.GlobalTID(), kernel.Imm(16))
+		idx := b.Selp(kernel.Imm(3), kernel.Imm(60), cond)
+		b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+	}, info1(32, 1, 64*4))
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("selp of two constants should be static-safe: %+v", an.Accesses)
+	}
+}
+
+func TestSharedAccessNeedsNoCheck(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		b.Shared(64)
+		b.StoreShared(kernel.Imm(0), kernel.Imm(1), 4)
+	}, LaunchInfo{Block: 32, Grid: 1})
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("shared accesses are outside GPUShield coverage: %+v", an.Accesses)
+	}
+}
+
+func TestLocalAccessClassification(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		v := b.Local("buf", 32)
+		b.StoreLocal(v, kernel.Imm(0), kernel.Imm(1), 4)  // safe
+		b.StoreLocal(v, kernel.Imm(32), kernel.Imm(1), 4) // definitely OOB
+	}, LaunchInfo{Block: 32, Grid: 1})
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("in-bounds local store: %+v", an.Accesses[0])
+	}
+	if classOf(t, an, 1) != AccessStaticOOB {
+		t.Fatalf("local overflow not flagged: %+v", an.Accesses[1])
+	}
+}
+
+func TestUnknownScalarDefersToRuntime(t *testing.T) {
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		d := b.ScalarParam("d")
+		idx := b.Add(b.GlobalTID(), d)
+		b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+	}, LaunchInfo{Block: 32, Grid: 1, BufferBytes: []uint64{4096, 0},
+		ScalarVal: []int64{0, 0}, ScalarKnown: []bool{false, false}})
+	if classOf(t, an, 0) != AccessRuntime {
+		t.Fatalf("unknown scalar should force runtime checking: %+v", an.Accesses)
+	}
+}
+
+func TestAnalyzeRejectsMismatchedInfo(t *testing.T) {
+	b := kernel.NewBuilder("bad")
+	b.BufferParam("p", false)
+	b.Exit()
+	k := b.MustBuild()
+	if _, err := Analyze(k, LaunchInfo{Block: 32, Grid: 1}); err == nil {
+		t.Fatalf("mismatched LaunchInfo accepted")
+	}
+}
+
+func TestNegatedGuardDoesNotRefine(t *testing.T) {
+	// else-branch: runs when gtid >= n, so the "< n" bound must NOT be
+	// applied there.
+	an := analyzeOne(t, func(b *kernel.Builder) {
+		p := b.BufferParam("p", false)
+		n := b.ScalarParam("n")
+		g := b.SetLT(b.GlobalTID(), n)
+		b.IfElse(g, func() {
+			b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), kernel.Imm(1), 4)
+		}, func() {
+			b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), kernel.Imm(2), 4)
+		})
+	}, info1(64, 4, 100*4, 100))
+	// First store (then-branch) provable; second (else-branch) must not be.
+	if classOf(t, an, 0) != AccessStaticSafe {
+		t.Fatalf("then-branch store should be provable: %+v", an.Accesses)
+	}
+	if classOf(t, an, 1) == AccessStaticSafe {
+		t.Fatalf("else-branch store must not borrow the guard: %+v", an.Accesses)
+	}
+}
+
+func TestIntervalArithmetic(t *testing.T) {
+	a := known(1, 5)
+	b := known(-2, 3)
+	if got := a.add(b); got != known(-1, 8) {
+		t.Fatalf("add: %+v", got)
+	}
+	if got := a.sub(b); got != known(-2, 7) {
+		t.Fatalf("sub: %+v", got)
+	}
+	if got := a.mul(b); got != known(-10, 15) {
+		t.Fatalf("mul: %+v", got)
+	}
+	if got := a.union(b); got != known(-2, 5) {
+		t.Fatalf("union: %+v", got)
+	}
+	if got := a.add(unknown()); got.Known {
+		t.Fatalf("add with unknown must be unknown")
+	}
+	neg := known(-3, -1)
+	if got := neg.mul(neg); got != known(1, 9) {
+		t.Fatalf("negative mul: %+v", got)
+	}
+}
+
+func TestClassifyRange(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want AccessClass
+	}{
+		{known(0, 96), AccessStaticSafe},   // 96+4 <= 100
+		{known(0, 97), AccessRuntime},      // straddles
+		{known(-4, 50), AccessRuntime},     // may underflow
+		{known(100, 200), AccessStaticOOB}, // entirely past the end
+		{known(-50, -4), AccessStaticOOB},  // entirely before
+	}
+	for _, c := range cases {
+		if got := classifyRange(c.iv, 4, 100); got != c.want {
+			t.Errorf("classifyRange(%+v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestAccessClassString(t *testing.T) {
+	for _, c := range []AccessClass{AccessRuntime, AccessStaticSafe, AccessStaticOOB, AccessType3} {
+		if c.String() == "class?" {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// newTestBCU builds a BCU with one installed kernel and a buffer at
+// [0x1000, 0x1400) under ID 7.
+func newTestBCU(mode FailureMode) (*BCU, uint64, uint16) {
+	cfg := DefaultBCUConfig()
+	cfg.Mode = mode
+	b := NewBCU(cfg)
+	const key = uint64(0xFEEDFACE)
+	rbt := NewRBT()
+	rbt.Set(7, NewBounds(0x1000, 0x400, false))
+	rbt.Set(9, NewBounds(0x8000, 0x100, true)) // read-only buffer
+	b.InstallKernel(1, key, rbt, 0x7F00_0000)
+	return b, key, 7
+}
+
+func req(key uint64, id uint16, lo, hi uint64, store bool) CheckRequest {
+	return CheckRequest{
+		KernelID:          1,
+		Pointer:           MakePointer(ClassID, EncryptID(id, key), lo),
+		MinAddr:           lo,
+		MaxAddr:           hi,
+		IsStore:           store,
+		SingleTransaction: true,
+		L1DHit:            true,
+	}
+}
+
+func TestBCUInBoundsPasses(t *testing.T) {
+	b, key, id := newTestBCU(FailLog)
+	res := b.Check(req(key, id, 0x1000, 0x1003, true))
+	if !res.OK || res.Violation != nil {
+		t.Fatalf("in-bounds access rejected: %+v", res)
+	}
+	if res.Level != ServedRBT {
+		t.Fatalf("first check must come from the RBT, got %v", res.Level)
+	}
+	// Second check: L1 RCache hit, no stall at default latency.
+	res = b.Check(req(key, id, 0x13FC, 0x13FF, false))
+	if !res.OK || res.Level != ServedL1 || res.Stall != 0 {
+		t.Fatalf("warm check wrong: %+v", res)
+	}
+}
+
+func TestBCUDetectsOOB(t *testing.T) {
+	b, key, id := newTestBCU(FailLog)
+	res := b.Check(req(key, id, 0x1400, 0x1403, true)) // one byte past the end
+	if res.OK || res.Violation == nil || res.Violation.Kind != ViolationOOB {
+		t.Fatalf("OOB not detected: %+v", res)
+	}
+	if !res.DropStore {
+		t.Fatalf("FailLog must drop the store")
+	}
+	if got := len(b.Violations()); got != 1 {
+		t.Fatalf("violation log has %d entries", got)
+	}
+}
+
+func TestBCUSquashesOOBLoad(t *testing.T) {
+	b, key, id := newTestBCU(FailLog)
+	res := b.Check(req(key, id, 0x0FF0, 0x0FF3, false))
+	if res.OK || !res.SquashLoad {
+		t.Fatalf("OOB load must be squashed: %+v", res)
+	}
+}
+
+func TestBCUReadOnlyEnforcement(t *testing.T) {
+	b, key, _ := newTestBCU(FailLog)
+	// Reads of the read-only buffer pass; writes violate.
+	r := req(key, 9, 0x8000, 0x8003, false)
+	if res := b.Check(r); !res.OK {
+		t.Fatalf("read of read-only buffer rejected: %+v", res)
+	}
+	r.IsStore = true
+	res := b.Check(r)
+	if res.OK || res.Violation.Kind != ViolationReadOnly {
+		t.Fatalf("read-only store not flagged: %+v", res)
+	}
+}
+
+func TestBCUInvalidIDFails(t *testing.T) {
+	b, key, _ := newTestBCU(FailLog)
+	res := b.Check(req(key, 12345, 0x1000, 0x1003, true)) // no such entry
+	if res.OK || res.Violation.Kind != ViolationInvalidID {
+		t.Fatalf("invalid ID not flagged: %+v", res)
+	}
+}
+
+func TestBCUForgedPayloadFails(t *testing.T) {
+	b, _, _ := newTestBCU(FailLog)
+	// Attacker uses a guessed payload without knowing the key.
+	r := CheckRequest{
+		KernelID: 1,
+		Pointer:  MakePointer(ClassID, 0x0AAA, 0x1000),
+		MinAddr:  0x1000, MaxAddr: 0x1003, IsStore: true,
+	}
+	res := b.Check(r)
+	if res.OK {
+		t.Fatalf("forged pointer accepted")
+	}
+}
+
+func TestBCUUnknownKernelFails(t *testing.T) {
+	b, key, id := newTestBCU(FailLog)
+	r := req(key, id, 0x1000, 0x1003, false)
+	r.KernelID = 99 // never installed
+	if res := b.Check(r); res.OK {
+		t.Fatalf("check passed for kernel without installed key")
+	}
+}
+
+func TestBCUFaultMode(t *testing.T) {
+	b, key, id := newTestBCU(FailFault)
+	res := b.Check(req(key, id, 0x2000, 0x2003, true))
+	if res.OK || res.DropStore || res.SquashLoad {
+		t.Fatalf("fault mode must not squash silently: %+v", res)
+	}
+	if _, ok := b.Faulted(); !ok {
+		t.Fatalf("fault not raised")
+	}
+	b.ResetFault()
+	if _, ok := b.Faulted(); ok {
+		t.Fatalf("ResetFault failed")
+	}
+}
+
+func TestBCUUnprotectedSkips(t *testing.T) {
+	b, _, _ := newTestBCU(FailLog)
+	res := b.Check(CheckRequest{
+		KernelID: 1,
+		Pointer:  MakePointer(ClassUnprotected, 0, 0xFFFF_FFFF), // wild address
+		MinAddr:  0xFFFF_FFF0, MaxAddr: 0xFFFF_FFFF, IsStore: true,
+	})
+	if !res.OK || res.Level != ServedSkip {
+		t.Fatalf("Type-1 pointer must skip checking: %+v", res)
+	}
+	if b.Stats.Skipped != 1 {
+		t.Fatalf("skip not counted")
+	}
+}
+
+func TestBCUType3OffsetCheck(t *testing.T) {
+	b, _, _ := newTestBCU(FailLog)
+	ptr := MakePointer(ClassSize, 10, 0x4000) // 1KB power-of-two buffer
+	mk := func(minOfs, maxOfs int64, store bool) CheckRequest {
+		return CheckRequest{
+			KernelID: 1, Pointer: ptr,
+			MinAddr: 0x4000, MaxAddr: 0x4003,
+			MinOfs: minOfs, MaxOfs: maxOfs, IsStore: store,
+		}
+	}
+	if res := b.Check(mk(0, 1023, false)); !res.OK || res.Level != ServedType3 {
+		t.Fatalf("in-bounds Type-3 rejected: %+v", res)
+	}
+	if res := b.Check(mk(0, 1024, true)); res.OK || res.Violation.Kind != ViolationOOB {
+		t.Fatalf("Type-3 overflow not caught: %+v", res)
+	}
+	if res := b.Check(mk(-4, 3, true)); res.OK || res.Violation.Kind != ViolationNegOfs {
+		t.Fatalf("Type-3 negative offset not caught: %+v", res)
+	}
+	if b.Stats.Type3Checks != 3 {
+		t.Fatalf("Type-3 checks = %d", b.Stats.Type3Checks)
+	}
+}
+
+func TestBCUStallModel(t *testing.T) {
+	// L2 RCache hit with default latencies costs exactly one bubble for a
+	// single transaction hitting L1D (Fig. 12), and nothing otherwise.
+	cfg := DefaultBCUConfig()
+	b := NewBCU(cfg)
+	key := uint64(5)
+	rbt := NewRBT()
+	for id := uint16(1); id <= 8; id++ {
+		rbt.Set(id, NewBounds(uint64(id)*0x10000, 0x1000, false))
+	}
+	b.InstallKernel(1, key, rbt, 0)
+
+	mkReq := func(id uint16, single, l1dHit bool) CheckRequest {
+		base := uint64(id) * 0x10000
+		return CheckRequest{
+			KernelID: 1, Pointer: MakePointer(ClassID, EncryptID(id, key), base),
+			MinAddr: base, MaxAddr: base + 3,
+			SingleTransaction: single, L1DHit: l1dHit,
+		}
+	}
+	// Warm all 8 into L2 (and cycle the 4-entry L1).
+	for id := uint16(1); id <= 8; id++ {
+		b.Check(mkReq(id, true, true))
+	}
+	// ID 1 is long gone from the 4-entry FIFO L1 but lives in L2.
+	res := b.Check(mkReq(1, true, true))
+	if res.Level != ServedL2 {
+		t.Fatalf("expected L2 service, got %v", res.Level)
+	}
+	if res.Stall != 1 {
+		t.Fatalf("L2 hit bubble = %d, want 1 (L1:1, L2:3)", res.Stall)
+	}
+	// Same path but hidden under a multi-transaction instruction.
+	res = b.Check(mkReq(2, false, true))
+	if res.Level != ServedL2 || res.Stall != 0 {
+		t.Fatalf("multi-transaction check must hide the bubble: %+v", res)
+	}
+	// Or under an L1D miss.
+	res = b.Check(mkReq(3, true, false))
+	if res.Level != ServedL2 || res.Stall != 0 {
+		t.Fatalf("L1D-miss check must hide the bubble: %+v", res)
+	}
+}
+
+func TestBCUSlowRCacheLatencies(t *testing.T) {
+	cfg := BCUConfig{L1Entries: 4, L2Entries: 64, L1Latency: 2, L2Latency: 5}
+	b := NewBCU(cfg)
+	key := uint64(5)
+	rbt := NewRBT()
+	rbt.Set(3, NewBounds(0x3000, 0x100, false))
+	b.InstallKernel(1, key, rbt, 0)
+	r := CheckRequest{
+		KernelID: 1, Pointer: MakePointer(ClassID, EncryptID(3, key), 0x3000),
+		MinAddr: 0x3000, MaxAddr: 0x3003,
+		SingleTransaction: true, L1DHit: true,
+	}
+	b.Check(r) // RBT fill
+	res := b.Check(r)
+	if res.Level != ServedL1 || res.Stall != 1 {
+		t.Fatalf("L1:2 must cost one bubble on an L1 hit: %+v", res)
+	}
+}
+
+func TestBCURemoveKernelFlushes(t *testing.T) {
+	b, key, id := newTestBCU(FailLog)
+	b.Check(req(key, id, 0x1000, 0x1003, false)) // warm
+	b.RemoveKernel(1)
+	res := b.Check(req(key, id, 0x1000, 0x1003, false))
+	if res.OK {
+		t.Fatalf("check must fail after the kernel's key is removed")
+	}
+}
+
+func TestEstimateHWMatchesTable3(t *testing.T) {
+	rep := EstimateHW(DefaultBCUConfig())
+	approx := func(got, want float64) bool {
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		return d < 1e-9 || d/want < 1e-6
+	}
+	if !approx(rep.TotalBytes, 909.5) {
+		t.Fatalf("total SRAM %f, want 909.5", rep.TotalBytes)
+	}
+	if !approx(rep.TotalArea, 0.0858) {
+		t.Fatalf("total area %f, want 0.0858", rep.TotalArea)
+	}
+	if !approx(rep.TotalLeak, 799.75) {
+		t.Fatalf("total leakage %f, want 799.75", rep.TotalLeak)
+	}
+	if !approx(rep.TotalDyn, 203.36) {
+		t.Fatalf("total dynamic %f, want 203.36", rep.TotalDyn)
+	}
+	// Whole-GPU figures from the paper.
+	if kb := rep.TotalSRAMKB(16); kb < 14.1 || kb > 14.3 {
+		t.Fatalf("Nvidia total %f KB, want ~14.2", kb)
+	}
+	if kb := rep.TotalSRAMKB(24); kb < 21.2 || kb > 21.4 {
+		t.Fatalf("Intel total %f KB, want ~21.3", kb)
+	}
+}
+
+func TestEstimateHWScalesWithEntries(t *testing.T) {
+	small := EstimateHW(BCUConfig{L1Entries: 2, L2Entries: 32, L1Latency: 1, L2Latency: 3})
+	big := EstimateHW(BCUConfig{L1Entries: 16, L2Entries: 256, L1Latency: 1, L2Latency: 3})
+	if small.TotalArea >= big.TotalArea || small.TotalBytes >= big.TotalBytes {
+		t.Fatalf("area/SRAM must grow with entries: %+v vs %+v", small, big)
+	}
+	// The table renders without panicking and includes every structure.
+	s := big.String()
+	for _, frag := range []string{"Comparators", "L1 RCache", "L2 RCache tag", "L2 RCache data", "Total"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, s)
+		}
+	}
+}

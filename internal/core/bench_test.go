@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+// Micro-benchmarks for the GPUShield hardware structures: these measure the
+// simulator's own cost per modeled operation (host-side), useful when
+// optimizing the simulation loop.
+
+func BenchmarkEncryptID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		EncryptID(uint16(i)&0x3FFF, 0xFEEDFACE)
+	}
+}
+
+func BenchmarkDecryptID(b *testing.B) {
+	ct := EncryptID(1234, 0xFEEDFACE)
+	for i := 0; i < b.N; i++ {
+		DecryptID(ct, 0xFEEDFACE)
+	}
+}
+
+func BenchmarkBCUCheckL1Hit(b *testing.B) {
+	bcu := NewBCU(DefaultBCUConfig())
+	const key = uint64(42)
+	rbt := NewRBT()
+	rbt.Set(7, NewBounds(0x1000, 0x1000, false))
+	bcu.InstallKernel(1, key, rbt, 0)
+	req := CheckRequest{
+		KernelID: 1,
+		Pointer:  MakePointer(ClassID, EncryptID(7, key), 0x1000),
+		MinAddr:  0x1000, MaxAddr: 0x1003,
+		SingleTransaction: true, L1DHit: true,
+	}
+	bcu.Check(req) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bcu.Check(req)
+	}
+}
+
+func BenchmarkBCUCheckType3(b *testing.B) {
+	bcu := NewBCU(DefaultBCUConfig())
+	req := CheckRequest{
+		KernelID: 1,
+		Pointer:  MakePointer(ClassSize, 12, 0x1000),
+		MinOfs:   0, MaxOfs: 127,
+	}
+	for i := 0; i < b.N; i++ {
+		bcu.Check(req)
+	}
+}
+
+func BenchmarkRBTEncodeDecode(b *testing.B) {
+	bounds := NewBounds(0x123456789A, 4096, true)
+	var buf [BoundsEntryBytes]byte
+	for i := 0; i < b.N; i++ {
+		bounds.EncodeTo(buf[:])
+		_ = DecodeBounds(buf[:])
+	}
+}
+
+func BenchmarkL2RCacheLookup(b *testing.B) {
+	c := NewL2RCache(64)
+	for id := uint16(0); id < 64; id++ {
+		c.Insert(1, id, NewBounds(uint64(id)*0x1000, 0x1000, false))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(1, uint16(i)&63)
+	}
+}

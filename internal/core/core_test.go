@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointerRoundTrip(t *testing.T) {
+	f := func(class uint8, payload uint16, addr uint64) bool {
+		c := PtrClass(class % 3)
+		pl := payload & uint16(PayloadMask)
+		a := addr & AddrMask
+		p := MakePointer(c, pl, a)
+		return Class(p) == c && Payload(p) == pl && Addr(p) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointerArithmeticPreservesTag(t *testing.T) {
+	p := MakePointer(ClassID, 0x1A2B, 0x2000_0000_0000)
+	q := p + 4096 // in-range pointer arithmetic
+	if Class(q) != ClassID || Payload(q) != 0x1A2B {
+		t.Fatalf("tag not preserved across arithmetic")
+	}
+	if Addr(q) != 0x2000_0000_1000 {
+		t.Fatalf("address wrong: %#x", Addr(q))
+	}
+}
+
+func TestWithAddr(t *testing.T) {
+	p := MakePointer(ClassSize, 12, 0x1000)
+	q := WithAddr(p, 0x2000)
+	if Class(q) != ClassSize || Payload(q) != 12 || Addr(q) != 0x2000 {
+		t.Fatalf("WithAddr mangled pointer: class=%v payload=%d addr=%#x", Class(q), Payload(q), Addr(q))
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[uint64]uint16{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+	f := func(n uint32) bool {
+		if n == 0 {
+			return Log2Ceil(0) == 0
+		}
+		b := Log2Ceil(uint64(n))
+		return uint64(1)<<b >= uint64(n) && (b == 0 || uint64(1)<<(b-1) < uint64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeistelBijectiveOverFullDomain(t *testing.T) {
+	// Exhaustive: every 14-bit ID must encrypt to a unique ciphertext and
+	// decrypt back, for several keys.
+	for _, key := range []uint64{0, 1, 0xDEADBEEF, math.MaxUint64, 0x123456789ABCDEF0} {
+		seen := make([]bool, NumIDs)
+		for id := 0; id < NumIDs; id++ {
+			ct := EncryptID(uint16(id), key)
+			if int(ct) >= NumIDs {
+				t.Fatalf("ciphertext %d out of domain", ct)
+			}
+			if seen[ct] {
+				t.Fatalf("key %#x: collision at ciphertext %d", key, ct)
+			}
+			seen[ct] = true
+			if got := DecryptID(ct, key); got != uint16(id) {
+				t.Fatalf("key %#x: decrypt(encrypt(%d)) = %d", key, id, got)
+			}
+		}
+	}
+}
+
+func TestFeistelKeySensitivity(t *testing.T) {
+	// Different keys must produce substantially different mappings —
+	// otherwise pointer observations from one launch would transfer to the
+	// next (§5.2.4).
+	same := 0
+	for id := uint16(0); id < 1024; id++ {
+		if EncryptID(id, 0x1111) == EncryptID(id, 0x2222) {
+			same++
+		}
+	}
+	if same > 32 { // expect ~1/16384 collisions per ID, far below 32/1024
+		t.Fatalf("%d/1024 IDs encrypt identically under different keys", same)
+	}
+}
+
+func TestFeistelWrongKeyScrambles(t *testing.T) {
+	// Decrypting with the wrong key must not recover the ID (except for
+	// rare coincidences).
+	hits := 0
+	for id := uint16(0); id < 1024; id++ {
+		ct := EncryptID(id, 42)
+		if DecryptID(ct, 43) == id {
+			hits++
+		}
+	}
+	if hits > 8 {
+		t.Fatalf("wrong-key decryption recovered %d/1024 IDs", hits)
+	}
+}
+
+func TestBoundsFields(t *testing.T) {
+	b := NewBounds(0x1234_5678_9ABC, 4096, true)
+	if !b.Valid() || !b.ReadOnly() {
+		t.Fatalf("flags lost: %+v", b)
+	}
+	if b.Base() != 0x1234_5678_9ABC || b.Size() != 4096 {
+		t.Fatalf("fields wrong: base=%#x size=%d", b.Base(), b.Size())
+	}
+	var zero Bounds
+	if zero.Valid() {
+		t.Fatalf("zero bounds must be invalid")
+	}
+}
+
+func TestBoundsContains(t *testing.T) {
+	b := NewBounds(0x1000, 256, false)
+	cases := []struct {
+		lo, hi uint64
+		want   bool
+	}{
+		{0x1000, 0x1003, true},
+		{0x10FC, 0x10FF, true},  // last word
+		{0x10FD, 0x1100, false}, // crosses the end
+		{0x0FFF, 0x1002, false}, // starts before
+		{0x1100, 0x1103, false}, // past the end
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.lo, c.hi); got != c.want {
+			t.Errorf("Contains(%#x,%#x) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestBoundsEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(base uint64, size uint32, ro bool) bool {
+		b := NewBounds(base&AddrMask, size, ro)
+		var buf [BoundsEntryBytes]byte
+		b.EncodeTo(buf[:])
+		d := DecodeBounds(buf[:])
+		return d.Valid() == b.Valid() && d.ReadOnly() == b.ReadOnly() &&
+			d.Base() == b.Base() && d.Size() == b.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRBTSetLookup(t *testing.T) {
+	rbt := NewRBT()
+	if rbt.Len() != 0 {
+		t.Fatalf("new RBT not empty")
+	}
+	b := NewBounds(0x4000, 128, false)
+	if err := rbt.Set(77, b); err != nil {
+		t.Fatal(err)
+	}
+	if rbt.Len() != 1 {
+		t.Fatalf("Len = %d", rbt.Len())
+	}
+	if got := rbt.Lookup(77); got.Base() != 0x4000 {
+		t.Fatalf("lookup returned %+v", got)
+	}
+	if rbt.Lookup(78).Valid() {
+		t.Fatalf("unset entry must be invalid")
+	}
+	if rbt.SizeBytes() != NumIDs*BoundsEntryBytes {
+		t.Fatalf("RBT footprint %d", rbt.SizeBytes())
+	}
+}
+
+func TestEntryAddr(t *testing.T) {
+	if got := EntryAddr(0x7000, 3); got != 0x7000+3*BoundsEntryBytes {
+		t.Fatalf("EntryAddr = %#x", got)
+	}
+}
+
+func TestL1RCacheFIFO(t *testing.T) {
+	c := NewL1RCache(2)
+	b := NewBounds(0x1000, 64, false)
+	c.Insert(1, 10, b)
+	c.Insert(1, 11, b)
+	if _, ok := c.Lookup(1, 10); !ok {
+		t.Fatalf("entry 10 missing")
+	}
+	// FIFO: inserting a third entry evicts 10 (the oldest), even though it
+	// was just looked up — that is what distinguishes FIFO from LRU.
+	c.Insert(1, 12, b)
+	if _, ok := c.Lookup(1, 10); ok {
+		t.Fatalf("FIFO should have evicted the oldest entry")
+	}
+	if _, ok := c.Lookup(1, 11); !ok {
+		t.Fatalf("entry 11 should survive")
+	}
+}
+
+func TestL1RCacheKernelIsolation(t *testing.T) {
+	c := NewL1RCache(4)
+	c.Insert(1, 10, NewBounds(0x1000, 64, false))
+	if _, ok := c.Lookup(2, 10); ok {
+		t.Fatalf("entry visible to a different kernel")
+	}
+}
+
+func TestL2RCacheLRU(t *testing.T) {
+	c := NewL2RCache(2)
+	b := NewBounds(0x1000, 64, false)
+	c.Insert(1, 10, b)
+	c.Insert(1, 11, b)
+	c.Lookup(1, 10) // make 11 the LRU victim
+	c.Insert(1, 12, b)
+	if _, ok := c.Lookup(1, 11); ok {
+		t.Fatalf("LRU entry should have been evicted")
+	}
+	if _, ok := c.Lookup(1, 10); !ok {
+		t.Fatalf("recently used entry evicted")
+	}
+}
+
+func TestRCacheFlush(t *testing.T) {
+	l1 := NewL1RCache(4)
+	l2 := NewL2RCache(4)
+	b := NewBounds(0x1000, 64, false)
+	l1.Insert(1, 5, b)
+	l2.Insert(1, 5, b)
+	l1.Flush()
+	l2.Flush()
+	if _, ok := l1.Lookup(1, 5); ok {
+		t.Fatalf("L1 flush failed")
+	}
+	if _, ok := l2.Lookup(1, 5); ok {
+		t.Fatalf("L2 flush failed")
+	}
+}
+
+func TestRCacheStatsHitRate(t *testing.T) {
+	var s RCacheStats
+	if s.HitRate() != 1 {
+		t.Fatalf("empty stats hit rate must be 1")
+	}
+	s = RCacheStats{Accesses: 10, Hits: 9}
+	if s.HitRate() != 0.9 {
+		t.Fatalf("hit rate %f", s.HitRate())
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+// The paper encrypts each 14-bit buffer ID with a per-kernel key before
+// embedding it in a pointer (§5.2.4), so that an attacker who observes
+// pointers across runs cannot forge an ID that indexes a victim buffer's
+// RBT entry. The cipher must be a bijection on the 14-bit domain: every
+// ciphertext decrypts to exactly one ID, and a forged ciphertext decrypts
+// to a uniformly "random" ID whose RBT entry is almost surely invalid,
+// turning forgeries into faults.
+//
+// A balanced 3-round Feistel network over two 7-bit halves provides exactly
+// that: a key-dependent permutation of [0, 16384) cheap enough for a
+// single-cycle hardware implementation.
+
+const feistelRounds = 3
+
+// roundF is the Feistel round function: a 7-bit S-box-style mix of the half
+// and the round key, built from multiply-xor-shift steps.
+func roundF(half, key uint32) uint32 {
+	x := half ^ (key & 0x7F)
+	x = (x*0x35 + (key >> 7 & 0x7F)) & 0x7F
+	x ^= x >> 3
+	x = (x * 0x4D) & 0x7F
+	return x & 0x7F
+}
+
+// roundKeys derives the per-round 14-bit subkeys from a 64-bit kernel key.
+func roundKeys(key uint64) [feistelRounds]uint32 {
+	var rk [feistelRounds]uint32
+	k := key
+	for i := 0; i < feistelRounds; i++ {
+		k = k*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+		rk[i] = uint32(k>>32) & 0x3FFF
+	}
+	return rk
+}
+
+// EncryptID encrypts a 14-bit buffer ID under the per-kernel key.
+func EncryptID(id uint16, key uint64) uint16 {
+	rk := roundKeys(key)
+	l := uint32(id>>7) & 0x7F
+	r := uint32(id) & 0x7F
+	for i := 0; i < feistelRounds; i++ {
+		l, r = r, l^roundF(r, rk[i])
+	}
+	return uint16(l<<7 | r)
+}
+
+// DecryptID inverts EncryptID under the same key.
+func DecryptID(ct uint16, key uint64) uint16 {
+	rk := roundKeys(key)
+	l := uint32(ct>>7) & 0x7F
+	r := uint32(ct) & 0x7F
+	for i := feistelRounds - 1; i >= 0; i-- {
+		l, r = r^roundF(l, rk[i]), l
+	}
+	return uint16(l<<7 | r)
+}

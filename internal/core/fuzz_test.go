@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// FuzzFeistelRoundTrip fuzzes the ID cipher: for any key and in-domain ID,
+// decryption must invert encryption and the ciphertext must stay in the
+// 14-bit domain.
+func FuzzFeistelRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint64(0))
+	f.Add(uint16(16383), uint64(0xFFFFFFFFFFFFFFFF))
+	f.Add(uint16(1234), uint64(0xDEADBEEF))
+	f.Fuzz(func(t *testing.T, id uint16, key uint64) {
+		id &= 0x3FFF
+		ct := EncryptID(id, key)
+		if ct >= NumIDs {
+			t.Fatalf("ciphertext %d escapes the 14-bit domain", ct)
+		}
+		if got := DecryptID(ct, key); got != id {
+			t.Fatalf("decrypt(encrypt(%d)) = %d under key %#x", id, got, key)
+		}
+	})
+}
+
+// FuzzPointerFormat fuzzes the tagged-pointer encoding round trip.
+func FuzzPointerFormat(f *testing.F) {
+	f.Add(uint8(1), uint16(42), uint64(0x2000_0000_0000))
+	f.Fuzz(func(t *testing.T, class uint8, payload uint16, addr uint64) {
+		c := PtrClass(class % 3)
+		pl := payload & uint16(PayloadMask)
+		a := addr & AddrMask
+		p := MakePointer(c, pl, a)
+		if Class(p) != c || Payload(p) != pl || Addr(p) != a {
+			t.Fatalf("round trip failed for class=%d payload=%d addr=%#x", c, pl, a)
+		}
+	})
+}
+
+// FuzzBoundsCodec fuzzes the in-memory RBT entry encoding.
+func FuzzBoundsCodec(f *testing.F) {
+	f.Add(uint64(0x1000), uint32(4096), true)
+	f.Fuzz(func(t *testing.T, base uint64, size uint32, ro bool) {
+		b := NewBounds(base&AddrMask, size, ro)
+		var buf [BoundsEntryBytes]byte
+		b.EncodeTo(buf[:])
+		d := DecodeBounds(buf[:])
+		if d != b {
+			t.Fatalf("codec round trip: %+v != %+v", d, b)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package core
+
+import "fmt"
+
+// Hardware overhead model (Table 3). The paper synthesizes the BCU's
+// comparator logic (Synopsys DC, Verilog) and generates its SRAM arrays
+// with OpenRAM, both in 45 nm FreePDK at 1 GHz. Neither tool exists here,
+// so this analytic model is anchored to the published per-structure
+// figures: each structure's area and power scale linearly with its SRAM
+// bytes from the Table 3 anchor points, which makes the default
+// configuration reproduce Table 3 exactly while remaining usable for
+// RCache-size ablations.
+
+// Bit widths of one RCache record (§5.5): 14-bit ID tag, 48-bit base
+// address, 32-bit size, 1-bit read-only, 12-bit kernel ID.
+const (
+	idTagBits    = 14
+	baseAddrBits = 48
+	sizeBits     = 32
+	readOnlyBits = 1
+	kernelIDBits = 12
+	l1EntryBits  = idTagBits + baseAddrBits + sizeBits + readOnlyBits + kernelIDBits
+	l2TagBits    = idTagBits
+	l2DataBits   = baseAddrBits + sizeBits + readOnlyBits + kernelIDBits
+)
+
+// HWStructure is the overhead estimate for one hardware structure.
+type HWStructure struct {
+	Name      string
+	Entries   int
+	SRAMBytes float64
+	AreaMM2   float64
+	LeakageUW float64
+	DynamicMW float64
+}
+
+// HWReport is the per-core overhead breakdown plus totals (Table 3).
+type HWReport struct {
+	Structures []HWStructure
+	TotalBytes float64
+	TotalArea  float64
+	TotalLeak  float64
+	TotalDyn   float64
+}
+
+// anchor holds the published Table 3 figures used to calibrate the linear
+// model.
+type anchor struct {
+	bytes float64
+	area  float64
+	leak  float64
+	dyn   float64
+}
+
+var (
+	anchorComparators = anchor{bytes: 0, area: 0.0064, leak: 17.51, dyn: 20.41}
+	anchorL1          = anchor{bytes: 53.5, area: 0.0060, leak: 26.40, dyn: 22.93}
+	anchorL2Tag       = anchor{bytes: 112, area: 0.0166, leak: 256.71, dyn: 55.39}
+	anchorL2Data      = anchor{bytes: 744, area: 0.0568, leak: 499.13, dyn: 104.63}
+)
+
+func scale(a anchor, bytes float64) (area, leak, dyn float64) {
+	if a.bytes == 0 {
+		return a.area, a.leak, a.dyn
+	}
+	f := bytes / a.bytes
+	return a.area * f, a.leak * f, a.dyn * f
+}
+
+// EstimateHW computes the per-core hardware overhead of a BCU
+// configuration. With the default configuration (4-entry L1, 64-entry L2)
+// it reproduces Table 3.
+func EstimateHW(cfg BCUConfig) HWReport {
+	if cfg.L1Entries == 0 {
+		cfg = DefaultBCUConfig()
+	}
+	l1Bytes := float64(cfg.L1Entries) * float64(l1EntryBits) / 8
+	l2TagBytes := float64(cfg.L2Entries) * float64(l2TagBits) / 8
+	l2DataBytes := float64(cfg.L2Entries) * float64(l2DataBits) / 8
+
+	var rep HWReport
+	add := func(name string, entries int, bytes float64, a anchor) {
+		area, leak, dyn := scale(a, bytes)
+		rep.Structures = append(rep.Structures, HWStructure{
+			Name: name, Entries: entries, SRAMBytes: bytes,
+			AreaMM2: area, LeakageUW: leak, DynamicMW: dyn,
+		})
+		rep.TotalBytes += bytes
+		rep.TotalArea += area
+		rep.TotalLeak += leak
+		rep.TotalDyn += dyn
+	}
+	add("Comparators", 0, 0, anchorComparators)
+	add("L1 RCache", cfg.L1Entries, l1Bytes, anchorL1)
+	add("L2 RCache tag", cfg.L2Entries, l2TagBytes, anchorL2Tag)
+	add("L2 RCache data", cfg.L2Entries, l2DataBytes, anchorL2Data)
+	return rep
+}
+
+// TotalSRAMKB returns the whole-GPU SRAM overhead in KB for a given core
+// count (14.2 KB for the 16-core Nvidia configuration, 21.3 KB for the
+// 24-core Intel configuration).
+func (r HWReport) TotalSRAMKB(cores int) float64 {
+	return r.TotalBytes * float64(cores) / 1024
+}
+
+// String renders the report as a Table 3-style ASCII table.
+func (r HWReport) String() string {
+	s := fmt.Sprintf("%-16s %8s %10s %10s %12s %12s\n",
+		"Structure", "Entries", "SRAM(B)", "Area(mm2)", "Leakage(uW)", "Dynamic(mW)")
+	for _, st := range r.Structures {
+		entries := "-"
+		if st.Entries > 0 {
+			entries = fmt.Sprintf("%d", st.Entries)
+		}
+		bytes := "-"
+		if st.SRAMBytes > 0 {
+			bytes = fmt.Sprintf("%.1f", st.SRAMBytes)
+		}
+		s += fmt.Sprintf("%-16s %8s %10s %10.4f %12.2f %12.2f\n",
+			st.Name, entries, bytes, st.AreaMM2, st.LeakageUW, st.DynamicMW)
+	}
+	s += fmt.Sprintf("%-16s %8s %10.1f %10.4f %12.2f %12.2f\n",
+		"Total", "-", r.TotalBytes, r.TotalArea, r.TotalLeak, r.TotalDyn)
+	return s
+}

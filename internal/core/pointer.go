@@ -1,0 +1,85 @@
+// Package core implements GPUShield, the paper's primary contribution: a
+// region-based bounds-checking mechanism for GPUs. It provides the pointer
+// tagging formats (Fig. 7), the per-kernel buffer-ID encryption (§5.2.4),
+// the Region Bounds Table (§5.2.3), the two-level RCache hierarchy and
+// Bounds-Checking Unit (§5.5), and the hardware area/power model (Table 3).
+package core
+
+import "fmt"
+
+// Address-format constants. Virtual addresses occupy the low 48 bits; the
+// two most significant bits select the pointer class (the C field of Fig. 7)
+// and bits 61..48 carry the 14-bit payload: an encrypted buffer ID (Type 2)
+// or log2 of the buffer size (Type 3).
+const (
+	AddrBits     = 48
+	AddrMask     = (uint64(1) << AddrBits) - 1
+	PayloadBits  = 14
+	PayloadMask  = (uint64(1) << PayloadBits) - 1
+	payloadShift = AddrBits
+	classShift   = 62
+
+	// NumIDs is the buffer-ID space and the RBT entry count (16384
+	// direct-mapped entries indexed by a 14-bit ID).
+	NumIDs = 1 << PayloadBits
+)
+
+// PtrClass is the C field of a tagged pointer.
+type PtrClass uint8
+
+// Pointer classes (Fig. 7).
+const (
+	ClassUnprotected PtrClass = 0 // Type 1: bounds checking statically satisfied or not required
+	ClassID          PtrClass = 1 // Type 2: payload is the encrypted buffer ID
+	ClassSize        PtrClass = 2 // Type 3: payload is log2 of the (power-of-two) buffer size
+)
+
+func (c PtrClass) String() string {
+	switch c {
+	case ClassUnprotected:
+		return "unprotected"
+	case ClassID:
+		return "id"
+	case ClassSize:
+		return "size"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// MakePointer assembles a tagged pointer from a class, a 14-bit payload, and
+// a 48-bit virtual address.
+func MakePointer(class PtrClass, payload uint16, addr uint64) uint64 {
+	return uint64(class)<<classShift |
+		(uint64(payload)&PayloadMask)<<payloadShift |
+		(addr & AddrMask)
+}
+
+// Class extracts the pointer class.
+func Class(p uint64) PtrClass { return PtrClass(p >> classShift) }
+
+// Payload extracts the 14-bit payload.
+func Payload(p uint64) uint16 { return uint16((p >> payloadShift) & PayloadMask) }
+
+// Addr strips all metadata, returning the 48-bit virtual address. This is
+// what the AGU forwards to the TLB and data cache.
+func Addr(p uint64) uint64 { return p & AddrMask }
+
+// WithAddr replaces the address bits of a tagged pointer, preserving the
+// tag. Pointer arithmetic that stays within the 48-bit space preserves tags
+// naturally; this helper exists for the driver and tests.
+func WithAddr(p uint64, addr uint64) uint64 { return (p &^ AddrMask) | (addr & AddrMask) }
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1; it is used to compute Type-3
+// size payloads for power-of-two-aligned buffers.
+func Log2Ceil(n uint64) uint16 {
+	if n <= 1 {
+		return 0
+	}
+	var b uint16
+	n--
+	for n > 0 {
+		n >>= 1
+		b++
+	}
+	return b
+}

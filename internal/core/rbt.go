@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// Bounds is the per-buffer metadata format of Fig. 6: a 48-bit virtual base
+// address with the valid and read-only flags folded into its two unused
+// upper bits, plus a 32-bit size.
+type Bounds struct {
+	base uint64 // bit 63 = valid, bit 62 = read-only, bits 47..0 = base address
+	size uint32
+}
+
+const (
+	boundsValidBit    = uint64(1) << 63
+	boundsReadOnlyBit = uint64(1) << 62
+)
+
+// NewBounds builds a valid bounds entry.
+func NewBounds(base uint64, size uint32, readOnly bool) Bounds {
+	b := Bounds{base: base&AddrMask | boundsValidBit, size: size}
+	if readOnly {
+		b.base |= boundsReadOnlyBit
+	}
+	return b
+}
+
+// Valid reports whether the entry holds live metadata.
+func (b Bounds) Valid() bool { return b.base&boundsValidBit != 0 }
+
+// ReadOnly reports whether stores through this buffer are illegal.
+func (b Bounds) ReadOnly() bool { return b.base&boundsReadOnlyBit != 0 }
+
+// Base returns the 48-bit virtual base address.
+func (b Bounds) Base() uint64 { return b.base & AddrMask }
+
+// Size returns the buffer size in bytes.
+func (b Bounds) Size() uint32 { return b.size }
+
+// Contains reports whether the byte range [lo, hi] lies inside the buffer.
+func (b Bounds) Contains(lo, hi uint64) bool {
+	base := b.Base()
+	return lo >= base && hi < base+uint64(b.size)
+}
+
+// EncodeTo serializes the entry into 16 little-endian bytes (the in-memory
+// RBT format written to device memory by the driver).
+func (b Bounds) EncodeTo(buf []byte) {
+	_ = buf[15]
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(b.base >> (8 * i))
+	}
+	for i := 0; i < 4; i++ {
+		buf[8+i] = byte(b.size >> (8 * i))
+	}
+	buf[12], buf[13], buf[14], buf[15] = 0, 0, 0, 0
+}
+
+// DecodeBounds parses a 16-byte in-memory RBT entry.
+func DecodeBounds(buf []byte) Bounds {
+	_ = buf[15]
+	var b Bounds
+	for i := 0; i < 8; i++ {
+		b.base |= uint64(buf[i]) << (8 * i)
+	}
+	for i := 0; i < 4; i++ {
+		b.size |= uint32(buf[8+i]) << (8 * i)
+	}
+	return b
+}
+
+// BoundsEntryBytes is the in-memory footprint of one RBT entry.
+const BoundsEntryBytes = 16
+
+// RBT is the per-kernel Region Bounds Table (§5.2.3): a 16384-entry
+// direct-mapped structure indexed by the 14-bit buffer ID. The driver
+// allocates it in device memory upon kernel launch; this struct additionally
+// keeps an architectural copy so the model can be used standalone.
+type RBT struct {
+	entries [NumIDs]Bounds
+	n       int
+}
+
+// NewRBT returns an empty table.
+func NewRBT() *RBT { return &RBT{} }
+
+// Set installs bounds for a buffer ID.
+func (t *RBT) Set(id uint16, b Bounds) error {
+	if int(id) >= NumIDs {
+		return fmt.Errorf("core: buffer ID %d out of range", id)
+	}
+	if !t.entries[id].Valid() && b.Valid() {
+		t.n++
+	}
+	t.entries[id] = b
+	return nil
+}
+
+// Lookup returns the bounds for id. Invalid entries are returned as-is; the
+// BCU treats them as bounds-check failures.
+func (t *RBT) Lookup(id uint16) Bounds {
+	if int(id) >= NumIDs {
+		return Bounds{}
+	}
+	return t.entries[id]
+}
+
+// Len returns the number of valid entries.
+func (t *RBT) Len() int { return t.n }
+
+// SizeBytes returns the device-memory footprint of the table.
+func (t *RBT) SizeBytes() int { return NumIDs * BoundsEntryBytes }
+
+// EntryAddr returns the device-memory address of id's entry given the
+// table's base address; the BCU uses it to fetch entries on L2 RCache
+// misses.
+func EntryAddr(rbtBase uint64, id uint16) uint64 {
+	return rbtBase + uint64(id)*BoundsEntryBytes
+}

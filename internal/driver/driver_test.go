@@ -1,0 +1,304 @@
+package driver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpushield/internal/core"
+	"gpushield/internal/kernel"
+)
+
+func TestMallocAlignmentInvariants(t *testing.T) {
+	dev := NewDevice(1)
+	f := func(size uint16) bool {
+		sz := uint64(size)
+		if sz == 0 {
+			sz = 1
+		}
+		b := dev.Malloc("b", sz, false)
+		// Padded is the next power of two and the base is aligned to it,
+		// so Type-3 size-embedded pointers are always constructible.
+		if b.Padded < b.Size || b.Padded&(b.Padded-1) != 0 {
+			return false
+		}
+		if b.Base%b.Padded != 0 && b.Padded > SVMAlignBytes {
+			return false
+		}
+		// Every allocated byte is mapped.
+		return dev.Mapped(b.Base) && dev.Mapped(b.Base+b.Size-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMallocNoOverlap(t *testing.T) {
+	dev := NewDevice(2)
+	var prev *Buffer
+	for i := 0; i < 100; i++ {
+		b := dev.Malloc("b", uint64(i*37+1), false)
+		if prev != nil && b.Base < prev.Base+prev.Padded {
+			t.Fatalf("allocation %d overlaps its predecessor", i)
+		}
+		prev = b
+	}
+}
+
+func TestMallocManagedLayout(t *testing.T) {
+	dev := NewDevice(3)
+	a := dev.MallocManaged("A", 64)
+	b := dev.MallocManaged("B", 64)
+	if a.Base%SVMAlignBytes != 0 || b.Base%SVMAlignBytes != 0 {
+		t.Fatalf("SVM allocations must be 512B aligned: %#x %#x", a.Base, b.Base)
+	}
+	if b.Base-a.Base != SVMAlignBytes {
+		t.Fatalf("consecutive small SVM buffers must land in adjacent 512B slots: gap %d", b.Base-a.Base)
+	}
+	// The whole 2MB page is mapped; the next one is not.
+	if !dev.Mapped(a.Base + SVMPageBytes - 1) {
+		t.Fatalf("2MB page not fully mapped")
+	}
+	if dev.Mapped(a.Base + SVMPageBytes) {
+		t.Fatalf("next 2MB page must stay unmapped until allocated into")
+	}
+}
+
+func TestHeapAllocator(t *testing.T) {
+	dev := NewDevice(4)
+	dev.SetHeapLimit(1024)
+	a, err := dev.DeviceMalloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dev.DeviceMalloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a || b-a < 100 {
+		t.Fatalf("heap chunks overlap: %#x %#x", a, b)
+	}
+	if _, err := dev.DeviceMalloc(2048); err == nil {
+		t.Fatalf("heap limit not enforced")
+	}
+	heap := dev.Heap()
+	if a < heap.Base || a >= heap.Base+heap.Size {
+		t.Fatalf("chunk outside heap region")
+	}
+}
+
+func TestLocalRegionInterleaving(t *testing.T) {
+	r := LocalRegion{Name: "v", PerThread: 16, Threads: 64, Base: 0x1000, Size: 16 * 64}
+	// Consecutive threads' copies of the same word are adjacent (§3.1).
+	a0 := r.LocalAddr(0, 0)
+	a1 := r.LocalAddr(1, 0)
+	if a1-a0 != 4 {
+		t.Fatalf("threads not word-interleaved: %#x %#x", a0, a1)
+	}
+	// Consecutive words of one thread are Threads*4 apart.
+	w0 := r.LocalAddr(5, 0)
+	w1 := r.LocalAddr(5, 4)
+	if w1-w0 != 4*64 {
+		t.Fatalf("word stride wrong: %d", w1-w0)
+	}
+	// All in-bounds accesses stay inside the region...
+	for thr := 0; thr < 64; thr++ {
+		for off := int64(0); off < 16; off += 4 {
+			a := r.LocalAddr(thr, off)
+			if a < r.Base || a+4 > r.Base+r.Size {
+				t.Fatalf("in-bounds access escapes region: thr %d off %d -> %#x", thr, off, a)
+			}
+		}
+	}
+	// ...and the first out-of-bounds offset escapes it (that is what makes
+	// region-granular checking effective for local variables).
+	if a := r.LocalAddr(0, 16); a < r.Base+r.Size {
+		t.Fatalf("overflow offset stayed in region: %#x", a)
+	}
+}
+
+func TestCopyBounds(t *testing.T) {
+	dev := NewDevice(5)
+	b := dev.Malloc("b", 64, false)
+	if err := dev.CopyToDevice(b, 60, []byte{1, 2, 3, 4, 5}); err == nil {
+		t.Fatalf("overrunning copy accepted")
+	}
+	if err := dev.CopyToDevice(b, 60, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatalf("exact-fit copy rejected: %v", err)
+	}
+	got, err := dev.CopyFromDevice(b, 60, 4)
+	if err != nil || got[3] != 4 {
+		t.Fatalf("read back: %v %v", got, err)
+	}
+	if _, err := dev.CopyFromDevice(b, 63, 2); err == nil {
+		t.Fatalf("overrunning read accepted")
+	}
+}
+
+func TestFloat32Accessors(t *testing.T) {
+	dev := NewDevice(6)
+	b := dev.Malloc("f", 64, false)
+	dev.WriteFloat32(b, 3, 1.5)
+	if got := dev.ReadFloat32(b, 3); got != 1.5 {
+		t.Fatalf("float round trip: %f", got)
+	}
+}
+
+// simpleKernel builds a two-buffer kernel with one indirect access so the
+// launch exercises both ClassID pointers and scalar args.
+func simpleKernel() *kernel.Kernel {
+	b := kernel.NewBuilder("simple")
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("out", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	g := b.SetLT(gtid, pn)
+	b.If(g, func() {
+		idx := b.LoadGlobal(b.AddScaled(pin, gtid, 4), 4)
+		v := b.LoadGlobal(b.AddScaled(pin, idx, 4), 4)
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), v, 4)
+	})
+	return b.MustBuild()
+}
+
+func TestPrepareLaunchAssignsUniqueRandomIDs(t *testing.T) {
+	dev := NewDevice(7)
+	k := simpleKernel()
+	in := dev.Malloc("in", 1024, true)
+	out := dev.Malloc("out", 1024, false)
+	args := []Arg{BufArg(in), BufArg(out), ScalarArg(10)}
+
+	l1, err := dev.PrepareLaunch(k, 2, 64, args, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := dev.PrepareLaunch(k, 2, 64, args, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.BufferIDs[0] == l1.BufferIDs[1] {
+		t.Fatalf("buffer IDs must be unique within a launch")
+	}
+	if l1.Key == l2.Key {
+		t.Fatalf("per-kernel keys must differ across launches")
+	}
+	if l1.BufferIDs[0] == l2.BufferIDs[0] && l1.BufferIDs[1] == l2.BufferIDs[1] {
+		t.Fatalf("ID assignment should be randomized across launches")
+	}
+}
+
+func TestPrepareLaunchTagsPointers(t *testing.T) {
+	dev := NewDevice(8)
+	k := simpleKernel()
+	in := dev.Malloc("in", 1024, true)
+	out := dev.Malloc("out", 1024, false)
+	args := []Arg{BufArg(in), BufArg(out), ScalarArg(10)}
+
+	// Off: plain addresses.
+	l, err := dev.PrepareLaunch(k, 1, 64, args, ModeOff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Class(l.Args[0]) != core.ClassUnprotected || core.Addr(l.Args[0]) != in.Base {
+		t.Fatalf("off-mode pointer wrong: %#x", l.Args[0])
+	}
+
+	// Shield: encrypted-ID pointers that decrypt to the assigned ID.
+	l, err = dev.PrepareLaunch(k, 1, 64, args, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		p := l.Args[i]
+		if core.Class(p) != core.ClassID {
+			t.Fatalf("arg %d class = %v", i, core.Class(p))
+		}
+		if got := core.DecryptID(core.Payload(p), l.Key); got != l.BufferIDs[i] {
+			t.Fatalf("arg %d payload decrypts to %d, want %d", i, got, l.BufferIDs[i])
+		}
+	}
+	if l.Args[2] != 10 {
+		t.Fatalf("scalar arg mangled: %d", l.Args[2])
+	}
+}
+
+func TestPrepareLaunchBuildsRBTInDeviceMemory(t *testing.T) {
+	dev := NewDevice(9)
+	k := simpleKernel()
+	in := dev.Malloc("in", 1024, true)
+	out := dev.Malloc("out", 1024, false)
+	l, err := dev.PrepareLaunch(k, 1, 64, []Arg{BufArg(in), BufArg(out), ScalarArg(5)}, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serialized entry must decode to the same bounds the architectural
+	// RBT holds, for every assigned ID.
+	for argIdx, id := range l.BufferIDs {
+		want := l.RBT.Lookup(id)
+		raw := dev.Mem.ReadBytes(core.EntryAddr(l.RBTBase, id), core.BoundsEntryBytes)
+		got := core.DecodeBounds(raw)
+		if got != want {
+			t.Fatalf("arg %d: serialized bounds %+v != architectural %+v", argIdx, got, want)
+		}
+		if !got.Valid() {
+			t.Fatalf("arg %d: serialized entry invalid", argIdx)
+		}
+	}
+	// The in buffer is read-only (declared in the kernel signature).
+	if !l.RBT.Lookup(l.BufferIDs[0]).ReadOnly() {
+		t.Fatalf("read-only attribute lost")
+	}
+	// The heap gets its own valid entry reachable through HeapPtr.
+	heapID := core.DecryptID(core.Payload(l.HeapPtr), l.Key)
+	if !l.RBT.Lookup(heapID).Valid() {
+		t.Fatalf("heap entry missing")
+	}
+}
+
+func TestPrepareLaunchLocals(t *testing.T) {
+	b := kernel.NewBuilder("withlocal")
+	v := b.Local("scratch", 32)
+	b.StoreLocal(v, kernel.Imm(0), kernel.Imm(1), 4)
+	k := b.MustBuild()
+	dev := NewDevice(10)
+	l, err := dev.PrepareLaunch(k, 2, 64, nil, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Locals) != 1 || len(l.LocalPtrs) != 1 {
+		t.Fatalf("local region not materialized")
+	}
+	r := l.Locals[0]
+	if r.Size != 32*128 {
+		t.Fatalf("region size %d, want %d", r.Size, 32*128)
+	}
+	id := core.DecryptID(core.Payload(l.LocalPtrs[0]), l.Key)
+	bounds := l.RBT.Lookup(id)
+	if !bounds.Valid() || bounds.Base() != r.Base || uint64(bounds.Size()) != r.Size {
+		t.Fatalf("local bounds wrong: %+v vs region %+v", bounds, r)
+	}
+}
+
+func TestPrepareLaunchValidation(t *testing.T) {
+	dev := NewDevice(11)
+	k := simpleKernel()
+	in := dev.Malloc("in", 64, true)
+	out := dev.Malloc("out", 64, false)
+	if _, err := dev.PrepareLaunch(k, 1, 64, []Arg{BufArg(in)}, ModeShield, nil); err == nil {
+		t.Fatalf("arg-count mismatch accepted")
+	}
+	if _, err := dev.PrepareLaunch(k, 0, 64, []Arg{BufArg(in), BufArg(out), ScalarArg(1)}, ModeShield, nil); err == nil {
+		t.Fatalf("zero grid accepted")
+	}
+	if _, err := dev.PrepareLaunch(k, 1, 64, []Arg{ScalarArg(1), BufArg(out), ScalarArg(1)}, ModeShield, nil); err == nil {
+		t.Fatalf("scalar passed for buffer param accepted")
+	}
+	if _, err := dev.PrepareLaunch(k, 1, 64, []Arg{BufArg(in), BufArg(out), BufArg(in)}, ModeShield, nil); err == nil {
+		t.Fatalf("buffer passed for scalar param accepted")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeOff.String() != "off" || ModeShield.String() != "shield" || ModeShieldStatic.String() != "shield+static" {
+		t.Fatalf("mode strings wrong")
+	}
+}

@@ -1,0 +1,78 @@
+package driver
+
+import (
+	"testing"
+
+	"gpushield/internal/core"
+	"gpushield/internal/kernel"
+)
+
+func heapKernel() *kernel.Kernel {
+	b := kernel.NewBuilder("heapuser")
+	p := b.BufferParam("scratch", false)
+	_ = p
+	b.Exit()
+	return b.MustBuild()
+}
+
+func TestFineGrainedHeapAssignsPerChunkIDs(t *testing.T) {
+	dev := NewDevice(21)
+	dev.SetFineGrainedHeap(true)
+	dev.SetHeapLimit(1 << 16)
+	a, err := dev.DeviceMalloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr, err := dev.DeviceMalloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := dev.Malloc("scratch", 64, false)
+	l, err := dev.PrepareLaunch(heapKernel(), 1, 32, []Arg{BufArg(scratch)}, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.HeapChunkPtrs) != 2 {
+		t.Fatalf("want 2 chunk pointers, got %d", len(l.HeapChunkPtrs))
+	}
+	// Each chunk pointer decrypts to an RBT entry bounding exactly that
+	// chunk.
+	for i, want := range []struct {
+		base, size uint64
+	}{{a, 128}, {bAddr, 256}} {
+		ptr := l.HeapChunkPtrs[i]
+		if core.Addr(ptr) != want.base {
+			t.Fatalf("chunk %d pointer addr %#x, want %#x", i, core.Addr(ptr), want.base)
+		}
+		id := core.DecryptID(core.Payload(ptr), l.Key)
+		bounds := l.RBT.Lookup(id)
+		if !bounds.Valid() || bounds.Base() != want.base || uint64(bounds.Size()) != want.size {
+			t.Fatalf("chunk %d bounds %+v, want base %#x size %d", i, bounds, want.base, want.size)
+		}
+	}
+	// The two chunks must have distinct IDs.
+	id0 := core.DecryptID(core.Payload(l.HeapChunkPtrs[0]), l.Key)
+	id1 := core.DecryptID(core.Payload(l.HeapChunkPtrs[1]), l.Key)
+	if id0 == id1 {
+		t.Fatalf("chunks share an ID")
+	}
+}
+
+func TestCoarseHeapHasNoChunkPointers(t *testing.T) {
+	dev := NewDevice(22)
+	dev.SetHeapLimit(1 << 16)
+	if _, err := dev.DeviceMalloc(128); err != nil {
+		t.Fatal(err)
+	}
+	scratch := dev.Malloc("scratch", 64, false)
+	l, err := dev.PrepareLaunch(heapKernel(), 1, 32, []Arg{BufArg(scratch)}, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.HeapChunkPtrs) != 0 {
+		t.Fatalf("coarse mode should not emit chunk pointers")
+	}
+	if len(dev.HeapChunks()) != 1 {
+		t.Fatalf("chunk record missing")
+	}
+}

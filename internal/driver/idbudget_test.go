@@ -1,0 +1,84 @@
+package driver
+
+import (
+	"testing"
+
+	"gpushield/internal/core"
+	"gpushield/internal/kernel"
+)
+
+// manyBufferKernel declares n buffer params, each stored through once.
+func manyBufferKernel(n int) *kernel.Kernel {
+	b := kernel.NewBuilder("manybuf")
+	gtid := b.GlobalTID()
+	for i := 0; i < n; i++ {
+		p := b.BufferParam("buf", false)
+		b.StoreGlobal(b.AddScaled(p, gtid, 4), gtid, 4)
+	}
+	return b.MustBuild()
+}
+
+// TestIDBudgetMergesAdjacentBuffers checks the §6.3 fallback: under a tight
+// ID budget, adjacent buffers share an entry whose bounds span their union,
+// while protection of the merged region's boundaries survives.
+func TestIDBudgetMergesAdjacentBuffers(t *testing.T) {
+	dev := NewDevice(33)
+	dev.SetIDBudget(4) // locals(0) + heap(1) leaves 3 groups for 6 buffers
+	const nbuf = 6
+	k := manyBufferKernel(nbuf)
+	args := make([]Arg, nbuf)
+	for i := range args {
+		args[i] = BufArg(dev.Malloc("b", 256, false))
+	}
+	l, err := dev.PrepareLaunch(k, 1, 64, args, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct IDs across the buffer args.
+	ids := map[uint16]bool{}
+	for i := 0; i < nbuf; i++ {
+		ids[l.BufferIDs[i]] = true
+	}
+	if len(ids) > 3 {
+		t.Fatalf("budget not honored: %d distinct IDs for 6 buffers", len(ids))
+	}
+	if len(ids) == nbuf {
+		t.Fatalf("nothing merged")
+	}
+	// Every argument's own range stays inside its (possibly merged) entry.
+	for i := 0; i < nbuf; i++ {
+		b := args[i].Buffer
+		bounds := l.RBT.Lookup(l.BufferIDs[i])
+		if !bounds.Valid() || !bounds.Contains(b.Base, b.Base+b.Size-1) {
+			t.Fatalf("arg %d not covered by its merged entry: %+v", i, bounds)
+		}
+	}
+	// The pointer payloads still decrypt to the assigned IDs.
+	for i := 0; i < nbuf; i++ {
+		if core.DecryptID(core.Payload(l.Args[i]), l.Key) != l.BufferIDs[i] {
+			t.Fatalf("arg %d pointer does not match its merged ID", i)
+		}
+	}
+}
+
+// TestNoBudgetKeepsDistinctIDs confirms the default path is untouched.
+func TestNoBudgetKeepsDistinctIDs(t *testing.T) {
+	dev := NewDevice(34)
+	const nbuf = 6
+	k := manyBufferKernel(nbuf)
+	args := make([]Arg, nbuf)
+	for i := range args {
+		args[i] = BufArg(dev.Malloc("b", 256, false))
+	}
+	l, err := dev.PrepareLaunch(k, 1, 64, args, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[uint16]bool{}
+	for i := 0; i < nbuf; i++ {
+		ids[l.BufferIDs[i]] = true
+	}
+	if len(ids) != nbuf {
+		t.Fatalf("default path merged buffers: %d IDs", len(ids))
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/workloads"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig3", "fig4", "fig11", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "table3", "table5", "heap", "swcheck", "ablation"}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("experiment %s not registered: %v", id, err)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}
+
+func TestRunBenchmarkModes(t *testing.T) {
+	b, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunBenchmark(b, RunOpts{Mode: driver.ModeOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := RunBenchmark(b, RunOpts{Mode: driver.ModeShield})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Checks != 0 {
+		t.Fatalf("off mode performed checks")
+	}
+	if sh.Checks == 0 {
+		t.Fatalf("shield mode performed no checks")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	res, err := ByIDMust(t, "fig1").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || len(res.Tables[0].Rows) < 4 {
+		t.Fatalf("fig1 should cover at least 4 suites: %+v", res.Tables)
+	}
+}
+
+func TestFig4Outcomes(t *testing.T) {
+	res, err := ByIDMust(t, "fig4").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("fig4 needs 3 cases")
+	}
+	wantNative := []string{"suppressed", "corrupted", "kernel-aborted"}
+	for i, r := range rows {
+		if r[2] != wantNative[i] {
+			t.Errorf("case %d native outcome %q, want %q", i, r[2], wantNative[i])
+		}
+		if r[3] != "blocked" {
+			t.Errorf("case %d not blocked under GPUShield: %q", i, r[3])
+		}
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	res, err := ByIDMust(t, "table3").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	total := rows[len(rows)-1]
+	if total[2] != "909.5" {
+		t.Fatalf("total SRAM %q, want 909.5", total[2])
+	}
+	if total[3] != "0.0858" {
+		t.Fatalf("total area %q, want 0.0858", total[3])
+	}
+}
+
+func TestHeapSlowdownGrowsWithThreads(t *testing.T) {
+	res, err := ByIDMust(t, "heap").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) < 2 {
+		t.Fatalf("need at least two thread counts")
+	}
+	first := parseF(t, rows[0][3])
+	last := parseF(t, rows[len(rows)-1][3])
+	if first < 2 {
+		t.Fatalf("smallest slowdown %f, want >= 2 (paper: 4.9-63.7x)", first)
+	}
+	if last <= first {
+		t.Fatalf("slowdown must grow with thread count: %f -> %f", first, last)
+	}
+}
+
+func TestSWCheckOverheadPositive(t *testing.T) {
+	res, err := ByIDMust(t, "swcheck").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	per := parseF(t, rows[len(rows)-1][2])
+	if per < 5 {
+		t.Fatalf("per-access software checks cost %f%%, expected a double-digit hit", per)
+	}
+}
+
+func ByIDMust(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestResultString(t *testing.T) {
+	res, err := ByIDMust(t, "table5").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, frag := range []string{"table5", "cores", "Nvidia", "Intel"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("result string missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpushield/internal/compiler"
+	"gpushield/internal/kernel"
+	"gpushield/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "fig3", Title: "GPU addressing methods on a vector-add kernel (Figs. 2-3)", Run: runFig3})
+}
+
+// runFig3 reproduces the paper's addressing-mode comparison (§2.2): the
+// same vector-add kernel expressed with Method B (full virtual address,
+// the Nvidia/AMD style of Fig. 3c-d) and Method C (base + offset, the
+// Intel send-instruction style of Fig. 3b), with each memory instruction
+// annotated with its addressing method and the pointer type GPUShield's
+// analysis assigns.
+func runFig3() (*Result, error) {
+	methodB := func() *kernel.Kernel {
+		b := kernel.NewBuilder("vecadd-methodB")
+		pa := b.BufferParam("a", true)
+		pb := b.BufferParam("b", true)
+		pc := b.BufferParam("c", false)
+		id := b.GlobalTID()
+		// Full virtual addresses computed into registers (LDG-style).
+		va := b.LoadGlobalF32(b.AddScaled(pa, id, 4))
+		vb := b.LoadGlobalF32(b.AddScaled(pb, id, 4))
+		b.StoreGlobalF32(b.AddScaled(pc, id, 4), b.FAdd(va, vb))
+		return b.MustBuild()
+	}()
+	methodC := func() *kernel.Kernel {
+		b := kernel.NewBuilder("vecadd-methodC")
+		pa := b.BufferParam("a", true)
+		pb := b.BufferParam("b", true)
+		pc := b.BufferParam("c", false)
+		ofs := b.Mul(b.GlobalTID(), kernel.Imm(4))
+		// Base register + offset (send-style).
+		va := b.LoadGlobalOfsF32(pa, ofs)
+		vb := b.LoadGlobalOfsF32(pb, ofs)
+		b.StoreGlobalOfsF32(pc, ofs, b.FAdd(va, vb))
+		return b.MustBuild()
+	}()
+
+	t := stats.NewTable("Memory instructions by addressing method",
+		"kernel", "instr", "assembly", "method", "analysis class")
+	for _, k := range []*kernel.Kernel{methodB, methodC} {
+		an, err := compiler.Analyze(k, compiler.LaunchInfo{
+			Block: 128, Grid: 8,
+			BufferBytes: []uint64{4096, 4096, 4096},
+			ScalarVal:   make([]int64, 3), ScalarKnown: make([]bool, 3),
+		})
+		if err != nil {
+			return nil, err
+		}
+		classByInstr := map[int]compiler.AccessClass{}
+		for _, a := range an.Accesses {
+			classByInstr[a.Instr] = a.Class
+		}
+		for _, idx := range k.MemOps() {
+			in := k.Code[idx]
+			method := "B (full virtual address)"
+			if in.Src[0].Kind == kernel.OperandParam {
+				method = "C (base + offset)"
+			}
+			t.AddRow(k.Name, fmt.Sprintf("@%d", idx), in.String(), method,
+				classByInstr[idx].String())
+		}
+	}
+	return &Result{ID: "fig3", Title: "Addressing methods",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"Method A (Intel binding tables) reduces to Method C once the base lives in a register (§5.3.3), which is how the IR models it",
+			"Method-C accesses are the Type-3 pointer candidates; with a known offset range both methods are statically provable here",
+		},
+	}, nil
+}

@@ -1,0 +1,228 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderAllocatesDistinctRegisters(t *testing.T) {
+	b := NewBuilder("regs")
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		r := b.NewReg()
+		if r.Kind != OperandReg {
+			t.Fatalf("NewReg returned %v", r)
+		}
+		if seen[r.Reg] {
+			t.Fatalf("register r%d allocated twice", r.Reg)
+		}
+		seen[r.Reg] = true
+	}
+}
+
+func TestBuilderParamsAndLocals(t *testing.T) {
+	b := NewBuilder("params")
+	p0 := b.BufferParam("in", true)
+	p1 := b.ScalarParam("n")
+	p2 := b.BufferParam("out", false)
+	v0 := b.Local("tmp", 64)
+	off := b.Shared(128)
+	off2 := b.Shared(64)
+	b.Exit()
+	k := b.MustBuild()
+
+	if p0.Param != 0 || p1.Param != 1 || p2.Param != 2 {
+		t.Fatalf("param indices: %d %d %d", p0.Param, p1.Param, p2.Param)
+	}
+	if k.Params[0].Kind != ParamBuffer || !k.Params[0].ReadOnly {
+		t.Fatalf("param 0 spec wrong: %+v", k.Params[0])
+	}
+	if k.Params[1].Kind != ParamScalar {
+		t.Fatalf("param 1 should be scalar")
+	}
+	if v0 != 0 || len(k.Locals) != 1 || k.Locals[0].Bytes != 64 {
+		t.Fatalf("local registration wrong: %d %+v", v0, k.Locals)
+	}
+	if off != 0 || off2 != 128 || k.SharedBytes != 192 {
+		t.Fatalf("shared reservations wrong: %d %d %d", off, off2, k.SharedBytes)
+	}
+}
+
+func TestBuilderAppendsExit(t *testing.T) {
+	b := NewBuilder("noexit")
+	b.Mov(Imm(1))
+	k := b.MustBuild()
+	if k.Code[len(k.Code)-1].Op != OpExit {
+		t.Fatalf("Build must append a trailing exit")
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("badlabel")
+	b.Branch(OpBraUni, Operand{}, false, "nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderErrfPropagates(t *testing.T) {
+	b := NewBuilder("deferred")
+	b.MovTo(Imm(1), Imm(2)) // invalid: destination must be a register
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("expected deferred error")
+	}
+}
+
+func TestMethodCRequiresParamBase(t *testing.T) {
+	b := NewBuilder("methodc")
+	r := b.Mov(Imm(0))
+	b.LoadGlobalOfs(r, Imm(0), 4) // base must be a parameter
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("expected error for register base in Method-C load")
+	}
+}
+
+func TestIfEmitsDivergentBranch(t *testing.T) {
+	b := NewBuilder("if")
+	p := b.SetLT(b.GlobalTID(), Imm(5))
+	b.If(p, func() { b.Mov(Imm(1)) })
+	k := b.MustBuild()
+	var bra *Instr
+	for i := range k.Code {
+		if k.Code[i].Op == OpBraDiv {
+			bra = &k.Code[i]
+		}
+	}
+	if bra == nil {
+		t.Fatalf("If must emit bra.div")
+	}
+	if !bra.PNeg {
+		t.Fatalf("If's branch must be on the negated condition")
+	}
+	if bra.Label != bra.Reconv {
+		t.Fatalf("If's target must equal its reconvergence point")
+	}
+}
+
+func TestIfElseStructure(t *testing.T) {
+	b := NewBuilder("ifelse")
+	p := b.SetEQ(b.GlobalTID(), Imm(0))
+	b.IfElse(p, func() { b.Mov(Imm(1)) }, func() { b.Mov(Imm(2)) })
+	k := b.MustBuild()
+	var divs, unis int
+	for _, in := range k.Code {
+		switch in.Op {
+		case OpBraDiv:
+			divs++
+			if in.Label > in.Reconv {
+				t.Fatalf("else target beyond reconvergence")
+			}
+		case OpBraUni:
+			unis++
+		}
+	}
+	if divs != 1 || unis != 1 {
+		t.Fatalf("IfElse: %d divergent and %d uniform branches, want 1 and 1", divs, unis)
+	}
+}
+
+func TestForRangeEmitsLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	count := b.Mov(Imm(0))
+	b.ForRange(Imm(0), Imm(10), Imm(1), func(i Operand) {
+		b.MovTo(count, b.Add(count, Imm(1)))
+	})
+	k := b.MustBuild()
+	var backward bool
+	for i, in := range k.Code {
+		if in.Op == OpBraUni && in.Label < i {
+			backward = true
+		}
+	}
+	if !backward {
+		t.Fatalf("ForRange must contain a backward branch")
+	}
+}
+
+func TestWhileAnyUsesUniformExit(t *testing.T) {
+	b := NewBuilder("whileany")
+	x := b.Mov(Imm(3))
+	b.WhileAny(func() Operand {
+		return b.SetGT(x, Imm(0))
+	}, func() {
+		b.MovTo(x, b.Sub(x, Imm(1)))
+	})
+	k := b.MustBuild()
+	var all bool
+	for _, in := range k.Code {
+		if in.Op == OpBraAll {
+			all = true
+			if !in.PNeg {
+				t.Fatalf("WhileAny exit must test the negated condition")
+			}
+		}
+	}
+	if !all {
+		t.Fatalf("WhileAny must exit via bra.all")
+	}
+}
+
+func TestGeneratedKernelsAlwaysValidate(t *testing.T) {
+	// Each structured-control-flow helper must produce a valid program for
+	// a variety of nesting combinations.
+	build := func(nest int) *Kernel {
+		b := NewBuilder("nest")
+		p := b.BufferParam("p", false)
+		var emit func(depth int)
+		emit = func(depth int) {
+			if depth == 0 {
+				b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), Imm(1), 4)
+				return
+			}
+			cond := b.SetLT(b.GlobalTID(), Imm(int64(depth*8)))
+			b.IfElse(cond, func() {
+				b.ForRange(Imm(0), Imm(2), Imm(1), func(i Operand) {
+					emit(depth - 1)
+				})
+			}, func() {
+				emit(depth - 1)
+			})
+		}
+		emit(nest)
+		return b.MustBuild()
+	}
+	for nest := 0; nest <= 4; nest++ {
+		k := build(nest)
+		if err := k.Validate(); err != nil {
+			t.Fatalf("nesting %d: %v", nest, err)
+		}
+	}
+}
+
+func TestF32MemoryHelpers(t *testing.T) {
+	b := NewBuilder("f32")
+	p := b.BufferParam("p", false)
+	v := b.LoadGlobalF32(b.AddScaled(p, b.GlobalTID(), 4))
+	b.StoreGlobalF32(b.AddScaled(p, b.GlobalTID(), 4), v)
+	b.StoreGlobalOfsF32(p, b.GlobalTID(), v)
+	b.LoadGlobalOfsF32(p, b.GlobalTID())
+	lv := b.Local("l", 16)
+	b.StoreLocalF32(lv, Imm(0), v)
+	b.LoadLocalF32(lv, Imm(0))
+	b.Shared(64)
+	b.StoreSharedF32(Imm(0), v)
+	b.LoadSharedF32(Imm(0))
+	k := b.MustBuild()
+	n := 0
+	for _, in := range k.Code {
+		if in.F32 {
+			if in.Bytes != 4 {
+				t.Fatalf("F32 access with %d bytes", in.Bytes)
+			}
+			n++
+		}
+	}
+	if n != 8 {
+		t.Fatalf("expected 8 f32 accesses, got %d", n)
+	}
+}

@@ -1,0 +1,189 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStringCoversAllOpcodes(t *testing.T) {
+	for op := OpNop; op <= OpExit; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Errorf("unknown opcode should render as op(n)")
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	memOps := map[Op]bool{OpLd: true, OpSt: true, OpAtomAdd: true}
+	braOps := map[Op]bool{OpBraDiv: true, OpBraAny: true, OpBraAll: true, OpBraUni: true}
+	storeOps := map[Op]bool{OpSt: true, OpAtomAdd: true}
+	for op := OpNop; op <= OpExit; op++ {
+		if got := op.IsMemory(); got != memOps[op] {
+			t.Errorf("%v.IsMemory() = %v", op, got)
+		}
+		if got := op.IsBranch(); got != braOps[op] {
+			t.Errorf("%v.IsBranch() = %v", op, got)
+		}
+		if got := op.IsStore(); got != storeOps[op] {
+			t.Errorf("%v.IsStore() = %v", op, got)
+		}
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	for _, tc := range []struct {
+		s    Space
+		want string
+	}{{SpaceGlobal, "global"}, {SpaceLocal, "local"}, {SpaceShared, "shared"}} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("Space(%d) = %q, want %q", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	cases := []struct {
+		op   Operand
+		want string
+	}{
+		{Reg(3), "r3"},
+		{Imm(-7), "-7"},
+		{Spec(SpecTIDX), "%tid.x"},
+		{Spec(SpecGlobalTID), "%gtid"},
+		{Param(2), "param[2]"},
+		{Operand{}, "_"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("operand %v = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestFloatBitConversionRoundTrip(t *testing.T) {
+	f := func(x float64) bool { return B2F(F2B(x)) == x || x != x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	good := func() Kernel {
+		return Kernel{
+			Name:    "k",
+			NumRegs: 4,
+			Params:  []ParamSpec{{Name: "a", Kind: ParamBuffer}},
+			Locals:  []LocalVar{{Name: "v", Bytes: 16}},
+			Code: []Instr{
+				{Op: OpMov, Dst: 0, Src: [3]Operand{Imm(1)}, Pred: -1},
+				{Op: OpExit, Dst: -1, Pred: -1},
+			},
+		}
+	}
+	g := good()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("good kernel rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Kernel)
+	}{
+		{"empty", func(k *Kernel) { k.Code = nil }},
+		{"dst out of range", func(k *Kernel) { k.Code[0].Dst = 9 }},
+		{"src reg out of range", func(k *Kernel) { k.Code[0].Src[0] = Reg(99) }},
+		{"param out of range", func(k *Kernel) { k.Code[0].Src[0] = Param(5) }},
+		{"guard out of range", func(k *Kernel) { k.Code[0].Pred = 77 }},
+		{"branch target out of range", func(k *Kernel) {
+			k.Code[0] = Instr{Op: OpBraUni, Dst: -1, Pred: -1, Label: 99}
+		}},
+		{"backward reconvergence", func(k *Kernel) {
+			k.Code[0] = Instr{Op: OpBraDiv, Dst: -1, Pred: 0, Label: 0, Reconv: 0}
+		}},
+		{"divergent target beyond reconvergence", func(k *Kernel) {
+			k.Code = []Instr{
+				{Op: OpBraDiv, Dst: -1, Pred: 0, Label: 2, Reconv: 1},
+				{Op: OpNop, Dst: -1, Pred: -1},
+				{Op: OpExit, Dst: -1, Pred: -1},
+			}
+		}},
+		{"bad access size", func(k *Kernel) {
+			k.Code[0] = Instr{Op: OpLd, Dst: 0, Src: [3]Operand{Param(0)}, Space: SpaceGlobal, Bytes: 3, Pred: -1}
+		}},
+		{"local without variable index", func(k *Kernel) {
+			k.Code[0] = Instr{Op: OpLd, Dst: 0, Src: [3]Operand{Imm(0), Reg(1)}, Space: SpaceLocal, Bytes: 4, Pred: -1}
+		}},
+		{"local variable index out of range", func(k *Kernel) {
+			k.Code[0] = Instr{Op: OpLd, Dst: 0, Src: [3]Operand{Imm(0), Imm(5)}, Space: SpaceLocal, Bytes: 4, Pred: -1}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			k := good()
+			c.mutate(&k)
+			if err := k.Validate(); err == nil {
+				t.Fatalf("mutation %q not caught", c.name)
+			}
+		})
+	}
+}
+
+func TestNumBuffers(t *testing.T) {
+	k := Kernel{Params: []ParamSpec{
+		{Kind: ParamBuffer}, {Kind: ParamScalar}, {Kind: ParamBuffer}, {Kind: ParamScalar},
+	}}
+	if got := k.NumBuffers(); got != 2 {
+		t.Fatalf("NumBuffers = %d, want 2", got)
+	}
+}
+
+func TestMemOpsReturnsProgramOrder(t *testing.T) {
+	k := Kernel{
+		NumRegs: 2,
+		Params:  []ParamSpec{{Kind: ParamBuffer}},
+		Code: []Instr{
+			{Op: OpMov, Dst: 0, Src: [3]Operand{Imm(0)}, Pred: -1},
+			{Op: OpLd, Dst: 1, Src: [3]Operand{Param(0)}, Space: SpaceGlobal, Bytes: 4, Pred: -1},
+			{Op: OpAdd, Dst: 0, Src: [3]Operand{Reg(0), Reg(1)}, Pred: -1},
+			{Op: OpSt, Dst: -1, Src: [3]Operand{Param(0), {}, Reg(0)}, Space: SpaceGlobal, Bytes: 4, Pred: -1},
+			{Op: OpExit, Dst: -1, Pred: -1},
+		},
+	}
+	got := k.MemOps()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("MemOps = %v, want [1 3]", got)
+	}
+}
+
+func TestDisassembleMentionsEveryInstruction(t *testing.T) {
+	b := NewBuilder("dis")
+	p := b.BufferParam("p", false)
+	v := b.LoadGlobal(b.AddScaled(p, b.GlobalTID(), 4), 4)
+	b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), b.Add(v, Imm(1)), 4)
+	k := b.MustBuild()
+	dis := k.Disassemble()
+	lines := strings.Count(dis, "\n")
+	if lines != len(k.Code) {
+		t.Fatalf("disassembly has %d lines for %d instructions", lines, len(k.Code))
+	}
+	for _, frag := range []string{"ld.global.b32", "st.global.b32", "mad", "exit"} {
+		if !strings.Contains(dis, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, dis)
+		}
+	}
+}
+
+func TestInstrStringGuardAndBranch(t *testing.T) {
+	in := Instr{Op: OpBraDiv, Dst: -1, Pred: 2, PNeg: true, Label: 5, Reconv: 9}
+	s := in.String()
+	for _, frag := range []string{"@!r2", "bra.div", "@5", "reconv @9"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("instr string %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package memsys
+
+import "encoding/binary"
+
+// chunkBytes is the allocation granule of the backing store. It is an
+// implementation detail independent of the architectural page size.
+const chunkBytes = 1 << 16
+
+// Backing is the byte-addressable storage behind simulated device memory.
+// It is sparse: chunks materialize on first touch, so a 48-bit address space
+// costs only what is actually used. All addresses are physical (the
+// simulator uses identity virtual→physical mapping after tag stripping).
+type Backing struct {
+	chunks map[uint64][]byte
+}
+
+// NewBacking returns an empty backing store.
+func NewBacking() *Backing {
+	return &Backing{chunks: make(map[uint64][]byte)}
+}
+
+func (m *Backing) chunk(addr uint64) []byte {
+	base := addr / chunkBytes
+	c, ok := m.chunks[base]
+	if !ok {
+		c = make([]byte, chunkBytes)
+		m.chunks[base] = c
+	}
+	return c
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (m *Backing) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		c := m.chunk(addr + uint64(i))
+		off := int((addr + uint64(i)) % chunkBytes)
+		k := copy(out[i:], c[off:])
+		i += k
+	}
+	return out
+}
+
+// WriteBytes stores p starting at addr.
+func (m *Backing) WriteBytes(addr uint64, p []byte) {
+	for i := 0; i < len(p); {
+		c := m.chunk(addr + uint64(i))
+		off := int((addr + uint64(i)) % chunkBytes)
+		k := copy(c[off:], p[i:])
+		i += k
+	}
+}
+
+// ReadUint reads an n-byte little-endian unsigned value (n in 1,2,4,8).
+func (m *Backing) ReadUint(addr uint64, n int) uint64 {
+	var buf [8]byte
+	copy(buf[:n], m.ReadBytes(addr, n))
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// WriteUint writes the low n bytes of v little-endian at addr.
+func (m *Backing) WriteUint(addr uint64, v uint64, n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.WriteBytes(addr, buf[:n])
+}
+
+// ReadUint64 reads a 64-bit little-endian value.
+func (m *Backing) ReadUint64(addr uint64) uint64 { return m.ReadUint(addr, 8) }
+
+// WriteUint64 writes a 64-bit little-endian value.
+func (m *Backing) WriteUint64(addr uint64, v uint64) { m.WriteUint(addr, v, 8) }
+
+// ReadUint32 reads a 32-bit little-endian value.
+func (m *Backing) ReadUint32(addr uint64) uint32 { return uint32(m.ReadUint(addr, 4)) }
+
+// WriteUint32 writes a 32-bit little-endian value.
+func (m *Backing) WriteUint32(addr uint64, v uint32) { m.WriteUint(addr, uint64(v), 4) }
+
+// FootprintBytes returns the number of materialized bytes (a measure of
+// simulated-memory usage, not architectural allocation).
+func (m *Backing) FootprintBytes() int { return len(m.chunks) * chunkBytes }

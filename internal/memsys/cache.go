@@ -1,0 +1,127 @@
+// Package memsys provides the memory-system building blocks used by the
+// cycle-level GPU model: set-associative caches, TLBs, an FR-FCFS DRAM
+// model, and the byte-addressable backing store that holds simulated device
+// memory contents.
+package memsys
+
+import "fmt"
+
+// CacheConfig describes a set-associative cache.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int // total data capacity
+	LineBytes  int // line (block) size
+	Ways       int // associativity; Ways == SizeBytes/LineBytes makes it fully associative
+	HitLatency int // cycles
+}
+
+// CacheStats accumulates access counts.
+type CacheStats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// HitRate returns hits/accesses, or 1 when the cache was never accessed.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// Cache is a set-associative LRU cache model. It tracks presence only — data
+// contents live in the backing store — which is the standard structure for
+// timing simulation.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	numSets  uint64
+	lineBits uint
+	useTick  uint64
+	Stats    CacheStats
+}
+
+// NewCache builds a cache from cfg. It panics on a malformed geometry, which
+// indicates a programming error in a simulator preset.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("memsys: bad cache config %+v", cfg))
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("memsys: %s: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways))
+	}
+	numSets := lines / cfg.Ways
+	c := &Cache{cfg: cfg, numSets: uint64(numSets)}
+	c.sets = make([][]cacheLine, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineBytes-1) }
+
+// Access looks up addr and updates LRU state, allocating the line on a miss
+// (allocate-on-miss for both reads and writes). It reports whether the
+// access hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.useTick++
+	c.Stats.Accesses++
+	tag := addr >> c.lineBits
+	set := c.sets[tag%c.numSets]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.useTick
+			c.Stats.Hits++
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	c.Stats.Misses++
+	set[victim] = cacheLine{tag: tag, valid: true, lastUse: c.useTick}
+	return false
+}
+
+// Probe reports whether addr is resident without changing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr >> c.lineBits
+	set := c.sets[tag%c.numSets]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all lines (kernel termination / context switch).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+}
+
+// HitLatency returns the configured hit latency in cycles.
+func (c *Cache) HitLatency() int { return c.cfg.HitLatency }

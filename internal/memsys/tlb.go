@@ -1,0 +1,80 @@
+package memsys
+
+import "fmt"
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	Name      string
+	Entries   int
+	Ways      int // Ways == Entries makes it fully associative
+	PageBytes int
+}
+
+// TLB models a set-associative TLB. Like Cache it tracks presence only; the
+// simulator uses identity virtual→physical mapping and charges translation
+// latency on misses.
+type TLB struct {
+	cfg      TLBConfig
+	sets     [][]cacheLine
+	numSets  uint64
+	pageBits uint
+	useTick  uint64
+	Stats    CacheStats
+}
+
+// NewTLB builds a TLB from cfg.
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.PageBytes <= 0 {
+		panic(fmt.Sprintf("memsys: bad TLB config %+v", cfg))
+	}
+	if cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("memsys: %s: %d entries not divisible by %d ways", cfg.Name, cfg.Entries, cfg.Ways))
+	}
+	numSets := cfg.Entries / cfg.Ways
+	t := &TLB{cfg: cfg, numSets: uint64(numSets)}
+	t.sets = make([][]cacheLine, numSets)
+	for i := range t.sets {
+		t.sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	for b := cfg.PageBytes; b > 1; b >>= 1 {
+		t.pageBits++
+	}
+	return t
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Access translates the page containing vaddr, reporting whether the
+// translation hit. Misses allocate the entry.
+func (t *TLB) Access(vaddr uint64) bool {
+	t.useTick++
+	t.Stats.Accesses++
+	vpn := vaddr >> t.pageBits
+	set := t.sets[vpn%t.numSets]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == vpn {
+			set[i].lastUse = t.useTick
+			t.Stats.Hits++
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	t.Stats.Misses++
+	set[victim] = cacheLine{tag: vpn, valid: true, lastUse: t.useTick}
+	return false
+}
+
+// Flush invalidates all entries.
+func (t *TLB) Flush() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// BenchmarkSimulatorThroughput measures host-side simulation speed in warp
+// instructions per second, with and without the BCU, on a representative
+// compute+memory kernel. This is the metric to watch when optimizing the
+// simulation loop itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	build := func() (*kernel.Kernel, int) {
+		kb := kernel.NewBuilder("throughput")
+		p := kb.BufferParam("p", false)
+		gtid := kb.GlobalTID()
+		acc := kb.Mov(gtid)
+		kb.ForRange(kernel.Imm(0), kernel.Imm(16), kernel.Imm(1), func(i kernel.Operand) {
+			v := kb.LoadGlobal(kb.AddScaled(p, kb.And(kb.Add(gtid, i), kernel.Imm(4095)), 4), 4)
+			kb.MovTo(acc, kb.Add(acc, v))
+		})
+		kb.StoreGlobal(kb.AddScaled(p, gtid, 4), acc, 4)
+		return kb.MustBuild(), 4096
+	}
+	for _, shield := range []bool{false, true} {
+		name := "off"
+		if shield {
+			name = "shield"
+		}
+		b.Run(name, func(b *testing.B) {
+			k, n := build()
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				dev := driver.NewDevice(1)
+				buf := dev.Malloc("p", uint64(n*4), false)
+				mode := driver.ModeOff
+				cfg := NvidiaConfig()
+				if shield {
+					mode = driver.ModeShield
+					cfg = cfg.WithShield(core.DefaultBCUConfig())
+				}
+				l, err := dev.PrepareLaunch(k, n/256, 256, []driver.Arg{driver.BufArg(buf)}, mode, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := New(cfg, dev).Run(l)
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs += st.WarpInstrs
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "warp-instrs/s")
+		})
+	}
+}

@@ -1,0 +1,103 @@
+// Package sim is the cycle-level SIMT GPU model that plays the role MacSim
+// plays in the paper's evaluation (§7). It executes kernel IR functionally
+// (real data flows through simulated device memory) while modeling the
+// timing interactions the paper's results depend on: warp scheduling and
+// TLP latency hiding, LSU address coalescing, L1/L2 data caches, L1/L2
+// TLBs, FR-FCFS DRAM, and the GPUShield bounds-checking unit with its
+// RCache hierarchy.
+package sim
+
+import (
+	"gpushield/internal/core"
+	"gpushield/internal/memsys"
+)
+
+// Config describes one simulated GPU (Table 5).
+type Config struct {
+	Name string
+
+	Cores             int
+	WarpWidth         int // lanes per warp (sub-workgroup size)
+	MaxThreadsPerCore int
+	MaxWGsPerCore     int // concurrent workgroups per core
+
+	L1D   memsys.CacheConfig
+	L1TLB memsys.TLBConfig
+	L2    memsys.CacheConfig // shared
+	L2TLB memsys.TLBConfig   // shared
+	DRAM  memsys.DRAMConfig
+
+	// Latencies in core cycles.
+	ALULatency    int // simple integer/float ops
+	MulLatency    int // mul/mad
+	SFULatency    int // div/rem/sqrt
+	SharedLatency int // shared-memory access
+	L2Latency     int // L2 data cache hit (beyond L1 miss detection)
+	L2TLBLatency  int // L2 TLB hit cost on an L1 TLB miss
+	PageWalk      int // full page-table walk cost
+
+	// BCU enables GPUShield hardware checking when EnableBCU is true.
+	EnableBCU bool
+	BCU       core.BCUConfig
+}
+
+// MaxWarpsPerCore returns the warp-context capacity of one core.
+func (c Config) MaxWarpsPerCore() int { return c.MaxThreadsPerCore / c.WarpWidth }
+
+// NvidiaConfig returns the Table 5 Nvidia-style configuration: 16 SMs, 1024
+// threads per SM, 32-wide warps, 16 KB 4-way L1, 64-entry fully-associative
+// L1 TLB, 2 MB 16-way shared L2, 1024-entry 32-way shared L2 TLB, 16-channel
+// FR-FCFS DRAM.
+func NvidiaConfig() Config {
+	return Config{
+		Name:              "nvidia",
+		Cores:             16,
+		WarpWidth:         32,
+		MaxThreadsPerCore: 1024,
+		MaxWGsPerCore:     8,
+		L1D: memsys.CacheConfig{
+			Name: "L1D", SizeBytes: 16 << 10, LineBytes: 128, Ways: 4, HitLatency: 28,
+		},
+		L1TLB: memsys.TLBConfig{
+			Name: "L1TLB", Entries: 64, Ways: 64, PageBytes: 4096,
+		},
+		L2: memsys.CacheConfig{
+			Name: "L2", SizeBytes: 2 << 20, LineBytes: 128, Ways: 16, HitLatency: 90,
+		},
+		L2TLB: memsys.TLBConfig{
+			Name: "L2TLB", Entries: 1024, Ways: 32, PageBytes: 4096,
+		},
+		DRAM:          memsys.DefaultDRAMConfig(),
+		ALULatency:    4,
+		MulLatency:    6,
+		SFULatency:    20,
+		SharedLatency: 24,
+		L2Latency:     90,
+		L2TLBLatency:  20,
+		PageWalk:      200,
+		EnableBCU:     false,
+		BCU:           core.DefaultBCUConfig(),
+	}
+}
+
+// IntelConfig returns the Table 5 Intel-style configuration: 24 cores with
+// 7 hardware threads each, SIMD16 execution, 32 KB 4-way L1, shared 2 MB L2.
+func IntelConfig() Config {
+	c := NvidiaConfig()
+	c.Name = "intel"
+	c.Cores = 24
+	c.WarpWidth = 16
+	c.MaxThreadsPerCore = 7 * 16
+	c.MaxWGsPerCore = 4
+	c.L1D = memsys.CacheConfig{
+		Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLatency: 24,
+	}
+	return c
+}
+
+// WithShield returns a copy of c with GPUShield enabled using bcu.
+func (c Config) WithShield(bcu core.BCUConfig) Config {
+	c.EnableBCU = true
+	c.BCU = bcu
+	return c
+}

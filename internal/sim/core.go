@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+
+	"gpushield/internal/core"
+	"gpushield/internal/kernel"
+	"gpushield/internal/memsys"
+)
+
+// stackEntry is one SIMT reconvergence-stack record. A divergent branch
+// pushes the reconvergence state and the not-taken path; reaching the
+// reconvergence PC pops the next entry (the standard TOS scheme).
+type stackEntry struct {
+	reconvPC int
+	pc       int
+	mask     uint64
+}
+
+// warp is one resident sub-workgroup context.
+type warp struct {
+	wg     *workgroup
+	inWG   int // warp index within the workgroup
+	pc     int
+	active uint64 // live, non-exited lanes currently enabled
+	exited uint64 // lanes retired via exit
+	stack  []stackEntry
+	regs   [][]int64 // [lane][reg]
+
+	readyAt   uint64
+	atBarrier bool
+	done      bool
+}
+
+// workgroup is one resident thread block.
+type workgroup struct {
+	run     *kernelRun
+	id      int
+	warps   []*warp
+	shared  []byte
+	arrived int // warps waiting at the barrier
+	live    int // warps not yet done
+}
+
+// coreState is one shader core (SM): warp contexts, private L1D and L1 TLB,
+// the LSU occupancy clock, and the bounds-checking unit.
+type coreState struct {
+	id    int
+	gpu   *GPU
+	l1d   *memsys.Cache
+	l1tlb *memsys.TLB
+	bcu   *core.BCU
+
+	wgs         []*workgroup
+	warps       []*warp
+	threadsUsed int
+	lsuFreeAt   uint64
+	lastWarp    int // greedy-then-oldest cursor
+	rrRun       int // round-robin kernel cursor for dispatch
+}
+
+// placeWorkgroup instantiates workgroup wgID of run r on this core.
+func (c *coreState) placeWorkgroup(r *kernelRun, wgID int, now uint64) {
+	l := r.launch
+	ww := c.gpu.cfg.WarpWidth
+	nw := (l.Block + ww - 1) / ww
+	wg := &workgroup{run: r, id: wgID, live: nw}
+	if l.Kernel.SharedBytes > 0 {
+		wg.shared = make([]byte, l.Kernel.SharedBytes)
+	}
+	for wi := 0; wi < nw; wi++ {
+		var mask uint64
+		for lane := 0; lane < ww; lane++ {
+			if wi*ww+lane < l.Block {
+				mask |= 1 << uint(lane)
+			}
+		}
+		w := &warp{wg: wg, inWG: wi, active: mask, readyAt: now}
+		w.regs = make([][]int64, ww)
+		flat := make([]int64, ww*l.Kernel.NumRegs)
+		for lane := 0; lane < ww; lane++ {
+			w.regs[lane] = flat[lane*l.Kernel.NumRegs : (lane+1)*l.Kernel.NumRegs]
+		}
+		wg.warps = append(wg.warps, w)
+		c.warps = append(c.warps, w)
+	}
+	c.wgs = append(c.wgs, wg)
+	c.threadsUsed += l.Block
+}
+
+// removeWorkgroup frees a completed (or aborted) workgroup's resources.
+func (c *coreState) removeWorkgroup(wg *workgroup) {
+	for i, x := range c.wgs {
+		if x == wg {
+			c.wgs = append(c.wgs[:i], c.wgs[i+1:]...)
+			break
+		}
+	}
+	kept := c.warps[:0]
+	for _, w := range c.warps {
+		if w.wg != wg {
+			kept = append(kept, w)
+		}
+	}
+	c.warps = kept
+	c.threadsUsed -= wg.run.launch.Block
+	if c.lastWarp >= len(c.warps) {
+		c.lastWarp = 0
+	}
+}
+
+// tryIssue issues at most one instruction on this core at cycle now,
+// greedy-then-oldest: the warp issued last keeps priority while it is
+// ready, which preserves the RCache temporal locality the paper relies on.
+func (c *coreState) tryIssue(now uint64) bool {
+	n := len(c.warps)
+	for k := 0; k < n; k++ {
+		idx := (c.lastWarp + k) % n
+		w := c.warps[idx]
+		if w.done || w.atBarrier || w.readyAt > now {
+			continue
+		}
+		in := &w.wg.run.launch.Kernel.Code[w.reconverge()]
+		if in.Op.IsMemory() && in.Space != kernel.SpaceShared && c.lsuFreeAt > now {
+			continue
+		}
+		c.lastWarp = idx
+		c.execute(w, in, now)
+		return true
+	}
+	return false
+}
+
+// reconverge pops reconvergence-stack entries whose point the warp reached
+// and returns the (possibly updated) PC.
+func (w *warp) reconverge() int {
+	for len(w.stack) > 0 {
+		top := w.stack[len(w.stack)-1]
+		if w.pc != top.reconvPC {
+			break
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+		w.pc = top.pc
+		w.active = top.mask &^ w.exited
+	}
+	return w.pc
+}
+
+// guardMask returns the lanes that execute the instruction: active lanes
+// whose guard register (if any) passes.
+func (w *warp) guardMask(in *kernel.Instr) uint64 {
+	if in.Pred < 0 {
+		return w.active
+	}
+	var m uint64
+	for lanes := w.active; lanes != 0; {
+		lane := bits.TrailingZeros64(lanes)
+		lanes &^= 1 << uint(lane)
+		v := w.regs[lane][in.Pred] != 0
+		if v != in.PNeg {
+			m |= 1 << uint(lane)
+		}
+	}
+	return m
+}
+
+// execute runs one warp instruction: functional semantics plus timing.
+func (c *coreState) execute(w *warp, in *kernel.Instr, now uint64) {
+	r := w.wg.run
+	st := r.stats
+	gmask := w.guardMask(in)
+	st.WarpInstrs++
+	st.ThreadInstrs += uint64(bits.OnesCount64(gmask))
+	cfg := &c.gpu.cfg
+
+	switch {
+	case in.Op.IsMemory():
+		c.execMem(w, in, gmask, now)
+		return
+
+	case in.Op == kernel.OpBar:
+		w.pc++
+		w.atBarrier = true
+		w.wg.arrived++
+		c.releaseBarrier(w.wg, now)
+		return
+
+	case in.Op == kernel.OpExit:
+		w.exited |= gmask
+		w.active &^= gmask
+		w.pc++
+		if w.active == 0 {
+			// Resume any outstanding paths; otherwise the warp retires.
+			for len(w.stack) > 0 && w.active == 0 {
+				top := w.stack[len(w.stack)-1]
+				w.stack = w.stack[:len(w.stack)-1]
+				w.pc = top.pc
+				w.active = top.mask &^ w.exited
+			}
+			if w.active == 0 {
+				c.retireWarp(w, now)
+				return
+			}
+		}
+		w.readyAt = now + 1
+		return
+
+	case in.Op.IsBranch():
+		c.execBranch(w, in, gmask, now)
+		return
+	}
+
+	// ALU path.
+	for lanes := gmask; lanes != 0; {
+		lane := bits.TrailingZeros64(lanes)
+		lanes &^= 1 << uint(lane)
+		c.execALU(w, in, lane)
+	}
+	w.pc++
+	w.readyAt = now + uint64(aluLatency(cfg, in.Op))
+}
+
+// retireWarp marks the warp done and completes its workgroup when it was
+// the last one.
+func (c *coreState) retireWarp(w *warp, now uint64) {
+	if w.done {
+		return
+	}
+	w.done = true
+	wg := w.wg
+	wg.live--
+	c.releaseBarrier(wg, now)
+	if wg.live == 0 {
+		c.removeWorkgroup(wg)
+		wg.run.liveWGs--
+	}
+}
+
+// releaseBarrier opens the workgroup barrier once every live warp arrived.
+func (c *coreState) releaseBarrier(wg *workgroup, now uint64) {
+	if wg.live == 0 || wg.arrived < wg.live {
+		return
+	}
+	wg.arrived = 0
+	for _, w := range wg.warps {
+		if !w.done && w.atBarrier {
+			w.atBarrier = false
+			w.readyAt = now + 1
+		}
+	}
+}
+
+func (c *coreState) execBranch(w *warp, in *kernel.Instr, gmask uint64, now uint64) {
+	cfg := &c.gpu.cfg
+	w.readyAt = now + uint64(cfg.ALULatency)
+	switch in.Op {
+	case kernel.OpBraUni:
+		w.pc = in.Label
+	case kernel.OpBraAny:
+		if gmask != 0 {
+			w.pc = in.Label
+		} else {
+			w.pc++
+		}
+	case kernel.OpBraAll:
+		if gmask == w.active && w.active != 0 {
+			w.pc = in.Label
+		} else {
+			w.pc++
+		}
+	case kernel.OpBraDiv:
+		taken := gmask
+		switch {
+		case taken == w.active:
+			w.pc = in.Label
+		case taken == 0:
+			w.pc++
+		default:
+			// Push reconvergence state, then the fall-through path; execute
+			// the taken path first.
+			w.stack = append(w.stack,
+				stackEntry{reconvPC: in.Reconv, pc: in.Reconv, mask: w.active},
+				stackEntry{reconvPC: in.Reconv, pc: w.pc + 1, mask: w.active &^ taken},
+			)
+			w.active = taken
+			w.pc = in.Label
+		}
+	}
+}
+
+// operand evaluates one source operand for a lane.
+func (c *coreState) operand(w *warp, op kernel.Operand, lane int) int64 {
+	switch op.Kind {
+	case kernel.OperandReg:
+		return w.regs[lane][op.Reg]
+	case kernel.OperandImm:
+		return op.Imm
+	case kernel.OperandParam:
+		return int64(w.wg.run.launch.Args[op.Param])
+	case kernel.OperandSpecial:
+		return c.special(w, op.Special, lane)
+	}
+	return 0
+}
+
+func (c *coreState) special(w *warp, s kernel.Special, lane int) int64 {
+	l := w.wg.run.launch
+	ww := c.gpu.cfg.WarpWidth
+	tid := int64(w.inWG*ww + lane)
+	switch s {
+	case kernel.SpecTIDX:
+		return tid
+	case kernel.SpecTIDY, kernel.SpecCTAIDY:
+		return 0
+	case kernel.SpecCTAIDX:
+		return int64(w.wg.id)
+	case kernel.SpecNTIDX:
+		return int64(l.Block)
+	case kernel.SpecNTIDY, kernel.SpecNCTAIDY:
+		return 1
+	case kernel.SpecNCTAIDX:
+		return int64(l.Grid)
+	case kernel.SpecLaneID:
+		return int64(lane)
+	case kernel.SpecWarpID:
+		return int64(w.inWG)
+	case kernel.SpecGlobalTID:
+		return int64(w.wg.id)*int64(l.Block) + tid
+	case kernel.SpecGlobalSize:
+		return int64(l.Grid) * int64(l.Block)
+	}
+	return 0
+}
+
+// execALU applies the functional semantics of an ALU instruction to one
+// lane. Division by zero yields zero (GPUs do not trap).
+func (c *coreState) execALU(w *warp, in *kernel.Instr, lane int) {
+	ev := func(i int) int64 { return c.operand(w, in.Src[i], lane) }
+	var v int64
+	switch in.Op {
+	case kernel.OpMov:
+		v = ev(0)
+	case kernel.OpAdd:
+		v = ev(0) + ev(1)
+	case kernel.OpSub:
+		v = ev(0) - ev(1)
+	case kernel.OpMul:
+		v = ev(0) * ev(1)
+	case kernel.OpMad:
+		v = ev(0)*ev(1) + ev(2)
+	case kernel.OpDiv:
+		if d := ev(1); d != 0 {
+			v = ev(0) / d
+		}
+	case kernel.OpRem:
+		if d := ev(1); d != 0 {
+			v = ev(0) % d
+		}
+	case kernel.OpMin:
+		a, b := ev(0), ev(1)
+		v = a
+		if b < a {
+			v = b
+		}
+	case kernel.OpMax:
+		a, b := ev(0), ev(1)
+		v = a
+		if b > a {
+			v = b
+		}
+	case kernel.OpAnd:
+		v = ev(0) & ev(1)
+	case kernel.OpOr:
+		v = ev(0) | ev(1)
+	case kernel.OpXor:
+		v = ev(0) ^ ev(1)
+	case kernel.OpShl:
+		v = ev(0) << uint64(ev(1)&63)
+	case kernel.OpShr:
+		v = int64(uint64(ev(0)) >> uint64(ev(1)&63))
+	case kernel.OpSetLT:
+		v = b2i(ev(0) < ev(1))
+	case kernel.OpSetLE:
+		v = b2i(ev(0) <= ev(1))
+	case kernel.OpSetEQ:
+		v = b2i(ev(0) == ev(1))
+	case kernel.OpSetNE:
+		v = b2i(ev(0) != ev(1))
+	case kernel.OpSetGT:
+		v = b2i(ev(0) > ev(1))
+	case kernel.OpSetGE:
+		v = b2i(ev(0) >= ev(1))
+	case kernel.OpSelp:
+		if ev(2) != 0 {
+			v = ev(0)
+		} else {
+			v = ev(1)
+		}
+	case kernel.OpFAdd:
+		v = kernel.F2B(kernel.B2F(ev(0)) + kernel.B2F(ev(1)))
+	case kernel.OpFSub:
+		v = kernel.F2B(kernel.B2F(ev(0)) - kernel.B2F(ev(1)))
+	case kernel.OpFMul:
+		v = kernel.F2B(kernel.B2F(ev(0)) * kernel.B2F(ev(1)))
+	case kernel.OpFMad:
+		v = kernel.F2B(kernel.B2F(ev(0))*kernel.B2F(ev(1)) + kernel.B2F(ev(2)))
+	case kernel.OpFDiv:
+		if d := kernel.B2F(ev(1)); d != 0 {
+			v = kernel.F2B(kernel.B2F(ev(0)) / d)
+		}
+	case kernel.OpFSqrt:
+		v = kernel.F2B(math.Sqrt(math.Abs(kernel.B2F(ev(0)))))
+	case kernel.OpFMin:
+		v = kernel.F2B(math.Min(kernel.B2F(ev(0)), kernel.B2F(ev(1))))
+	case kernel.OpFMax:
+		v = kernel.F2B(math.Max(kernel.B2F(ev(0)), kernel.B2F(ev(1))))
+	case kernel.OpCvtIF:
+		v = kernel.F2B(float64(ev(0)))
+	case kernel.OpCvtFI:
+		v = int64(kernel.B2F(ev(0)))
+	case kernel.OpFSetLT:
+		v = b2i(kernel.B2F(ev(0)) < kernel.B2F(ev(1)))
+	case kernel.OpFSetLE:
+		v = b2i(kernel.B2F(ev(0)) <= kernel.B2F(ev(1)))
+	case kernel.OpFSetGT:
+		v = b2i(kernel.B2F(ev(0)) > kernel.B2F(ev(1)))
+	}
+	if in.Dst >= 0 {
+		w.regs[lane][in.Dst] = v
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// aluLatency maps an opcode to its execution latency class.
+func aluLatency(cfg *Config, op kernel.Op) int {
+	switch op {
+	case kernel.OpMul, kernel.OpMad, kernel.OpFMul, kernel.OpFMad,
+		kernel.OpCvtIF, kernel.OpCvtFI, kernel.OpFAdd, kernel.OpFSub:
+		return cfg.MulLatency
+	case kernel.OpDiv, kernel.OpRem, kernel.OpFDiv, kernel.OpFSqrt:
+		return cfg.SFULatency
+	default:
+		return cfg.ALULatency
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// runSmall executes a kernel over one 32-thread warp and returns the
+// contents of its output buffer.
+func runSmall(t *testing.T, build func(b *kernel.Builder, out kernel.Operand)) []uint32 {
+	t.Helper()
+	b := kernel.NewBuilder("div")
+	out := b.BufferParam("out", false)
+	build(b, out)
+	k := b.MustBuild()
+	dev := driver.NewDevice(1)
+	buf := dev.Malloc("out", 32*4, false)
+	l, err := dev.PrepareLaunch(k, 1, 32, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(NvidiaConfig(), dev).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborted {
+		t.Fatalf("aborted: %s", st.AbortMsg)
+	}
+	res := make([]uint32, 32)
+	for i := range res {
+		res[i] = dev.ReadUint32(buf, i)
+	}
+	return res
+}
+
+// TestNestedDivergence exercises three levels of nested ifs with disjoint
+// lane subsets — the reconvergence stack must merge them all back.
+func TestNestedDivergence(t *testing.T) {
+	got := runSmall(t, func(b *kernel.Builder, out kernel.Operand) {
+		tid := b.GlobalTID()
+		acc := b.Mov(kernel.Imm(0))
+		p1 := b.SetLT(tid, kernel.Imm(16))
+		b.IfElse(p1, func() {
+			p2 := b.SetLT(tid, kernel.Imm(8))
+			b.IfElse(p2, func() {
+				p3 := b.SetLT(tid, kernel.Imm(4))
+				b.If(p3, func() {
+					b.MovTo(acc, kernel.Imm(1))
+				})
+				pElse := b.SetGE(tid, kernel.Imm(4))
+				b.If(pElse, func() {
+					b.MovTo(acc, kernel.Imm(2))
+				})
+			}, func() {
+				b.MovTo(acc, kernel.Imm(3))
+			})
+		}, func() {
+			b.MovTo(acc, kernel.Imm(4))
+		})
+		// Every lane must arrive here with its own value.
+		b.StoreGlobal(b.AddScaled(out, tid, 4), acc, 4)
+	})
+	for i, v := range got {
+		var want uint32
+		switch {
+		case i < 4:
+			want = 1
+		case i < 8:
+			want = 2
+		case i < 16:
+			want = 3
+		default:
+			want = 4
+		}
+		if v != want {
+			t.Fatalf("lane %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestDivergentLoopTripCounts runs a data-dependent loop where each lane
+// iterates a different number of times (tid iterations).
+func TestDivergentLoopTripCounts(t *testing.T) {
+	got := runSmall(t, func(b *kernel.Builder, out kernel.Operand) {
+		tid := b.GlobalTID()
+		count := b.Mov(kernel.Imm(0))
+		b.ForRange(kernel.Imm(0), tid, kernel.Imm(1), func(i kernel.Operand) {
+			active := b.SetLT(i, tid)
+			b.If(active, func() {
+				b.MovTo(count, b.Add(count, kernel.Imm(1)))
+			})
+		})
+		b.StoreGlobal(b.AddScaled(out, tid, 4), count, 4)
+	})
+	for i, v := range got {
+		if v != uint32(i) {
+			t.Fatalf("lane %d iterated %d times, want %d", i, v, i)
+		}
+	}
+}
+
+// TestExitInsideDivergence retires a subset of lanes early; the rest must
+// keep executing correctly.
+func TestExitInsideDivergence(t *testing.T) {
+	got := runSmall(t, func(b *kernel.Builder, out kernel.Operand) {
+		tid := b.GlobalTID()
+		b.StoreGlobal(b.AddScaled(out, tid, 4), kernel.Imm(1), 4)
+		quit := b.SetLT(tid, kernel.Imm(10))
+		b.If(quit, func() {
+			b.Exit()
+		})
+		// Only lanes >= 10 reach this store.
+		b.StoreGlobal(b.AddScaled(out, tid, 4), kernel.Imm(2), 4)
+	})
+	for i, v := range got {
+		want := uint32(2)
+		if i < 10 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("lane %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestEmptyThenBranch reconverges correctly when no lane takes a branch
+// body.
+func TestEmptyThenBranch(t *testing.T) {
+	got := runSmall(t, func(b *kernel.Builder, out kernel.Operand) {
+		tid := b.GlobalTID()
+		never := b.SetLT(tid, kernel.Imm(0))
+		b.If(never, func() {
+			b.StoreGlobal(b.AddScaled(out, tid, 4), kernel.Imm(99), 4)
+		})
+		b.StoreGlobal(b.AddScaled(out, tid, 4), b.Add(tid, kernel.Imm(5)), 4)
+	})
+	for i, v := range got {
+		if v != uint32(i+5) {
+			t.Fatalf("lane %d = %d", i, v)
+		}
+	}
+}
+
+// TestWhileAnyDataDependent runs a Collatz-style while loop with per-lane
+// termination.
+func TestWhileAnyDataDependent(t *testing.T) {
+	got := runSmall(t, func(b *kernel.Builder, out kernel.Operand) {
+		tid := b.GlobalTID()
+		x := b.Mov(b.Add(tid, kernel.Imm(1)))
+		steps := b.Mov(kernel.Imm(0))
+		b.WhileAny(func() kernel.Operand {
+			return b.SetGT(x, kernel.Imm(1))
+		}, func() {
+			b.MovTo(x, b.Shr(x, kernel.Imm(1)))
+			b.MovTo(steps, b.Add(steps, kernel.Imm(1)))
+		})
+		b.StoreGlobal(b.AddScaled(out, tid, 4), steps, 4)
+	})
+	for i, v := range got {
+		// steps = floor(log2(i+1))
+		want := uint32(0)
+		for x := i + 1; x > 1; x >>= 1 {
+			want++
+		}
+		if v != want {
+			t.Fatalf("lane %d halved %d times, want %d", i, v, want)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"fmt"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/memsys"
+)
+
+// ShareMode selects how concurrent kernels share the GPU (§6.2).
+type ShareMode uint8
+
+const (
+	// ShareInterCore partitions the cores evenly between kernels.
+	ShareInterCore ShareMode = iota
+	// ShareIntraCore lets every kernel's workgroups run on any core, so
+	// kernels share cores (and their RCaches) at fine grain.
+	ShareIntraCore
+)
+
+func (m ShareMode) String() string {
+	if m == ShareIntraCore {
+		return "intra-core"
+	}
+	return "inter-core"
+}
+
+// GPU is one simulated device instance. A GPU is built over a driver.Device
+// whose memory holds the kernels' data; it is not safe for concurrent use.
+type GPU struct {
+	cfg   Config
+	dev   *driver.Device
+	cores []*coreState
+
+	l2    *memsys.Cache
+	l2tlb *memsys.TLB
+	dram  *memsys.DRAM
+
+	now        uint64
+	trackPages bool
+
+	// atomicBusy serializes atomic operations to the same word: GPUs
+	// resolve same-address atomics one at a time in the L2 atomic units,
+	// which is what makes massively parallel device malloc slow (§5.2.1).
+	atomicBusy map[uint64]uint64
+}
+
+// New builds a GPU from cfg operating on dev's memory.
+func New(cfg Config, dev *driver.Device) *GPU {
+	g := &GPU{
+		cfg:        cfg,
+		dev:        dev,
+		l2:         memsys.NewCache(cfg.L2),
+		l2tlb:      memsys.NewTLB(cfg.L2TLB),
+		dram:       memsys.NewDRAM(cfg.DRAM),
+		atomicBusy: make(map[uint64]uint64),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &coreState{
+			id:    i,
+			gpu:   g,
+			l1d:   memsys.NewCache(cfg.L1D),
+			l1tlb: memsys.NewTLB(cfg.L1TLB),
+		}
+		if cfg.EnableBCU {
+			c.bcu = core.NewBCU(cfg.BCU)
+			c.bcu.SetRBTFetcher(g.fetchRBT)
+		}
+		g.cores = append(g.cores, c)
+	}
+	return g
+}
+
+// Config returns the GPU configuration.
+func (g *GPU) Config() Config { return g.cfg }
+
+// Device returns the underlying device.
+func (g *GPU) Device() *driver.Device { return g.dev }
+
+// Now returns the current cycle.
+func (g *GPU) Now() uint64 { return g.now }
+
+// TrackPages enables the per-buffer 4 KB page-touch census (Fig. 11).
+func (g *GPU) TrackPages(on bool) { g.trackPages = on }
+
+// BCU exposes core 0's BCU for inspection in tests.
+func (g *GPU) BCU(coreID int) *core.BCU { return g.cores[coreID].bcu }
+
+// fetchRBT services an L2 RCache miss from the in-memory RBT: a real
+// device-memory access through the shared L2/DRAM path (§5.5).
+func (g *GPU) fetchRBT(rbtBase uint64, id uint16) (core.Bounds, uint64) {
+	addr := core.EntryAddr(rbtBase, id)
+	var lat uint64
+	if g.l2.Access(addr) {
+		lat = uint64(g.cfg.L2Latency)
+	} else {
+		done := g.dram.Access(g.now, addr)
+		lat = done - g.now + uint64(g.cfg.L2Latency)
+	}
+	return core.DecodeBounds(g.dev.Mem.ReadBytes(addr, core.BoundsEntryBytes)), lat
+}
+
+// memAccess walks one coalesced transaction through the TLBs and cache
+// hierarchy, returning its latency and whether it hit in the L1 Dcache.
+func (g *GPU) memAccess(c *coreState, st *LaunchStats, addr uint64) (lat uint64, l1Hit bool) {
+	// Address translation, overlapped with the L1 tag probe on a hit.
+	if !c.l1tlb.Access(addr) {
+		st.L1TLBMisses++
+		if g.l2tlb.Access(addr) {
+			lat += uint64(g.cfg.L2TLBLatency)
+		} else {
+			st.L2TLBMisses++
+			lat += uint64(g.cfg.PageWalk)
+		}
+	}
+	st.L1DAccesses++
+	if c.l1d.Access(addr) {
+		st.L1DHits++
+		return lat + uint64(g.cfg.L1D.HitLatency), true
+	}
+	st.L2Accesses++
+	if g.l2.Access(addr) {
+		st.L2Hits++
+		return lat + uint64(g.cfg.L1D.HitLatency) + uint64(g.cfg.L2Latency), false
+	}
+	done := g.dram.Access(g.now+lat, addr)
+	return done - g.now + uint64(g.cfg.L2Latency), false
+}
+
+// kernelRun is the in-flight state of one launch.
+type kernelRun struct {
+	launch    *driver.Launch
+	stats     *LaunchStats
+	nextWG    int
+	liveWGs   int
+	started   bool
+	aborted   bool
+	pages     []map[uint64]struct{} // per arg index
+	cores     []int                 // cores this kernel may occupy
+	coresUsed map[int]struct{}      // cores that actually ran workgroups
+}
+
+func (r *kernelRun) dispatched() bool { return r.nextWG >= r.launch.Grid }
+
+func (r *kernelRun) finished() bool {
+	return (r.dispatched() && r.liveWGs == 0 && r.started) || r.aborted
+}
+
+// Run executes a single launch to completion and returns its statistics.
+func (g *GPU) Run(l *driver.Launch) (*LaunchStats, error) {
+	res, err := g.RunConcurrent([]*driver.Launch{l}, ShareIntraCore)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// RunConcurrent executes several launches simultaneously under the given
+// sharing mode and returns per-launch statistics in input order.
+func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*LaunchStats, error) {
+	if len(launches) == 0 {
+		return nil, fmt.Errorf("sim: no launches")
+	}
+	runs := make([]*kernelRun, len(launches))
+	for i, l := range launches {
+		if l.Block > g.cfg.MaxThreadsPerCore {
+			return nil, fmt.Errorf("sim: %s: block of %d exceeds %d threads per core",
+				l.Kernel.Name, l.Block, g.cfg.MaxThreadsPerCore)
+		}
+		r := &kernelRun{
+			launch: l,
+			stats: &LaunchStats{
+				Kernel: l.Kernel.Name, Mode: l.Mode.String(), StartCycle: g.now,
+			},
+			coresUsed: make(map[int]struct{}),
+		}
+		if g.trackPages {
+			r.pages = make([]map[uint64]struct{}, len(l.Args))
+			for j := range r.pages {
+				r.pages[j] = make(map[uint64]struct{})
+			}
+		}
+		runs[i] = r
+	}
+
+	// Core assignment.
+	switch {
+	case len(runs) == 1 || mode == ShareIntraCore:
+		for _, r := range runs {
+			for c := 0; c < g.cfg.Cores; c++ {
+				r.cores = append(r.cores, c)
+			}
+		}
+	default: // inter-core partitioning
+		per := g.cfg.Cores / len(runs)
+		if per == 0 {
+			per = 1
+		}
+		for i, r := range runs {
+			lo := i * per
+			hi := lo + per
+			if i == len(runs)-1 || hi > g.cfg.Cores {
+				hi = g.cfg.Cores
+			}
+			for c := lo; c < hi; c++ {
+				r.cores = append(r.cores, c)
+			}
+		}
+	}
+
+	// Program the per-kernel key and RBT location into each core's BCU.
+	if g.cfg.EnableBCU {
+		for _, r := range runs {
+			for _, ci := range r.cores {
+				g.cores[ci].bcu.InstallKernel(r.launch.KernelID, r.launch.Key, r.launch.RBT, r.launch.RBTBase)
+			}
+		}
+	}
+
+	// Round-robin dispatch cursors per core over the runs allowed there.
+	allowed := make([][]*kernelRun, g.cfg.Cores)
+	for _, r := range runs {
+		for _, ci := range r.cores {
+			allowed[ci] = append(allowed[ci], r)
+		}
+	}
+
+	live := len(runs)
+	g.dispatch(allowed)
+	for live > 0 {
+		issued := false
+		for _, c := range g.cores {
+			if c.tryIssue(g.now) {
+				issued = true
+			}
+		}
+		// Retire finished runs and refill free workgroup slots.
+		for _, r := range runs {
+			if r.stats.FinishCycle == 0 && r.finished() {
+				r.stats.FinishCycle = g.now + 1
+				live--
+				if g.cfg.EnableBCU {
+					for _, ci := range r.cores {
+						g.harvestBCU(g.cores[ci], r)
+					}
+					for _, ci := range r.cores {
+						g.cores[ci].bcu.RemoveKernel(r.launch.KernelID)
+					}
+				}
+			}
+		}
+		if live == 0 {
+			break
+		}
+		g.dispatch(allowed)
+		if issued {
+			g.now++
+		} else {
+			g.now = g.nextEvent()
+		}
+	}
+
+	for _, r := range runs {
+		r.stats.CoresUsed = len(r.coresUsed)
+		if g.trackPages {
+			r.stats.PagesPerBuffer = make(map[string]int)
+			for j, m := range r.pages {
+				if b := r.launch.ArgBuffers[j]; b != nil {
+					r.stats.PagesPerBuffer[b.Name] = len(m)
+				}
+			}
+		}
+	}
+	stats := make([]*LaunchStats, len(runs))
+	for i, r := range runs {
+		stats[i] = r.stats
+	}
+	return stats, nil
+}
+
+// harvestBCU folds a core's per-kernel violation log into the run's stats.
+// Counter attribution happens at check time; only the violation records and
+// fault state need collecting here.
+func (g *GPU) harvestBCU(c *coreState, r *kernelRun) {
+	for _, v := range c.bcu.Violations() {
+		if v.KernelID == r.launch.KernelID {
+			r.stats.Violations = append(r.stats.Violations, v)
+		}
+	}
+	if v, ok := c.bcu.Faulted(); ok && v.KernelID == r.launch.KernelID {
+		r.stats.Violations = append(r.stats.Violations, v)
+	}
+}
+
+// dispatch fills free core slots with pending workgroups, round-robin over
+// the kernels allowed on each core.
+func (g *GPU) dispatch(allowed [][]*kernelRun) {
+	for ci, c := range g.cores {
+		runs := allowed[ci]
+		if len(runs) == 0 {
+			continue
+		}
+		for {
+			placed := false
+			for k := 0; k < len(runs); k++ {
+				r := runs[(c.rrRun+k)%len(runs)]
+				if r.aborted || r.dispatched() {
+					continue
+				}
+				l := r.launch
+				if c.threadsUsed+l.Block > g.cfg.MaxThreadsPerCore || len(c.wgs) >= g.cfg.MaxWGsPerCore {
+					continue
+				}
+				c.placeWorkgroup(r, r.nextWG, g.now)
+				r.coresUsed[c.id] = struct{}{}
+				r.nextWG++
+				r.liveWGs++
+				r.started = true
+				c.rrRun = (c.rrRun + k + 1) % len(runs)
+				placed = true
+				break
+			}
+			if !placed {
+				break
+			}
+		}
+	}
+}
+
+// nextEvent returns the earliest future cycle at which any warp can issue.
+func (g *GPU) nextEvent() uint64 {
+	next := ^uint64(0)
+	for _, c := range g.cores {
+		for _, w := range c.warps {
+			if w.done || w.atBarrier {
+				continue
+			}
+			if w.readyAt > g.now && w.readyAt < next {
+				next = w.readyAt
+			}
+			if w.readyAt <= g.now {
+				// Ready but blocked on the LSU.
+				if c.lsuFreeAt > g.now && c.lsuFreeAt < next {
+					next = c.lsuFreeAt
+				}
+			}
+		}
+	}
+	if next == ^uint64(0) || next <= g.now {
+		return g.now + 1
+	}
+	return next
+}

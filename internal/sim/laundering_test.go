@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"gpushield/internal/compiler"
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// TestLaunderedPointerStillCheckedUnderStatic is a soundness regression:
+// when a kernel selects between two buffer pointers at runtime (so the
+// analyzer cannot attribute the access to either parameter), static mode
+// must NOT demote those parameters to unprotected Type-1 pointers — the
+// out-of-bounds store through the selected pointer must still be caught.
+func TestLaunderedPointerStillCheckedUnderStatic(t *testing.T) {
+	b := kernel.NewBuilder("launder")
+	pa := b.BufferParam("a", false)
+	pb := b.BufferParam("b", false)
+	cond := b.SetEQ(b.And(b.GlobalTID(), kernel.Imm(1)), kernel.Imm(0))
+	chosen := b.Selp(pa, pb, cond) // runtime-selected base pointer
+	// Store far out of both buffers.
+	b.StoreGlobal(b.Add(chosen, kernel.Imm(1<<18)), kernel.Imm(0xBAD), 4)
+	k := b.MustBuild()
+
+	dev := driver.NewDevice(77)
+	ba := dev.Malloc("a", 1024, false)
+	bb := dev.Malloc("b", 1024, false)
+	args := []driver.Arg{driver.BufArg(ba), driver.BufArg(bb)}
+	an, err := compiler.Analyze(k, compiler.LaunchInfo{
+		Block: 32, Grid: 1,
+		BufferBytes: []uint64{1024, 1024},
+		ScalarVal:   make([]int64, 2), ScalarKnown: make([]bool, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := dev.PrepareLaunch(k, 1, 32, args, driver.ModeShieldStatic, an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither argument may be unprotected.
+	for i := 0; i < 2; i++ {
+		if core.Class(l.Args[i]) == core.ClassUnprotected {
+			t.Fatalf("arg %d demoted to Type 1 despite an unresolvable access", i)
+		}
+	}
+	st, err := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Violations) == 0 {
+		t.Fatalf("laundered OOB store escaped static-mode protection")
+	}
+}

@@ -1,0 +1,440 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// execMem executes one warp-level memory instruction: address generation,
+// coalescing, bounds checking, translation + cache timing, and the
+// functional access against simulated device memory.
+func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64) {
+	r := w.wg.run
+	st := r.stats
+	st.MemInstrs++
+
+	if in.Space == kernel.SpaceShared {
+		c.execShared(w, in, gmask, now)
+		return
+	}
+	if gmask == 0 {
+		w.pc++
+		w.readyAt = now + 1
+		return
+	}
+
+	l := r.launch
+	ww := c.gpu.cfg.WarpWidth
+
+	// Address generation (AGU). ptr carries the tag of the pointer being
+	// dereferenced; offsets are collected for Type-3 checking.
+	var (
+		addrs   [64]uint64
+		offs    [64]int64
+		ptr     uint64
+		havePtr bool
+	)
+	switch {
+	case in.Space == kernel.SpaceLocal:
+		varIdx := int(in.Src[1].Imm)
+		reg := &l.Locals[varIdx]
+		ptr = l.LocalPtrs[varIdx]
+		havePtr = true
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			thr := w.wg.id*l.Block + w.inWG*ww + lane
+			off := c.operand(w, in.Src[0], lane)
+			addrs[lane] = reg.LocalAddr(thr, off)
+			offs[lane] = int64(addrs[lane]) - int64(reg.Base)
+		}
+	case in.Src[0].Kind == kernel.OperandParam:
+		// Method C: base from the parameter (uniform), explicit offset.
+		base := l.Args[in.Src[0].Param]
+		ptr = base
+		havePtr = true
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			off := c.operand(w, in.Src[1], lane)
+			addrs[lane] = core.Addr(base) + uint64(off)
+			offs[lane] = off
+		}
+	default:
+		// Method B: the register holds a full (possibly tagged) address.
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			v := uint64(c.operand(w, in.Src[0], lane))
+			if in.Src[1].Kind != kernel.OperandNone {
+				v += uint64(c.operand(w, in.Src[1], lane))
+			}
+			if !havePtr {
+				ptr, havePtr = v, true
+			}
+			addrs[lane] = core.Addr(v)
+			offs[lane] = 0
+		}
+	}
+
+	// Address range gathering and coalescing (ACU): unique cache-line
+	// transactions plus warp min/max byte range.
+	lineMask := ^uint64(int64(c.gpu.cfg.L1D.LineBytes - 1))
+	var lines [64]uint64
+	nLines := 0
+	minAddr, maxAddr := ^uint64(0), uint64(0)
+	minOfs, maxOfs := int64(math.MaxInt64), int64(math.MinInt64)
+	bytes := uint64(in.Bytes)
+	for lanes := gmask; lanes != 0; {
+		lane := bits.TrailingZeros64(lanes)
+		lanes &^= 1 << uint(lane)
+		a := addrs[lane]
+		if a < minAddr {
+			minAddr = a
+		}
+		if a+bytes-1 > maxAddr {
+			maxAddr = a + bytes - 1
+		}
+		if offs[lane] < minOfs {
+			minOfs = offs[lane]
+		}
+		if offs[lane]+int64(bytes)-1 > maxOfs {
+			maxOfs = offs[lane] + int64(bytes) - 1
+		}
+		for la := a & lineMask; la <= (a+bytes-1)&lineMask; la += uint64(c.gpu.cfg.L1D.LineBytes) {
+			found := false
+			if !l.NoCoalesce {
+				for i := 0; i < nLines; i++ {
+					if lines[i] == la {
+						found = true
+						break
+					}
+				}
+			}
+			if !found && nLines < len(lines) {
+				lines[nLines] = la
+				nLines++
+			}
+		}
+	}
+
+	// Timing: each transaction walks the TLB + cache hierarchy.
+	var maxLat uint64
+	allHit := true
+	for i := 0; i < nLines; i++ {
+		lat, hit := c.gpu.memAccess(c, st, lines[i])
+		if lat > maxLat {
+			maxLat = lat
+		}
+		if !hit {
+			allHit = false
+		}
+	}
+	st.Transactions += uint64(nLines)
+
+	// Bounds checking (BCU).
+	var (
+		squash, drop bool
+		stall        int
+		extra        uint64
+	)
+	protect := c.gpu.cfg.EnableBCU && l.Mode != driver.ModeOff
+	if protect && l.SkipCheck[w.pc] {
+		st.Skipped++
+	} else if protect {
+		var fault *core.Violation
+		tally := func(res core.CheckResult) {
+			if !res.OK && fault == nil {
+				fault = res.Violation
+			}
+			if !res.OK && l.Mailbox != nil {
+				c.postViolation(l, res.Violation)
+			}
+			switch res.Level {
+			case core.ServedL1:
+				st.Checks++
+				st.RL1Hits++
+			case core.ServedL2:
+				st.Checks++
+				st.RL2Hits++
+			case core.ServedRBT:
+				st.Checks++
+				st.RBTFetches++
+			case core.ServedType3:
+				st.Type3Checks++
+			case core.ServedSkip:
+				st.Skipped++
+			}
+			stall += res.Stall
+			if res.ExtraLatency > extra {
+				extra = res.ExtraLatency
+			}
+			st.BCUStalls += uint64(res.Stall)
+			squash = squash || res.SquashLoad
+			drop = drop || res.DropStore
+		}
+		req := core.CheckRequest{
+			KernelID:          l.KernelID,
+			Pointer:           ptr,
+			MinAddr:           minAddr,
+			MaxAddr:           maxAddr,
+			MinOfs:            minOfs,
+			MaxOfs:            maxOfs,
+			IsStore:           in.Op.IsStore(),
+			PC:                w.pc,
+			SingleTransaction: nLines == 1,
+			L1DHit:            allHit,
+		}
+		if c.gpu.cfg.BCU.PerThread {
+			// Ablation: one check per active lane instead of one per warp
+			// instruction — the cost the address-gathering unit avoids.
+			// The BCU retires one check per cycle, so the extra checks
+			// occupy it (and hence the LSU slot) for lanes-1 extra cycles.
+			nchecks := 0
+			for lanes := gmask; lanes != 0; {
+				lane := bits.TrailingZeros64(lanes)
+				lanes &^= 1 << uint(lane)
+				lr := req
+				lr.MinAddr = addrs[lane]
+				lr.MaxAddr = addrs[lane] + bytes - 1
+				lr.MinOfs = offs[lane]
+				lr.MaxOfs = offs[lane] + int64(bytes) - 1
+				tally(c.bcu.Check(lr))
+				nchecks++
+			}
+			if nchecks > 1 {
+				stall += nchecks - 1
+				st.BCUStalls += uint64(nchecks - 1)
+			}
+		} else {
+			tally(c.bcu.Check(req))
+		}
+		if fault != nil && c.gpu.cfg.BCU.Mode == core.FailFault {
+			c.gpu.abortRun(r, fmt.Sprintf("GPUShield fault: %s", fault))
+			return
+		}
+	}
+
+	// Page-fault check: an access to an unmapped page aborts the kernel
+	// (the Fig. 4 case-3 behaviour) unless GPUShield already suppressed the
+	// access.
+	if !squash && !drop {
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			if !c.gpu.dev.Mapped(addrs[lane]) {
+				c.gpu.abortRun(r, fmt.Sprintf("illegal memory access at %#x (pc @%d)", addrs[lane], w.pc))
+				return
+			}
+		}
+	}
+
+	// Page-touch census (Fig. 11).
+	if r.pages != nil {
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			a := addrs[lane]
+			for j, b := range l.ArgBuffers {
+				if b != nil && a >= b.Base && a < b.Base+b.Padded {
+					r.pages[j][a/driver.PageBytes] = struct{}{}
+					break
+				}
+			}
+		}
+	}
+
+	// Functional access.
+	mem := c.gpu.dev.Mem
+	switch in.Op {
+	case kernel.OpLd:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			var v int64
+			if !squash {
+				v = loadValue(mem, addrs[lane], in)
+			}
+			w.regs[lane][in.Dst] = v
+		}
+	case kernel.OpSt:
+		if !drop {
+			for lanes := gmask; lanes != 0; {
+				lane := bits.TrailingZeros64(lanes)
+				lanes &^= 1 << uint(lane)
+				storeValue(mem, addrs[lane], in, c.operand(w, in.Src[2], lane))
+			}
+		}
+	case kernel.OpAtomAdd:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			var old int64
+			if !squash && !drop {
+				old = loadValue(mem, addrs[lane], in)
+				storeValue(mem, addrs[lane], in, old+c.operand(w, in.Src[2], lane))
+			}
+			if in.Dst >= 0 {
+				w.regs[lane][in.Dst] = old
+			}
+		}
+	}
+
+	// Atomic operations serialize per address in the atomic units: each
+	// lane's op waits for the previous op on the same word, across the
+	// whole GPU. This is what makes device malloc's shared heap-top
+	// pointer a scalability cliff (§5.2.1).
+	if in.Op == kernel.OpAtomAdd {
+		const atomCycles = 2
+		done := now + maxLat
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			word := addrs[lane] &^ 3
+			start := now + maxLat
+			if b := c.gpu.atomicBusy[word]; b > start {
+				start = b
+			}
+			end := start + atomCycles
+			c.gpu.atomicBusy[word] = end
+			if end > done {
+				done = end
+			}
+		}
+		maxLat = done - now
+	}
+
+	// LSU occupancy: one cycle per transaction plus any BCU bubble; the
+	// warp itself stalls until its data returns (a bubble delays the data
+	// by the same amount).
+	busy := now + uint64(nLines) + uint64(stall)
+	if busy > c.lsuFreeAt {
+		c.lsuFreeAt = busy
+	}
+	w.readyAt = now + maxLat + extra + uint64(stall)
+	w.pc++
+}
+
+// execShared handles on-chip scratchpad accesses: fixed latency, no
+// LSU/BCU involvement.
+func (c *coreState) execShared(w *warp, in *kernel.Instr, gmask uint64, now uint64) {
+	st := w.wg.run.stats
+	sh := w.wg.shared
+	for lanes := gmask; lanes != 0; {
+		lane := bits.TrailingZeros64(lanes)
+		lanes &^= 1 << uint(lane)
+		st.SharedAccs++
+		if len(sh) == 0 {
+			if in.Op == kernel.OpLd && in.Dst >= 0 {
+				w.regs[lane][in.Dst] = 0
+			}
+			continue
+		}
+		addr := int(uint64(c.operand(w, in.Src[0], lane)) % uint64(len(sh)))
+		end := addr + in.Bytes
+		if end > len(sh) {
+			addr = len(sh) - in.Bytes
+			end = len(sh)
+		}
+		switch in.Op {
+		case kernel.OpLd:
+			var raw uint64
+			for i := addr; i < end; i++ {
+				raw |= uint64(sh[i]) << (8 * uint(i-addr))
+			}
+			w.regs[lane][in.Dst] = widen(raw, in)
+		case kernel.OpSt:
+			raw := narrow(c.operand(w, in.Src[2], lane), in)
+			for i := addr; i < end; i++ {
+				sh[i] = byte(raw >> (8 * uint(i-addr)))
+			}
+		}
+	}
+	w.pc++
+	w.readyAt = now + uint64(c.gpu.cfg.SharedLatency)
+}
+
+// loadValue reads one element, applying the IR's width and type rules:
+// 4-byte integer loads sign-extend, 1/2-byte loads zero-extend, f32 loads
+// widen to float64 bits.
+func loadValue(mem interface {
+	ReadUint(addr uint64, n int) uint64
+}, addr uint64, in *kernel.Instr) int64 {
+	raw := mem.ReadUint(addr, in.Bytes)
+	return widen(raw, in)
+}
+
+func widen(raw uint64, in *kernel.Instr) int64 {
+	if in.F32 && in.Bytes == 4 {
+		return kernel.F2B(float64(math.Float32frombits(uint32(raw))))
+	}
+	switch in.Bytes {
+	case 8:
+		return int64(raw)
+	case 4:
+		return int64(int32(uint32(raw)))
+	default:
+		return int64(raw)
+	}
+}
+
+// storeValue writes one element, narrowing per the IR rules.
+func storeValue(mem interface {
+	WriteUint(addr uint64, v uint64, n int)
+}, addr uint64, in *kernel.Instr, v int64) {
+	mem.WriteUint(addr, narrow(v, in), in.Bytes)
+}
+
+func narrow(v int64, in *kernel.Instr) uint64 {
+	if in.F32 && in.Bytes == 4 {
+		return uint64(math.Float32bits(float32(kernel.B2F(v))))
+	}
+	return uint64(v)
+}
+
+// postViolation appends a violation record to the launch's SVM mailbox
+// (§5.5.2), so the host can see errors while the kernel is still running.
+// Word 0 counts records; each record is {kind, pc, addr lo32, addr hi32}.
+func (c *coreState) postViolation(l *driver.Launch, v *core.Violation) {
+	mem := c.gpu.dev.Mem
+	box := l.Mailbox
+	count := mem.ReadUint32(box.Base)
+	rec := box.Base + 4 + uint64(count)*16
+	if rec+16 > box.Base+box.Size {
+		return // mailbox full; the end-of-kernel log still has everything
+	}
+	mem.WriteUint32(rec, uint32(v.Kind))
+	mem.WriteUint32(rec+4, uint32(v.PC))
+	mem.WriteUint32(rec+8, uint32(v.MinAddr))
+	mem.WriteUint32(rec+12, uint32(v.MinAddr>>32))
+	mem.WriteUint32(box.Base, count+1)
+}
+
+// abortRun terminates a kernel run after a fault: all of its resident
+// workgroups are torn down across every core.
+func (g *GPU) abortRun(r *kernelRun, msg string) {
+	if r.aborted {
+		return
+	}
+	r.aborted = true
+	r.stats.Aborted = true
+	r.stats.AbortMsg = msg
+	for _, c := range g.cores {
+		for _, wg := range append([]*workgroup(nil), c.wgs...) {
+			if wg.run != r {
+				continue
+			}
+			for _, w := range wg.warps {
+				w.done = true
+			}
+			wg.live = 0
+			c.removeWorkgroup(wg)
+		}
+	}
+	r.liveWGs = 0
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// TestViolationMailbox checks the §5.5.2 runtime-reporting path: with an
+// SVM mailbox attached, violation records appear in shared memory the host
+// can read, with the right kind, PC, and faulting address.
+func TestViolationMailbox(t *testing.T) {
+	dev := driver.NewDevice(12)
+	buf := dev.Malloc("buf", 256, false)
+	box := dev.MallocManaged("mailbox", 4096)
+
+	b := kernel.NewBuilder("oob-mail")
+	p := b.BufferParam("buf", false)
+	first := b.SetEQ(b.GlobalTID(), kernel.Imm(0))
+	b.If(first, func() {
+		b.StoreGlobal(b.AddScaled(p, kernel.Imm(1000), 4), kernel.Imm(1), 4)
+		b.StoreGlobal(b.AddScaled(p, kernel.Imm(2000), 4), kernel.Imm(2), 4)
+	})
+	k := b.MustBuild()
+
+	l, err := dev.PrepareLaunch(k, 1, 32, []driver.Arg{driver.BufArg(buf)}, driver.ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Mailbox = box
+	st, err := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Violations) != 2 {
+		t.Fatalf("want 2 violations, got %d", len(st.Violations))
+	}
+	if got := dev.Mem.ReadUint32(box.Base); got != 2 {
+		t.Fatalf("mailbox count = %d, want 2", got)
+	}
+	// First record: OOB at buf.Base + 4000.
+	rec := box.Base + 4
+	if kind := dev.Mem.ReadUint32(rec); kind != uint32(core.ViolationOOB) {
+		t.Fatalf("record kind = %d", kind)
+	}
+	addr := uint64(dev.Mem.ReadUint32(rec+8)) | uint64(dev.Mem.ReadUint32(rec+12))<<32
+	if addr != buf.Base+4000 {
+		t.Fatalf("record addr = %#x, want %#x", addr, buf.Base+4000)
+	}
+}
+
+// TestMailboxCapacityBounded fills the mailbox past its capacity and
+// verifies the writer stops at the boundary instead of overflowing —
+// the reporting channel must not itself become a corruption vector.
+func TestMailboxCapacityBounded(t *testing.T) {
+	dev := driver.NewDevice(13)
+	buf := dev.Malloc("buf", 64, false)
+	box := dev.MallocManaged("mailbox", 4+2*16) // room for 2 records
+	guardBuf := dev.MallocManaged("after", 64)
+	dev.WriteUint32(guardBuf, 0, 0x600D)
+
+	b := kernel.NewBuilder("oob-flood")
+	p := b.BufferParam("buf", false)
+	// Four warps each issue an out-of-bounds store (checks are warp-level,
+	// so that is four violation records against a two-record mailbox).
+	idx := b.Add(b.GlobalTID(), kernel.Imm(1<<12))
+	b.StoreGlobal(b.AddScaled(p, idx, 4), kernel.Imm(1), 4)
+	k := b.MustBuild()
+
+	l, err := dev.PrepareLaunch(k, 1, 128, []driver.Arg{driver.BufArg(buf)}, driver.ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Mailbox = box
+	if _, err := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev).Run(l); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Mem.ReadUint32(box.Base); got != 2 {
+		t.Fatalf("mailbox recorded %d, want capacity 2", got)
+	}
+}
+
+// TestPartitionedRCachesIsolateKernels checks the §6.2 mitigation: with
+// two RCache banks, one kernel's bounds stream cannot evict the other's
+// entries.
+func TestPartitionedRCachesIsolateKernels(t *testing.T) {
+	cfg := core.DefaultBCUConfig()
+	cfg.L1Entries = 1 // tiny, so cross-kernel eviction is immediate if shared
+	cfg.Partitions = 2
+	b := core.NewBCU(cfg)
+	key := uint64(7)
+	rbtA, rbtB := core.NewRBT(), core.NewRBT()
+	rbtA.Set(5, core.NewBounds(0x1000, 0x100, false))
+	rbtB.Set(9, core.NewBounds(0x8000, 0x100, false))
+	b.InstallKernel(2, key, rbtA, 0) // bank 0
+	b.InstallKernel(3, key, rbtB, 0) // bank 1
+
+	reqA := core.CheckRequest{KernelID: 2,
+		Pointer: core.MakePointer(core.ClassID, core.EncryptID(5, key), 0x1000),
+		MinAddr: 0x1000, MaxAddr: 0x1003, SingleTransaction: true, L1DHit: true}
+	reqB := core.CheckRequest{KernelID: 3,
+		Pointer: core.MakePointer(core.ClassID, core.EncryptID(9, key), 0x8000),
+		MinAddr: 0x8000, MaxAddr: 0x8003, SingleTransaction: true, L1DHit: true}
+
+	b.Check(reqA) // fills bank 0
+	b.Check(reqB) // fills bank 1 — must NOT evict kernel 2's entry
+	if res := b.Check(reqA); res.Level != core.ServedL1 {
+		t.Fatalf("partitioned bank evicted the co-runner's entry: served from %v", res.Level)
+	}
+	if res := b.Check(reqB); res.Level != core.ServedL1 {
+		t.Fatalf("bank 1 lost its entry: %v", res.Level)
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// TestInterCorePartitioning verifies the §6.2 inter-core mode really
+// partitions the machine: with two kernels on a 16-core GPU each must run
+// on at most half the cores, while intra-core mode lets both spread.
+func TestInterCorePartitioning(t *testing.T) {
+	mkLaunch := func(dev *driver.Device, name string) *driver.Launch {
+		b := kernel.NewBuilder(name)
+		p := b.BufferParam("p", false)
+		b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), kernel.Imm(1), 4)
+		k := b.MustBuild()
+		buf := dev.Malloc(name, 64*1024, false)
+		l, err := dev.PrepareLaunch(k, 64, 128, []driver.Arg{driver.BufArg(buf)}, driver.ModeShield, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	run := func(mode ShareMode) (int, int) {
+		dev := driver.NewDevice(9)
+		la := mkLaunch(dev, "ka")
+		lb := mkLaunch(dev, "kb")
+		gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+		res, err := gpu.RunConcurrent([]*driver.Launch{la, lb}, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].CoresUsed, res[1].CoresUsed
+	}
+
+	a, b := run(ShareInterCore)
+	if a > 8 || b > 8 {
+		t.Fatalf("inter-core mode leaked across the partition: %d and %d cores", a, b)
+	}
+	if a == 0 || b == 0 {
+		t.Fatalf("a kernel ran on no cores: %d, %d", a, b)
+	}
+	a, b = run(ShareIntraCore)
+	if a <= 8 && b <= 8 {
+		t.Fatalf("intra-core mode should let kernels spread: %d and %d cores", a, b)
+	}
+}

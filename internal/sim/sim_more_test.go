@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// TestNoCoalesceInflatesTransactions verifies the per-thread-traffic mode
+// used by the CUDA-MEMCHECK model.
+func TestNoCoalesceInflatesTransactions(t *testing.T) {
+	run := func(noCoalesce bool) uint64 {
+		dev := driver.NewDevice(1)
+		const n = 1024
+		buf := dev.Malloc("b", n*4, false)
+		b := kernel.NewBuilder("stream")
+		p := b.BufferParam("b", false)
+		b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), kernel.Imm(1), 4)
+		k := b.MustBuild()
+		l, err := dev.PrepareLaunch(k, n/128, 128, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.NoCoalesce = noCoalesce
+		st, err := New(NvidiaConfig(), dev).Run(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Transactions
+	}
+	coalesced := run(false)
+	split := run(true)
+	// 128B lines hold 32 4-byte elements: a fully coalesced warp store is
+	// one transaction; uncoalesced is one per lane.
+	if split < 16*coalesced {
+		t.Fatalf("NoCoalesce: %d vs %d transactions", split, coalesced)
+	}
+}
+
+// TestAtomicSameAddressSerializes checks the global atomic-serialization
+// model that drives the §5.2.1 heap microbenchmark.
+func TestAtomicSameAddressSerializes(t *testing.T) {
+	run := func(sameAddr bool) uint64 {
+		dev := driver.NewDevice(2)
+		const n = 2048
+		buf := dev.Malloc("counters", n*8, false)
+		b := kernel.NewBuilder("atom")
+		p := b.BufferParam("counters", false)
+		var addr kernel.Operand
+		if sameAddr {
+			addr = b.AddScaled(p, kernel.Imm(0), 8)
+		} else {
+			addr = b.AddScaled(p, b.GlobalTID(), 8)
+		}
+		b.AtomAddGlobal(addr, kernel.Imm(1), 8)
+		k := b.MustBuild()
+		l, err := dev.PrepareLaunch(k, n/128, 128, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := New(NvidiaConfig(), dev).Run(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sameAddr {
+			if got := dev.ReadUint64(buf, 0); got != n {
+				t.Fatalf("atomic sum = %d, want %d", got, n)
+			}
+		}
+		return st.Cycles()
+	}
+	contended := run(true)
+	spread := run(false)
+	if contended < 2*spread {
+		t.Fatalf("same-address atomics should serialize: %d vs %d cycles", contended, spread)
+	}
+}
+
+// TestTLBMissesTracked drives a page-stride pattern through the TLBs.
+func TestTLBMissesTracked(t *testing.T) {
+	dev := driver.NewDevice(3)
+	// 512 threads, each touching its own 4KB page.
+	const n = 512
+	buf := dev.Malloc("big", n*4096, false)
+	b := kernel.NewBuilder("pagestride")
+	p := b.BufferParam("big", false)
+	b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4096), kernel.Imm(7), 4)
+	k := b.MustBuild()
+	l, err := dev.PrepareLaunch(k, n/128, 128, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(NvidiaConfig(), dev).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L1TLBMisses < n/2 {
+		t.Fatalf("page-stride kernel should miss the TLB heavily: %d misses", st.L1TLBMisses)
+	}
+}
+
+// TestAbortCleansUpAllCores launches a faulting kernel big enough to
+// occupy every core and checks the abort drains everything.
+func TestAbortCleansUpAllCores(t *testing.T) {
+	dev := driver.NewDevice(4)
+	buf := dev.Malloc("b", 1024, false)
+	b := kernel.NewBuilder("faulty")
+	p := b.BufferParam("b", false)
+	_ = p
+	// Every thread stores to an unmapped address.
+	addr := b.Mov(kernel.Imm(0x7A00_0000_0000))
+	b.StoreGlobal(addr, kernel.Imm(1), 4)
+	k := b.MustBuild()
+	l, err := dev.PrepareLaunch(k, 64, 256, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(NvidiaConfig(), dev).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Aborted {
+		t.Fatalf("expected abort")
+	}
+}
+
+// TestShieldPreventsFaultFromOOB shows the ordering guarantee: the BCU
+// drops the wild store before it can raise a page fault.
+func TestShieldPreventsFaultFromOOB(t *testing.T) {
+	dev := driver.NewDevice(5)
+	buf := dev.Malloc("b", 1024, false)
+	b := kernel.NewBuilder("wild")
+	p := b.BufferParam("b", false)
+	b.StoreGlobal(b.AddScaled(p, kernel.Imm(1<<32), 4), kernel.Imm(1), 4)
+	k := b.MustBuild()
+	l, err := dev.PrepareLaunch(k, 1, 32, []driver.Arg{driver.BufArg(buf)}, driver.ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborted {
+		t.Fatalf("shield should squash the store, not fault: %s", st.AbortMsg)
+	}
+	if len(st.Violations) == 0 {
+		t.Fatalf("violation missing")
+	}
+}
+
+// TestLocalMemoryFunctional checks per-thread local variables really are
+// private despite the interleaved layout.
+func TestLocalMemoryFunctional(t *testing.T) {
+	dev := driver.NewDevice(6)
+	const n = 128
+	out := dev.Malloc("out", n*4, false)
+	b := kernel.NewBuilder("localpriv")
+	pout := b.BufferParam("out", false)
+	v := b.Local("v", 16)
+	gtid := b.GlobalTID()
+	// Each thread stores tid*10 into its own local slot, then reads it back.
+	b.StoreLocal(v, kernel.Imm(4), b.Mul(gtid, kernel.Imm(10)), 4)
+	rd := b.LoadLocal(v, kernel.Imm(4), 4)
+	b.StoreGlobal(b.AddScaled(pout, gtid, 4), rd, 4)
+	k := b.MustBuild()
+	l, err := dev.PrepareLaunch(k, 2, 64, []driver.Arg{driver.BufArg(out)}, driver.ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Violations) > 0 {
+		t.Fatalf("benign local accesses flagged: %v", st.Violations[0])
+	}
+	for i := 0; i < n; i++ {
+		if got := dev.ReadUint32(out, i); got != uint32(i*10) {
+			t.Fatalf("thread %d read %d, want %d — local memory not private", i, got, i*10)
+		}
+	}
+}
+
+// TestSignExtensionOnLoad verifies 4-byte integer loads sign-extend.
+func TestSignExtensionOnLoad(t *testing.T) {
+	dev := driver.NewDevice(7)
+	buf := dev.Malloc("b", 256, false)
+	out := dev.Malloc("out", 256, false)
+	dev.WriteUint32(buf, 0, 0xFFFFFFFF) // -1
+	b := kernel.NewBuilder("signext")
+	pin := b.BufferParam("b", true)
+	pout := b.BufferParam("out", false)
+	v := b.LoadGlobal(b.AddScaled(pin, kernel.Imm(0), 4), 4)
+	isNeg := b.SetLT(v, kernel.Imm(0))
+	b.StoreGlobal(b.AddScaled(pout, b.GlobalTID(), 4), isNeg, 4)
+	k := b.MustBuild()
+	l, err := dev.PrepareLaunch(k, 1, 32, []driver.Arg{driver.BufArg(buf), driver.BufArg(out)}, driver.ModeOff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(NvidiaConfig(), dev).Run(l); err != nil {
+		t.Fatal(err)
+	}
+	if dev.ReadUint32(out, 0) != 1 {
+		t.Fatalf("0xFFFFFFFF should load as -1")
+	}
+}
+
+// randomStraightLineKernel builds a random (but safe) compute kernel:
+// loads from in, a chain of ALU ops, a store to out.
+func randomStraightLineKernel(r *rand.Rand, name string) *kernel.Kernel {
+	b := kernel.NewBuilder(name)
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("out", false)
+	gtid := b.GlobalTID()
+	v := b.LoadGlobal(b.AddScaled(pin, gtid, 4), 4)
+	for i := 0; i < 3+r.Intn(8); i++ {
+		c := kernel.Imm(int64(r.Intn(1000) + 1))
+		switch r.Intn(7) {
+		case 0:
+			v = b.Add(v, c)
+		case 1:
+			v = b.Sub(v, c)
+		case 2:
+			v = b.Mul(v, kernel.Imm(int64(r.Intn(7)+1)))
+		case 3:
+			v = b.Xor(v, c)
+		case 4:
+			v = b.Min(v, kernel.Imm(int64(r.Intn(1<<20))))
+		case 5:
+			v = b.Shr(v, kernel.Imm(int64(r.Intn(4))))
+		case 6:
+			v = b.Max(v, c)
+		}
+	}
+	b.StoreGlobal(b.AddScaled(pout, gtid, 4), v, 4)
+	return b.MustBuild()
+}
+
+// TestShieldIsFunctionallyTransparent is the core end-to-end property:
+// for arbitrary benign kernels, enabling GPUShield never changes results.
+func TestShieldIsFunctionallyTransparent(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		k := randomStraightLineKernel(r, "rand")
+		const n = 256
+		run := func(mode driver.Mode) []uint32 {
+			dev := driver.NewDevice(55)
+			in := dev.Malloc("in", n*4, true)
+			out := dev.Malloc("out", n*4, false)
+			rr := rand.New(rand.NewSource(int64(trial)))
+			for i := 0; i < n; i++ {
+				dev.WriteUint32(in, i, uint32(rr.Intn(1<<30)))
+			}
+			cfg := NvidiaConfig()
+			if mode != driver.ModeOff {
+				cfg = cfg.WithShield(core.DefaultBCUConfig())
+			}
+			l, err := dev.PrepareLaunch(k, 2, 128, []driver.Arg{driver.BufArg(in), driver.BufArg(out)}, mode, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := New(cfg, dev).Run(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Aborted || len(st.Violations) > 0 {
+				t.Fatalf("trial %d: benign kernel flagged: %+v", trial, st)
+			}
+			res := make([]uint32, n)
+			for i := range res {
+				res[i] = dev.ReadUint32(out, i)
+			}
+			return res
+		}
+		off := run(driver.ModeOff)
+		shield := run(driver.ModeShield)
+		for i := range off {
+			if off[i] != shield[i] {
+				t.Fatalf("trial %d: out[%d] differs: %d vs %d", trial, i, off[i], shield[i])
+			}
+		}
+	}
+}
+
+// TestBlockTooLargeRejected exercises the launch-capacity check.
+func TestBlockTooLargeRejected(t *testing.T) {
+	dev := driver.NewDevice(8)
+	buf := dev.Malloc("b", 1<<20, false)
+	b := kernel.NewBuilder("big")
+	p := b.BufferParam("b", false)
+	b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), kernel.Imm(1), 4)
+	k := b.MustBuild()
+	l, err := dev.PrepareLaunch(k, 1, 2048, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(NvidiaConfig(), dev).Run(l); err == nil {
+		t.Fatalf("block larger than a core's thread capacity accepted")
+	}
+}
+
+// TestStatsDerivedMetrics covers the LaunchStats helpers.
+func TestStatsDerivedMetrics(t *testing.T) {
+	st := &LaunchStats{StartCycle: 100, FinishCycle: 300, WarpInstrs: 400,
+		L1DAccesses: 10, L1DHits: 8, Checks: 20, RL1Hits: 15, Skipped: 60, Type3Checks: 20}
+	if st.Cycles() != 200 {
+		t.Fatalf("cycles %d", st.Cycles())
+	}
+	if st.IPC() != 2 {
+		t.Fatalf("IPC %f", st.IPC())
+	}
+	if st.L1DHitRate() != 0.8 {
+		t.Fatalf("L1D hit rate %f", st.L1DHitRate())
+	}
+	if st.RL1HitRate() != 0.75 {
+		t.Fatalf("RCache hit rate %f", st.RL1HitRate())
+	}
+	if st.CheckReduction() != 0.8 {
+		t.Fatalf("check reduction %f", st.CheckReduction())
+	}
+	if st.String() == "" {
+		t.Fatalf("empty string")
+	}
+	var empty LaunchStats
+	if empty.IPC() != 0 || empty.L1DHitRate() != 1 || empty.RL1HitRate() != 1 || empty.CheckReduction() != 0 {
+		t.Fatalf("zero-value metrics wrong")
+	}
+}
+
+// TestShareModeString covers the mode names.
+func TestShareModeString(t *testing.T) {
+	if ShareInterCore.String() != "inter-core" || ShareIntraCore.String() != "intra-core" {
+		t.Fatalf("share mode strings wrong")
+	}
+}

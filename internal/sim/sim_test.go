@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"testing"
+
+	"gpushield/internal/compiler"
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// buildVecAdd returns the canonical c[i] = a[i] + b[i] kernel with a guard
+// against n.
+func buildVecAdd(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	b := kernel.NewBuilder("vecadd")
+	a := b.BufferParam("a", true)
+	bb := b.BufferParam("b", true)
+	cc := b.BufferParam("c", false)
+	n := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	p := b.SetLT(gtid, n)
+	b.If(p, func() {
+		va := b.LoadGlobal(b.AddScaled(a, gtid, 4), 4)
+		vb := b.LoadGlobal(b.AddScaled(bb, gtid, 4), 4)
+		b.StoreGlobal(b.AddScaled(cc, gtid, 4), b.Add(va, vb), 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return k
+}
+
+func TestVecAddFunctional(t *testing.T) {
+	for _, mode := range []driver.Mode{driver.ModeOff, driver.ModeShield, driver.ModeShieldStatic} {
+		t.Run(mode.String(), func(t *testing.T) {
+			k := buildVecAdd(t)
+			dev := driver.NewDevice(1)
+			const n = 1000
+			ba := dev.Malloc("a", n*4, true)
+			bb := dev.Malloc("b", n*4, true)
+			bc := dev.Malloc("c", n*4, false)
+			for i := 0; i < n; i++ {
+				dev.WriteUint32(ba, i, uint32(i))
+				dev.WriteUint32(bb, i, uint32(2*i))
+			}
+			var an *compiler.Analysis
+			if mode == driver.ModeShieldStatic {
+				var err error
+				an, err = compiler.Analyze(k, compiler.LaunchInfo{
+					Block: 128, Grid: 8,
+					BufferBytes: []uint64{n * 4, n * 4, n * 4, 0},
+					ScalarVal:   []int64{0, 0, 0, n},
+					ScalarKnown: []bool{false, false, false, true},
+				})
+				if err != nil {
+					t.Fatalf("analyze: %v", err)
+				}
+			}
+			l, err := dev.PrepareLaunch(k, 8, 128,
+				[]driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc), driver.ScalarArg(n)},
+				mode, an)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			cfg := NvidiaConfig()
+			if mode != driver.ModeOff {
+				cfg = cfg.WithShield(core.DefaultBCUConfig())
+			}
+			gpu := New(cfg, dev)
+			st, err := gpu.Run(l)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if st.Aborted {
+				t.Fatalf("aborted: %s", st.AbortMsg)
+			}
+			for i := 0; i < n; i++ {
+				if got := dev.ReadUint32(bc, i); got != uint32(3*i) {
+					t.Fatalf("c[%d] = %d, want %d", i, got, 3*i)
+				}
+			}
+			if len(st.Violations) != 0 {
+				t.Fatalf("unexpected violations: %v", st.Violations)
+			}
+			if st.Cycles() == 0 || st.WarpInstrs == 0 {
+				t.Fatalf("no work recorded: %+v", st)
+			}
+			t.Logf("%s", st)
+		})
+	}
+}
+
+func TestStaticAnalysisProvesGuardedVecAdd(t *testing.T) {
+	k := buildVecAdd(t)
+	const n = 1000
+	an, err := compiler.Analyze(k, compiler.LaunchInfo{
+		Block: 128, Grid: 8,
+		BufferBytes: []uint64{n * 4, n * 4, n * 4, 0},
+		ScalarVal:   []int64{0, 0, 0, n},
+		ScalarKnown: []bool{false, false, false, true},
+	})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(an.OOBReports) != 0 {
+		t.Fatalf("unexpected OOB reports: %+v", an.OOBReports)
+	}
+	// The guard tid < n bounds every access; all three should be static.
+	if len(an.StaticSafe) != 3 {
+		t.Fatalf("want 3 statically safe accesses, got %d (%+v)", len(an.StaticSafe), an.Accesses)
+	}
+}
+
+func TestShieldDetectsOOBStore(t *testing.T) {
+	// Kernel writes one element past the end of its buffer.
+	b := kernel.NewBuilder("oob")
+	buf := b.BufferParam("buf", false)
+	gtid := b.GlobalTID()
+	// addr = buf + (gtid + 1) * 4 with 64 threads over a 64-element buffer:
+	// thread 63 writes element 64, out of bounds.
+	idx := b.Add(gtid, kernel.Imm(1))
+	b.StoreGlobal(b.AddScaled(buf, idx, 4), gtid, 4)
+	k := b.MustBuild()
+
+	dev := driver.NewDevice(2)
+	buffer := dev.Malloc("buf", 64*4, false)
+	other := dev.Malloc("other", 64*4, false)
+	dev.WriteUint32(other, 0, 0xDEAD)
+	l, err := dev.PrepareLaunch(k, 1, 64, []driver.Arg{driver.BufArg(buffer)}, driver.ModeShield, nil)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+	st, err := gpu.Run(l)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(st.Violations) == 0 {
+		t.Fatalf("expected a violation")
+	}
+	v := st.Violations[0]
+	if v.Kind != core.ViolationOOB || !v.IsStore {
+		t.Fatalf("wrong violation: %v", v)
+	}
+	// The store was dropped: the adjacent buffer is intact.
+	if got := dev.ReadUint32(other, 0); got != 0xDEAD {
+		t.Fatalf("adjacent buffer corrupted: %#x", got)
+	}
+}
+
+func TestShieldFaultMode(t *testing.T) {
+	b := kernel.NewBuilder("oob-fault")
+	buf := b.BufferParam("buf", false)
+	b.StoreGlobal(b.AddScaled(buf, kernel.Imm(1<<20), 4), kernel.Imm(1), 4)
+	k := b.MustBuild()
+
+	dev := driver.NewDevice(3)
+	buffer := dev.Malloc("buf", 256, false)
+	l, err := dev.PrepareLaunch(k, 1, 32, []driver.Arg{driver.BufArg(buffer)}, driver.ModeShield, nil)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	bcu := core.DefaultBCUConfig()
+	bcu.Mode = core.FailFault
+	gpu := New(NvidiaConfig().WithShield(bcu), dev)
+	st, err := gpu.Run(l)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !st.Aborted {
+		t.Fatalf("expected precise-fault abort, got %+v", st)
+	}
+}
+
+func TestReadOnlyViolation(t *testing.T) {
+	b := kernel.NewBuilder("ro-store")
+	buf := b.BufferParam("buf", true) // declared read-only
+	b.StoreGlobal(b.AddScaled(buf, b.GlobalTID(), 4), kernel.Imm(7), 4)
+	k := b.MustBuild()
+
+	dev := driver.NewDevice(4)
+	buffer := dev.Malloc("buf", 1024, true)
+	l, err := dev.PrepareLaunch(k, 1, 32, []driver.Arg{driver.BufArg(buffer)}, driver.ModeShield, nil)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+	st, err := gpu.Run(l)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(st.Violations) == 0 || st.Violations[0].Kind != core.ViolationReadOnly {
+		t.Fatalf("expected read-only violation, got %v", st.Violations)
+	}
+	if got := dev.ReadUint32(buffer, 0); got != 0 {
+		t.Fatalf("read-only buffer modified: %d", got)
+	}
+}
+
+func TestBarrierAndShared(t *testing.T) {
+	// Block-wide reversal through shared memory: out[i] = in[block-1-i].
+	b := kernel.NewBuilder("reverse")
+	in := b.BufferParam("in", true)
+	out := b.BufferParam("out", false)
+	b.Shared(256 * 4)
+	tid := b.TID()
+	v := b.LoadGlobal(b.AddScaled(in, b.GlobalTID(), 4), 4)
+	b.StoreShared(b.Mul(tid, kernel.Imm(4)), v, 4)
+	b.Barrier()
+	rev := b.Sub(b.Sub(b.NTID(), kernel.Imm(1)), tid)
+	rv := b.LoadShared(b.Mul(rev, kernel.Imm(4)), 4)
+	b.StoreGlobal(b.AddScaled(out, b.GlobalTID(), 4), rv, 4)
+	k := b.MustBuild()
+
+	dev := driver.NewDevice(5)
+	const block, grid = 256, 4
+	n := block * grid
+	bin := dev.Malloc("in", uint64(n*4), true)
+	bout := dev.Malloc("out", uint64(n*4), false)
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(bin, i, uint32(i+1))
+	}
+	l, err := dev.PrepareLaunch(k, grid, block, []driver.Arg{driver.BufArg(bin), driver.BufArg(bout)}, driver.ModeShield, nil)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+	st, err := gpu.Run(l)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st.Aborted {
+		t.Fatalf("aborted: %s", st.AbortMsg)
+	}
+	for wg := 0; wg < grid; wg++ {
+		for i := 0; i < block; i++ {
+			want := uint32(wg*block + (block - 1 - i) + 1)
+			if got := dev.ReadUint32(bout, wg*block+i); got != want {
+				t.Fatalf("out[%d] = %d, want %d", wg*block+i, got, want)
+			}
+		}
+	}
+}
+
+func TestLoopAndDivergence(t *testing.T) {
+	// out[i] = sum of in[0..i] computed with a data-dependent loop bound.
+	b := kernel.NewBuilder("prefixsum-naive")
+	in := b.BufferParam("in", true)
+	out := b.BufferParam("out", false)
+	gtid := b.GlobalTID()
+	acc := b.Mov(kernel.Imm(0))
+	b.ForRange(kernel.Imm(0), b.Add(gtid, kernel.Imm(1)), kernel.Imm(1), func(i kernel.Operand) {
+		p := b.SetLE(i, gtid)
+		b.If(p, func() {
+			v := b.LoadGlobal(b.AddScaled(in, i, 4), 4)
+			b.MovTo(acc, b.Add(acc, v))
+		})
+	})
+	b.StoreGlobal(b.AddScaled(out, gtid, 4), acc, 4)
+	k := b.MustBuild()
+
+	dev := driver.NewDevice(6)
+	const n = 64
+	bin := dev.Malloc("in", n*4, true)
+	bout := dev.Malloc("out", n*4, false)
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(bin, i, uint32(i+1))
+	}
+	l, err := dev.PrepareLaunch(k, 1, n, []driver.Arg{driver.BufArg(bin), driver.BufArg(bout)}, driver.ModeShield, nil)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+	st, err := gpu.Run(l)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st.Aborted {
+		t.Fatalf("aborted: %s", st.AbortMsg)
+	}
+	for i := 0; i < n; i++ {
+		want := uint32((i + 1) * (i + 2) / 2)
+		if got := dev.ReadUint32(bout, i); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRCacheHitRateHighForFewBuffers(t *testing.T) {
+	k := buildVecAdd(t)
+	dev := driver.NewDevice(7)
+	const n = 4096
+	ba := dev.Malloc("a", n*4, true)
+	bb := dev.Malloc("b", n*4, true)
+	bc := dev.Malloc("c", n*4, false)
+	l, err := dev.PrepareLaunch(k, 32, 128,
+		[]driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc), driver.ScalarArg(n)},
+		driver.ModeShield, nil)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+	st, err := gpu.Run(l)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st.Checks == 0 {
+		t.Fatalf("no checks performed")
+	}
+	if hr := st.RL1HitRate(); hr < 0.95 {
+		t.Fatalf("L1 RCache hit rate %.3f, want >= 0.95 for a 3-buffer kernel", hr)
+	}
+}
+
+func TestMultiKernelConcurrent(t *testing.T) {
+	newLaunch := func(dev *driver.Device, name string, n int) *driver.Launch {
+		b := kernel.NewBuilder(name)
+		in := b.BufferParam("in", true)
+		out := b.BufferParam("out", false)
+		gtid := b.GlobalTID()
+		v := b.LoadGlobal(b.AddScaled(in, gtid, 4), 4)
+		b.StoreGlobal(b.AddScaled(out, gtid, 4), b.Mul(v, kernel.Imm(2)), 4)
+		k := b.MustBuild()
+		bin := dev.Malloc(name+"-in", uint64(n*4), true)
+		bout := dev.Malloc(name+"-out", uint64(n*4), false)
+		for i := 0; i < n; i++ {
+			dev.WriteUint32(bin, i, uint32(i))
+		}
+		l, err := dev.PrepareLaunch(k, n/64, 64, []driver.Arg{driver.BufArg(bin), driver.BufArg(bout)}, driver.ModeShield, nil)
+		if err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		return l
+	}
+	for _, mode := range []ShareMode{ShareInterCore, ShareIntraCore} {
+		dev := driver.NewDevice(8)
+		la := newLaunch(dev, "ka", 2048)
+		lb := newLaunch(dev, "kb", 2048)
+		gpu := New(IntelConfig().WithShield(core.DefaultBCUConfig()), dev)
+		stats, err := gpu.RunConcurrent([]*driver.Launch{la, lb}, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for _, st := range stats {
+			if st.Aborted || len(st.Violations) > 0 {
+				t.Fatalf("%v: bad run %+v", mode, st)
+			}
+		}
+	}
+}

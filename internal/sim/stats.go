@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+
+	"gpushield/internal/core"
+)
+
+// LaunchStats aggregates everything measured for one kernel launch.
+type LaunchStats struct {
+	Kernel string
+	Mode   string
+
+	StartCycle  uint64
+	FinishCycle uint64
+
+	WarpInstrs   uint64 // warp-level instructions issued
+	ThreadInstrs uint64 // lane-level instructions executed
+	MemInstrs    uint64 // warp-level memory instructions
+	Transactions uint64 // coalesced memory transactions
+	SharedAccs   uint64
+
+	L1DAccesses uint64
+	L1DHits     uint64
+	L2Accesses  uint64
+	L2Hits      uint64
+	L1TLBMisses uint64
+	L2TLBMisses uint64
+
+	// Bounds checking (GPUShield).
+	Checks      uint64 // Type-2 checks through the RCache hierarchy
+	Type3Checks uint64
+	Skipped     uint64 // accesses bypassing the BCU (Type 1 / static / shield off)
+	RL1Hits     uint64 // L1 RCache hits
+	RL2Hits     uint64 // L2 RCache hits
+	RBTFetches  uint64
+	BCUStalls   uint64
+
+	Violations []core.Violation
+	Aborted    bool
+	AbortMsg   string
+
+	// PagesPerBuffer maps buffer-argument names to the number of distinct
+	// 4 KB pages the kernel touched in them (Fig. 11). Populated only when
+	// page tracking is enabled.
+	PagesPerBuffer map[string]int
+
+	// CoresUsed is how many distinct cores ran this launch's workgroups —
+	// under inter-core sharing (§6.2) each kernel sees only its partition.
+	CoresUsed int
+}
+
+// Cycles returns the launch's makespan.
+func (s *LaunchStats) Cycles() uint64 {
+	if s.FinishCycle < s.StartCycle {
+		return 0
+	}
+	return s.FinishCycle - s.StartCycle
+}
+
+// IPC returns warp instructions per cycle.
+func (s *LaunchStats) IPC() float64 {
+	c := s.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(s.WarpInstrs) / float64(c)
+}
+
+// L1DHitRate returns the L1 data-cache hit fraction.
+func (s *LaunchStats) L1DHitRate() float64 {
+	if s.L1DAccesses == 0 {
+		return 1
+	}
+	return float64(s.L1DHits) / float64(s.L1DAccesses)
+}
+
+// RL1HitRate returns the L1 RCache hit rate over Type-2 checks — the
+// quantity plotted in Figs. 15 and 16.
+func (s *LaunchStats) RL1HitRate() float64 {
+	if s.Checks == 0 {
+		return 1
+	}
+	return float64(s.RL1Hits) / float64(s.Checks)
+}
+
+// CheckReduction returns the fraction of protected-space accesses whose
+// runtime check was eliminated (static filtering + Type-3 conversion), the
+// "bounds checking reduction" series of Figs. 17 and 19.
+func (s *LaunchStats) CheckReduction() float64 {
+	total := s.Checks + s.Type3Checks + s.Skipped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Skipped+s.Type3Checks) / float64(total)
+}
+
+// String summarizes the run.
+func (s *LaunchStats) String() string {
+	return fmt.Sprintf("%s[%s]: %d cycles, %d warp-instrs (IPC %.2f), %d mem, L1D %.1f%%, RCacheL1 %.1f%%, %d violations",
+		s.Kernel, s.Mode, s.Cycles(), s.WarpInstrs, s.IPC(), s.MemInstrs,
+		100*s.L1DHitRate(), 100*s.RL1HitRate(), len(s.Violations))
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"testing"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// timeKernel runs a kernel and returns its cycle count.
+func timeKernel(t *testing.T, k *kernel.Kernel, grid, block int, args []driver.Arg, dev *driver.Device) uint64 {
+	t.Helper()
+	l, err := dev.PrepareLaunch(k, grid, block, args, driver.ModeOff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(NvidiaConfig(), dev).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborted {
+		t.Fatalf("aborted: %s", st.AbortMsg)
+	}
+	return st.Cycles()
+}
+
+// streamK builds a kernel whose lanes read with the given element stride;
+// stride 1 coalesces into one transaction per warp, stride 32 into 32.
+func streamK(stride int64) *kernel.Kernel {
+	b := kernel.NewBuilder("stride")
+	p := b.BufferParam("p", false)
+	idx := b.Mul(b.GlobalTID(), kernel.Imm(stride))
+	v := b.LoadGlobal(b.AddScaled(p, idx, 4), 4)
+	b.StoreGlobal(b.AddScaled(p, idx, 4), b.Add(v, kernel.Imm(1)), 4)
+	return b.MustBuild()
+}
+
+// TestCoalescingMatters: strided access must be substantially slower than
+// unit-stride access over the same element count.
+func TestCoalescingMatters(t *testing.T) {
+	const n = 8192
+	devA := driver.NewDevice(1)
+	bufA := devA.Malloc("p", n*4, false)
+	unit := timeKernel(t, streamK(1), n/256, 256, []driver.Arg{driver.BufArg(bufA)}, devA)
+
+	devB := driver.NewDevice(1)
+	bufB := devB.Malloc("p", n*32*4, false)
+	strided := timeKernel(t, streamK(32), n/256, 256, []driver.Arg{driver.BufArg(bufB)}, devB)
+
+	if strided < unit*2 {
+		t.Fatalf("stride-32 (%d cycles) should be >= 2x unit stride (%d cycles)", strided, unit)
+	}
+}
+
+// TestTLPHidesLatency: the same total work spread over more concurrent
+// warps must finish sooner per element.
+func TestTLPHidesLatency(t *testing.T) {
+	mk := func() (*kernel.Kernel, int) {
+		b := kernel.NewBuilder("latbound")
+		p := b.BufferParam("p", false)
+		gtid := b.GlobalTID()
+		// A chain of dependent loads: latency-bound per thread.
+		v := b.LoadGlobal(b.AddScaled(p, gtid, 4), 4)
+		for i := 0; i < 8; i++ {
+			v = b.LoadGlobal(b.AddScaled(p, b.And(v, kernel.Imm(4095)), 4), 4)
+		}
+		b.StoreGlobal(b.AddScaled(p, gtid, 4), v, 4)
+		return b.MustBuild(), 4096
+	}
+	k, n := mk()
+
+	// 2 workgroups (sparse TLP) vs 16 workgroups of the same total size.
+	devA := driver.NewDevice(2)
+	bufA := devA.Malloc("p", uint64(n*4), false)
+	sparse := timeKernel(t, k, 2, 64, []driver.Arg{driver.BufArg(bufA)}, devA)
+
+	devB := driver.NewDevice(2)
+	bufB := devB.Malloc("p", uint64(n*4), false)
+	dense := timeKernel(t, k, 16, 64, []driver.Arg{driver.BufArg(bufB)}, devB)
+
+	// Dense runs 8x the work; with latency hiding it must take well under
+	// 8x the time.
+	if dense > sparse*5 {
+		t.Fatalf("8x work took %dx time (%d vs %d cycles): TLP not hiding latency",
+			dense/sparse, dense, sparse)
+	}
+}
+
+// TestCacheLocalityMatters: re-walking a small array repeatedly must beat
+// walking a large array once per element count (DRAM-bound vs L1-bound).
+func TestCacheLocalityMatters(t *testing.T) {
+	mk := func(mask int64) *kernel.Kernel {
+		b := kernel.NewBuilder("walk")
+		p := b.BufferParam("p", false)
+		gtid := b.GlobalTID()
+		acc := b.Mov(kernel.Imm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(32), kernel.Imm(1), func(i kernel.Operand) {
+			idx := b.And(b.Mad(gtid, kernel.Imm(37), b.Mul(i, kernel.Imm(97))), kernel.Imm(mask))
+			v := b.LoadGlobal(b.AddScaled(p, idx, 4), 4)
+			b.MovTo(acc, b.Add(acc, v))
+		})
+		b.StoreGlobal(b.AddScaled(p, gtid, 4), acc, 4)
+		return b.MustBuild()
+	}
+	const threads = 4096
+
+	devA := driver.NewDevice(3)
+	small := devA.Malloc("p", 4096*4, false) // 16KB: L1-resident
+	tSmall := timeKernel(t, mk(4095), threads/256, 256, []driver.Arg{driver.BufArg(small)}, devA)
+
+	devB := driver.NewDevice(3)
+	big := devB.Malloc("p", (1<<20)*4, false) // 4MB: streams from DRAM
+	tBig := timeKernel(t, mk(1<<20-1), threads/256, 256, []driver.Arg{driver.BufArg(big)}, devB)
+
+	if tBig <= tSmall {
+		t.Fatalf("DRAM-resident walk (%d cycles) not slower than L1-resident (%d cycles)", tBig, tSmall)
+	}
+}
+
+// TestComputeScalesWithWork: doubling per-thread arithmetic must increase
+// cycles for a compute-bound kernel.
+func TestComputeScalesWithWork(t *testing.T) {
+	mk := func(iters int64) *kernel.Kernel {
+		b := kernel.NewBuilder("alu")
+		p := b.BufferParam("p", false)
+		gtid := b.GlobalTID()
+		v := b.Mov(gtid)
+		b.ForRange(kernel.Imm(0), kernel.Imm(iters), kernel.Imm(1), func(i kernel.Operand) {
+			b.MovTo(v, b.Add(b.Mul(v, kernel.Imm(3)), kernel.Imm(1)))
+		})
+		b.StoreGlobal(b.AddScaled(p, gtid, 4), v, 4)
+		return b.MustBuild()
+	}
+	const n = 16384 // full occupancy so the cores are issue-bound
+	devA := driver.NewDevice(4)
+	bufA := devA.Malloc("p", n*4, false)
+	short := timeKernel(t, mk(16), n/256, 256, []driver.Arg{driver.BufArg(bufA)}, devA)
+	devB := driver.NewDevice(4)
+	bufB := devB.Malloc("p", n*4, false)
+	long := timeKernel(t, mk(64), n/256, 256, []driver.Arg{driver.BufArg(bufB)}, devB)
+	if long < short*2 {
+		t.Fatalf("4x arithmetic took %d vs %d cycles: compute not modeled", long, short)
+	}
+}
+
+// TestBarrierCostsButCompletes: a barrier-heavy kernel is slower than the
+// same kernel without barriers, and still correct.
+func TestBarrierCostsButCompletes(t *testing.T) {
+	mk := func(bar bool) *kernel.Kernel {
+		b := kernel.NewBuilder("barrier")
+		p := b.BufferParam("p", false)
+		gtid := b.GlobalTID()
+		v := b.Mov(gtid)
+		for i := 0; i < 8; i++ {
+			b.MovTo(v, b.Add(v, kernel.Imm(1)))
+			if bar {
+				b.Barrier()
+			}
+		}
+		b.StoreGlobal(b.AddScaled(p, gtid, 4), v, 4)
+		return b.MustBuild()
+	}
+	const n = 2048
+	devA := driver.NewDevice(5)
+	bufA := devA.Malloc("p", n*4, false)
+	plain := timeKernel(t, mk(false), n/256, 256, []driver.Arg{driver.BufArg(bufA)}, devA)
+	devB := driver.NewDevice(5)
+	bufB := devB.Malloc("p", n*4, false)
+	barred := timeKernel(t, mk(true), n/256, 256, []driver.Arg{driver.BufArg(bufB)}, devB)
+	if barred <= plain {
+		t.Fatalf("barriers should cost cycles: %d vs %d", barred, plain)
+	}
+	if got := devB.ReadUint32(bufB, 100); got != 108 {
+		t.Fatalf("barrier kernel wrong result: %d", got)
+	}
+}

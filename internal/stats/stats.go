@@ -1,0 +1,171 @@
+// Package stats provides the aggregation and rendering helpers the
+// experiment harness uses to print paper-style tables and CSV series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (1 for empty input). Zero or
+// negative entries are clamped to a small epsilon so a single degenerate
+// sample cannot zero the mean.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x < 1e-9 {
+			x = 1e-9
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 3
+// decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Headers, ",") + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Histogram buckets integer samples into labeled bins and renders counts —
+// used for the Fig. 1-style distribution.
+type Histogram struct {
+	Bounds []int // bin i covers [Bounds[i-1], Bounds[i]); last bin is >= Bounds[len-1]
+	Labels []string
+	Counts []int
+}
+
+// NewHistogram builds bins <b0, <b1, ..., >=blast.
+func NewHistogram(bounds ...int) *Histogram {
+	h := &Histogram{Bounds: bounds, Counts: make([]int, len(bounds)+1)}
+	for _, b := range bounds {
+		h.Labels = append(h.Labels, fmt.Sprintf("<%d", b))
+	}
+	h.Labels = append(h.Labels, fmt.Sprintf(">=%d", bounds[len(bounds)-1]))
+	return h
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int) {
+	for i, b := range h.Bounds {
+		if v < b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Counts)-1]++
+}
+
+// String renders "label:count" pairs.
+func (h *Histogram) String() string {
+	parts := make([]string, len(h.Labels))
+	for i, l := range h.Labels {
+		parts[i] = fmt.Sprintf("%s:%d", l, h.Counts[i])
+	}
+	return strings.Join(parts, " ")
+}
+
+// SortedKeys returns map keys in sorted order (deterministic table output).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 1 {
+		t.Fatalf("empty geomean = %f", g)
+	}
+	if g := Geomean([]float64{4, 1}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean(4,1) = %f", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("geomean of ones = %f", g)
+	}
+	// Zero entries are clamped, not fatal.
+	if g := Geomean([]float64{0, 4}); g <= 0 {
+		t.Fatalf("clamped geomean = %f", g)
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x > 1e-9 && x < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("empty mean = %f", m)
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %f", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("a-much-longer-name", 42)
+	s := tab.String()
+	if !strings.Contains(s, "Title") || !strings.Contains(s, "alpha") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	// Columns align: every data line starts with a padded name column.
+	if !strings.HasPrefix(lines[3], "alpha             ") {
+		t.Fatalf("column not padded: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("x", 1)
+	csv := tab.CSV()
+	if csv != "a,b\nx,1\n" {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5, 10, 20)
+	for _, v := range []int{1, 4, 5, 9, 10, 19, 20, 100} {
+		h.Add(v)
+	}
+	want := []int{2, 2, 2, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bin %d = %d, want %d (%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	s := h.String()
+	for _, frag := range []string{"<5:2", "<10:2", "<20:2", ">=20:2"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("histogram string %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}

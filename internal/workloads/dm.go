@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+func init() {
+	register(Benchmark{Name: "streamcluster", Suite: "Rodinia", Category: CatDM, API: "cuda", Sensitive: true,
+		Build: streamclusterBuilder("streamcluster", 128)})
+	register(Benchmark{Name: "nw", Suite: "Rodinia", Category: CatDM, API: "cuda", Sensitive: true,
+		Build: buildNW})
+}
+
+// streamclusterBuilder is the Rodinia streamcluster pgain kernel: every
+// point evaluates reassignment to a candidate center. The working set is
+// small (it lives in the L1 Dcache), the instruction mix is dominated by
+// loads and stores over six interleaved buffers, and the application
+// launches the kernel ~1000 times — together the properties that make it
+// the paper's pathological case for RCache latency (§8.1) and for
+// software-tool overheads (Fig. 19).
+func streamclusterBuilder(name string, block int) BuildFunc {
+	return streamclusterBuilderN(name, block, 4096)
+}
+
+// StreamclusterTiny returns the Fig. 19 variant of streamcluster: the same
+// pgain kernel on a small point set, so each of the application's ~1000
+// launches is over in about a microsecond — the case that makes per-launch
+// tool costs catastrophic.
+func StreamclusterTiny() Benchmark {
+	return Benchmark{Name: "streamcluster-tiny", Suite: "Rodinia", Category: CatDM, API: "cuda",
+		Build: streamclusterBuilderN("streamcluster-tiny", 128, 512)}
+}
+
+func streamclusterBuilderN(name string, block, baseN int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		const dim = 4
+		n := baseN * scale
+
+		b := kernel.NewBuilder(name)
+		pcoord := b.BufferParam("coord", true)
+		pweight := b.BufferParam("weight", true)
+		pcenter := b.BufferParam("center", true)
+		pcost := b.BufferParam("cost", true)
+		passign := b.BufferParam("assign", true)
+		plower := b.BufferParam("lower", false)
+		pn := b.ScalarParam("n")
+		gtid := b.GlobalTID()
+		guard := b.SetLT(gtid, pn)
+		b.If(guard, func() {
+			// Distance to the candidate center, one coordinate at a time —
+			// alternating loads from coord and center.
+			dist := b.Mov(kernel.FImm(0))
+			b.ForRange(kernel.Imm(0), kernel.Imm(dim), kernel.Imm(1), func(d kernel.Operand) {
+				cv := b.LoadGlobalF32(b.AddScaled(pcoord, b.Mad(gtid, kernel.Imm(dim), d), 4))
+				ce := b.LoadGlobalF32(b.AddScaled(pcenter, d, 4))
+				df := b.FSub(cv, ce)
+				b.MovTo(dist, b.FMad(df, df, dist))
+			})
+			wv := b.LoadGlobalF32(b.AddScaled(pweight, gtid, 4))
+			cur := b.LoadGlobalF32(b.AddScaled(pcost, gtid, 4))
+			av := b.LoadGlobal(b.AddScaled(passign, gtid, 4), 4)
+			_ = av
+			gain := b.FSub(cur, b.FMul(dist, wv))
+			better := b.FSetGT(gain, kernel.FImm(0))
+			saved := b.Selp(gain, kernel.FImm(0), better)
+			b.StoreGlobalF32(b.AddScaled(plower, gtid, 4), saved)
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		bc := dev.Malloc(name+"-coord", uint64(n*dim*4), true)
+		bw := dev.Malloc(name+"-weight", uint64(n*4), true)
+		bce := dev.Malloc(name+"-center", dim*4, true)
+		bco := dev.Malloc(name+"-cost", uint64(n*4), true)
+		ba := dev.Malloc(name+"-assign", uint64(n*4), true)
+		bl := dev.Malloc(name+"-lower", uint64(n*4), false)
+		fillF32(dev, bc, n*dim, r)
+		fillF32(dev, bw, n, r)
+		fillF32(dev, bce, dim, r)
+		fillF32(dev, bco, n, r)
+		fillU32(dev, ba, n, r, 16)
+		return &Spec{
+			Kernel: k, Grid: (n + block - 1) / block, Block: block,
+			Args: []driver.Arg{driver.BufArg(bc), driver.BufArg(bw), driver.BufArg(bce),
+				driver.BufArg(bco), driver.BufArg(ba), driver.BufArg(bl),
+				driver.ScalarArg(int64(n))},
+			Invocations: 1000,
+		}, nil
+	}
+}
+
+// buildNW is one anti-diagonal wave of Needleman-Wunsch sequence alignment:
+// the DP update reads a substitution matrix indexed by sequence symbols
+// (indirect), which is why static analysis cannot remove its checks (§8.3).
+func buildNW(dev *driver.Device, scale int) (*Spec, error) {
+	n := 512 * scale // DP matrix dimension
+	const alphabet = 24
+
+	b := kernel.NewBuilder("nw")
+	pseq1 := b.BufferParam("seq1", true)
+	pseq2 := b.BufferParam("seq2", true)
+	pref := b.BufferParam("blosum", true)
+	pdp := b.BufferParam("dp", false)
+	pdiag := b.ScalarParam("diag")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	// Cell (i, j) on anti-diagonal: i = gtid+1, j = diag - i.
+	i := b.Add(gtid, kernel.Imm(1))
+	j := b.Sub(pdiag, i)
+	valid := b.And(b.SetGE(j, kernel.Imm(1)), b.SetLT(j, pn))
+	inRange := b.And(valid, b.SetLT(i, pn))
+	guard := b.SetNE(inRange, kernel.Imm(0))
+	b.If(guard, func() {
+		s1 := b.LoadGlobal(b.AddScaled(pseq1, i, 4), 4)
+		s2 := b.LoadGlobal(b.AddScaled(pseq2, j, 4), 4)
+		sub := b.LoadGlobal(b.AddScaled(pref, b.Mad(s1, kernel.Imm(alphabet), s2), 4), 4)
+		nw := b.LoadGlobal(b.AddScaled(pdp, b.Mad(b.Sub(i, kernel.Imm(1)), pn, b.Sub(j, kernel.Imm(1))), 4), 4)
+		no := b.LoadGlobal(b.AddScaled(pdp, b.Mad(b.Sub(i, kernel.Imm(1)), pn, j), 4), 4)
+		we := b.LoadGlobal(b.AddScaled(pdp, b.Mad(i, pn, b.Sub(j, kernel.Imm(1))), 4), 4)
+		const gap = 2
+		best := b.Max(b.Add(nw, sub), b.Max(b.Sub(no, kernel.Imm(gap)), b.Sub(we, kernel.Imm(gap))))
+		b.StoreGlobal(b.AddScaled(pdp, b.Mad(i, pn, j), 4), best, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("nw")
+	bs1 := dev.Malloc("nw-seq1", uint64(n*4), true)
+	bs2 := dev.Malloc("nw-seq2", uint64(n*4), true)
+	bref := dev.Malloc("nw-blosum", alphabet*alphabet*4, true)
+	bdp := dev.Malloc("nw-dp", uint64(n*n*4), false)
+	fillU32(dev, bs1, n, r, alphabet)
+	fillU32(dev, bs2, n, r, alphabet)
+	for i := 0; i < alphabet*alphabet; i++ {
+		dev.WriteUint32(bref, i, uint32(r.Intn(8)))
+	}
+	return &Spec{
+		Kernel: k, Grid: (n + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bs1), driver.BufArg(bs2), driver.BufArg(bref),
+			driver.BufArg(bdp), driver.ScalarArg(int64(n)), driver.ScalarArg(int64(n))},
+		Invocations: 2*n - 3,
+	}, nil
+}

@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+func init() {
+	register(Benchmark{Name: "pagerank", Suite: "GraphBig", Category: CatGI, API: "cuda", Build: buildPagerank})
+	register(Benchmark{Name: "kcore", Suite: "GraphBig", Category: CatGI, API: "cuda", Build: buildKCore})
+	register(Benchmark{Name: "trianglecount", Suite: "GraphBig", Category: CatGI, API: "cuda", Build: buildTC})
+}
+
+// buildPagerank is one push-style PageRank iteration: each vertex
+// distributes rank/deg to its out-neighbors with atomic accumulation.
+func buildPagerank(dev *driver.Device, scale int) (*Spec, error) {
+	n := 2048 * scale
+	r := rng("pagerank")
+	g := genGraph(r, n, 6)
+
+	b := kernel.NewBuilder("pagerank")
+	prow := b.BufferParam("rowptr", true)
+	pcol := b.BufferParam("colidx", true)
+	prank := b.BufferParam("rank", true)
+	pnext := b.BufferParam("next", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		start := b.LoadGlobal(b.AddScaled(prow, gtid, 4), 4)
+		end := b.LoadGlobal(b.AddScaled(prow, b.Add(gtid, kernel.Imm(1)), 4), 4)
+		deg := b.Max(b.Sub(end, start), kernel.Imm(1))
+		// Fixed-point rank share: rank/deg (integer arithmetic keeps the
+		// atomic accumulation exact).
+		rk := b.LoadGlobal(b.AddScaled(prank, gtid, 4), 4)
+		share := b.Div(rk, deg)
+		b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+			active := b.SetLT(e, end)
+			b.If(active, func() {
+				nb := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+				b.AtomAddGlobal(b.AddScaled(pnext, nb, 4), share, 4)
+			})
+		})
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	brow, bcol := uploadCSR(dev, "pagerank", g)
+	brank := dev.Malloc("pagerank-rank", uint64(n*4), true)
+	bnext := dev.Malloc("pagerank-next", uint64(n*4), false)
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(brank, i, 1000)
+	}
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(brow), driver.BufArg(bcol), driver.BufArg(brank),
+			driver.BufArg(bnext), driver.ScalarArg(int64(n))},
+		Invocations: 10,
+	}, nil
+}
+
+// buildKCore is one k-core peeling round: vertices with live degree < K are
+// removed and their neighbors' degrees decremented.
+func buildKCore(dev *driver.Device, scale int) (*Spec, error) {
+	n := 2048 * scale
+	const kth = 4
+	r := rng("kcore")
+	g := genGraph(r, n, 5)
+
+	b := kernel.NewBuilder("kcore")
+	prow := b.BufferParam("rowptr", true)
+	pcol := b.BufferParam("colidx", true)
+	pdeg := b.BufferParam("deg", false)
+	palive := b.BufferParam("alive", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		alive := b.LoadGlobal(b.AddScaled(palive, gtid, 4), 4)
+		dv := b.LoadGlobal(b.AddScaled(pdeg, gtid, 4), 4)
+		peel := b.And(b.SetNE(alive, kernel.Imm(0)), b.SetLT(dv, kernel.Imm(kth)))
+		cond := b.SetNE(peel, kernel.Imm(0))
+		b.If(cond, func() {
+			b.StoreGlobal(b.AddScaled(palive, gtid, 4), kernel.Imm(0), 4)
+			start := b.LoadGlobal(b.AddScaled(prow, gtid, 4), 4)
+			end := b.LoadGlobal(b.AddScaled(prow, b.Add(gtid, kernel.Imm(1)), 4), 4)
+			b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+				active := b.SetLT(e, end)
+				b.If(active, func() {
+					nb := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+					b.AtomAddGlobal(b.AddScaled(pdeg, nb, 4), kernel.Imm(-1), 4)
+				})
+			})
+		})
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	brow, bcol := uploadCSR(dev, "kcore", g)
+	bdeg := dev.Malloc("kcore-deg", uint64(n*4), false)
+	balive := dev.Malloc("kcore-alive", uint64(n*4), false)
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(bdeg, i, g.rowPtr[i+1]-g.rowPtr[i])
+		dev.WriteUint32(balive, i, 1)
+	}
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(brow), driver.BufArg(bcol), driver.BufArg(bdeg),
+			driver.BufArg(balive), driver.ScalarArg(int64(n))},
+		Invocations: 8,
+	}, nil
+}
+
+// buildTC counts length-2 paths closing into triangles: for each edge
+// (u,v), intersect u's and v's neighbor lists with a bounded merge loop.
+func buildTC(dev *driver.Device, scale int) (*Spec, error) {
+	n := 512 * scale
+	r := rng("trianglecount")
+	g := genGraphCapped(r, n, 3, 6)
+
+	b := kernel.NewBuilder("trianglecount")
+	prow := b.BufferParam("rowptr", true)
+	pcol := b.BufferParam("colidx", true)
+	pcount := b.BufferParam("count", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		start := b.LoadGlobal(b.AddScaled(prow, gtid, 4), 4)
+		end := b.LoadGlobal(b.AddScaled(prow, b.Add(gtid, kernel.Imm(1)), 4), 4)
+		tri := b.Mov(kernel.Imm(0))
+		b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+			eActive := b.SetLT(e, end)
+			b.If(eActive, func() {
+				v := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+				vs := b.LoadGlobal(b.AddScaled(prow, v, 4), 4)
+				ve := b.LoadGlobal(b.AddScaled(prow, b.Add(v, kernel.Imm(1)), 4), 4)
+				// Check whether any of v's neighbors is also a neighbor of u
+				// (quadratic check bounded by degree).
+				b.ForRange(vs, ve, kernel.Imm(1), func(e2 kernel.Operand) {
+					e2Active := b.SetLT(e2, ve)
+					b.If(e2Active, func() {
+						w := b.LoadGlobal(b.AddScaled(pcol, e2, 4), 4)
+						b.ForRange(start, end, kernel.Imm(1), func(e3 kernel.Operand) {
+							e3Active := b.SetLT(e3, end)
+							b.If(e3Active, func() {
+								x := b.LoadGlobal(b.AddScaled(pcol, e3, 4), 4)
+								match := b.SetEQ(x, w)
+								b.If(match, func() {
+									b.MovTo(tri, b.Add(tri, kernel.Imm(1)))
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+		b.StoreGlobal(b.AddScaled(pcount, gtid, 4), tri, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	brow, bcol := uploadCSR(dev, "tc", g)
+	bcount := dev.Malloc("tc-count", uint64(n*4), false)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(brow), driver.BufArg(bcol), driver.BufArg(bcount),
+			driver.ScalarArg(int64(n))},
+	}, nil
+}

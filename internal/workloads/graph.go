@@ -1,0 +1,451 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+func init() {
+	register(Benchmark{Name: "bc", Suite: "GraphBig", Category: CatGT, API: "cuda", Sensitive: true, Build: buildBC})
+	register(Benchmark{Name: "bfs-dtc", Suite: "GraphBig", Category: CatGT, API: "cuda", Sensitive: true,
+		Build: bfsBuilder("bfs-dtc", 128)})
+	register(Benchmark{Name: "gc-dtc", Suite: "GraphBig", Category: CatGT, API: "cuda", Sensitive: true, Build: buildGC})
+	register(Benchmark{Name: "sssp-dwc", Suite: "GraphBig", Category: CatGT, API: "cuda", Sensitive: true, Build: buildSSSP})
+	register(Benchmark{Name: "lavaMD", Suite: "Rodinia", Category: CatGT, API: "cuda",
+		Build: lavaMDBuilder("lavaMD", 128)})
+	register(Benchmark{Name: "gaussian", Suite: "Rodinia", Category: CatGT, API: "cuda", Build: buildGaussian})
+	register(Benchmark{Name: "nn-256k-1", Suite: "Rodinia", Category: CatGT, API: "cuda", Sensitive: true,
+		Build: nnBuilder("nn-256k-1", 256, 8)})
+}
+
+// bfsBuilder builds one level-synchronous BFS relaxation step
+// (GraphBig bfs data-driven-with-topology-check): vertices at the current
+// level push their unvisited neighbors to level+1.
+func bfsBuilder(name string, block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		n := 2048 * scale
+		r := rng(name)
+		g := genGraph(r, n, 6)
+
+		b := kernel.NewBuilder(name)
+		prow := b.BufferParam("rowptr", true)
+		pcol := b.BufferParam("colidx", true)
+		plevel := b.BufferParam("level", false)
+		pchanged := b.BufferParam("changed", false)
+		_ = pchanged
+		pcur := b.ScalarParam("curlevel")
+		pn := b.ScalarParam("n")
+		gtid := b.GlobalTID()
+		guard := b.SetLT(gtid, pn)
+		b.If(guard, func() {
+			lv := b.LoadGlobal(b.AddScaled(plevel, gtid, 4), 4)
+			onFrontier := b.SetEQ(lv, pcur)
+			b.If(onFrontier, func() {
+				start := b.LoadGlobal(b.AddScaled(prow, gtid, 4), 4)
+				end := b.LoadGlobal(b.AddScaled(prow, b.Add(gtid, kernel.Imm(1)), 4), 4)
+				b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+					active := b.SetLT(e, end)
+					b.If(active, func() {
+						nb := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+						nlv := b.LoadGlobal(b.AddScaled(plevel, nb, 4), 4)
+						unvisited := b.SetEQ(nlv, kernel.Imm(-1))
+						b.If(unvisited, func() {
+							b.StoreGlobal(b.AddScaled(plevel, nb, 4), b.Add(pcur, kernel.Imm(1)), 4)
+							b.StoreGlobal(kernel.Param(3), kernel.Imm(1), 4)
+						})
+					})
+				})
+			})
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		brow, bcol := uploadCSR(dev, name, g)
+		blevel := dev.Malloc(name+"-level", uint64(n*4), false)
+		bchanged := dev.Malloc(name+"-changed", 4, false)
+		// A populated frontier (multi-source BFS) keeps every launch busy,
+		// as mid-traversal launches are in the real application.
+		for i := 0; i < n; i++ {
+			if i%16 == 0 {
+				dev.WriteUint32(blevel, i, 0)
+			} else {
+				dev.WriteUint32(blevel, i, 0xFFFFFFFF) // -1: unvisited
+			}
+		}
+		return &Spec{
+			Kernel: k, Grid: (n + block - 1) / block, Block: block,
+			Args: []driver.Arg{driver.BufArg(brow), driver.BufArg(bcol), driver.BufArg(blevel),
+				driver.BufArg(bchanged), driver.ScalarArg(0), driver.ScalarArg(int64(n))},
+			Invocations: 12, // one per BFS level in the real app
+			Verify: func(dev *driver.Device) error {
+				// After the level-0 step every neighbor of source vertex 0
+				// is at level 0 (a source itself) or 1.
+				for e := g.rowPtr[0]; e < g.rowPtr[1]; e++ {
+					nb := int(g.colIdx[e])
+					lv := int32(dev.ReadUint32(blevel, nb))
+					if lv != 0 && lv != 1 {
+						return fmt.Errorf("%s: neighbor %d at level %d, want 0 or 1", name, nb, lv)
+					}
+				}
+				return nil
+			},
+		}, nil
+	}
+}
+
+// buildBC is one forward sweep of betweenness centrality: frontier
+// expansion accumulating path counts (sigma).
+func buildBC(dev *driver.Device, scale int) (*Spec, error) {
+	n := 2048 * scale
+	r := rng("bc")
+	g := genGraph(r, n, 6)
+
+	b := kernel.NewBuilder("bc")
+	prow := b.BufferParam("rowptr", true)
+	pcol := b.BufferParam("colidx", true)
+	pdist := b.BufferParam("dist", false)
+	psigma := b.BufferParam("sigma", false)
+	pchanged := b.BufferParam("changed", false)
+	pcur := b.ScalarParam("curdist")
+	pn := b.ScalarParam("n")
+	_ = pchanged
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		dv := b.LoadGlobal(b.AddScaled(pdist, gtid, 4), 4)
+		onFrontier := b.SetEQ(dv, pcur)
+		b.If(onFrontier, func() {
+			sv := b.LoadGlobal(b.AddScaled(psigma, gtid, 4), 4)
+			start := b.LoadGlobal(b.AddScaled(prow, gtid, 4), 4)
+			end := b.LoadGlobal(b.AddScaled(prow, b.Add(gtid, kernel.Imm(1)), 4), 4)
+			b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+				active := b.SetLT(e, end)
+				b.If(active, func() {
+					nb := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+					nd := b.LoadGlobal(b.AddScaled(pdist, nb, 4), 4)
+					fresh := b.SetEQ(nd, kernel.Imm(-1))
+					b.If(fresh, func() {
+						b.StoreGlobal(b.AddScaled(pdist, nb, 4), b.Add(pcur, kernel.Imm(1)), 4)
+						b.StoreGlobal(kernel.Param(4), kernel.Imm(1), 4)
+					})
+					next := b.SetEQ(nd, b.Add(pcur, kernel.Imm(1)))
+					b.If(next, func() {
+						b.AtomAddGlobal(b.AddScaled(psigma, nb, 4), sv, 4)
+					})
+				})
+			})
+		})
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	brow, bcol := uploadCSR(dev, "bc", g)
+	bdist := dev.Malloc("bc-dist", uint64(n*4), false)
+	bsigma := dev.Malloc("bc-sigma", uint64(n*4), false)
+	bchanged := dev.Malloc("bc-changed", 4, false)
+	for i := 0; i < n; i++ {
+		if i%16 == 0 {
+			dev.WriteUint32(bdist, i, 0)
+			dev.WriteUint32(bsigma, i, 1)
+		} else {
+			dev.WriteUint32(bdist, i, 0xFFFFFFFF)
+		}
+	}
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(brow), driver.BufArg(bcol), driver.BufArg(bdist),
+			driver.BufArg(bsigma), driver.BufArg(bchanged), driver.ScalarArg(0), driver.ScalarArg(int64(n))},
+		Invocations: 12,
+	}, nil
+}
+
+// buildGC is one round of Jones-Plassmann-style greedy graph coloring:
+// a vertex takes the smallest color unused by its colored neighbors when it
+// is a local maximum among uncolored neighbors.
+func buildGC(dev *driver.Device, scale int) (*Spec, error) {
+	n := 2048 * scale
+	r := rng("gc-dtc")
+	g := genGraph(r, n, 5)
+
+	b := kernel.NewBuilder("gc-dtc")
+	prow := b.BufferParam("rowptr", true)
+	pcol := b.BufferParam("colidx", true)
+	pprio := b.BufferParam("prio", true)
+	pcolor := b.BufferParam("color", false)
+	pchanged := b.BufferParam("changed", false)
+	pn := b.ScalarParam("n")
+	_ = pchanged
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		my := b.LoadGlobal(b.AddScaled(pcolor, gtid, 4), 4)
+		uncolored := b.SetEQ(my, kernel.Imm(-1))
+		b.If(uncolored, func() {
+			myPrio := b.LoadGlobal(b.AddScaled(pprio, gtid, 4), 4)
+			isMax := b.Mov(kernel.Imm(1))
+			forbidden := b.Mov(kernel.Imm(0)) // bitmask of neighbor colors
+			start := b.LoadGlobal(b.AddScaled(prow, gtid, 4), 4)
+			end := b.LoadGlobal(b.AddScaled(prow, b.Add(gtid, kernel.Imm(1)), 4), 4)
+			b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+				active := b.SetLT(e, end)
+				b.If(active, func() {
+					nb := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+					nc := b.LoadGlobal(b.AddScaled(pcolor, nb, 4), 4)
+					colored := b.SetGE(nc, kernel.Imm(0))
+					b.If(colored, func() {
+						bit := b.Shl(kernel.Imm(1), b.And(nc, kernel.Imm(31)))
+						b.MovTo(forbidden, b.Or(forbidden, bit))
+					})
+					np := b.LoadGlobal(b.AddScaled(pprio, nb, 4), 4)
+					loses := b.And(b.SetEQ(nc, kernel.Imm(-1)), b.SetGT(np, myPrio))
+					cond := b.SetNE(loses, kernel.Imm(0))
+					b.If(cond, func() {
+						b.MovTo(isMax, kernel.Imm(0))
+					})
+				})
+			})
+			winner := b.SetNE(isMax, kernel.Imm(0))
+			b.If(winner, func() {
+				// Smallest free color = trailing zero of ^forbidden, found
+				// with a short loop.
+				chosen := b.Mov(kernel.Imm(0))
+				found := b.Mov(kernel.Imm(0))
+				b.ForRange(kernel.Imm(0), kernel.Imm(32), kernel.Imm(1), func(cb kernel.Operand) {
+					free := b.SetEQ(b.And(b.Shr(forbidden, cb), kernel.Imm(1)), kernel.Imm(0))
+					take := b.And(free, b.SetEQ(found, kernel.Imm(0)))
+					cond := b.SetNE(take, kernel.Imm(0))
+					b.If(cond, func() {
+						b.MovTo(chosen, cb)
+						b.MovTo(found, kernel.Imm(1))
+					})
+				})
+				b.StoreGlobal(b.AddScaled(pcolor, gtid, 4), chosen, 4)
+				b.StoreGlobal(kernel.Param(4), kernel.Imm(1), 4)
+			})
+		})
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	brow, bcol := uploadCSR(dev, "gc", g)
+	bprio := dev.Malloc("gc-prio", uint64(n*4), true)
+	bcolor := dev.Malloc("gc-color", uint64(n*4), false)
+	bchanged := dev.Malloc("gc-changed", 4, false)
+	perm := r.Perm(n)
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(bprio, i, uint32(perm[i]))
+		dev.WriteUint32(bcolor, i, 0xFFFFFFFF)
+	}
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(brow), driver.BufArg(bcol), driver.BufArg(bprio),
+			driver.BufArg(bcolor), driver.BufArg(bchanged), driver.ScalarArg(int64(n))},
+		Invocations: 8,
+	}, nil
+}
+
+// buildSSSP is one Bellman-Ford relaxation sweep with per-edge weights.
+func buildSSSP(dev *driver.Device, scale int) (*Spec, error) {
+	n := 2048 * scale
+	r := rng("sssp-dwc")
+	g := genGraph(r, n, 6)
+
+	b := kernel.NewBuilder("sssp-dwc")
+	prow := b.BufferParam("rowptr", true)
+	pcol := b.BufferParam("colidx", true)
+	pwt := b.BufferParam("weight", true)
+	pdist := b.BufferParam("dist", false)
+	pchanged := b.BufferParam("changed", false)
+	pn := b.ScalarParam("n")
+	_ = pchanged
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		dv := b.LoadGlobal(b.AddScaled(pdist, gtid, 4), 4)
+		reachable := b.SetLT(dv, kernel.Imm(1<<30))
+		b.If(reachable, func() {
+			start := b.LoadGlobal(b.AddScaled(prow, gtid, 4), 4)
+			end := b.LoadGlobal(b.AddScaled(prow, b.Add(gtid, kernel.Imm(1)), 4), 4)
+			b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+				active := b.SetLT(e, end)
+				b.If(active, func() {
+					nb := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+					wv := b.LoadGlobal(b.AddScaled(pwt, e, 4), 4)
+					cand := b.Add(dv, wv)
+					nd := b.LoadGlobal(b.AddScaled(pdist, nb, 4), 4)
+					shorter := b.SetLT(cand, nd)
+					b.If(shorter, func() {
+						b.StoreGlobal(b.AddScaled(pdist, nb, 4), cand, 4)
+						b.StoreGlobal(kernel.Param(4), kernel.Imm(1), 4)
+					})
+				})
+			})
+		})
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	brow, bcol := uploadCSR(dev, "sssp", g)
+	bwt := dev.Malloc("sssp-weight", uint64(maxInt(g.m, 1)*4), true)
+	bdist := dev.Malloc("sssp-dist", uint64(n*4), false)
+	bchanged := dev.Malloc("sssp-changed", 4, false)
+	fillU32(dev, bwt, g.m, r, 64)
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(bdist, i, 1<<30)
+	}
+	dev.WriteUint32(bdist, 0, 0)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(brow), driver.BufArg(bcol), driver.BufArg(bwt),
+			driver.BufArg(bdist), driver.BufArg(bchanged), driver.ScalarArg(int64(n))},
+		Invocations: 16,
+	}, nil
+}
+
+// lavaMDBuilder builds the Rodinia lavaMD particle-interaction kernel:
+// particles in a box interact with particles in neighboring boxes.
+func lavaMDBuilder(name string, block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		const perBox = 32
+		boxes := 16 * scale
+		n := boxes * perBox
+
+		b := kernel.NewBuilder(name)
+		ppos := b.BufferParam("pos", true)       // x,y,z,q interleaved
+		pnbr := b.BufferParam("neighbors", true) // boxes x 8 neighbor ids
+		pforce := b.BufferParam("force", false)
+		gtid := b.GlobalTID()
+		box := b.Div(gtid, kernel.Imm(perBox))
+		fx := b.Mov(kernel.FImm(0))
+		myX := b.LoadGlobalF32(b.AddScaled(ppos, b.Mul(gtid, kernel.Imm(4)), 4))
+		myQ := b.LoadGlobalF32(b.AddScaled(ppos, b.Add(b.Mul(gtid, kernel.Imm(4)), kernel.Imm(3)), 4))
+		b.ForRange(kernel.Imm(0), kernel.Imm(8), kernel.Imm(1), func(nb kernel.Operand) {
+			nbox := b.LoadGlobal(b.AddScaled(pnbr, b.Mad(box, kernel.Imm(8), nb), 4), 4)
+			b.ForRange(kernel.Imm(0), kernel.Imm(perBox), kernel.Imm(1), func(j kernel.Operand) {
+				other := b.Mad(nbox, kernel.Imm(perBox), j)
+				ox := b.LoadGlobalF32(b.AddScaled(ppos, b.Mul(other, kernel.Imm(4)), 4))
+				oq := b.LoadGlobalF32(b.AddScaled(ppos, b.Add(b.Mul(other, kernel.Imm(4)), kernel.Imm(3)), 4))
+				d := b.FSub(myX, ox)
+				r2 := b.FMad(d, d, kernel.FImm(0.01))
+				contrib := b.FDiv(b.FMul(myQ, oq), r2)
+				b.MovTo(fx, b.FAdd(fx, contrib))
+			})
+		})
+		b.StoreGlobalF32(b.AddScaled(pforce, gtid, 4), fx)
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		bp := dev.Malloc(name+"-pos", uint64(n*4*4), true)
+		bn := dev.Malloc(name+"-neighbors", uint64(boxes*8*4), true)
+		bf := dev.Malloc(name+"-force", uint64(n*4), false)
+		fillF32(dev, bp, n*4, r)
+		for i := 0; i < boxes*8; i++ {
+			dev.WriteUint32(bn, i, uint32(r.Intn(boxes)))
+		}
+		return &Spec{
+			Kernel: k, Grid: n / block, Block: block,
+			Args: []driver.Arg{driver.BufArg(bp), driver.BufArg(bn), driver.BufArg(bf)},
+		}, nil
+	}
+}
+
+// buildGaussian is one elimination step of Rodinia gaussian: scale row k
+// against rows below it.
+func buildGaussian(dev *driver.Device, scale int) (*Spec, error) {
+	n := 96 * scale
+	const pivot = 1
+
+	b := kernel.NewBuilder("gaussian")
+	pm := b.BufferParam("m", false)
+	pa := b.BufferParam("a", false)
+	pk := b.ScalarParam("k")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	// Thread handles element (row, col) strictly below/right of the pivot.
+	rem := b.Sub(pn, b.Add(pk, kernel.Imm(1)))
+	row := b.Add(b.Div(gtid, rem), b.Add(pk, kernel.Imm(1)))
+	col := b.Add(b.Rem(gtid, rem), b.Add(pk, kernel.Imm(1)))
+	inRange := b.SetLT(gtid, b.Mul(rem, rem))
+	b.If(inRange, func() {
+		mult := b.LoadGlobalF32(b.AddScaled(pm, b.Mad(row, pn, pk), 4))
+		pv := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(pk, pn, col), 4))
+		cur := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(row, pn, col), 4))
+		b.StoreGlobalF32(b.AddScaled(pa, b.Mad(row, pn, col), 4), b.FSub(cur, b.FMul(mult, pv)))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("gaussian")
+	bm := dev.Malloc("gaussian-m", uint64(n*n*4), false)
+	ba := dev.Malloc("gaussian-a", uint64(n*n*4), false)
+	fillF32(dev, bm, n*n, r)
+	fillF32(dev, ba, n*n, r)
+	work := (n - pivot - 1) * (n - pivot - 1)
+	return &Spec{
+		Kernel: k, Grid: (work + 255) / 256, Block: 256,
+		Args: []driver.Arg{driver.BufArg(bm), driver.BufArg(ba),
+			driver.ScalarArg(pivot), driver.ScalarArg(int64(n))},
+		Invocations: int(uint(n - 1)),
+	}, nil
+}
+
+// nnBuilder is Rodinia nn: each thread computes the distance from one
+// record to the query point (the "-256k-1" variant streams a large record
+// set).
+func nnBuilder(name string, block, chunk int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		n := 8192 * scale
+
+		b := kernel.NewBuilder(name)
+		plat := b.BufferParam("lat", true)
+		plng := b.BufferParam("lng", true)
+		pdist := b.BufferParam("dist", false)
+		pn := b.ScalarParam("n")
+		pqlat := b.ScalarParam("qlat")
+		pqlng := b.ScalarParam("qlng")
+		gtid := b.GlobalTID()
+		guard := b.SetLT(gtid, pn)
+		b.If(guard, func() {
+			lat := b.LoadGlobalF32(b.AddScaled(plat, gtid, 4))
+			lng := b.LoadGlobalF32(b.AddScaled(plng, gtid, 4))
+			qlatF := b.CvtIF(pqlat)
+			qlngF := b.CvtIF(pqlng)
+			dlat := b.FSub(lat, b.FMul(qlatF, kernel.FImm(0.001)))
+			dlng := b.FSub(lng, b.FMul(qlngF, kernel.FImm(0.001)))
+			d := b.FSqrt(b.FMad(dlat, dlat, b.FMul(dlng, dlng)))
+			b.StoreGlobalF32(b.AddScaled(pdist, gtid, 4), d)
+		})
+		_ = chunk
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		blat := dev.Malloc(name+"-lat", uint64(n*4), true)
+		blng := dev.Malloc(name+"-lng", uint64(n*4), true)
+		bd := dev.Malloc(name+"-dist", uint64(n*4), false)
+		fillF32(dev, blat, n, r)
+		fillF32(dev, blng, n, r)
+		return &Spec{
+			Kernel: k, Grid: (n + block - 1) / block, Block: block,
+			Args: []driver.Arg{driver.BufArg(blat), driver.BufArg(blng), driver.BufArg(bd),
+				driver.ScalarArg(int64(n)), driver.ScalarArg(30), driver.ScalarArg(90)},
+		}, nil
+	}
+}

@@ -1,0 +1,500 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+func init() {
+	register(Benchmark{Name: "mri-q", Suite: "Parboil", Category: CatIM, API: "cuda", Build: buildMriQ})
+	register(Benchmark{Name: "sobolqrng", Suite: "CUDA-SDK", Category: CatIM, API: "cuda", Sensitive: true,
+		Build: buildSobol})
+	register(Benchmark{Name: "dct8x8", Suite: "CUDA-SDK", Category: CatIM, API: "cuda", Build: dctBuilder("dct8x8")})
+	register(Benchmark{Name: "dwtharr", Suite: "CUDA-SDK", Category: CatIM, API: "cuda", Build: buildDwtHaar})
+	register(Benchmark{Name: "hotspot", Suite: "Rodinia", Category: CatIM, API: "cuda",
+		Build: hotspotBuilder("hotspot", 256)})
+	register(Benchmark{Name: "lud-64", Suite: "Rodinia", Category: CatIM, API: "cuda", Sensitive: true,
+		Build: ludBuilder("lud-64", 64)})
+	register(Benchmark{Name: "lud-256", Suite: "Rodinia", Category: CatIM, API: "cuda", Sensitive: true,
+		Build: ludBuilder("lud-256", 256)})
+	register(Benchmark{Name: "lineofsight", Suite: "CUDA-SDK", Category: CatIM, API: "cuda", Sensitive: true,
+		Build: buildLineOfSight})
+	register(Benchmark{Name: "dxtc", Suite: "CUDA-SDK", Category: CatIM, API: "cuda", Sensitive: true,
+		Build: buildDxtc})
+	register(Benchmark{Name: "histogram", Suite: "CUDA-SDK", Category: CatIM, API: "cuda", Sensitive: true,
+		Build: buildHistogram})
+	register(Benchmark{Name: "hsopticalflow", Suite: "CUDA-SDK", Category: CatIM, API: "cuda", Build: buildHSOpticalFlow})
+}
+
+// buildMriQ computes the Q matrix of MRI reconstruction: every voxel
+// accumulates contributions from every k-space sample (Parboil mri-q; 8
+// buffers, the paper's high-buffer-count representative).
+func buildMriQ(dev *driver.Device, scale int) (*Spec, error) {
+	const samples = 48
+	voxels := 2048 * scale
+
+	b := kernel.NewBuilder("mri-q")
+	pkx := b.BufferParam("kx", true)
+	pky := b.BufferParam("ky", true)
+	pkz := b.BufferParam("kz", true)
+	px := b.BufferParam("x", true)
+	py := b.BufferParam("y", true)
+	pz := b.BufferParam("z", true)
+	pqr := b.BufferParam("Qr", false)
+	pqi := b.BufferParam("Qi", false)
+	pn := b.ScalarParam("voxels")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		xv := b.LoadGlobalF32(b.AddScaled(px, gtid, 4))
+		yv := b.LoadGlobalF32(b.AddScaled(py, gtid, 4))
+		zv := b.LoadGlobalF32(b.AddScaled(pz, gtid, 4))
+		qr := b.Mov(kernel.FImm(0))
+		qi := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(samples), kernel.Imm(1), func(s kernel.Operand) {
+			kx := b.LoadGlobalF32(b.AddScaled(pkx, s, 4))
+			ky := b.LoadGlobalF32(b.AddScaled(pky, s, 4))
+			kz := b.LoadGlobalF32(b.AddScaled(pkz, s, 4))
+			phase := b.FAdd(b.FMul(kx, xv), b.FMad(ky, yv, b.FMul(kz, zv)))
+			// Polynomial stand-ins for sin/cos keep the FLOP mix similar.
+			p2 := b.FMul(phase, phase)
+			cosv := b.FSub(kernel.FImm(1), b.FMul(p2, kernel.FImm(0.5)))
+			sinv := b.FSub(phase, b.FMul(b.FMul(p2, phase), kernel.FImm(1.0/6)))
+			b.MovTo(qr, b.FAdd(qr, cosv))
+			b.MovTo(qi, b.FAdd(qi, sinv))
+		})
+		b.StoreGlobalF32(b.AddScaled(pqr, gtid, 4), qr)
+		b.StoreGlobalF32(b.AddScaled(pqi, gtid, 4), qi)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("mri-q")
+	mk := func(name string, n int, ro bool) *driver.Buffer {
+		buf := dev.Malloc("mriq-"+name, uint64(n*4), ro)
+		if ro {
+			fillF32(dev, buf, n, r)
+		}
+		return buf
+	}
+	bkx, bky, bkz := mk("kx", samples, true), mk("ky", samples, true), mk("kz", samples, true)
+	bx, by, bz := mk("x", voxels, true), mk("y", voxels, true), mk("z", voxels, true)
+	bqr, bqi := mk("Qr", voxels, false), mk("Qi", voxels, false)
+	return &Spec{
+		Kernel: k, Grid: voxels / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bkx), driver.BufArg(bky), driver.BufArg(bkz),
+			driver.BufArg(bx), driver.BufArg(by), driver.BufArg(bz),
+			driver.BufArg(bqr), driver.BufArg(bqi), driver.ScalarArg(int64(voxels))},
+	}, nil
+}
+
+// buildSobol generates Sobol quasirandom sequences from direction vectors
+// (CUDA-SDK SobolQRNG).
+func buildSobol(dev *driver.Device, scale int) (*Spec, error) {
+	const dirs = 32
+	n := 4096 * scale
+
+	b := kernel.NewBuilder("sobolqrng")
+	pdir := b.BufferParam("directions", true)
+	pout := b.BufferParam("out", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		acc := b.Mov(kernel.Imm(0))
+		g := b.Xor(gtid, b.Shr(gtid, kernel.Imm(1))) // gray code
+		b.ForRange(kernel.Imm(0), kernel.Imm(dirs), kernel.Imm(1), func(i kernel.Operand) {
+			bit := b.And(b.Shr(g, i), kernel.Imm(1))
+			use := b.SetNE(bit, kernel.Imm(0))
+			b.If(use, func() {
+				dv := b.LoadGlobal(b.AddScaled(pdir, i, 4), 4)
+				b.MovTo(acc, b.Xor(acc, dv))
+			})
+		})
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), acc, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("sobolqrng")
+	bd := dev.Malloc("sobol-directions", dirs*4, true)
+	bo := dev.Malloc("sobol-out", uint64(n*4), false)
+	fillU32(dev, bd, dirs, r, 1<<31)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bd), driver.BufArg(bo), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildDwtHaar is one level of a Haar wavelet transform: pairwise averages
+// and details (CUDA-SDK dwtHaar1D).
+func buildDwtHaar(dev *driver.Device, scale int) (*Spec, error) {
+	n := 8192 * scale // input length; n/2 outputs each
+
+	b := kernel.NewBuilder("dwtharr")
+	pin := b.BufferParam("in", true)
+	papprox := b.BufferParam("approx", false)
+	pdetail := b.BufferParam("detail", false)
+	pn := b.ScalarParam("half")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		a := b.LoadGlobalF32(b.AddScaled(pin, b.Mul(gtid, kernel.Imm(2)), 4))
+		d := b.LoadGlobalF32(b.AddScaled(pin, b.Add(b.Mul(gtid, kernel.Imm(2)), kernel.Imm(1)), 4))
+		b.StoreGlobalF32(b.AddScaled(papprox, gtid, 4), b.FMul(b.FAdd(a, d), kernel.FImm(0.70710678)))
+		b.StoreGlobalF32(b.AddScaled(pdetail, gtid, 4), b.FMul(b.FSub(a, d), kernel.FImm(0.70710678)))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("dwtharr")
+	bi := dev.Malloc("dwtharr-in", uint64(n*4), true)
+	ba := dev.Malloc("dwtharr-approx", uint64(n/2*4), false)
+	bd := dev.Malloc("dwtharr-detail", uint64(n/2*4), false)
+	fillF32(dev, bi, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 2 / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(ba), driver.BufArg(bd),
+			driver.ScalarArg(int64(n / 2))},
+		Invocations: 6, // log-levels in the real app
+	}, nil
+}
+
+// hotspotBuilder is the Rodinia hotspot thermal simulation step: a 2D
+// stencil over temperature with a power term.
+func hotspotBuilder(name string, block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		w := 128
+		h := 32 * scale
+		n := w * h
+
+		b := kernel.NewBuilder(name)
+		ptemp := b.BufferParam("temp", true)
+		ppow := b.BufferParam("power", true)
+		pout := b.BufferParam("out", false)
+		pw := b.ScalarParam("w")
+		pn := b.ScalarParam("n")
+		gtid := b.GlobalTID()
+		lo := b.SetGE(gtid, pw)
+		hi := b.SetLT(gtid, b.Sub(pn, pw))
+		guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+		b.If(guard, func() {
+			c := b.LoadGlobalF32(b.AddScaled(ptemp, gtid, 4))
+			nv := b.LoadGlobalF32(b.AddScaled(ptemp, b.Sub(gtid, pw), 4))
+			sv := b.LoadGlobalF32(b.AddScaled(ptemp, b.Add(gtid, pw), 4))
+			ev := b.LoadGlobalF32(b.AddScaled(ptemp, b.Add(gtid, kernel.Imm(1)), 4))
+			wv := b.LoadGlobalF32(b.AddScaled(ptemp, b.Sub(gtid, kernel.Imm(1)), 4))
+			pv := b.LoadGlobalF32(b.AddScaled(ppow, gtid, 4))
+			delta := b.FMad(pv, kernel.FImm(0.1),
+				b.FMul(b.FSub(b.FAdd(b.FAdd(nv, sv), b.FAdd(ev, wv)), b.FMul(c, kernel.FImm(4))), kernel.FImm(0.2)))
+			b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), b.FAdd(c, delta))
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		bt := dev.Malloc(name+"-temp", uint64(n*4), true)
+		bp := dev.Malloc(name+"-power", uint64(n*4), true)
+		bo := dev.Malloc(name+"-out", uint64(n*4), false)
+		fillF32(dev, bt, n, r)
+		fillF32(dev, bp, n, r)
+		return &Spec{
+			Kernel: k, Grid: (n + block - 1) / block, Block: block,
+			Args: []driver.Arg{driver.BufArg(bt), driver.BufArg(bp), driver.BufArg(bo),
+				driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n))},
+			Invocations: 10,
+			Verify: func(dev *driver.Device) error {
+				for i := w; i < n-w; i += maxInt(n/9, 1) {
+					c := float64(dev.ReadFloat32(bt, i))
+					nv := float64(dev.ReadFloat32(bt, i-w))
+					sv := float64(dev.ReadFloat32(bt, i+w))
+					ev := float64(dev.ReadFloat32(bt, i+1))
+					wv := float64(dev.ReadFloat32(bt, i-1))
+					pv := float64(dev.ReadFloat32(bp, i))
+					delta := pv*0.1 + ((nv+sv)+(ev+wv)-c*4)*0.2
+					want := float32(c + delta)
+					got := dev.ReadFloat32(bo, i)
+					d := got - want
+					if d < 0 {
+						d = -d
+					}
+					if d > 1e-4 {
+						return fmt.Errorf("%s: out[%d] = %g, want %g", name, i, got, want)
+					}
+				}
+				return nil
+			},
+		}, nil
+	}
+}
+
+// ludBuilder is the Rodinia LU-decomposition internal kernel for one
+// diagonal block: purely affine indexing, which static analysis eliminates
+// entirely (the 100% bounds-check-reduction case of Fig. 17).
+func ludBuilder(name string, dim int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		n := dim * scale
+		const bs = 16 // block tile
+
+		b := kernel.NewBuilder(name)
+		pm := b.BufferParam("matrix", false)
+		pn := b.ScalarParam("n")
+		poff := b.ScalarParam("offset")
+		gtid := b.GlobalTID()
+		// Thread (i,j) within the sub-block below the diagonal offset.
+		i := b.Div(gtid, kernel.Imm(bs))
+		j := b.Rem(gtid, kernel.Imm(bs))
+		row := b.Add(poff, i)
+		col := b.Add(poff, j)
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(bs), kernel.Imm(1), func(t kernel.Operand) {
+			lv := b.LoadGlobalF32(b.AddScaled(pm, b.Mad(row, pn, b.Add(poff, t)), 4))
+			uv := b.LoadGlobalF32(b.AddScaled(pm, b.Mad(b.Add(poff, t), pn, col), 4))
+			b.MovTo(acc, b.FMad(lv, uv, acc))
+		})
+		cur := b.LoadGlobalF32(b.AddScaled(pm, b.Mad(row, pn, col), 4))
+		b.StoreGlobalF32(b.AddScaled(pm, b.Mad(row, pn, col), 4), b.FSub(cur, acc))
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		bm := dev.Malloc(name+"-matrix", uint64(n*n*4), false)
+		fillF32(dev, bm, n*n, r)
+		return &Spec{
+			Kernel: k, Grid: 4, Block: bs * bs,
+			Args:        []driver.Arg{driver.BufArg(bm), driver.ScalarArg(int64(n)), driver.ScalarArg(0)},
+			Invocations: n / bs,
+		}, nil
+	}
+}
+
+// buildLineOfSight tests terrain visibility along a ray: each thread
+// compares its height-angle against a running maximum computed from a scan
+// array (CUDA-SDK lineOfSight).
+func buildLineOfSight(dev *driver.Device, scale int) (*Spec, error) {
+	n := 4096 * scale
+
+	b := kernel.NewBuilder("lineofsight")
+	pheights := b.BufferParam("heights", true)
+	pangles := b.BufferParam("angles", true)
+	pvis := b.BufferParam("visible", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		hv := b.LoadGlobalF32(b.AddScaled(pheights, gtid, 4))
+		dist := b.FAdd(b.CvtIF(gtid), kernel.FImm(1))
+		myAngle := b.FDiv(hv, dist)
+		maxPrev := b.LoadGlobalF32(b.AddScaled(pangles, gtid, 4))
+		vis := b.FSetGT(myAngle, maxPrev)
+		b.StoreGlobal(b.AddScaled(pvis, gtid, 4), vis, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("lineofsight")
+	bh := dev.Malloc("los-heights", uint64(n*4), true)
+	ba := dev.Malloc("los-angles", uint64(n*4), true)
+	bv := dev.Malloc("los-visible", uint64(n*4), false)
+	fillF32(dev, bh, n, r)
+	// Prefix maxima of angles computed host-side (the scan phase).
+	maxA := float32(0)
+	for i := 0; i < n; i++ {
+		a := dev.ReadFloat32(bh, i) / float32(i+1)
+		if a > maxA {
+			maxA = a
+		}
+		dev.WriteFloat32(ba, i, maxA)
+	}
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bh), driver.BufArg(ba), driver.BufArg(bv),
+			driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildDxtc compresses 4x4 pixel blocks against a permutation codebook
+// (CUDA-SDK DXT compression: image, codebook, alpha table, and output
+// interleave heavily — an RCache-sensitive mix).
+func buildDxtc(dev *driver.Device, scale int) (*Spec, error) {
+	blocks := 512 * scale
+	const perms = 16
+
+	b := kernel.NewBuilder("dxtc")
+	pimg := b.BufferParam("image", true)
+	pperm := b.BufferParam("perms", true)
+	palpha := b.BufferParam("alpha", true)
+	pout := b.BufferParam("codes", false)
+	pnb := b.ScalarParam("blocks")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pnb)
+	b.If(guard, func() {
+		best := b.Mov(kernel.Imm(0))
+		bestErr := b.Mov(kernel.Imm(1 << 40))
+		b.ForRange(kernel.Imm(0), kernel.Imm(perms), kernel.Imm(1), func(p kernel.Operand) {
+			errAcc := b.Mov(kernel.Imm(0))
+			b.ForRange(kernel.Imm(0), kernel.Imm(16), kernel.Imm(1), func(px kernel.Operand) {
+				iv := b.LoadGlobal(b.AddScaled(pimg, b.Mad(gtid, kernel.Imm(16), px), 4), 4)
+				pv := b.LoadGlobal(b.AddScaled(pperm, b.Mad(p, kernel.Imm(16), px), 4), 4)
+				av := b.LoadGlobal(b.AddScaled(palpha, px, 4), 4)
+				d := b.Sub(iv, b.Mul(pv, av))
+				b.MovTo(errAcc, b.Add(errAcc, b.Mul(d, d)))
+			})
+			better := b.SetLT(errAcc, bestErr)
+			b.MovTo(bestErr, b.Selp(errAcc, bestErr, better))
+			b.MovTo(best, b.Selp(p, best, better))
+		})
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), best, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("dxtc")
+	bi := dev.Malloc("dxtc-image", uint64(blocks*16*4), true)
+	bp := dev.Malloc("dxtc-perms", perms*16*4, true)
+	ba := dev.Malloc("dxtc-alpha", 16*4, true)
+	bo := dev.Malloc("dxtc-codes", uint64(blocks*4), false)
+	fillU32(dev, bi, blocks*16, r, 256)
+	fillU32(dev, bp, perms*16, r, 4)
+	fillU32(dev, ba, 16, r, 4)
+	return &Spec{
+		Kernel: k, Grid: blocks / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bp), driver.BufArg(ba),
+			driver.BufArg(bo), driver.ScalarArg(int64(blocks))},
+	}, nil
+}
+
+// buildHistogram bins a data stream into per-workgroup shared-memory
+// histograms merged into global bins (CUDA-SDK histogram).
+func buildHistogram(dev *driver.Device, scale int) (*Spec, error) {
+	const bins = 64
+	const block = 128
+	n := 16384 * scale
+
+	b := kernel.NewBuilder("histogram")
+	pdata := b.BufferParam("data", true)
+	ppartial := b.BufferParam("partial", false)
+	pbins := b.BufferParam("bins", false)
+	pn := b.ScalarParam("n")
+	sh := b.Shared(bins * 4)
+	tid := b.TID()
+	gtid := b.GlobalTID()
+	// Zero shared bins.
+	zero := b.SetLT(tid, kernel.Imm(bins))
+	b.If(zero, func() {
+		b.StoreShared(b.Add(kernel.Imm(sh), b.Mul(tid, kernel.Imm(4))), kernel.Imm(0), 4)
+	})
+	b.Barrier()
+	b.ForRange(gtid, pn, b.GlobalSize(), func(i kernel.Operand) {
+		active := b.SetLT(i, pn)
+		b.If(active, func() {
+			v := b.LoadGlobal(b.AddScaled(pdata, i, 4), 4)
+			bin := b.And(v, kernel.Imm(bins-1))
+			// Shared-memory increment (non-atomic approximation of the
+			// per-warp histogram trick).
+			addr := b.Add(kernel.Imm(sh), b.Mul(bin, kernel.Imm(4)))
+			cur := b.LoadShared(addr, 4)
+			b.StoreShared(addr, b.Add(cur, kernel.Imm(1)), 4)
+		})
+	})
+	b.Barrier()
+	merge := b.SetLT(tid, kernel.Imm(bins))
+	b.If(merge, func() {
+		v := b.LoadShared(b.Add(kernel.Imm(sh), b.Mul(tid, kernel.Imm(4))), 4)
+		b.StoreGlobal(b.AddScaled(ppartial, b.Mad(b.CTAID(), kernel.Imm(bins), tid), 4), v, 4)
+		b.AtomAddGlobal(b.AddScaled(pbins, tid, 4), v, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("histogram")
+	grid := n / (block * 8)
+	bd := dev.Malloc("hist-data", uint64(n*4), true)
+	bp := dev.Malloc("hist-partial", uint64(grid*bins*4), false)
+	bb := dev.Malloc("hist-bins", bins*4, false)
+	fillU32(dev, bd, n, r, 1<<20)
+	return &Spec{
+		Kernel: k, Grid: grid, Block: block,
+		Args: []driver.Arg{driver.BufArg(bd), driver.BufArg(bp), driver.BufArg(bb),
+			driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildHSOpticalFlow is one Horn-Schunck iteration: flow updates from two
+// frames and the previous flow field (6 buffers).
+func buildHSOpticalFlow(dev *driver.Device, scale int) (*Spec, error) {
+	w := 128
+	h := 16 * scale
+	n := w * h
+
+	b := kernel.NewBuilder("hsopticalflow")
+	pf0 := b.BufferParam("frame0", true)
+	pf1 := b.BufferParam("frame1", true)
+	pu := b.BufferParam("u", true)
+	pv := b.BufferParam("v", true)
+	pun := b.BufferParam("unew", false)
+	pvn := b.BufferParam("vnew", false)
+	pw := b.ScalarParam("w")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, pw)
+	hi := b.SetLT(gtid, b.Sub(pn, pw))
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		ix := b.FSub(b.LoadGlobalF32(b.AddScaled(pf0, b.Add(gtid, kernel.Imm(1)), 4)),
+			b.LoadGlobalF32(b.AddScaled(pf0, gtid, 4)))
+		iy := b.FSub(b.LoadGlobalF32(b.AddScaled(pf0, b.Add(gtid, pw), 4)),
+			b.LoadGlobalF32(b.AddScaled(pf0, gtid, 4)))
+		it := b.FSub(b.LoadGlobalF32(b.AddScaled(pf1, gtid, 4)),
+			b.LoadGlobalF32(b.AddScaled(pf0, gtid, 4)))
+		ubar := b.FMul(b.FAdd(b.LoadGlobalF32(b.AddScaled(pu, b.Sub(gtid, kernel.Imm(1)), 4)),
+			b.LoadGlobalF32(b.AddScaled(pu, b.Add(gtid, kernel.Imm(1)), 4))), kernel.FImm(0.5))
+		vbar := b.FMul(b.FAdd(b.LoadGlobalF32(b.AddScaled(pv, b.Sub(gtid, pw), 4)),
+			b.LoadGlobalF32(b.AddScaled(pv, b.Add(gtid, pw), 4))), kernel.FImm(0.5))
+		num := b.FAdd(b.FMad(ix, ubar, b.FMul(iy, vbar)), it)
+		den := b.FAdd(b.FMad(ix, ix, b.FMul(iy, iy)), kernel.FImm(1))
+		alpha := b.FDiv(num, den)
+		b.StoreGlobalF32(b.AddScaled(pun, gtid, 4), b.FSub(ubar, b.FMul(alpha, ix)))
+		b.StoreGlobalF32(b.AddScaled(pvn, gtid, 4), b.FSub(vbar, b.FMul(alpha, iy)))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("hsopticalflow")
+	mk := func(name string, ro bool) *driver.Buffer {
+		buf := dev.Malloc("hsof-"+name, uint64(n*4), ro)
+		if ro {
+			fillF32(dev, buf, n, r)
+		}
+		return buf
+	}
+	b0, b1, bu, bv := mk("frame0", true), mk("frame1", true), mk("u", true), mk("v", true)
+	bun, bvn := mk("unew", false), mk("vnew", false)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(b0), driver.BufArg(b1), driver.BufArg(bu),
+			driver.BufArg(bv), driver.BufArg(bun), driver.BufArg(bvn),
+			driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n))},
+		Invocations: 20,
+	}, nil
+}

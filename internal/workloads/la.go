@@ -1,0 +1,403 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+func init() {
+	register(Benchmark{Name: "sad", Suite: "Parboil", Category: CatLA, API: "cuda", Build: buildSAD})
+	register(Benchmark{Name: "spmv", Suite: "Parboil", Category: CatLA, API: "cuda", Build: buildSpmv})
+	register(Benchmark{Name: "stencil", Suite: "Parboil", Category: CatLA, API: "cuda", Build: buildStencil})
+	register(Benchmark{Name: "scalarprod", Suite: "CUDA-SDK", Category: CatLA, API: "cuda", Sensitive: true,
+		Build: buildScalarProd})
+	register(Benchmark{Name: "vectoradd", Suite: "CUDA-SDK", Category: CatLA, API: "cuda", Build: buildVectorAdd})
+	register(Benchmark{Name: "dct", Suite: "CUDA-SDK", Category: CatLA, API: "cuda", Build: dctBuilder("dct")})
+	register(Benchmark{Name: "reduction", Suite: "CUDA-SDK", Category: CatLA, API: "cuda", Sensitive: true,
+		Build: buildReduction})
+}
+
+// buildSAD computes the sum of absolute differences between 4×4 blocks of a
+// current and a reference frame (the Parboil sad pattern).
+func buildSAD(dev *driver.Device, scale int) (*Spec, error) {
+	w := 128
+	h := 64 * scale
+	blocks := (w / 4) * (h / 4)
+
+	b := kernel.NewBuilder("sad")
+	pcur := b.BufferParam("cur", true)
+	pref := b.BufferParam("ref", true)
+	pout := b.BufferParam("sad", false)
+	pnb := b.ScalarParam("blocks")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pnb)
+	b.If(guard, func() {
+		bx := b.Rem(gtid, kernel.Imm(int64(w/4)))
+		by := b.Div(gtid, kernel.Imm(int64(w/4)))
+		acc := b.Mov(kernel.Imm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(4), kernel.Imm(1), func(dy kernel.Operand) {
+			b.ForRange(kernel.Imm(0), kernel.Imm(4), kernel.Imm(1), func(dx kernel.Operand) {
+				row := b.Mad(by, kernel.Imm(4), dy)
+				col := b.Mad(bx, kernel.Imm(4), dx)
+				idx := b.Mad(row, kernel.Imm(int64(w)), col)
+				cv := b.LoadGlobal(b.AddScaled(pcur, idx, 4), 4)
+				rv := b.LoadGlobal(b.AddScaled(pref, idx, 4), 4)
+				d := b.Sub(cv, rv)
+				ad := b.Max(d, b.Sub(kernel.Imm(0), d))
+				b.MovTo(acc, b.Add(acc, ad))
+			})
+		})
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), acc, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("sad")
+	bc := dev.Malloc("sad-cur", uint64(w*h*4), true)
+	br := dev.Malloc("sad-ref", uint64(w*h*4), true)
+	bo := dev.Malloc("sad-out", uint64(blocks*4), false)
+	fillU32(dev, bc, w*h, r, 256)
+	fillU32(dev, br, w*h, r, 256)
+	return &Spec{
+		Kernel: k, Grid: (blocks + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bc), driver.BufArg(br), driver.BufArg(bo),
+			driver.ScalarArg(int64(blocks))},
+	}, nil
+}
+
+// buildSpmv computes y = A·x for a CSR sparse matrix (Parboil spmv): the
+// column-index load makes x's accesses indirect, so only runtime checking
+// can cover them.
+func buildSpmv(dev *driver.Device, scale int) (*Spec, error) {
+	n := 2048 * scale
+	r := rng("spmv")
+	g := genGraph(r, n, 8)
+
+	b := kernel.NewBuilder("spmv")
+	prow := b.BufferParam("rowptr", true)
+	pcol := b.BufferParam("colidx", true)
+	pval := b.BufferParam("vals", true)
+	px := b.BufferParam("x", true)
+	py := b.BufferParam("y", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		start := b.LoadGlobal(b.AddScaled(prow, gtid, 4), 4)
+		end := b.LoadGlobal(b.AddScaled(prow, b.Add(gtid, kernel.Imm(1)), 4), 4)
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+			active := b.SetLT(e, end)
+			b.If(active, func() {
+				col := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+				v := b.LoadGlobalF32(b.AddScaled(pval, e, 4))
+				xv := b.LoadGlobalF32(b.AddScaled(px, col, 4))
+				b.MovTo(acc, b.FMad(v, xv, acc))
+			})
+		})
+		b.StoreGlobalF32(b.AddScaled(py, gtid, 4), acc)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	brow, bcol := uploadCSR(dev, "spmv", g)
+	bval := dev.Malloc("spmv-vals", uint64(maxInt(g.m, 1)*4), true)
+	bx := dev.Malloc("spmv-x", uint64(n*4), true)
+	by := dev.Malloc("spmv-y", uint64(n*4), false)
+	fillF32(dev, bval, g.m, r)
+	fillF32(dev, bx, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(brow), driver.BufArg(bcol), driver.BufArg(bval),
+			driver.BufArg(bx), driver.BufArg(by), driver.ScalarArg(int64(n))},
+		Invocations: 4,
+	}, nil
+}
+
+// buildStencil is the Parboil 7-point-style 2D Jacobi stencil.
+func buildStencil(dev *driver.Device, scale int) (*Spec, error) {
+	w := 256
+	h := 32 * scale
+	n := w * h
+
+	b := kernel.NewBuilder("stencil")
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("out", false)
+	pw := b.ScalarParam("w")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	// Interior guard: w <= i < n-w and not on the row edges.
+	lo := b.SetGE(gtid, pw)
+	hi := b.SetLT(gtid, b.Sub(pn, pw))
+	guard := b.And(lo, hi)
+	inner := b.SetNE(guard, kernel.Imm(0))
+	b.If(inner, func() {
+		c := b.LoadGlobalF32(b.AddScaled(pin, gtid, 4))
+		nv := b.LoadGlobalF32(b.AddScaled(pin, b.Sub(gtid, pw), 4))
+		sv := b.LoadGlobalF32(b.AddScaled(pin, b.Add(gtid, pw), 4))
+		ev := b.LoadGlobalF32(b.AddScaled(pin, b.Add(gtid, kernel.Imm(1)), 4))
+		wv := b.LoadGlobalF32(b.AddScaled(pin, b.Sub(gtid, kernel.Imm(1)), 4))
+		sum := b.FAdd(b.FAdd(nv, sv), b.FAdd(ev, wv))
+		res := b.FMad(c, kernel.FImm(0.5), b.FMul(sum, kernel.FImm(0.125)))
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), res)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("stencil")
+	bi := dev.Malloc("stencil-in", uint64(n*4), true)
+	bo := dev.Malloc("stencil-out", uint64(n*4), false)
+	fillF32(dev, bi, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 256, Block: 256,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bo),
+			driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n))},
+		Invocations: 8,
+	}, nil
+}
+
+// buildScalarProd computes many independent dot products (CUDA-SDK
+// scalarProd): one workgroup per vector pair with a shared-memory tree
+// reduction.
+func buildScalarProd(dev *driver.Device, scale int) (*Spec, error) {
+	const block = 128
+	const vlen = 512
+	pairs := 16 * scale
+
+	b := kernel.NewBuilder("scalarprod")
+	pa := b.BufferParam("a", true)
+	pb := b.BufferParam("b", true)
+	pout := b.BufferParam("out", false)
+	sh := b.Shared(block * 4)
+	tid := b.TID()
+	pair := b.CTAID()
+	acc := b.Mov(kernel.FImm(0))
+	base := b.Mul(pair, kernel.Imm(vlen))
+	b.ForRange(tid, kernel.Imm(vlen), kernel.Imm(block), func(i kernel.Operand) {
+		av := b.LoadGlobalF32(b.AddScaled(pa, b.Add(base, i), 4))
+		bv := b.LoadGlobalF32(b.AddScaled(pb, b.Add(base, i), 4))
+		b.MovTo(acc, b.FMad(av, bv, acc))
+	})
+	shAddr := b.Add(kernel.Imm(sh), b.Mul(tid, kernel.Imm(4)))
+	b.StoreSharedF32(shAddr, acc)
+	b.Barrier()
+	// Tree reduction in shared memory.
+	for stride := block / 2; stride > 0; stride /= 2 {
+		p := b.SetLT(tid, kernel.Imm(int64(stride)))
+		b.If(p, func() {
+			x := b.LoadSharedF32(shAddr)
+			y := b.LoadSharedF32(b.Add(shAddr, kernel.Imm(int64(stride*4))))
+			b.StoreSharedF32(shAddr, b.FAdd(x, y))
+		})
+		b.Barrier()
+	}
+	last := b.SetEQ(tid, kernel.Imm(0))
+	b.If(last, func() {
+		total := b.LoadSharedF32(kernel.Imm(sh))
+		b.StoreGlobalF32(b.AddScaled(pout, pair, 4), total)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("scalarprod")
+	ba := dev.Malloc("scalarprod-a", uint64(pairs*vlen*4), true)
+	bb := dev.Malloc("scalarprod-b", uint64(pairs*vlen*4), true)
+	bo := dev.Malloc("scalarprod-out", uint64(pairs*4), false)
+	fillF32(dev, ba, pairs*vlen, r)
+	fillF32(dev, bb, pairs*vlen, r)
+	return &Spec{
+		Kernel: k, Grid: pairs, Block: block,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bo)},
+		Verify: func(dev *driver.Device) error {
+			for p := 0; p < pairs; p += maxInt(pairs/5, 1) {
+				var want float32
+				// The kernel accumulates in float64 over f32 inputs; a f32
+				// accumulator reference differs by rounding only. Compare
+				// with tolerance.
+				var wantHi float64
+				for i := 0; i < vlen; i++ {
+					av := dev.ReadFloat32(ba, p*vlen+i)
+					bv := dev.ReadFloat32(bb, p*vlen+i)
+					wantHi += float64(av) * float64(bv)
+				}
+				want = float32(wantHi)
+				got := dev.ReadFloat32(bo, p)
+				diff := got - want
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 1e-2*float32(vlen) {
+					return fmt.Errorf("scalarprod: pair %d = %g, want ~%g", p, got, want)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildVectorAdd is the canonical streaming c = a + b.
+func buildVectorAdd(dev *driver.Device, scale int) (*Spec, error) {
+	n := 8192 * scale
+
+	b := kernel.NewBuilder("vectoradd")
+	pa := b.BufferParam("a", true)
+	pb := b.BufferParam("b", true)
+	pc := b.BufferParam("c", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		av := b.LoadGlobalF32(b.AddScaled(pa, gtid, 4))
+		bv := b.LoadGlobalF32(b.AddScaled(pb, gtid, 4))
+		b.StoreGlobalF32(b.AddScaled(pc, gtid, 4), b.FAdd(av, bv))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("vectoradd")
+	ba := dev.Malloc("vectoradd-a", uint64(n*4), true)
+	bb := dev.Malloc("vectoradd-b", uint64(n*4), true)
+	bc := dev.Malloc("vectoradd-c", uint64(n*4), false)
+	fillF32(dev, ba, n, r)
+	fillF32(dev, bb, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 256, Block: 256,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc),
+			driver.ScalarArg(int64(n))},
+		Verify: func(dev *driver.Device) error {
+			for i := 0; i < n; i += maxInt(n/13, 1) {
+				want := dev.ReadFloat32(ba, i) + dev.ReadFloat32(bb, i)
+				if got := dev.ReadFloat32(bc, i); got != want {
+					return fmt.Errorf("vectoradd: c[%d] = %g, want %g", i, got, want)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// dctBuilder builds an 8-point 1D DCT over rows of a matrix (the LA "dct"
+// and IM "dct8x8" entries share the pattern with different shapes).
+func dctBuilder(name string) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		rows := 512 * scale
+		const rowLen = 8
+
+		b := kernel.NewBuilder(name)
+		pin := b.BufferParam("in", true)
+		pcoef := b.BufferParam("coef", true)
+		pout := b.BufferParam("out", false)
+		prows := b.ScalarParam("rows")
+		gtid := b.GlobalTID()
+		row := b.Div(gtid, kernel.Imm(rowLen))
+		u := b.Rem(gtid, kernel.Imm(rowLen))
+		guard := b.SetLT(row, prows)
+		b.If(guard, func() {
+			acc := b.Mov(kernel.FImm(0))
+			b.ForRange(kernel.Imm(0), kernel.Imm(rowLen), kernel.Imm(1), func(x kernel.Operand) {
+				v := b.LoadGlobalF32(b.AddScaled(pin, b.Mad(row, kernel.Imm(rowLen), x), 4))
+				cidx := b.Mad(u, kernel.Imm(rowLen), x)
+				cv := b.LoadGlobalF32(b.AddScaled(pcoef, cidx, 4))
+				b.MovTo(acc, b.FMad(v, cv, acc))
+			})
+			b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), acc)
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		bi := dev.Malloc(name+"-in", uint64(rows*rowLen*4), true)
+		bcf := dev.Malloc(name+"-coef", rowLen*rowLen*4, true)
+		bo := dev.Malloc(name+"-out", uint64(rows*rowLen*4), false)
+		fillF32(dev, bi, rows*rowLen, r)
+		fillF32(dev, bcf, rowLen*rowLen, r)
+		return &Spec{
+			Kernel: k, Grid: rows * rowLen / 128, Block: 128,
+			Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bcf), driver.BufArg(bo),
+				driver.ScalarArg(int64(rows))},
+		}, nil
+	}
+}
+
+// buildReduction is the CUDA-SDK parallel tree reduction: per-workgroup
+// shared-memory reduction, partial sums to global memory.
+func buildReduction(dev *driver.Device, scale int) (*Spec, error) {
+	const block = 256
+	n := 16384 * scale
+
+	b := kernel.NewBuilder("reduction")
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("partials", false)
+	pn := b.ScalarParam("n")
+	sh := b.Shared(block * 4)
+	tid := b.TID()
+	gtid := b.GlobalTID()
+	// Grid-stride accumulate.
+	acc := b.Mov(kernel.Imm(0))
+	b.ForRange(gtid, pn, b.GlobalSize(), func(i kernel.Operand) {
+		active := b.SetLT(i, pn)
+		b.If(active, func() {
+			v := b.LoadGlobal(b.AddScaled(pin, i, 4), 4)
+			b.MovTo(acc, b.Add(acc, v))
+		})
+	})
+	shAddr := b.Add(kernel.Imm(sh), b.Mul(tid, kernel.Imm(4)))
+	b.StoreShared(shAddr, acc, 4)
+	b.Barrier()
+	for stride := block / 2; stride > 0; stride /= 2 {
+		p := b.SetLT(tid, kernel.Imm(int64(stride)))
+		b.If(p, func() {
+			x := b.LoadShared(shAddr, 4)
+			y := b.LoadShared(b.Add(shAddr, kernel.Imm(int64(stride*4))), 4)
+			b.StoreShared(shAddr, b.Add(x, y), 4)
+		})
+		b.Barrier()
+	}
+	first := b.SetEQ(tid, kernel.Imm(0))
+	b.If(first, func() {
+		total := b.LoadShared(kernel.Imm(sh), 4)
+		b.StoreGlobal(b.AddScaled(pout, b.CTAID(), 4), total, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("reduction")
+	grid := 16
+	bi := dev.Malloc("reduction-in", uint64(n*4), true)
+	bo := dev.Malloc("reduction-partials", uint64(grid*4), false)
+	fillU32(dev, bi, n, r, 100)
+	return &Spec{
+		Kernel: k, Grid: grid, Block: block,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bo), driver.ScalarArg(int64(n))},
+		Verify: func(dev *driver.Device) error {
+			var want uint64
+			for i := 0; i < n; i++ {
+				want += uint64(dev.ReadUint32(bi, i))
+			}
+			var got uint64
+			for g := 0; g < grid; g++ {
+				got += uint64(dev.ReadUint32(bo, g))
+			}
+			if got != want {
+				return fmt.Errorf("reduction: sum = %d, want %d", got, want)
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,247 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+func init() {
+	register(Benchmark{Name: "mm", Suite: "Parboil", Category: CatML, API: "cuda", Build: buildMM})
+	register(Benchmark{Name: "convsep", Suite: "CUDA-SDK", Category: CatML, API: "cuda", Sensitive: true,
+		Build: buildConvSep})
+	register(Benchmark{Name: "kmeans", Suite: "Rodinia", Category: CatML, API: "cuda",
+		Build: kmeansBuilder(128)})
+	register(Benchmark{Name: "backprop", Suite: "Rodinia", Category: CatML, API: "cuda",
+		Build: backpropBuilder(256)})
+}
+
+// buildMM builds a shared-memory-tiled matrix multiply C = A×B over
+// square float32 matrices (the Parboil sgemm pattern).
+func buildMM(dev *driver.Device, scale int) (*Spec, error) {
+	const tile = 16
+	n := 64 * scale // matrix dimension
+
+	b := kernel.NewBuilder("mm")
+	pa := b.BufferParam("A", true)
+	pb := b.BufferParam("B", true)
+	pc := b.BufferParam("C", false)
+	pn := b.ScalarParam("n")
+	shA := b.Shared(tile * tile * 4)
+	shB := b.Shared(tile * tile * 4)
+
+	// One workgroup computes a tile row: thread t handles element
+	// (row, col) with row = ctaid*tile + t/tile, col = t%tile ... iterate
+	// over column tiles.
+	tid := b.TID()
+	ty := b.Div(tid, kernel.Imm(tile))
+	tx := b.Rem(tid, kernel.Imm(tile))
+	row := b.Add(b.Mul(b.CTAID(), kernel.Imm(tile)), ty)
+	acc := b.Mov(kernel.FImm(0))
+	nTiles := b.Div(pn, kernel.Imm(tile))
+	b.ForRange(kernel.Imm(0), nTiles, kernel.Imm(1), func(t kernel.Operand) {
+		// Load A[row][t*tile+tx] and B[t*tile+ty][col] into shared tiles.
+		acol := b.Add(b.Mul(t, kernel.Imm(tile)), tx)
+		aidx := b.Mad(row, pn, acol)
+		av := b.LoadGlobalF32(b.AddScaled(pa, aidx, 4))
+		b.StoreSharedF32(b.Add(kernel.Imm(shA), b.Mul(tid, kernel.Imm(4))), av)
+		brow := b.Add(b.Mul(t, kernel.Imm(tile)), ty)
+		bcol := b.Add(b.Mul(b.CTAID(), kernel.Imm(0)), tx) // column tile 0 of B per workgroup slice
+		bidx := b.Mad(brow, pn, bcol)
+		bv := b.LoadGlobalF32(b.AddScaled(pb, bidx, 4))
+		b.StoreSharedF32(b.Add(kernel.Imm(shB), b.Mul(tid, kernel.Imm(4))), bv)
+		b.Barrier()
+		b.ForRange(kernel.Imm(0), kernel.Imm(tile), kernel.Imm(1), func(k kernel.Operand) {
+			sa := b.LoadSharedF32(b.Add(kernel.Imm(shA), b.Mul(b.Mad(ty, kernel.Imm(tile), k), kernel.Imm(4))))
+			sb := b.LoadSharedF32(b.Add(kernel.Imm(shB), b.Mul(b.Mad(k, kernel.Imm(tile), tx), kernel.Imm(4))))
+			b.MovTo(acc, b.FMad(sa, sb, acc))
+		})
+		b.Barrier()
+	})
+	cidx := b.Mad(row, pn, tx)
+	b.StoreGlobalF32(b.AddScaled(pc, cidx, 4), acc)
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("mm")
+	ba := dev.Malloc("mm-A", uint64(n*n*4), true)
+	bb := dev.Malloc("mm-B", uint64(n*n*4), true)
+	bc := dev.Malloc("mm-C", uint64(n*n*4), false)
+	fillF32(dev, ba, n*n, r)
+	fillF32(dev, bb, n*n, r)
+	return &Spec{
+		Kernel: k,
+		Grid:   n / tile,
+		Block:  tile * tile,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc),
+			driver.ScalarArg(int64(n))},
+		Invocations: 1,
+	}, nil
+}
+
+// buildConvSep builds the row pass of a separable convolution
+// (CUDA-SDK convolutionSeparable): out[i] = Σ_j in[i+j]·filt[j+R].
+func buildConvSep(dev *driver.Device, scale int) (*Spec, error) {
+	const radius = 8
+	n := 4096 * scale
+
+	b := kernel.NewBuilder("convsep")
+	pin := b.BufferParam("in", true)
+	pfilt := b.BufferParam("filt", true)
+	pout := b.BufferParam("out", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	inRange := b.SetLT(gtid, pn)
+	b.If(inRange, func() {
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(-radius), kernel.Imm(radius+1), kernel.Imm(1), func(j kernel.Operand) {
+			// Clamp the sample index to [0, n-1].
+			idx := b.Max(kernel.Imm(0), b.Min(b.Add(gtid, j), b.Sub(pn, kernel.Imm(1))))
+			v := b.LoadGlobalF32(b.AddScaled(pin, idx, 4))
+			f := b.LoadGlobalF32(b.AddScaled(pfilt, b.Add(j, kernel.Imm(radius)), 4))
+			b.MovTo(acc, b.FMad(v, f, acc))
+		})
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), acc)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("convsep")
+	bin := dev.Malloc("convsep-in", uint64(n*4), true)
+	bfilt := dev.Malloc("convsep-filt", (2*radius+1)*4, true)
+	bout := dev.Malloc("convsep-out", uint64(n*4), false)
+	fillF32(dev, bin, n, r)
+	fillF32(dev, bfilt, 2*radius+1, r)
+	return &Spec{
+		Kernel: k, Grid: n / 256, Block: 256,
+		Args: []driver.Arg{driver.BufArg(bin), driver.BufArg(bfilt), driver.BufArg(bout),
+			driver.ScalarArg(int64(n))},
+		Invocations: 2, // row + column pass in the real app
+	}, nil
+}
+
+// kmeansBuilder builds the Rodinia kmeans membership kernel: each point
+// finds its nearest centroid. The tid < npoints guard is the software
+// bounds check of Fig. 13.
+func kmeansBuilder(block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		const nfeat, nclust = 8, 5
+		npoints := 2048 * scale
+
+		b := kernel.NewBuilder("kmeans")
+		pfeat := b.BufferParam("features", true)
+		pclust := b.BufferParam("clusters", true)
+		pmem := b.BufferParam("membership", false)
+		pnp := b.ScalarParam("npoints")
+		gtid := b.GlobalTID()
+		guard := b.SetLT(gtid, pnp)
+		b.If(guard, func() {
+			best := b.Mov(kernel.Imm(0))
+			bestDist := b.Mov(kernel.FImm(1e30))
+			b.ForRange(kernel.Imm(0), kernel.Imm(nclust), kernel.Imm(1), func(c kernel.Operand) {
+				dist := b.Mov(kernel.FImm(0))
+				b.ForRange(kernel.Imm(0), kernel.Imm(nfeat), kernel.Imm(1), func(f kernel.Operand) {
+					fv := b.LoadGlobalF32(b.AddScaled(pfeat, b.Mad(gtid, kernel.Imm(nfeat), f), 4))
+					cv := b.LoadGlobalF32(b.AddScaled(pclust, b.Mad(c, kernel.Imm(nfeat), f), 4))
+					d := b.FSub(fv, cv)
+					b.MovTo(dist, b.FMad(d, d, dist))
+				})
+				better := b.FSetLT(dist, bestDist)
+				b.MovTo(bestDist, b.Selp(dist, bestDist, better))
+				b.MovTo(best, b.Selp(c, best, better))
+			})
+			b.StoreGlobal(b.AddScaled(pmem, gtid, 4), best, 4)
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng("kmeans")
+		bf := dev.Malloc("kmeans-features", uint64(npoints*nfeat*4), true)
+		bcl := dev.Malloc("kmeans-clusters", nclust*nfeat*4, true)
+		bm := dev.Malloc("kmeans-membership", uint64(npoints*4), false)
+		fillF32(dev, bf, npoints*nfeat, r)
+		fillF32(dev, bcl, nclust*nfeat, r)
+		grid := (npoints + block - 1) / block
+		return &Spec{
+			Kernel: k, Grid: grid, Block: block,
+			Args: []driver.Arg{driver.BufArg(bf), driver.BufArg(bcl), driver.BufArg(bm),
+				driver.ScalarArg(int64(npoints))},
+			Invocations: 20, // iterative refinement in the real app
+			Verify: func(dev *driver.Device) error {
+				// Spot-check a handful of points against the host reference.
+				for p := 0; p < npoints; p += npoints / 7 {
+					best, bestDist := 0, float64(1e30)
+					for c := 0; c < nclust; c++ {
+						d := 0.0
+						for f := 0; f < nfeat; f++ {
+							fv := float64(dev.ReadFloat32(bf, p*nfeat+f))
+							cv := float64(dev.ReadFloat32(bcl, c*nfeat+f))
+							d += (fv - cv) * (fv - cv)
+						}
+						// The kernel compares in float64 after f32 rounding,
+						// matching this reference.
+						if d < bestDist {
+							best, bestDist = c, d
+						}
+					}
+					if got := int(dev.ReadUint32(bm, p)); got != best {
+						return fmt.Errorf("kmeans: point %d assigned %d, want %d", p, got, best)
+					}
+				}
+				return nil
+			},
+		}, nil
+	}
+}
+
+// backpropBuilder builds the Rodinia backprop forward-layer kernel:
+// hidden[j] = Σ_i input[i]·w[i][j], parallelized over (block of inputs ×
+// hidden unit), with a shared-memory partial-sum reduction.
+func backpropBuilder(block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		nIn := 1024 * scale
+		const nHidden = 16
+
+		b := kernel.NewBuilder("backprop")
+		pin := b.BufferParam("input", true)
+		pw := b.BufferParam("weights", true)
+		pout := b.BufferParam("partial", false)
+		tid := b.TID()
+		wg := b.CTAID()
+		// Each workgroup handles `block` inputs for every hidden unit.
+		inIdx := b.Mad(wg, kernel.Imm(int64(block)), tid)
+		iv := b.LoadGlobalF32(b.AddScaled(pin, inIdx, 4))
+		b.ForRange(kernel.Imm(0), kernel.Imm(nHidden), kernel.Imm(1), func(h kernel.Operand) {
+			widx := b.Mad(inIdx, kernel.Imm(nHidden), h)
+			wv := b.LoadGlobalF32(b.AddScaled(pw, widx, 4))
+			prod := b.FMul(iv, wv)
+			// Partial per-warp accumulation via shared memory tree.
+			oidx := b.Mad(b.Mad(wg, kernel.Imm(nHidden), h), kernel.Imm(int64(block)), tid)
+			b.StoreGlobalF32(b.AddScaled(pout, oidx, 4), prod)
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng("backprop")
+		bi := dev.Malloc("backprop-input", uint64(nIn*4), true)
+		bw := dev.Malloc("backprop-weights", uint64(nIn*nHidden*4), true)
+		grid := nIn / block
+		bp := dev.Malloc("backprop-partial", uint64(grid*nHidden*block*4), false)
+		fillF32(dev, bi, nIn, r)
+		fillF32(dev, bw, nIn*nHidden, r)
+		return &Spec{
+			Kernel: k, Grid: grid, Block: block,
+			Args:        []driver.Arg{driver.BufArg(bi), driver.BufArg(bw), driver.BufArg(bp)},
+			Invocations: 2,
+		}, nil
+	}
+}

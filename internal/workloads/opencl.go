@@ -1,0 +1,254 @@
+package workloads
+
+import (
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// The 17-benchmark OpenCL set used for the Intel GPU evaluation (Table 6
+// bottom row, Figs. 16 and 18). Work-group sizes stay within the Intel
+// configuration's 112 hardware threads per core.
+func init() {
+	const blk = 64
+	register(Benchmark{Name: "ocl-backprop", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: backpropBuilder(blk)})
+	register(Benchmark{Name: "ocl-bfs", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: bfsBuilder("ocl-bfs", blk)})
+	register(Benchmark{Name: "ocl-bitonicsort", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: bitonicBuilder("ocl-bitonicsort", blk)})
+	register(Benchmark{Name: "ocl-gemm", Suite: "OpenCL", Category: CatOpenCL, API: "opencl", Build: buildOclGEMM})
+	register(Benchmark{Name: "ocl-image", Suite: "OpenCL", Category: CatOpenCL, API: "opencl", Build: buildOclImage})
+	register(Benchmark{Name: "ocl-lavaMD", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: lavaMDBuilder("ocl-lavaMD", blk)})
+	register(Benchmark{Name: "ocl-medianfilter", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: buildOclMedian})
+	register(Benchmark{Name: "ocl-cfd", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: cfdBuilder("ocl-cfd", blk)})
+	register(Benchmark{Name: "ocl-montecarlo", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: buildOclMonteCarlo})
+	register(Benchmark{Name: "ocl-pathfinder", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: pathfinderBuilder("ocl-pathfinder", blk)})
+	register(Benchmark{Name: "ocl-svm", Suite: "OpenCL", Category: CatOpenCL, API: "opencl", Build: buildOclSVM})
+	register(Benchmark{Name: "ocl-hotspot", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: hotspotBuilder("ocl-hotspot", blk)})
+	register(Benchmark{Name: "ocl-hotspot3D", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: hotspot3DBuilder("ocl-hotspot3D", blk)})
+	register(Benchmark{Name: "ocl-hybridsort", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: hybridsortBuilder("ocl-hybridsort", blk)})
+	register(Benchmark{Name: "ocl-kmeans", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: kmeansBuilder(blk)})
+	register(Benchmark{Name: "ocl-nn", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: nnBuilder("ocl-nn", blk, 8)})
+	register(Benchmark{Name: "ocl-streamcluster", Suite: "OpenCL", Category: CatOpenCL, API: "opencl",
+		Build: streamclusterBuilder("ocl-streamcluster", blk)})
+}
+
+// buildOclGEMM is a straightforward (untiled) GEMM using Method-C
+// addressing, the form Intel send instructions use — its offsets become
+// Type-3 checks under static analysis.
+func buildOclGEMM(dev *driver.Device, scale int) (*Spec, error) {
+	n := 48 * scale
+
+	b := kernel.NewBuilder("ocl-gemm")
+	pa := b.BufferParam("A", true)
+	pb := b.BufferParam("B", true)
+	pc := b.BufferParam("C", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(pn, pn))
+	b.If(guard, func() {
+		row := b.Div(gtid, pn)
+		col := b.Rem(gtid, pn)
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), pn, kernel.Imm(1), func(t kernel.Operand) {
+			av := b.LoadGlobalOfsF32(pa, b.Mul(b.Mad(row, pn, t), kernel.Imm(4)))
+			bv := b.LoadGlobalOfsF32(pb, b.Mul(b.Mad(t, pn, col), kernel.Imm(4)))
+			b.MovTo(acc, b.FMad(av, bv, acc))
+		})
+		b.StoreGlobalOfsF32(pc, b.Mul(gtid, kernel.Imm(4)), acc)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("ocl-gemm")
+	ba := dev.Malloc("oclgemm-A", uint64(n*n*4), true)
+	bb := dev.Malloc("oclgemm-B", uint64(n*n*4), true)
+	bc := dev.Malloc("oclgemm-C", uint64(n*n*4), false)
+	fillF32(dev, ba, n*n, r)
+	fillF32(dev, bb, n*n, r)
+	return &Spec{
+		Kernel: k, Grid: (n*n + 63) / 64, Block: 64,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc),
+			driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildOclImage rotates an image 180° through gather addressing.
+func buildOclImage(dev *driver.Device, scale int) (*Spec, error) {
+	n := 8192 * scale
+
+	b := kernel.NewBuilder("ocl-image")
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("out", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		src := b.Sub(b.Sub(pn, kernel.Imm(1)), gtid)
+		v := b.LoadGlobal(b.AddScaled(pin, src, 4), 4)
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), v, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("ocl-image")
+	bi := dev.Malloc("oclimage-in", uint64(n*4), true)
+	bo := dev.Malloc("oclimage-out", uint64(n*4), false)
+	fillU32(dev, bi, n, r, 256)
+	return &Spec{
+		Kernel: k, Grid: n / 64, Block: 64,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bo), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildOclMedian is a 5-tap 1D median filter (sorting network on loaded
+// values).
+func buildOclMedian(dev *driver.Device, scale int) (*Spec, error) {
+	n := 8192 * scale
+
+	b := kernel.NewBuilder("ocl-medianfilter")
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("out", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, kernel.Imm(2))
+	hi := b.SetLT(gtid, b.Sub(pn, kernel.Imm(2)))
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		v0 := b.LoadGlobal(b.AddScaled(pin, b.Sub(gtid, kernel.Imm(2)), 4), 4)
+		v1 := b.LoadGlobal(b.AddScaled(pin, b.Sub(gtid, kernel.Imm(1)), 4), 4)
+		v2 := b.LoadGlobal(b.AddScaled(pin, gtid, 4), 4)
+		v3 := b.LoadGlobal(b.AddScaled(pin, b.Add(gtid, kernel.Imm(1)), 4), 4)
+		v4 := b.LoadGlobal(b.AddScaled(pin, b.Add(gtid, kernel.Imm(2)), 4), 4)
+		// Median-of-5 via min/max network.
+		lo1, hi1 := b.Min(v0, v1), b.Max(v0, v1)
+		lo2, hi2 := b.Min(v2, v3), b.Max(v2, v3)
+		m1 := b.Max(lo1, lo2)
+		m2 := b.Min(hi1, hi2)
+		med := b.Max(b.Min(m1, m2), b.Min(v4, b.Max(m1, m2)))
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), med, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("ocl-medianfilter")
+	bi := dev.Malloc("oclmedian-in", uint64(n*4), true)
+	bo := dev.Malloc("oclmedian-out", uint64(n*4), false)
+	fillU32(dev, bi, n, r, 1024)
+	return &Spec{
+		Kernel: k, Grid: n / 64, Block: 64,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bo), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildOclMonteCarlo simulates random-walk option paths from per-thread
+// seeds.
+func buildOclMonteCarlo(dev *driver.Device, scale int) (*Spec, error) {
+	paths := 2048 * scale
+	const steps = 32
+
+	b := kernel.NewBuilder("ocl-montecarlo")
+	pseed := b.BufferParam("seeds", true)
+	ppayoff := b.BufferParam("payoff", false)
+	pn := b.ScalarParam("paths")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		s := b.LoadGlobal(b.AddScaled(pseed, gtid, 4), 4)
+		price := b.Mov(kernel.FImm(100))
+		b.ForRange(kernel.Imm(0), kernel.Imm(steps), kernel.Imm(1), func(i kernel.Operand) {
+			s1 := b.And(b.Xor(s, b.Shl(s, kernel.Imm(13))), kernel.Imm(0xFFFFFFFF))
+			s2 := b.Xor(s1, b.Shr(s1, kernel.Imm(17)))
+			s3 := b.And(b.Xor(s2, b.Shl(s2, kernel.Imm(5))), kernel.Imm(0xFFFFFFFF))
+			b.MovTo(s, s3)
+			// Map to a small return in [-0.5%, +0.5%].
+			u := b.FMul(b.CvtIF(b.And(s, kernel.Imm(1023))), kernel.FImm(1.0/1024))
+			ret := b.FMad(u, kernel.FImm(0.01), kernel.FImm(0.995))
+			b.MovTo(price, b.FMul(price, ret))
+		})
+		payoff := b.FMax(b.FSub(price, kernel.FImm(100)), kernel.FImm(0))
+		b.StoreGlobalF32(b.AddScaled(ppayoff, gtid, 4), payoff)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("ocl-montecarlo")
+	bs := dev.Malloc("oclmc-seeds", uint64(paths*4), true)
+	bp := dev.Malloc("oclmc-payoff", uint64(paths*4), false)
+	fillU32(dev, bs, paths, r, 1<<31)
+	return &Spec{
+		Kernel: k, Grid: paths / 64, Block: 64,
+		Args: []driver.Arg{driver.BufArg(bs), driver.BufArg(bp), driver.ScalarArg(int64(paths))},
+	}, nil
+}
+
+// buildOclSVM evaluates an RBF-kernel SVM decision function against the
+// support-vector set (4 buffers).
+func buildOclSVM(dev *driver.Device, scale int) (*Spec, error) {
+	const dim = 8
+	const sv = 32
+	n := 1024 * scale
+
+	b := kernel.NewBuilder("ocl-svm")
+	pdata := b.BufferParam("data", true)
+	psv := b.BufferParam("sv", true)
+	palpha := b.BufferParam("alpha", true)
+	pout := b.BufferParam("decision", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(sv), kernel.Imm(1), func(s kernel.Operand) {
+			d2 := b.Mov(kernel.FImm(0))
+			b.ForRange(kernel.Imm(0), kernel.Imm(dim), kernel.Imm(1), func(f kernel.Operand) {
+				xv := b.LoadGlobalF32(b.AddScaled(pdata, b.Mad(gtid, kernel.Imm(dim), f), 4))
+				sv2 := b.LoadGlobalF32(b.AddScaled(psv, b.Mad(s, kernel.Imm(dim), f), 4))
+				df := b.FSub(xv, sv2)
+				b.MovTo(d2, b.FMad(df, df, d2))
+			})
+			// exp(-g d²) ≈ 1/(1 + g d² + (g d²)²/2).
+			gd := b.FMul(d2, kernel.FImm(0.5))
+			rbf := b.FDiv(kernel.FImm(1), b.FAdd(kernel.FImm(1), b.FMad(gd, gd, gd)))
+			av := b.LoadGlobalF32(b.AddScaled(palpha, s, 4))
+			b.MovTo(acc, b.FMad(av, rbf, acc))
+		})
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), acc)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("ocl-svm")
+	bd := dev.Malloc("oclsvm-data", uint64(n*dim*4), true)
+	bsv := dev.Malloc("oclsvm-sv", sv*dim*4, true)
+	ba := dev.Malloc("oclsvm-alpha", sv*4, true)
+	bo := dev.Malloc("oclsvm-decision", uint64(n*4), false)
+	fillF32(dev, bd, n*dim, r)
+	fillF32(dev, bsv, sv*dim, r)
+	fillF32(dev, ba, sv, r)
+	return &Spec{
+		Kernel: k, Grid: n / 64, Block: 64,
+		Args: []driver.Arg{driver.BufArg(bd), driver.BufArg(bsv), driver.BufArg(ba),
+			driver.BufArg(bo), driver.ScalarArg(int64(n))},
+	}, nil
+}

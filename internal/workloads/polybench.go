@@ -1,0 +1,397 @@
+package workloads
+
+import (
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// PolyBench/ACC: dense linear-algebra kernels with purely affine indexing —
+// the suite where static bounds analysis shines.
+func init() {
+	register(Benchmark{Name: "pb-2mm", Suite: "PolyBench/ACC", Category: CatLA, API: "cuda", Build: buildPB2MM})
+	register(Benchmark{Name: "pb-atax", Suite: "PolyBench/ACC", Category: CatLA, API: "cuda", Build: buildPBAtax})
+	register(Benchmark{Name: "pb-bicg", Suite: "PolyBench/ACC", Category: CatLA, API: "cuda", Build: buildPBBicg})
+	register(Benchmark{Name: "pb-gemver", Suite: "PolyBench/ACC", Category: CatLA, API: "cuda", Build: buildPBGemver})
+	register(Benchmark{Name: "pb-gesummv", Suite: "PolyBench/ACC", Category: CatLA, API: "cuda", Build: buildPBGesummv})
+	register(Benchmark{Name: "pb-mvt", Suite: "PolyBench/ACC", Category: CatLA, API: "cuda", Build: buildPBMvt})
+	register(Benchmark{Name: "pb-syrk", Suite: "PolyBench/ACC", Category: CatLA, API: "cuda", Build: buildPBSyrk})
+	register(Benchmark{Name: "pb-correlation", Suite: "PolyBench/ACC", Category: CatDM, API: "cuda", Build: buildPBCorr})
+}
+
+// buildPB2MM is the first phase of 2mm: D = A×B (the second phase E = D×C
+// is another invocation of the same kernel shape in the real app).
+func buildPB2MM(dev *driver.Device, scale int) (*Spec, error) {
+	n := 48 * scale
+
+	b := kernel.NewBuilder("pb-2mm")
+	pa := b.BufferParam("A", true)
+	pb2 := b.BufferParam("B", true)
+	pc := b.BufferParam("C", true)
+	pd := b.BufferParam("D", false)
+	pe := b.BufferParam("E", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(pn, pn))
+	b.If(guard, func() {
+		i := b.Div(gtid, pn)
+		j := b.Rem(gtid, pn)
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), pn, kernel.Imm(1), func(k kernel.Operand) {
+			av := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(i, pn, k), 4))
+			bv := b.LoadGlobalF32(b.AddScaled(pb2, b.Mad(k, pn, j), 4))
+			b.MovTo(acc, b.FMad(av, bv, acc))
+		})
+		b.StoreGlobalF32(b.AddScaled(pd, gtid, 4), acc)
+		// E starts from C scaled (the beta term of the second mm).
+		cv := b.LoadGlobalF32(b.AddScaled(pc, gtid, 4))
+		b.StoreGlobalF32(b.AddScaled(pe, gtid, 4), b.FMul(cv, kernel.FImm(1.2)))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-2mm")
+	mk := func(name string, ro bool) *driver.Buffer {
+		buf := dev.Malloc("pb2mm-"+name, uint64(n*n*4), ro)
+		if ro {
+			fillF32(dev, buf, n*n, r)
+		}
+		return buf
+	}
+	ba, bb, bc := mk("A", true), mk("B", true), mk("C", true)
+	bd, be := mk("D", false), mk("E", false)
+	return &Spec{
+		Kernel: k, Grid: (n*n + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc),
+			driver.BufArg(bd), driver.BufArg(be), driver.ScalarArg(int64(n))},
+		Invocations: 2,
+	}, nil
+}
+
+// buildPBAtax computes y = Aᵀ(Ax): tmp = Ax in one range of threads, the
+// transpose product folded via a second loop.
+func buildPBAtax(dev *driver.Device, scale int) (*Spec, error) {
+	n := 256 * scale
+	const m = 64
+
+	b := kernel.NewBuilder("pb-atax")
+	pa := b.BufferParam("A", true)
+	px := b.BufferParam("x", true)
+	ptmp := b.BufferParam("tmp", false)
+	py := b.BufferParam("y", false)
+	pn := b.ScalarParam("rows")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(m), kernel.Imm(1), func(j kernel.Operand) {
+			av := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(gtid, kernel.Imm(m), j), 4))
+			xv := b.LoadGlobalF32(b.AddScaled(px, j, 4))
+			b.MovTo(acc, b.FMad(av, xv, acc))
+		})
+		b.StoreGlobalF32(b.AddScaled(ptmp, gtid, 4), acc)
+		// Partial contribution to y (the transpose side), scattered with
+		// atomically-safe disjoint columns per thread group.
+		col := b.Rem(gtid, kernel.Imm(m))
+		av := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(gtid, kernel.Imm(m), col), 4))
+		b.StoreGlobalF32(b.AddScaled(py, gtid, 4), b.FMul(av, acc))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-atax")
+	ba := dev.Malloc("atax-A", uint64(n*m*4), true)
+	bx := dev.Malloc("atax-x", m*4, true)
+	btmp := dev.Malloc("atax-tmp", uint64(n*4), false)
+	by := dev.Malloc("atax-y", uint64(n*4), false)
+	fillF32(dev, ba, n*m, r)
+	fillF32(dev, bx, m, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bx), driver.BufArg(btmp),
+			driver.BufArg(by), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildPBBicg computes the BiCG kernel pair s = Aᵀr and q = Ap.
+func buildPBBicg(dev *driver.Device, scale int) (*Spec, error) {
+	n := 256 * scale
+	const m = 64
+
+	b := kernel.NewBuilder("pb-bicg")
+	pa := b.BufferParam("A", true)
+	pr := b.BufferParam("r", true)
+	pp := b.BufferParam("p", true)
+	ps := b.BufferParam("s", false)
+	pq := b.BufferParam("q", false)
+	pn := b.ScalarParam("rows")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		q := b.Mov(kernel.FImm(0))
+		s := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(m), kernel.Imm(1), func(j kernel.Operand) {
+			av := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(gtid, kernel.Imm(m), j), 4))
+			pv := b.LoadGlobalF32(b.AddScaled(pp, j, 4))
+			rv := b.LoadGlobalF32(b.AddScaled(pr, j, 4))
+			b.MovTo(q, b.FMad(av, pv, q))
+			b.MovTo(s, b.FMad(av, rv, s))
+		})
+		b.StoreGlobalF32(b.AddScaled(pq, gtid, 4), q)
+		b.StoreGlobalF32(b.AddScaled(ps, gtid, 4), s)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-bicg")
+	ba := dev.Malloc("bicg-A", uint64(n*m*4), true)
+	br := dev.Malloc("bicg-r", m*4, true)
+	bp := dev.Malloc("bicg-p", m*4, true)
+	bs := dev.Malloc("bicg-s", uint64(n*4), false)
+	bq := dev.Malloc("bicg-q", uint64(n*4), false)
+	fillF32(dev, ba, n*m, r)
+	fillF32(dev, br, m, r)
+	fillF32(dev, bp, m, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(br), driver.BufArg(bp),
+			driver.BufArg(bs), driver.BufArg(bq), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildPBGemver is the rank-2 update A += u1·v1ᵀ + u2·v2ᵀ.
+func buildPBGemver(dev *driver.Device, scale int) (*Spec, error) {
+	n := 96 * scale
+
+	b := kernel.NewBuilder("pb-gemver")
+	pa := b.BufferParam("A", false)
+	pu1 := b.BufferParam("u1", true)
+	pv1 := b.BufferParam("v1", true)
+	pu2 := b.BufferParam("u2", true)
+	pv2 := b.BufferParam("v2", true)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(pn, pn))
+	b.If(guard, func() {
+		i := b.Div(gtid, pn)
+		j := b.Rem(gtid, pn)
+		u1 := b.LoadGlobalF32(b.AddScaled(pu1, i, 4))
+		v1 := b.LoadGlobalF32(b.AddScaled(pv1, j, 4))
+		u2 := b.LoadGlobalF32(b.AddScaled(pu2, i, 4))
+		v2 := b.LoadGlobalF32(b.AddScaled(pv2, j, 4))
+		av := b.LoadGlobalF32(b.AddScaled(pa, gtid, 4))
+		b.StoreGlobalF32(b.AddScaled(pa, gtid, 4),
+			b.FAdd(av, b.FMad(u1, v1, b.FMul(u2, v2))))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-gemver")
+	ba := dev.Malloc("gemver-A", uint64(n*n*4), false)
+	mkv := func(name string) *driver.Buffer {
+		buf := dev.Malloc("gemver-"+name, uint64(n*4), true)
+		fillF32(dev, buf, n, r)
+		return buf
+	}
+	bu1, bv1, bu2, bv2 := mkv("u1"), mkv("v1"), mkv("u2"), mkv("v2")
+	fillF32(dev, ba, n*n, r)
+	return &Spec{
+		Kernel: k, Grid: (n*n + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bu1), driver.BufArg(bv1),
+			driver.BufArg(bu2), driver.BufArg(bv2), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildPBGesummv computes y = αAx + βBx (two matrices, one vector).
+func buildPBGesummv(dev *driver.Device, scale int) (*Spec, error) {
+	n := 128 * scale
+	const m = 64
+
+	b := kernel.NewBuilder("pb-gesummv")
+	pa := b.BufferParam("A", true)
+	pb2 := b.BufferParam("B", true)
+	px := b.BufferParam("x", true)
+	py := b.BufferParam("y", false)
+	pn := b.ScalarParam("rows")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		ax := b.Mov(kernel.FImm(0))
+		bx := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(m), kernel.Imm(1), func(j kernel.Operand) {
+			xv := b.LoadGlobalF32(b.AddScaled(px, j, 4))
+			av := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(gtid, kernel.Imm(m), j), 4))
+			bv := b.LoadGlobalF32(b.AddScaled(pb2, b.Mad(gtid, kernel.Imm(m), j), 4))
+			b.MovTo(ax, b.FMad(av, xv, ax))
+			b.MovTo(bx, b.FMad(bv, xv, bx))
+		})
+		b.StoreGlobalF32(b.AddScaled(py, gtid, 4),
+			b.FMad(ax, kernel.FImm(1.5), b.FMul(bx, kernel.FImm(0.5))))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-gesummv")
+	ba := dev.Malloc("gesummv-A", uint64(n*m*4), true)
+	bb := dev.Malloc("gesummv-B", uint64(n*m*4), true)
+	bx := dev.Malloc("gesummv-x", m*4, true)
+	by := dev.Malloc("gesummv-y", uint64(n*4), false)
+	fillF32(dev, ba, n*m, r)
+	fillF32(dev, bb, n*m, r)
+	fillF32(dev, bx, m, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bx),
+			driver.BufArg(by), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildPBMvt computes the twin products x1 += A·y1 and x2 += Aᵀ·y2.
+func buildPBMvt(dev *driver.Device, scale int) (*Spec, error) {
+	n := 96 * scale
+
+	b := kernel.NewBuilder("pb-mvt")
+	pa := b.BufferParam("A", true)
+	px1 := b.BufferParam("x1", false)
+	py1 := b.BufferParam("y1", true)
+	px2 := b.BufferParam("x2", false)
+	py2 := b.BufferParam("y2", true)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		a1 := b.Mov(kernel.FImm(0))
+		a2 := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), pn, kernel.Imm(1), func(j kernel.Operand) {
+			row := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(gtid, pn, j), 4))
+			col := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(j, pn, gtid), 4))
+			y1 := b.LoadGlobalF32(b.AddScaled(py1, j, 4))
+			y2 := b.LoadGlobalF32(b.AddScaled(py2, j, 4))
+			b.MovTo(a1, b.FMad(row, y1, a1))
+			b.MovTo(a2, b.FMad(col, y2, a2))
+		})
+		x1 := b.LoadGlobalF32(b.AddScaled(px1, gtid, 4))
+		x2 := b.LoadGlobalF32(b.AddScaled(px2, gtid, 4))
+		b.StoreGlobalF32(b.AddScaled(px1, gtid, 4), b.FAdd(x1, a1))
+		b.StoreGlobalF32(b.AddScaled(px2, gtid, 4), b.FAdd(x2, a2))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-mvt")
+	ba := dev.Malloc("mvt-A", uint64(n*n*4), true)
+	fillF32(dev, ba, n*n, r)
+	mkv := func(name string, ro bool) *driver.Buffer {
+		buf := dev.Malloc("mvt-"+name, uint64(n*4), ro)
+		fillF32(dev, buf, n, r)
+		return buf
+	}
+	bx1, by1 := mkv("x1", false), mkv("y1", true)
+	bx2, by2 := mkv("x2", false), mkv("y2", true)
+	return &Spec{
+		Kernel: k, Grid: (n + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bx1), driver.BufArg(by1),
+			driver.BufArg(bx2), driver.BufArg(by2), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildPBSyrk computes the symmetric rank-k update C = αA·Aᵀ + βC.
+func buildPBSyrk(dev *driver.Device, scale int) (*Spec, error) {
+	n := 64 * scale
+	const m = 32
+
+	b := kernel.NewBuilder("pb-syrk")
+	pa := b.BufferParam("A", true)
+	pc := b.BufferParam("C", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(pn, pn))
+	b.If(guard, func() {
+		i := b.Div(gtid, pn)
+		j := b.Rem(gtid, pn)
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(m), kernel.Imm(1), func(k kernel.Operand) {
+			a1 := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(i, kernel.Imm(m), k), 4))
+			a2 := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(j, kernel.Imm(m), k), 4))
+			b.MovTo(acc, b.FMad(a1, a2, acc))
+		})
+		cv := b.LoadGlobalF32(b.AddScaled(pc, gtid, 4))
+		b.StoreGlobalF32(b.AddScaled(pc, gtid, 4),
+			b.FMad(cv, kernel.FImm(0.3), b.FMul(acc, kernel.FImm(1.1))))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-syrk")
+	ba := dev.Malloc("syrk-A", uint64(n*m*4), true)
+	bc := dev.Malloc("syrk-C", uint64(n*n*4), false)
+	fillF32(dev, ba, n*m, r)
+	fillF32(dev, bc, n*n, r)
+	return &Spec{
+		Kernel: k, Grid: (n*n + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bc), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildPBCorr computes one column of the correlation matrix from
+// pre-computed means and standard deviations.
+func buildPBCorr(dev *driver.Device, scale int) (*Spec, error) {
+	vars := 64 * scale
+	const obs = 48
+
+	b := kernel.NewBuilder("pb-correlation")
+	pdata := b.BufferParam("data", true)
+	pmean := b.BufferParam("mean", true)
+	pstd := b.BufferParam("std", true)
+	pcorr := b.BufferParam("corr", false)
+	pv := b.ScalarParam("vars")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(pv, pv))
+	b.If(guard, func() {
+		i := b.Div(gtid, pv)
+		j := b.Rem(gtid, pv)
+		mi := b.LoadGlobalF32(b.AddScaled(pmean, i, 4))
+		mj := b.LoadGlobalF32(b.AddScaled(pmean, j, 4))
+		si := b.LoadGlobalF32(b.AddScaled(pstd, i, 4))
+		sj := b.LoadGlobalF32(b.AddScaled(pstd, j, 4))
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(obs), kernel.Imm(1), func(o kernel.Operand) {
+			di := b.LoadGlobalF32(b.AddScaled(pdata, b.Mad(o, pv, i), 4))
+			dj := b.LoadGlobalF32(b.AddScaled(pdata, b.Mad(o, pv, j), 4))
+			b.MovTo(acc, b.FAdd(acc, b.FMul(b.FSub(di, mi), b.FSub(dj, mj))))
+		})
+		denom := b.FAdd(b.FMul(si, sj), kernel.FImm(1e-6))
+		b.StoreGlobalF32(b.AddScaled(pcorr, gtid, 4), b.FDiv(acc, denom))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-correlation")
+	bd := dev.Malloc("corr-data", uint64(obs*vars*4), true)
+	bm := dev.Malloc("corr-mean", uint64(vars*4), true)
+	bs := dev.Malloc("corr-std", uint64(vars*4), true)
+	bc := dev.Malloc("corr-corr", uint64(vars*vars*4), false)
+	fillF32(dev, bd, obs*vars, r)
+	fillF32(dev, bm, vars, r)
+	fillF32(dev, bs, vars, r)
+	return &Spec{
+		Kernel: k, Grid: (vars*vars + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bd), driver.BufArg(bm), driver.BufArg(bs),
+			driver.BufArg(bc), driver.ScalarArg(int64(vars))},
+	}, nil
+}

@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+func init() {
+	register(Benchmark{Name: "pb-3mm", Suite: "PolyBench/ACC", Category: CatLA, API: "cuda", Build: buildPB3MM})
+	register(Benchmark{Name: "pb-syr2k", Suite: "PolyBench/ACC", Category: CatLA, API: "cuda", Build: buildPBSyr2k})
+	register(Benchmark{Name: "pb-jacobi2d", Suite: "PolyBench/ACC", Category: CatPS, API: "cuda", Build: buildPBJacobi2D})
+}
+
+// buildPB3MM is the first product of 3mm (E = A×B; the app chains F = C×D
+// and G = E×F as further invocations of the same shape), with all seven
+// operand matrices as kernel arguments — one of the higher buffer counts in
+// PolyBench.
+func buildPB3MM(dev *driver.Device, scale int) (*Spec, error) {
+	n := 40 * scale
+
+	b := kernel.NewBuilder("pb-3mm")
+	pa := b.BufferParam("A", true)
+	pb2 := b.BufferParam("B", true)
+	pc := b.BufferParam("C", true)
+	pd := b.BufferParam("D", true)
+	pe := b.BufferParam("E", false)
+	pf := b.BufferParam("F", false)
+	pg := b.BufferParam("G", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(pn, pn))
+	b.If(guard, func() {
+		i := b.Div(gtid, pn)
+		j := b.Rem(gtid, pn)
+		e := b.Mov(kernel.FImm(0))
+		f := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), pn, kernel.Imm(1), func(k kernel.Operand) {
+			av := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(i, pn, k), 4))
+			bv := b.LoadGlobalF32(b.AddScaled(pb2, b.Mad(k, pn, j), 4))
+			cv := b.LoadGlobalF32(b.AddScaled(pc, b.Mad(i, pn, k), 4))
+			dv := b.LoadGlobalF32(b.AddScaled(pd, b.Mad(k, pn, j), 4))
+			b.MovTo(e, b.FMad(av, bv, e))
+			b.MovTo(f, b.FMad(cv, dv, f))
+		})
+		b.StoreGlobalF32(b.AddScaled(pe, gtid, 4), e)
+		b.StoreGlobalF32(b.AddScaled(pf, gtid, 4), f)
+		b.StoreGlobalF32(b.AddScaled(pg, gtid, 4), b.FMul(e, f))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-3mm")
+	mk := func(name string, ro bool) *driver.Buffer {
+		buf := dev.Malloc("pb3mm-"+name, uint64(n*n*4), ro)
+		if ro {
+			fillF32(dev, buf, n*n, r)
+		}
+		return buf
+	}
+	ba, bb, bc, bd := mk("A", true), mk("B", true), mk("C", true), mk("D", true)
+	be, bf, bg := mk("E", false), mk("F", false), mk("G", false)
+	return &Spec{
+		Kernel: k, Grid: (n*n + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc),
+			driver.BufArg(bd), driver.BufArg(be), driver.BufArg(bf), driver.BufArg(bg),
+			driver.ScalarArg(int64(n))},
+		Invocations: 3,
+	}, nil
+}
+
+// buildPBSyr2k is the symmetric rank-2k update C = αA·Bᵀ + αB·Aᵀ + βC.
+func buildPBSyr2k(dev *driver.Device, scale int) (*Spec, error) {
+	n := 56 * scale
+	const m = 32
+
+	b := kernel.NewBuilder("pb-syr2k")
+	pa := b.BufferParam("A", true)
+	pb2 := b.BufferParam("B", true)
+	pc := b.BufferParam("C", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(pn, pn))
+	b.If(guard, func() {
+		i := b.Div(gtid, pn)
+		j := b.Rem(gtid, pn)
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(m), kernel.Imm(1), func(k kernel.Operand) {
+			aik := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(i, kernel.Imm(m), k), 4))
+			bjk := b.LoadGlobalF32(b.AddScaled(pb2, b.Mad(j, kernel.Imm(m), k), 4))
+			bik := b.LoadGlobalF32(b.AddScaled(pb2, b.Mad(i, kernel.Imm(m), k), 4))
+			ajk := b.LoadGlobalF32(b.AddScaled(pa, b.Mad(j, kernel.Imm(m), k), 4))
+			b.MovTo(acc, b.FAdd(acc, b.FMad(aik, bjk, b.FMul(bik, ajk))))
+		})
+		cv := b.LoadGlobalF32(b.AddScaled(pc, gtid, 4))
+		b.StoreGlobalF32(b.AddScaled(pc, gtid, 4),
+			b.FMad(cv, kernel.FImm(0.3), b.FMul(acc, kernel.FImm(1.2))))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-syr2k")
+	ba := dev.Malloc("syr2k-A", uint64(n*m*4), true)
+	bb := dev.Malloc("syr2k-B", uint64(n*m*4), true)
+	bc := dev.Malloc("syr2k-C", uint64(n*n*4), false)
+	fillF32(dev, ba, n*m, r)
+	fillF32(dev, bb, n*m, r)
+	fillF32(dev, bc, n*n, r)
+	return &Spec{
+		Kernel: k, Grid: (n*n + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc),
+			driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildPBJacobi2D is one Jacobi-2D sweep with a host-verified 5-point
+// update.
+func buildPBJacobi2D(dev *driver.Device, scale int) (*Spec, error) {
+	w := 96
+	h := 24 * scale
+	n := w * h
+
+	b := kernel.NewBuilder("pb-jacobi2d")
+	pa := b.BufferParam("A", true)
+	pb2 := b.BufferParam("B", false)
+	pw := b.ScalarParam("w")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, pw)
+	hi := b.SetLT(gtid, b.Sub(pn, pw))
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		c := b.LoadGlobalF32(b.AddScaled(pa, gtid, 4))
+		nv := b.LoadGlobalF32(b.AddScaled(pa, b.Sub(gtid, pw), 4))
+		sv := b.LoadGlobalF32(b.AddScaled(pa, b.Add(gtid, pw), 4))
+		ev := b.LoadGlobalF32(b.AddScaled(pa, b.Add(gtid, kernel.Imm(1)), 4))
+		wv := b.LoadGlobalF32(b.AddScaled(pa, b.Sub(gtid, kernel.Imm(1)), 4))
+		avg := b.FMul(b.FAdd(b.FAdd(c, nv), b.FAdd(sv, b.FAdd(ev, wv))), kernel.FImm(0.2))
+		b.StoreGlobalF32(b.AddScaled(pb2, gtid, 4), avg)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pb-jacobi2d")
+	ba := dev.Malloc("jac2d-A", uint64(n*4), true)
+	bb := dev.Malloc("jac2d-B", uint64(n*4), false)
+	fillF32(dev, ba, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb),
+			driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n))},
+		Invocations: 10,
+		Verify: func(dev *driver.Device) error {
+			for i := w; i < n-w; i += maxInt(n/9, 1) {
+				c := float64(dev.ReadFloat32(ba, i))
+				nv := float64(dev.ReadFloat32(ba, i-w))
+				sv := float64(dev.ReadFloat32(ba, i+w))
+				ev := float64(dev.ReadFloat32(ba, i+1))
+				wv := float64(dev.ReadFloat32(ba, i-1))
+				want := float32(((c + nv) + (sv + (ev + wv))) * 0.2)
+				got := dev.ReadFloat32(bb, i)
+				d := got - want
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-4 {
+					return fmt.Errorf("pb-jacobi2d: B[%d] = %g, want %g", i, got, want)
+				}
+			}
+			return nil
+		},
+	}, nil
+}

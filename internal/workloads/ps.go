@@ -1,0 +1,344 @@
+package workloads
+
+import (
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+func init() {
+	register(Benchmark{Name: "cutcp", Suite: "Parboil", Category: CatPS, API: "cuda", Build: buildCutcp})
+	register(Benchmark{Name: "tpacf", Suite: "Parboil", Category: CatPS, API: "cuda", Build: buildTpacf})
+	register(Benchmark{Name: "blackscholes", Suite: "CUDA-SDK", Category: CatPS, API: "cuda", Build: buildBlackScholes})
+	register(Benchmark{Name: "mersennetwister", Suite: "CUDA-SDK", Category: CatPS, API: "cuda", Build: buildMT})
+	register(Benchmark{Name: "sorting", Suite: "CUDA-SDK", Category: CatPS, API: "cuda",
+		Build: bitonicBuilder("sorting", 256)})
+	register(Benchmark{Name: "mergesort", Suite: "CUDA-SDK", Category: CatPS, API: "cuda", Sensitive: true,
+		Build: buildMergeSort})
+}
+
+// buildCutcp computes a cutoff Coulombic potential on a 1D slice of grid
+// points against an atom list (Parboil cutcp).
+func buildCutcp(dev *driver.Device, scale int) (*Spec, error) {
+	const atoms = 64
+	points := 4096 * scale
+
+	b := kernel.NewBuilder("cutcp")
+	pax := b.BufferParam("atomx", true)
+	paq := b.BufferParam("atomq", true)
+	ppot := b.BufferParam("potential", false)
+	pnp := b.ScalarParam("points")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pnp)
+	b.If(guard, func() {
+		x := b.FMul(b.CvtIF(gtid), kernel.FImm(0.25))
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(atoms), kernel.Imm(1), func(a kernel.Operand) {
+			ax := b.LoadGlobalF32(b.AddScaled(pax, a, 4))
+			aq := b.LoadGlobalF32(b.AddScaled(paq, a, 4))
+			d := b.FSub(x, ax)
+			r2 := b.FMad(d, d, kernel.FImm(0.5))
+			// Cutoff: only atoms within radius² contribute.
+			near := b.FSetLT(r2, kernel.FImm(64))
+			b.If(near, func() {
+				b.MovTo(acc, b.FAdd(acc, b.FDiv(aq, r2)))
+			})
+		})
+		b.StoreGlobalF32(b.AddScaled(ppot, gtid, 4), acc)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("cutcp")
+	bax := dev.Malloc("cutcp-atomx", atoms*4, true)
+	baq := dev.Malloc("cutcp-atomq", atoms*4, true)
+	bp := dev.Malloc("cutcp-potential", uint64(points*4), false)
+	fillF32(dev, bax, atoms, r)
+	fillF32(dev, baq, atoms, r)
+	return &Spec{
+		Kernel: k, Grid: points / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bax), driver.BufArg(baq), driver.BufArg(bp),
+			driver.ScalarArg(int64(points))},
+	}, nil
+}
+
+// buildTpacf bins angular correlations between two point sets into a
+// histogram with atomic increments (Parboil tpacf).
+func buildTpacf(dev *driver.Device, scale int) (*Spec, error) {
+	const bins = 32
+	const inner = 64
+	n := 2048 * scale
+
+	b := kernel.NewBuilder("tpacf")
+	pd := b.BufferParam("data", true)
+	pr := b.BufferParam("random", true)
+	phist := b.BufferParam("hist", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		dv := b.LoadGlobalF32(b.AddScaled(pd, gtid, 4))
+		b.ForRange(kernel.Imm(0), kernel.Imm(inner), kernel.Imm(1), func(j kernel.Operand) {
+			rv := b.LoadGlobalF32(b.AddScaled(pr, j, 4))
+			dot := b.FMul(dv, rv)
+			// Map the correlation to a bin index in [0, bins).
+			binF := b.FMul(b.FAdd(dot, kernel.FImm(1)), kernel.FImm(bins/2))
+			bin := b.Min(b.Max(b.CvtFI(binF), kernel.Imm(0)), kernel.Imm(bins-1))
+			b.AtomAddGlobal(b.AddScaled(phist, bin, 4), kernel.Imm(1), 4)
+		})
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("tpacf")
+	bd := dev.Malloc("tpacf-data", uint64(n*4), true)
+	br := dev.Malloc("tpacf-random", inner*4, true)
+	bh := dev.Malloc("tpacf-hist", bins*4, false)
+	fillF32(dev, bd, n, r)
+	fillF32(dev, br, inner, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bd), driver.BufArg(br), driver.BufArg(bh),
+			driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildBlackScholes evaluates the Black-Scholes closed form for an option
+// portfolio: 5 buffers streamed in lockstep (price, strike, maturity →
+// call, put), a classic high-buffer-count streaming kernel.
+func buildBlackScholes(dev *driver.Device, scale int) (*Spec, error) {
+	n := 4096 * scale
+
+	b := kernel.NewBuilder("blackscholes")
+	ps := b.BufferParam("price", true)
+	px := b.BufferParam("strike", true)
+	pt := b.BufferParam("maturity", true)
+	pcall := b.BufferParam("call", false)
+	pput := b.BufferParam("put", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		s := b.LoadGlobalF32(b.AddScaled(ps, gtid, 4))
+		x := b.LoadGlobalF32(b.AddScaled(px, gtid, 4))
+		t := b.LoadGlobalF32(b.AddScaled(pt, gtid, 4))
+		// Rational approximation of the CND via polynomial in d.
+		sqrtT := b.FSqrt(t)
+		d1 := b.FDiv(b.FAdd(b.FDiv(s, b.FAdd(x, kernel.FImm(0.01))), b.FMul(t, kernel.FImm(0.06))),
+			b.FAdd(b.FMul(sqrtT, kernel.FImm(0.3)), kernel.FImm(0.01)))
+		k1 := b.FDiv(kernel.FImm(1), b.FMad(b.FMax(d1, b.FSub(kernel.FImm(0), d1)), kernel.FImm(0.2316419), kernel.FImm(1)))
+		poly := b.FMul(k1, b.FMad(k1, b.FMad(k1, kernel.FImm(0.937298), kernel.FImm(-0.356538)), kernel.FImm(0.319381)))
+		cnd := b.FSub(kernel.FImm(1), b.FMul(poly, kernel.FImm(0.39894228)))
+		call := b.FSub(b.FMul(s, cnd), b.FMul(x, b.FMul(cnd, kernel.FImm(0.95))))
+		put := b.FSub(b.FAdd(call, x), s)
+		b.StoreGlobalF32(b.AddScaled(pcall, gtid, 4), call)
+		b.StoreGlobalF32(b.AddScaled(pput, gtid, 4), put)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("blackscholes")
+	bs := dev.Malloc("bs-price", uint64(n*4), true)
+	bx := dev.Malloc("bs-strike", uint64(n*4), true)
+	bt := dev.Malloc("bs-maturity", uint64(n*4), true)
+	bcall := dev.Malloc("bs-call", uint64(n*4), false)
+	bput := dev.Malloc("bs-put", uint64(n*4), false)
+	fillF32(dev, bs, n, r)
+	fillF32(dev, bx, n, r)
+	fillF32(dev, bt, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bs), driver.BufArg(bx), driver.BufArg(bt),
+			driver.BufArg(bcall), driver.BufArg(bput), driver.ScalarArg(int64(n))},
+		Invocations: 16,
+	}, nil
+}
+
+// buildMT advances a lagged-Fibonacci-style RNG state array and writes a
+// stream of outputs (CUDA-SDK MersenneTwister pattern).
+func buildMT(dev *driver.Device, scale int) (*Spec, error) {
+	streams := 1024 * scale
+	const perStream = 16
+
+	b := kernel.NewBuilder("mersennetwister")
+	pstate := b.BufferParam("state", false)
+	pout := b.BufferParam("out", false)
+	pn := b.ScalarParam("streams")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		s := b.LoadGlobal(b.AddScaled(pstate, gtid, 4), 4)
+		b.ForRange(kernel.Imm(0), kernel.Imm(perStream), kernel.Imm(1), func(i kernel.Operand) {
+			// xorshift step.
+			s1 := b.Xor(s, b.Shl(s, kernel.Imm(13)))
+			s2 := b.Xor(s1, b.Shr(b.And(s1, kernel.Imm(0xFFFFFFFF)), kernel.Imm(17)))
+			s3 := b.And(b.Xor(s2, b.Shl(s2, kernel.Imm(5))), kernel.Imm(0xFFFFFFFF))
+			b.MovTo(s, s3)
+			oidx := b.Mad(i, pn, gtid)
+			b.StoreGlobal(b.AddScaled(pout, oidx, 4), s, 4)
+		})
+		b.StoreGlobal(b.AddScaled(pstate, gtid, 4), s, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("mersennetwister")
+	bst := dev.Malloc("mt-state", uint64(streams*4), false)
+	bo := dev.Malloc("mt-out", uint64(streams*perStream*4), false)
+	fillU32(dev, bst, streams, r, 1<<31)
+	return &Spec{
+		Kernel: k, Grid: streams / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bst), driver.BufArg(bo), driver.ScalarArg(int64(streams))},
+	}, nil
+}
+
+// bitonicBuilder builds an in-shared-memory bitonic sort of one block per
+// workgroup (used for both the CUDA "sorting" and OpenCL "bitonicsort"
+// entries).
+func bitonicBuilder(name string, block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		wgs := 8 * scale
+		n := wgs * block
+
+		b := kernel.NewBuilder(name)
+		pin := b.BufferParam("keys", true)
+		pout := b.BufferParam("sorted", false)
+		sh := b.Shared(block * 4)
+		tid := b.TID()
+		gtid := b.GlobalTID()
+		v := b.LoadGlobal(b.AddScaled(pin, gtid, 4), 4)
+		shAddr := b.Add(kernel.Imm(sh), b.Mul(tid, kernel.Imm(4)))
+		b.StoreShared(shAddr, v, 4)
+		b.Barrier()
+		for size := 2; size <= block; size *= 2 {
+			for stride := size / 2; stride > 0; stride /= 2 {
+				partner := b.Xor(tid, kernel.Imm(int64(stride)))
+				lower := b.SetGT(partner, tid)
+				up := b.SetEQ(b.And(tid, kernel.Imm(int64(size))), kernel.Imm(0))
+				mine := b.LoadShared(shAddr, 4)
+				theirs := b.LoadShared(b.Add(kernel.Imm(sh), b.Mul(partner, kernel.Imm(4))), 4)
+				shouldSwapAsc := b.And(b.SetGT(mine, theirs), b.And(lower, up))
+				shouldSwapDesc := b.And(b.SetLT(mine, theirs), b.And(lower, b.SetEQ(up, kernel.Imm(0))))
+				takeTheirsLow := b.Or(shouldSwapAsc, shouldSwapDesc)
+				// The higher partner mirrors the decision.
+				higherAsc := b.And(b.SetLT(mine, theirs), b.And(b.SetEQ(lower, kernel.Imm(0)), up))
+				higherDesc := b.And(b.SetGT(mine, theirs), b.And(b.SetEQ(lower, kernel.Imm(0)), b.SetEQ(up, kernel.Imm(0))))
+				take := b.Or(takeTheirsLow, b.Or(higherAsc, higherDesc))
+				nv := b.Selp(theirs, mine, take)
+				b.Barrier()
+				b.StoreShared(shAddr, nv, 4)
+				b.Barrier()
+			}
+		}
+		sv := b.LoadShared(shAddr, 4)
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), sv, 4)
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		bi := dev.Malloc(name+"-keys", uint64(n*4), true)
+		bo := dev.Malloc(name+"-sorted", uint64(n*4), false)
+		fillU32(dev, bi, n, r, 1<<30)
+		return &Spec{
+			Kernel: k, Grid: wgs, Block: block,
+			Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bo)},
+		}, nil
+	}
+}
+
+// buildMergeSort is the merge step of a pairwise mergesort: each thread
+// merges two sorted runs with binary-search rank computation (CUDA-SDK
+// mergeSort's global merge pattern: 4 buffers consulted per element).
+func buildMergeSort(dev *driver.Device, scale int) (*Spec, error) {
+	const run = 64
+	pairs := 32 * scale
+	n := pairs * run * 2
+
+	b := kernel.NewBuilder("mergesort")
+	psrc := b.BufferParam("src", true)
+	pranks := b.BufferParam("ranks", true)
+	plims := b.BufferParam("limits", true)
+	pdst := b.BufferParam("dst", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		pair := b.Div(gtid, kernel.Imm(run*2))
+		i := b.Rem(gtid, kernel.Imm(run*2))
+		base := b.Mul(pair, kernel.Imm(run*2))
+		v := b.LoadGlobal(b.AddScaled(psrc, gtid, 4), 4)
+		rk := b.LoadGlobal(b.AddScaled(pranks, gtid, 4), 4)
+		lim := b.LoadGlobal(b.AddScaled(plims, pair, 4), 4)
+		// Destination position: own index within the run plus the rank in
+		// the sibling run (precomputed host-side), clamped to limits.
+		inA := b.SetLT(i, kernel.Imm(run))
+		ownOff := b.Selp(i, b.Sub(i, kernel.Imm(run)), inA)
+		pos := b.Min(b.Add(ownOff, rk), b.Sub(lim, kernel.Imm(1)))
+		b.StoreGlobal(b.AddScaled(pdst, b.Add(base, pos), 4), v, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("mergesort")
+	bs := dev.Malloc("mergesort-src", uint64(n*4), true)
+	brk := dev.Malloc("mergesort-ranks", uint64(n*4), true)
+	bl := dev.Malloc("mergesort-limits", uint64(pairs*4), true)
+	bd := dev.Malloc("mergesort-dst", uint64(n*4), false)
+	// Sorted runs + correct sibling ranks computed host-side.
+	for p := 0; p < pairs; p++ {
+		a := make([]uint32, run)
+		c := make([]uint32, run)
+		for i := range a {
+			a[i] = uint32(r.Intn(1 << 20))
+			c[i] = uint32(r.Intn(1 << 20))
+		}
+		sortU32(a)
+		sortU32(c)
+		for i := 0; i < run; i++ {
+			dev.WriteUint32(bs, p*run*2+i, a[i])
+			dev.WriteUint32(bs, p*run*2+run+i, c[i])
+			dev.WriteUint32(brk, p*run*2+i, rankOf(c, a[i]))
+			dev.WriteUint32(brk, p*run*2+run+i, rankOf(a, c[i]))
+		}
+		dev.WriteUint32(bl, p, run*2)
+	}
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bs), driver.BufArg(brk), driver.BufArg(bl),
+			driver.BufArg(bd), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+func sortU32(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// rankOf returns how many elements of sorted slice s are < v (stable lower
+// bound).
+func rankOf(s []uint32, v uint32) uint32 {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo)
+}

@@ -1,0 +1,530 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// The remaining Rodinia benchmarks complete the Fig. 11 (pages-per-buffer)
+// and Fig. 19 (software-tool overhead) suites.
+func init() {
+	register(Benchmark{Name: "bfs", Suite: "Rodinia", Category: CatGT, API: "cuda",
+		Build: bfsBuilder("bfs", 128)})
+	register(Benchmark{Name: "b+tree", Suite: "Rodinia", Category: CatDM, API: "cuda", Build: buildBTree})
+	register(Benchmark{Name: "cfd", Suite: "Rodinia", Category: CatPS, API: "cuda",
+		Build: cfdBuilder("cfd", 128)})
+	register(Benchmark{Name: "dwt2d", Suite: "Rodinia", Category: CatIM, API: "cuda", Build: buildDwt2d})
+	register(Benchmark{Name: "heartwall", Suite: "Rodinia", Category: CatIM, API: "cuda", Build: buildHeartwall})
+	register(Benchmark{Name: "hotspot3D", Suite: "Rodinia", Category: CatPS, API: "cuda",
+		Build: hotspot3DBuilder("hotspot3D", 128)})
+	register(Benchmark{Name: "hybridsort", Suite: "Rodinia", Category: CatPS, API: "cuda",
+		Build: hybridsortBuilder("hybridsort", 128)})
+	register(Benchmark{Name: "myocyte", Suite: "Rodinia", Category: CatPS, API: "cuda", Build: buildMyocyte})
+	register(Benchmark{Name: "particlefilter", Suite: "Rodinia", Category: CatPS, API: "cuda", Build: buildParticleFilter})
+	register(Benchmark{Name: "pathfinder", Suite: "Rodinia", Category: CatDM, API: "cuda",
+		Build: pathfinderBuilder("pathfinder", 256)})
+	register(Benchmark{Name: "srad", Suite: "Rodinia", Category: CatIM, API: "cuda", Build: buildSrad})
+}
+
+// buildBTree searches sorted node key arrays level by level: each query
+// walks nodes via an offset table (indirect pointer chasing).
+func buildBTree(dev *driver.Device, scale int) (*Spec, error) {
+	const fanout = 16
+	const levels = 4
+	nodes := 1 + fanout + fanout*fanout // 3 internal levels
+	queries := 2048 * scale
+
+	b := kernel.NewBuilder("b+tree")
+	pkeys := b.BufferParam("nodekeys", true)
+	pchild := b.BufferParam("children", true)
+	pq := b.BufferParam("queries", true)
+	pout := b.BufferParam("results", false)
+	pnq := b.ScalarParam("queries")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pnq)
+	b.If(guard, func() {
+		q := b.LoadGlobal(b.AddScaled(pq, gtid, 4), 4)
+		node := b.Mov(kernel.Imm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(levels-1), kernel.Imm(1), func(lv kernel.Operand) {
+			// Within the node, find the child slot by scanning keys.
+			slot := b.Mov(kernel.Imm(0))
+			b.ForRange(kernel.Imm(0), kernel.Imm(fanout), kernel.Imm(1), func(s kernel.Operand) {
+				kv := b.LoadGlobal(b.AddScaled(pkeys, b.Mad(node, kernel.Imm(fanout), s), 4), 4)
+				ge := b.SetGE(q, kv)
+				b.MovTo(slot, b.Selp(s, slot, ge))
+			})
+			next := b.LoadGlobal(b.AddScaled(pchild, b.Mad(node, kernel.Imm(fanout), slot), 4), 4)
+			b.MovTo(node, next)
+		})
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), node, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("b+tree")
+	bk := dev.Malloc("btree-nodekeys", uint64(nodes*fanout*4), true)
+	bch := dev.Malloc("btree-children", uint64(nodes*fanout*4), true)
+	bq := dev.Malloc("btree-queries", uint64(queries*4), true)
+	bo := dev.Malloc("btree-results", uint64(queries*4), false)
+	for i := 0; i < nodes*fanout; i++ {
+		dev.WriteUint32(bk, i, uint32(r.Intn(1<<20)))
+		dev.WriteUint32(bch, i, uint32(r.Intn(nodes)))
+	}
+	fillU32(dev, bq, queries, r, 1<<20)
+	return &Spec{
+		Kernel: k, Grid: queries / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bk), driver.BufArg(bch), driver.BufArg(bq),
+			driver.BufArg(bo), driver.ScalarArg(int64(queries))},
+	}, nil
+}
+
+// cfdBuilder is the Rodinia cfd euler3d flux kernel: per-cell flux from
+// density/momentum/energy of the cell and its neighbors (7 buffers).
+func cfdBuilder(name string, block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		const nbr = 4
+		n := 2048 * scale
+
+		b := kernel.NewBuilder(name)
+		pdens := b.BufferParam("density", true)
+		pmx := b.BufferParam("momx", true)
+		pmy := b.BufferParam("momy", true)
+		pen := b.BufferParam("energy", true)
+		pnbrs := b.BufferParam("neighbors", true)
+		pflux := b.BufferParam("flux", false)
+		pn := b.ScalarParam("n")
+		gtid := b.GlobalTID()
+		guard := b.SetLT(gtid, pn)
+		b.If(guard, func() {
+			d0 := b.LoadGlobalF32(b.AddScaled(pdens, gtid, 4))
+			mx0 := b.LoadGlobalF32(b.AddScaled(pmx, gtid, 4))
+			my0 := b.LoadGlobalF32(b.AddScaled(pmy, gtid, 4))
+			e0 := b.LoadGlobalF32(b.AddScaled(pen, gtid, 4))
+			flux := b.Mov(kernel.FImm(0))
+			b.ForRange(kernel.Imm(0), kernel.Imm(nbr), kernel.Imm(1), func(j kernel.Operand) {
+				nb := b.LoadGlobal(b.AddScaled(pnbrs, b.Mad(gtid, kernel.Imm(nbr), j), 4), 4)
+				dn := b.LoadGlobalF32(b.AddScaled(pdens, nb, 4))
+				mxn := b.LoadGlobalF32(b.AddScaled(pmx, nb, 4))
+				myn := b.LoadGlobalF32(b.AddScaled(pmy, nb, 4))
+				en := b.LoadGlobalF32(b.AddScaled(pen, nb, 4))
+				p0 := b.FMul(b.FSub(e0, b.FMad(mx0, mx0, b.FMul(my0, my0))), kernel.FImm(0.4))
+				pn2 := b.FMul(b.FSub(en, b.FMad(mxn, mxn, b.FMul(myn, myn))), kernel.FImm(0.4))
+				b.MovTo(flux, b.FAdd(flux, b.FMul(b.FAdd(p0, pn2), b.FSub(dn, d0))))
+			})
+			b.StoreGlobalF32(b.AddScaled(pflux, gtid, 4), flux)
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		mk := func(field string, ro bool) *driver.Buffer {
+			buf := dev.Malloc(name+"-"+field, uint64(n*4), ro)
+			if ro {
+				fillF32(dev, buf, n, r)
+			}
+			return buf
+		}
+		bd, bmx, bmy, be := mk("density", true), mk("momx", true), mk("momy", true), mk("energy", true)
+		bn := dev.Malloc(name+"-neighbors", uint64(n*nbr*4), true)
+		for i := 0; i < n*nbr; i++ {
+			dev.WriteUint32(bn, i, uint32(r.Intn(n)))
+		}
+		bf := mk("flux", false)
+		return &Spec{
+			Kernel: k, Grid: n / block, Block: block,
+			Args: []driver.Arg{driver.BufArg(bd), driver.BufArg(bmx), driver.BufArg(bmy),
+				driver.BufArg(be), driver.BufArg(bn), driver.BufArg(bf), driver.ScalarArg(int64(n))},
+			Invocations: 8,
+		}, nil
+	}
+}
+
+// buildDwt2d is one row pass of a 2D wavelet transform.
+func buildDwt2d(dev *driver.Device, scale int) (*Spec, error) {
+	w := 256
+	h := 16 * scale
+	n := w * h
+
+	b := kernel.NewBuilder("dwt2d")
+	pin := b.BufferParam("in", true)
+	plow := b.BufferParam("low", false)
+	phigh := b.BufferParam("high", false)
+	pw := b.ScalarParam("w")
+	pn := b.ScalarParam("halfn")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		row := b.Div(gtid, b.Div(pw, kernel.Imm(2)))
+		colh := b.Rem(gtid, b.Div(pw, kernel.Imm(2)))
+		base := b.Mad(row, pw, b.Mul(colh, kernel.Imm(2)))
+		a := b.LoadGlobalF32(b.AddScaled(pin, base, 4))
+		d := b.LoadGlobalF32(b.AddScaled(pin, b.Add(base, kernel.Imm(1)), 4))
+		b.StoreGlobalF32(b.AddScaled(plow, gtid, 4), b.FMul(b.FAdd(a, d), kernel.FImm(0.70710678)))
+		b.StoreGlobalF32(b.AddScaled(phigh, gtid, 4), b.FMul(b.FSub(a, d), kernel.FImm(0.70710678)))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("dwt2d")
+	bi := dev.Malloc("dwt2d-in", uint64(n*4), true)
+	bl := dev.Malloc("dwt2d-low", uint64(n/2*4), false)
+	bh := dev.Malloc("dwt2d-high", uint64(n/2*4), false)
+	fillF32(dev, bi, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 2 / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bl), driver.BufArg(bh),
+			driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n / 2))},
+		Invocations: 4,
+	}, nil
+}
+
+// buildHeartwall correlates image windows against a template bank
+// (Rodinia heartwall's tracking step, simplified to 1D windows).
+func buildHeartwall(dev *driver.Device, scale int) (*Spec, error) {
+	const win = 16
+	const ntpl = 4
+	points := 512 * scale
+
+	b := kernel.NewBuilder("heartwall")
+	pimg := b.BufferParam("frame", true)
+	ptpl := b.BufferParam("templates", true)
+	ppos := b.BufferParam("positions", true)
+	pout := b.BufferParam("scores", false)
+	pnp := b.ScalarParam("points")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pnp)
+	b.If(guard, func() {
+		pos := b.LoadGlobal(b.AddScaled(ppos, gtid, 4), 4)
+		best := b.Mov(kernel.FImm(-1e30))
+		b.ForRange(kernel.Imm(0), kernel.Imm(ntpl), kernel.Imm(1), func(t kernel.Operand) {
+			corr := b.Mov(kernel.FImm(0))
+			b.ForRange(kernel.Imm(0), kernel.Imm(win), kernel.Imm(1), func(i kernel.Operand) {
+				iv := b.LoadGlobalF32(b.AddScaled(pimg, b.Add(pos, i), 4))
+				tv := b.LoadGlobalF32(b.AddScaled(ptpl, b.Mad(t, kernel.Imm(win), i), 4))
+				b.MovTo(corr, b.FMad(iv, tv, corr))
+			})
+			b.MovTo(best, b.FMax(best, corr))
+		})
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), best)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("heartwall")
+	frame := 8192
+	bi := dev.Malloc("heartwall-frame", uint64(frame*4), true)
+	bt := dev.Malloc("heartwall-templates", ntpl*win*4, true)
+	bp := dev.Malloc("heartwall-positions", uint64(points*4), true)
+	bo := dev.Malloc("heartwall-scores", uint64(points*4), false)
+	fillF32(dev, bi, frame, r)
+	fillF32(dev, bt, ntpl*win, r)
+	fillU32(dev, bp, points, r, int64(frame-win))
+	return &Spec{
+		Kernel: k, Grid: points / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bt), driver.BufArg(bp),
+			driver.BufArg(bo), driver.ScalarArg(int64(points))},
+		Invocations: 5,
+	}, nil
+}
+
+// hotspot3DBuilder is the 3D thermal stencil (7-point).
+func hotspot3DBuilder(name string, block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		w, h := 64, 16
+		d := 4 * scale
+		n := w * h * d
+		plane := w * h
+
+		b := kernel.NewBuilder(name)
+		ptin := b.BufferParam("tIn", true)
+		ppow := b.BufferParam("power", true)
+		ptout := b.BufferParam("tOut", false)
+		pplane := b.ScalarParam("plane")
+		pn := b.ScalarParam("n")
+		gtid := b.GlobalTID()
+		lo := b.SetGE(gtid, pplane)
+		hi := b.SetLT(gtid, b.Sub(pn, pplane))
+		guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+		b.If(guard, func() {
+			c := b.LoadGlobalF32(b.AddScaled(ptin, gtid, 4))
+			up := b.LoadGlobalF32(b.AddScaled(ptin, b.Sub(gtid, pplane), 4))
+			dn := b.LoadGlobalF32(b.AddScaled(ptin, b.Add(gtid, pplane), 4))
+			no := b.LoadGlobalF32(b.AddScaled(ptin, b.Sub(gtid, kernel.Imm(int64(w))), 4))
+			so := b.LoadGlobalF32(b.AddScaled(ptin, b.Add(gtid, kernel.Imm(int64(w))), 4))
+			ea := b.LoadGlobalF32(b.AddScaled(ptin, b.Add(gtid, kernel.Imm(1)), 4))
+			we := b.LoadGlobalF32(b.AddScaled(ptin, b.Sub(gtid, kernel.Imm(1)), 4))
+			pv := b.LoadGlobalF32(b.AddScaled(ppow, gtid, 4))
+			sum := b.FAdd(b.FAdd(b.FAdd(up, dn), b.FAdd(no, so)), b.FAdd(ea, we))
+			res := b.FAdd(b.FMad(b.FSub(sum, b.FMul(c, kernel.FImm(6))), kernel.FImm(0.15), c),
+				b.FMul(pv, kernel.FImm(0.05)))
+			b.StoreGlobalF32(b.AddScaled(ptout, gtid, 4), res)
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		bt := dev.Malloc(name+"-tIn", uint64(n*4), true)
+		bp := dev.Malloc(name+"-power", uint64(n*4), true)
+		bo := dev.Malloc(name+"-tOut", uint64(n*4), false)
+		fillF32(dev, bt, n, r)
+		fillF32(dev, bp, n, r)
+		return &Spec{
+			Kernel: k, Grid: (n + block - 1) / block, Block: block,
+			Args: []driver.Arg{driver.BufArg(bt), driver.BufArg(bp), driver.BufArg(bo),
+				driver.ScalarArg(int64(plane)), driver.ScalarArg(int64(n))},
+			Invocations: 10,
+		}, nil
+	}
+}
+
+// hybridsortBuilder is the bucket-histogram phase of Rodinia hybridsort:
+// data-dependent bucket counting with atomics.
+func hybridsortBuilder(name string, block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		const buckets = 64
+		n := 8192 * scale
+
+		b := kernel.NewBuilder(name)
+		pdata := b.BufferParam("keys", true)
+		pcount := b.BufferParam("bucketcount", false)
+		poffset := b.BufferParam("bucketidx", false)
+		pn := b.ScalarParam("n")
+		gtid := b.GlobalTID()
+		guard := b.SetLT(gtid, pn)
+		b.If(guard, func() {
+			v := b.LoadGlobal(b.AddScaled(pdata, gtid, 4), 4)
+			bucket := b.And(b.Shr(v, kernel.Imm(14)), kernel.Imm(buckets-1))
+			old := b.AtomAddGlobal(b.AddScaled(pcount, bucket, 4), kernel.Imm(1), 4)
+			b.StoreGlobal(b.AddScaled(poffset, gtid, 4), old, 4)
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		bd := dev.Malloc(name+"-keys", uint64(n*4), true)
+		bc := dev.Malloc(name+"-bucketcount", buckets*4, false)
+		bo := dev.Malloc(name+"-bucketidx", uint64(n*4), false)
+		fillU32(dev, bd, n, r, 1<<20)
+		return &Spec{
+			Kernel: k, Grid: (n + block - 1) / block, Block: block,
+			Args: []driver.Arg{driver.BufArg(bd), driver.BufArg(bc), driver.BufArg(bo),
+				driver.ScalarArg(int64(n))},
+			Invocations: 3,
+		}, nil
+	}
+}
+
+// buildMyocyte evaluates a bank of coupled ODE right-hand sides per
+// simulation instance (compute-dense, few buffers).
+func buildMyocyte(dev *driver.Device, scale int) (*Spec, error) {
+	const states = 16
+	instances := 256 * scale
+
+	b := kernel.NewBuilder("myocyte")
+	py := b.BufferParam("y", true)
+	pparams := b.BufferParam("params", true)
+	pdy := b.BufferParam("dy", false)
+	pn := b.ScalarParam("instances")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		b.ForRange(kernel.Imm(0), kernel.Imm(states), kernel.Imm(1), func(s kernel.Operand) {
+			yv := b.LoadGlobalF32(b.AddScaled(py, b.Mad(gtid, kernel.Imm(states), s), 4))
+			pv := b.LoadGlobalF32(b.AddScaled(pparams, s, 4))
+			// dy = -p*y + p*y^2/(1+y^2): a saturating nonlinear RHS.
+			y2 := b.FMul(yv, yv)
+			rhs := b.FSub(b.FDiv(b.FMul(pv, y2), b.FAdd(kernel.FImm(1), y2)), b.FMul(pv, yv))
+			b.StoreGlobalF32(b.AddScaled(pdy, b.Mad(gtid, kernel.Imm(states), s), 4), rhs)
+		})
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("myocyte")
+	by := dev.Malloc("myocyte-y", uint64(instances*states*4), true)
+	bp := dev.Malloc("myocyte-params", states*4, true)
+	bdy := dev.Malloc("myocyte-dy", uint64(instances*states*4), false)
+	fillF32(dev, by, instances*states, r)
+	fillF32(dev, bp, states, r)
+	return &Spec{
+		Kernel: k, Grid: (instances + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(by), driver.BufArg(bp), driver.BufArg(bdy),
+			driver.ScalarArg(int64(instances))},
+		Invocations: 100, // time steps
+	}, nil
+}
+
+// buildParticleFilter updates particle weights from a likelihood array and
+// normalizes against the CDF (5 buffers).
+func buildParticleFilter(dev *driver.Device, scale int) (*Spec, error) {
+	n := 4096 * scale
+
+	b := kernel.NewBuilder("particlefilter")
+	px := b.BufferParam("arrayX", true)
+	py := b.BufferParam("arrayY", true)
+	plik := b.BufferParam("likelihood", true)
+	pw := b.BufferParam("weights", false)
+	pcdf := b.BufferParam("cdf", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		xv := b.LoadGlobalF32(b.AddScaled(px, gtid, 4))
+		yv := b.LoadGlobalF32(b.AddScaled(py, gtid, 4))
+		lv := b.LoadGlobalF32(b.AddScaled(plik, gtid, 4))
+		wv := b.FDiv(b.FMul(lv, b.FAdd(b.FMul(xv, xv), b.FMul(yv, yv))), kernel.FImm(2))
+		b.StoreGlobalF32(b.AddScaled(pw, gtid, 4), wv)
+		b.StoreGlobalF32(b.AddScaled(pcdf, gtid, 4), wv)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("particlefilter")
+	bx := dev.Malloc("pf-arrayX", uint64(n*4), true)
+	by := dev.Malloc("pf-arrayY", uint64(n*4), true)
+	bl := dev.Malloc("pf-likelihood", uint64(n*4), true)
+	bw := dev.Malloc("pf-weights", uint64(n*4), false)
+	bc := dev.Malloc("pf-cdf", uint64(n*4), false)
+	fillF32(dev, bx, n, r)
+	fillF32(dev, by, n, r)
+	fillF32(dev, bl, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bx), driver.BufArg(by), driver.BufArg(bl),
+			driver.BufArg(bw), driver.BufArg(bc), driver.ScalarArg(int64(n))},
+		Invocations: 10,
+	}, nil
+}
+
+// pathfinderBuilder is one row relaxation of Rodinia pathfinder's dynamic
+// program: dst[i] = wall[i] + min(src[i-1], src[i], src[i+1]).
+func pathfinderBuilder(name string, block int) BuildFunc {
+	return func(dev *driver.Device, scale int) (*Spec, error) {
+		n := 8192 * scale
+
+		b := kernel.NewBuilder(name)
+		pwall := b.BufferParam("wall", true)
+		psrc := b.BufferParam("src", true)
+		pdst := b.BufferParam("dst", false)
+		pn := b.ScalarParam("n")
+		gtid := b.GlobalTID()
+		guard := b.SetLT(gtid, pn)
+		b.If(guard, func() {
+			left := b.Max(b.Sub(gtid, kernel.Imm(1)), kernel.Imm(0))
+			right := b.Min(b.Add(gtid, kernel.Imm(1)), b.Sub(pn, kernel.Imm(1)))
+			lv := b.LoadGlobal(b.AddScaled(psrc, left, 4), 4)
+			cv := b.LoadGlobal(b.AddScaled(psrc, gtid, 4), 4)
+			rv := b.LoadGlobal(b.AddScaled(psrc, right, 4), 4)
+			wv := b.LoadGlobal(b.AddScaled(pwall, gtid, 4), 4)
+			b.StoreGlobal(b.AddScaled(pdst, gtid, 4), b.Add(wv, b.Min(lv, b.Min(cv, rv))), 4)
+		})
+		k, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+
+		r := rng(name)
+		bw := dev.Malloc(name+"-wall", uint64(n*4), true)
+		bs := dev.Malloc(name+"-src", uint64(n*4), true)
+		bd := dev.Malloc(name+"-dst", uint64(n*4), false)
+		fillU32(dev, bw, n, r, 10)
+		fillU32(dev, bs, n, r, 100)
+		return &Spec{
+			Kernel: k, Grid: (n + block - 1) / block, Block: block,
+			Args: []driver.Arg{driver.BufArg(bw), driver.BufArg(bs), driver.BufArg(bd),
+				driver.ScalarArg(int64(n))},
+			Invocations: 100, // rows
+			Verify: func(dev *driver.Device) error {
+				for i := 1; i < n-1; i += maxInt(n/9, 1) {
+					l := dev.ReadUint32(bs, i-1)
+					c := dev.ReadUint32(bs, i)
+					rr := dev.ReadUint32(bs, i+1)
+					m := l
+					if c < m {
+						m = c
+					}
+					if rr < m {
+						m = rr
+					}
+					want := dev.ReadUint32(bw, i) + m
+					if got := dev.ReadUint32(bd, i); got != want {
+						return fmt.Errorf("%s: dst[%d] = %d, want %d", name, i, got, want)
+					}
+				}
+				return nil
+			},
+		}, nil
+	}
+}
+
+// buildSrad is the SRAD diffusion stencil (6 buffers: image, 4 directional
+// coefficients, output).
+func buildSrad(dev *driver.Device, scale int) (*Spec, error) {
+	w := 128
+	h := 16 * scale
+	n := w * h
+
+	b := kernel.NewBuilder("srad")
+	pimg := b.BufferParam("image", true)
+	pcn := b.BufferParam("cN", false)
+	pcs := b.BufferParam("cS", false)
+	pce := b.BufferParam("cE", false)
+	pcw := b.BufferParam("cW", false)
+	pout := b.BufferParam("out", false)
+	pw := b.ScalarParam("w")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, pw)
+	hi := b.SetLT(gtid, b.Sub(pn, pw))
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		c := b.LoadGlobalF32(b.AddScaled(pimg, gtid, 4))
+		dN := b.FSub(b.LoadGlobalF32(b.AddScaled(pimg, b.Sub(gtid, pw), 4)), c)
+		dS := b.FSub(b.LoadGlobalF32(b.AddScaled(pimg, b.Add(gtid, pw), 4)), c)
+		dE := b.FSub(b.LoadGlobalF32(b.AddScaled(pimg, b.Add(gtid, kernel.Imm(1)), 4)), c)
+		dW := b.FSub(b.LoadGlobalF32(b.AddScaled(pimg, b.Sub(gtid, kernel.Imm(1)), 4)), c)
+		g2 := b.FAdd(b.FAdd(b.FMul(dN, dN), b.FMul(dS, dS)), b.FAdd(b.FMul(dE, dE), b.FMul(dW, dW)))
+		coef := b.FDiv(kernel.FImm(1), b.FAdd(kernel.FImm(1), g2))
+		b.StoreGlobalF32(b.AddScaled(pcn, gtid, 4), b.FMul(coef, dN))
+		b.StoreGlobalF32(b.AddScaled(pcs, gtid, 4), b.FMul(coef, dS))
+		b.StoreGlobalF32(b.AddScaled(pce, gtid, 4), b.FMul(coef, dE))
+		b.StoreGlobalF32(b.AddScaled(pcw, gtid, 4), b.FMul(coef, dW))
+		upd := b.FMad(b.FAdd(b.FAdd(dN, dS), b.FAdd(dE, dW)), kernel.FImm(0.05), c)
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), upd)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("srad")
+	bi := dev.Malloc("srad-image", uint64(n*4), true)
+	fillF32(dev, bi, n, r)
+	mk := func(nameF string) *driver.Buffer { return dev.Malloc("srad-"+nameF, uint64(n*4), false) }
+	bn, bs, be, bw2, bo := mk("cN"), mk("cS"), mk("cE"), mk("cW"), mk("out")
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bn), driver.BufArg(bs),
+			driver.BufArg(be), driver.BufArg(bw2), driver.BufArg(bo),
+			driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n))},
+		Invocations: 10,
+	}, nil
+}

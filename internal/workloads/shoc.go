@@ -1,0 +1,368 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// SHOC: the Scalable Heterogeneous Computing benchmark suite — bandwidth,
+// FFT butterflies, scans, sorting, and stencils.
+func init() {
+	register(Benchmark{Name: "shoc-fft", Suite: "SHOC", Category: CatIM, API: "cuda", Build: buildShocFFT})
+	register(Benchmark{Name: "shoc-md5hash", Suite: "SHOC", Category: CatPS, API: "cuda", Build: buildShocMD5})
+	register(Benchmark{Name: "shoc-scan", Suite: "SHOC", Category: CatLA, API: "cuda", Build: buildShocScan})
+	register(Benchmark{Name: "shoc-sort", Suite: "SHOC", Category: CatPS, API: "cuda", Build: buildShocSort})
+	register(Benchmark{Name: "shoc-triad", Suite: "SHOC", Category: CatLA, API: "cuda", Build: buildShocTriad})
+	register(Benchmark{Name: "shoc-stencil2d", Suite: "SHOC", Category: CatPS, API: "cuda", Build: buildShocStencil2D})
+	register(Benchmark{Name: "shoc-spmv-ell", Suite: "SHOC", Category: CatLA, API: "cuda", Build: buildShocSpmvELL})
+}
+
+// buildShocFFT performs one radix-2 butterfly stage: partner indices are
+// computed with XOR, a pattern distinct from every affine kernel.
+func buildShocFFT(dev *driver.Device, scale int) (*Spec, error) {
+	n := 4096 * scale
+	const stage = 4 // butterfly distance 16
+
+	b := kernel.NewBuilder("shoc-fft")
+	pre := b.BufferParam("re", false)
+	pim := b.BufferParam("im", false)
+	ptw := b.BufferParam("twiddle", true)
+	pn := b.ScalarParam("half")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		// Expand thread id to the lower butterfly index for this stage.
+		dist := kernel.Imm(1 << stage)
+		blk := b.Div(gtid, dist)
+		off := b.Rem(gtid, dist)
+		lo := b.Add(b.Mul(blk, kernel.Imm(1<<(stage+1))), off)
+		hi := b.Add(lo, dist)
+		reL := b.LoadGlobalF32(b.AddScaled(pre, lo, 4))
+		imL := b.LoadGlobalF32(b.AddScaled(pim, lo, 4))
+		reH := b.LoadGlobalF32(b.AddScaled(pre, hi, 4))
+		imH := b.LoadGlobalF32(b.AddScaled(pim, hi, 4))
+		twR := b.LoadGlobalF32(b.AddScaled(ptw, off, 4))
+		twI := b.LoadGlobalF32(b.AddScaled(ptw, b.Add(off, dist), 4))
+		// (tr, ti) = twiddle * high
+		tr := b.FSub(b.FMul(twR, reH), b.FMul(twI, imH))
+		ti := b.FAdd(b.FMul(twR, imH), b.FMul(twI, reH))
+		b.StoreGlobalF32(b.AddScaled(pre, lo, 4), b.FAdd(reL, tr))
+		b.StoreGlobalF32(b.AddScaled(pim, lo, 4), b.FAdd(imL, ti))
+		b.StoreGlobalF32(b.AddScaled(pre, hi, 4), b.FSub(reL, tr))
+		b.StoreGlobalF32(b.AddScaled(pim, hi, 4), b.FSub(imL, ti))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("shoc-fft")
+	bre := dev.Malloc("fft-re", uint64(n*4), false)
+	bim := dev.Malloc("fft-im", uint64(n*4), false)
+	btw := dev.Malloc("fft-twiddle", (2<<stage)*4, true)
+	fillF32(dev, bre, n, r)
+	fillF32(dev, bim, n, r)
+	fillF32(dev, btw, 2<<stage, r)
+	return &Spec{
+		Kernel: k, Grid: n / 2 / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bre), driver.BufArg(bim), driver.BufArg(btw),
+			driver.ScalarArg(int64(n / 2))},
+		Invocations: 12, // log2(n) stages
+	}, nil
+}
+
+// buildShocMD5 is the md5hash keyspace search: compute-bound rounds of
+// mix operations per candidate key, a single output buffer.
+func buildShocMD5(dev *driver.Device, scale int) (*Spec, error) {
+	n := 4096 * scale
+	const rounds = 24
+
+	b := kernel.NewBuilder("shoc-md5hash")
+	pout := b.BufferParam("digests", false)
+	pseed := b.ScalarParam("seed")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		a := b.Mov(b.Add(gtid, pseed))
+		bb := b.Mov(kernel.Imm(0xefcdab89))
+		c := b.Mov(kernel.Imm(0x98badcfe))
+		b.ForRange(kernel.Imm(0), kernel.Imm(rounds), kernel.Imm(1), func(i kernel.Operand) {
+			// F(b,c) mixed into a, with a data-dependent rotation flavour.
+			f := b.Or(b.And(bb, c), b.And(b.Xor(bb, kernel.Imm(-1)), kernel.Imm(0x5A5A5A5A)))
+			t := b.And(b.Add(b.Add(a, f), b.Mul(i, kernel.Imm(0x5bd1e995))), kernel.Imm(0xFFFFFFFF))
+			rot := b.Or(b.Shl(t, kernel.Imm(7)), b.Shr(t, kernel.Imm(25)))
+			b.MovTo(a, bb)
+			b.MovTo(bb, c)
+			b.MovTo(c, b.And(rot, kernel.Imm(0xFFFFFFFF)))
+		})
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), b.Xor(b.Xor(a, bb), c), 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	bout := dev.Malloc("md5-digests", uint64(n*4), false)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bout), driver.ScalarArg(0x1234), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildShocScan is a per-block exclusive scan with shared memory and a
+// block-sums output for the second pass.
+func buildShocScan(dev *driver.Device, scale int) (*Spec, error) {
+	const block = 128
+	n := 8192 * scale
+
+	b := kernel.NewBuilder("shoc-scan")
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("out", false)
+	psums := b.BufferParam("blocksums", false)
+	sh := b.Shared(block * 4)
+	tid := b.TID()
+	gtid := b.GlobalTID()
+	v := b.LoadGlobal(b.AddScaled(pin, gtid, 4), 4)
+	shAddr := b.Add(kernel.Imm(sh), b.Mul(tid, kernel.Imm(4)))
+	b.StoreShared(shAddr, v, 4)
+	b.Barrier()
+	// Hillis-Steele inclusive scan in shared memory.
+	for stride := 1; stride < block; stride *= 2 {
+		hasPartner := b.SetGE(tid, kernel.Imm(int64(stride)))
+		partner := b.LoadShared(b.Add(kernel.Imm(sh), b.Mul(b.Sub(tid, kernel.Imm(int64(stride))), kernel.Imm(4))), 4)
+		mine := b.LoadShared(shAddr, 4)
+		sum := b.Add(mine, partner)
+		nv := b.Selp(sum, mine, hasPartner)
+		b.Barrier()
+		b.StoreShared(shAddr, nv, 4)
+		b.Barrier()
+	}
+	// Exclusive result: subtract own input; last thread writes block sum.
+	incl := b.LoadShared(shAddr, 4)
+	b.StoreGlobal(b.AddScaled(pout, gtid, 4), b.Sub(incl, v), 4)
+	last := b.SetEQ(tid, kernel.Imm(block-1))
+	b.If(last, func() {
+		b.StoreGlobal(b.AddScaled(psums, b.CTAID(), 4), incl, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("shoc-scan")
+	grid := n / block
+	bi := dev.Malloc("scan-in", uint64(n*4), true)
+	bo := dev.Malloc("scan-out", uint64(n*4), false)
+	bs := dev.Malloc("scan-blocksums", uint64(grid*4), false)
+	fillU32(dev, bi, n, r, 100)
+	return &Spec{
+		Kernel: k, Grid: grid, Block: block,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bo), driver.BufArg(bs)},
+		Verify: func(dev *driver.Device) error {
+			for blk := 0; blk < grid; blk += maxInt(grid/5, 1) {
+				sum := uint32(0)
+				for i := 0; i < block; i++ {
+					got := dev.ReadUint32(bo, blk*block+i)
+					if got != sum {
+						return fmt.Errorf("shoc-scan: out[%d] = %d, want %d", blk*block+i, got, sum)
+					}
+					sum += dev.ReadUint32(bi, blk*block+i)
+				}
+				if got := dev.ReadUint32(bs, blk); got != sum {
+					return fmt.Errorf("shoc-scan: blocksum[%d] = %d, want %d", blk, got, sum)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildShocSort is the 4-bit histogram (counting) phase of a radix sort:
+// data-dependent atomic increments on per-digit counters.
+func buildShocSort(dev *driver.Device, scale int) (*Spec, error) {
+	n := 8192 * scale
+	const shift = 8
+
+	b := kernel.NewBuilder("shoc-sort")
+	pkeys := b.BufferParam("keys", true)
+	pcounts := b.BufferParam("counts", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		key := b.LoadGlobal(b.AddScaled(pkeys, gtid, 4), 4)
+		digit := b.And(b.Shr(key, kernel.Imm(shift)), kernel.Imm(15))
+		b.AtomAddGlobal(b.AddScaled(pcounts, digit, 4), kernel.Imm(1), 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("shoc-sort")
+	bk := dev.Malloc("sort-keys", uint64(n*4), true)
+	bc := dev.Malloc("sort-counts", 16*4, false)
+	fillU32(dev, bk, n, r, 1<<24)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args:        []driver.Arg{driver.BufArg(bk), driver.BufArg(bc), driver.ScalarArg(int64(n))},
+		Invocations: 8, // digit passes
+		Verify: func(dev *driver.Device) error {
+			var total uint32
+			for d := 0; d < 16; d++ {
+				total += dev.ReadUint32(bc, d)
+			}
+			if total != uint32(n) {
+				return fmt.Errorf("shoc-sort: histogram total %d, want %d", total, n)
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildShocTriad is the STREAM triad: A = B + s·C.
+func buildShocTriad(dev *driver.Device, scale int) (*Spec, error) {
+	n := 8192 * scale
+
+	b := kernel.NewBuilder("shoc-triad")
+	pa := b.BufferParam("A", false)
+	pb2 := b.BufferParam("B", true)
+	pc := b.BufferParam("C", true)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		bv := b.LoadGlobalF32(b.AddScaled(pb2, gtid, 4))
+		cv := b.LoadGlobalF32(b.AddScaled(pc, gtid, 4))
+		b.StoreGlobalF32(b.AddScaled(pa, gtid, 4), b.FMad(cv, kernel.FImm(1.75), bv))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("shoc-triad")
+	ba := dev.Malloc("triad-A", uint64(n*4), false)
+	bb := dev.Malloc("triad-B", uint64(n*4), true)
+	bc := dev.Malloc("triad-C", uint64(n*4), true)
+	fillF32(dev, bb, n, r)
+	fillF32(dev, bc, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 256, Block: 256,
+		Args: []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc),
+			driver.ScalarArg(int64(n))},
+		Invocations: 10,
+		Verify: func(dev *driver.Device) error {
+			for i := 0; i < n; i += maxInt(n/11, 1) {
+				want := dev.ReadFloat32(bb, i) + 1.75*dev.ReadFloat32(bc, i)
+				got := dev.ReadFloat32(ba, i)
+				d := got - want
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-4 {
+					return fmt.Errorf("shoc-triad: A[%d] = %g, want %g", i, got, want)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildShocStencil2D is SHOC's 9-point stencil.
+func buildShocStencil2D(dev *driver.Device, scale int) (*Spec, error) {
+	w := 128
+	h := 32 * scale
+	n := w * h
+
+	b := kernel.NewBuilder("shoc-stencil2d")
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("out", false)
+	pw := b.ScalarParam("w")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, b.Add(pw, kernel.Imm(1)))
+	hi := b.SetLT(gtid, b.Sub(pn, b.Add(pw, kernel.Imm(1))))
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		sum := b.Mov(kernel.FImm(0))
+		for _, d := range []int64{-1, 0, 1} {
+			for _, dw := range []int64{-1, 0, 1} {
+				idx := b.Add(gtid, b.Add(b.Mul(pw, kernel.Imm(d)), kernel.Imm(dw)))
+				v := b.LoadGlobalF32(b.AddScaled(pin, idx, 4))
+				weight := 0.1
+				if d == 0 && dw == 0 {
+					weight = 0.2
+				}
+				b.MovTo(sum, b.FMad(v, kernel.FImm(weight), sum))
+			}
+		}
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), sum)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("shoc-stencil2d")
+	bi := dev.Malloc("st2d-in", uint64(n*4), true)
+	bo := dev.Malloc("st2d-out", uint64(n*4), false)
+	fillF32(dev, bi, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bo),
+			driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n))},
+		Invocations: 8,
+	}, nil
+}
+
+// buildShocSpmvELL is SpMV in ELLPACK layout: a dense padded column array,
+// a structurally different indirect pattern from the CSR spmv.
+func buildShocSpmvELL(dev *driver.Device, scale int) (*Spec, error) {
+	n := 2048 * scale
+	const width = 8
+
+	b := kernel.NewBuilder("shoc-spmv-ell")
+	pvals := b.BufferParam("vals", true)
+	pcols := b.BufferParam("cols", true)
+	px := b.BufferParam("x", true)
+	py := b.BufferParam("y", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(width), kernel.Imm(1), func(j kernel.Operand) {
+			// Column-major ELL layout: element j of row i lives at j*n+i.
+			idx := b.Mad(j, pn, gtid)
+			col := b.LoadGlobal(b.AddScaled(pcols, idx, 4), 4)
+			v := b.LoadGlobalF32(b.AddScaled(pvals, idx, 4))
+			xv := b.LoadGlobalF32(b.AddScaled(px, col, 4))
+			b.MovTo(acc, b.FMad(v, xv, acc))
+		})
+		b.StoreGlobalF32(b.AddScaled(py, gtid, 4), acc)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("shoc-spmv-ell")
+	bv := dev.Malloc("ell-vals", uint64(n*width*4), true)
+	bc := dev.Malloc("ell-cols", uint64(n*width*4), true)
+	bx := dev.Malloc("ell-x", uint64(n*4), true)
+	by := dev.Malloc("ell-y", uint64(n*4), false)
+	fillF32(dev, bv, n*width, r)
+	for i := 0; i < n*width; i++ {
+		dev.WriteUint32(bc, i, uint32(r.Intn(n)))
+	}
+	fillF32(dev, bx, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bv), driver.BufArg(bc), driver.BufArg(bx),
+			driver.BufArg(by), driver.ScalarArg(int64(n))},
+	}, nil
+}

@@ -1,0 +1,1045 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// The remaining Fig. 1 suites: Chai, CloverLeaf, FinanceBench, Hetero-Mark,
+// OpenDwarf, SNAP, TeaLeaf, XSBench, and pannotia.
+func init() {
+	register(Benchmark{Name: "chai-padding", Suite: "Chai", Category: CatDM, API: "cuda", Build: buildChaiPadding})
+	register(Benchmark{Name: "chai-hsti", Suite: "Chai", Category: CatIM, API: "cuda", Build: buildChaiHSTI})
+	register(Benchmark{Name: "chai-sc", Suite: "Chai", Category: CatDM, API: "cuda", Build: buildChaiSC})
+
+	register(Benchmark{Name: "clover-ideal-gas", Suite: "CloverLeaf", Category: CatPS, API: "cuda", Build: buildCloverIdealGas})
+	register(Benchmark{Name: "clover-pdv", Suite: "CloverLeaf", Category: CatPS, API: "cuda", Build: buildCloverPdV})
+
+	register(Benchmark{Name: "fin-blackscholes", Suite: "FinanceBench", Category: CatPS, API: "cuda", Build: buildFinBS})
+	register(Benchmark{Name: "fin-binomial", Suite: "FinanceBench", Category: CatPS, API: "cuda", Build: buildFinBinomial})
+
+	register(Benchmark{Name: "hm-aes", Suite: "Hetero-Mark", Category: CatPS, API: "cuda", Build: buildHMAES})
+	register(Benchmark{Name: "hm-fir", Suite: "Hetero-Mark", Category: CatIM, API: "cuda", Build: buildHMFIR})
+	register(Benchmark{Name: "hm-ep", Suite: "Hetero-Mark", Category: CatPS, API: "cuda", Build: buildHMEP})
+
+	register(Benchmark{Name: "od-crc", Suite: "OpenDwarf", Category: CatPS, API: "cuda", Build: buildODCRC})
+	register(Benchmark{Name: "od-swat", Suite: "OpenDwarf", Category: CatDM, API: "cuda", Build: buildODSwat})
+
+	register(Benchmark{Name: "snap-sweep", Suite: "SNAP", Category: CatPS, API: "cuda", Build: buildSnapSweep})
+
+	register(Benchmark{Name: "tea-jacobi", Suite: "TeaLeaf", Category: CatPS, API: "cuda", Build: buildTeaJacobi})
+	register(Benchmark{Name: "tea-cg", Suite: "TeaLeaf", Category: CatPS, API: "cuda", Build: buildTeaCG})
+
+	register(Benchmark{Name: "xs-lookup", Suite: "XSBench", Category: CatPS, API: "cuda", Build: buildXSLookup})
+
+	register(Benchmark{Name: "pan-fw", Suite: "pannotia", Category: CatGI, API: "cuda", Build: buildPanFW})
+	register(Benchmark{Name: "pan-mis", Suite: "pannotia", Category: CatGT, API: "cuda", Build: buildPanMIS})
+}
+
+// buildChaiPadding is Chai's in-place array padding: elements are moved to
+// their padded positions with an atomic progress cursor.
+func buildChaiPadding(dev *driver.Device, scale int) (*Spec, error) {
+	rows := 64 * scale
+	const cols = 60
+	const padded = 64
+
+	b := kernel.NewBuilder("chai-padding")
+	pin := b.BufferParam("matrix", true)
+	pout := b.BufferParam("padded", false)
+	pcursor := b.BufferParam("cursor", false)
+	prows := b.ScalarParam("rows")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(prows, kernel.Imm(cols)))
+	b.If(guard, func() {
+		row := b.Div(gtid, kernel.Imm(cols))
+		col := b.Rem(gtid, kernel.Imm(cols))
+		v := b.LoadGlobal(b.AddScaled(pin, gtid, 4), 4)
+		dst := b.Mad(row, kernel.Imm(padded), col)
+		b.StoreGlobal(b.AddScaled(pout, dst, 4), v, 4)
+		b.AtomAddGlobal(b.AddScaled(pcursor, kernel.Imm(0), 4), kernel.Imm(1), 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("chai-padding")
+	bi := dev.Malloc("pad-matrix", uint64(rows*cols*4), true)
+	bo := dev.Malloc("pad-padded", uint64(rows*padded*4), false)
+	bc := dev.Malloc("pad-cursor", 64, false)
+	fillU32(dev, bi, rows*cols, r, 1<<20)
+	return &Spec{
+		Kernel: k, Grid: (rows*cols + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bo), driver.BufArg(bc),
+			driver.ScalarArg(int64(rows))},
+	}, nil
+}
+
+// buildChaiHSTI is Chai's input-partitioned histogram.
+func buildChaiHSTI(dev *driver.Device, scale int) (*Spec, error) {
+	n := 8192 * scale
+	const bins = 128
+
+	b := kernel.NewBuilder("chai-hsti")
+	pin := b.BufferParam("pixels", true)
+	phist := b.BufferParam("hist", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		v := b.LoadGlobal(b.AddScaled(pin, gtid, 4), 4)
+		bin := b.Rem(v, kernel.Imm(bins))
+		b.AtomAddGlobal(b.AddScaled(phist, bin, 4), kernel.Imm(1), 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("chai-hsti")
+	bi := dev.Malloc("hsti-pixels", uint64(n*4), true)
+	bh := dev.Malloc("hsti-hist", bins*4, false)
+	fillU32(dev, bi, n, r, 1<<16)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bh), driver.ScalarArg(int64(n))},
+		Verify: func(dev *driver.Device) error {
+			var total uint32
+			for b := 0; b < bins; b++ {
+				total += dev.ReadUint32(bh, b)
+			}
+			if total != uint32(n) {
+				return fmt.Errorf("chai-hsti: histogram total %d, want %d", total, n)
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildChaiSC is Chai's stream compaction: threads keep elements passing a
+// predicate, claiming output slots with an atomic cursor.
+func buildChaiSC(dev *driver.Device, scale int) (*Spec, error) {
+	n := 4096 * scale
+
+	b := kernel.NewBuilder("chai-sc")
+	pin := b.BufferParam("in", true)
+	pout := b.BufferParam("out", false)
+	pcursor := b.BufferParam("cursor", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		v := b.LoadGlobal(b.AddScaled(pin, gtid, 4), 4)
+		keep := b.SetEQ(b.And(v, kernel.Imm(1)), kernel.Imm(0)) // keep evens
+		b.If(keep, func() {
+			slot := b.AtomAddGlobal(b.AddScaled(pcursor, kernel.Imm(0), 4), kernel.Imm(1), 4)
+			b.StoreGlobal(b.AddScaled(pout, slot, 4), v, 4)
+		})
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("chai-sc")
+	bi := dev.Malloc("sc-in", uint64(n*4), true)
+	bo := dev.Malloc("sc-out", uint64(n*4), false)
+	bc := dev.Malloc("sc-cursor", 64, false)
+	fillU32(dev, bi, n, r, 1<<20)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bo), driver.BufArg(bc),
+			driver.ScalarArg(int64(n))},
+		Verify: func(dev *driver.Device) error {
+			evens := 0
+			for i := 0; i < n; i++ {
+				if dev.ReadUint32(bi, i)%2 == 0 {
+					evens++
+				}
+			}
+			if got := int(dev.ReadUint32(bc, 0)); got != evens {
+				return fmt.Errorf("chai-sc: cursor %d, want %d kept elements", got, evens)
+			}
+			for i := 0; i < evens; i += maxInt(evens/7, 1) {
+				if dev.ReadUint32(bo, i)%2 != 0 {
+					return fmt.Errorf("chai-sc: out[%d] is odd", i)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildCloverIdealGas is CloverLeaf's equation-of-state kernel: pressure
+// and soundspeed from density and energy (4 field arrays).
+func buildCloverIdealGas(dev *driver.Device, scale int) (*Spec, error) {
+	n := 4096 * scale
+
+	b := kernel.NewBuilder("clover-ideal-gas")
+	pdens := b.BufferParam("density", true)
+	pen := b.BufferParam("energy", true)
+	ppress := b.BufferParam("pressure", false)
+	psound := b.BufferParam("soundspeed", false)
+	pn := b.ScalarParam("cells")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		d := b.LoadGlobalF32(b.AddScaled(pdens, gtid, 4))
+		e := b.LoadGlobalF32(b.AddScaled(pen, gtid, 4))
+		press := b.FMul(b.FMul(kernel.FImm(0.4), d), e)
+		b.StoreGlobalF32(b.AddScaled(ppress, gtid, 4), press)
+		pe := b.FDiv(press, b.FAdd(d, kernel.FImm(1e-6)))
+		v2 := b.FMad(pe, kernel.FImm(1.4), e)
+		b.StoreGlobalF32(b.AddScaled(psound, gtid, 4), b.FSqrt(v2))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("clover-ideal-gas")
+	mk := func(name string, ro bool) *driver.Buffer {
+		buf := dev.Malloc("ig-"+name, uint64(n*4), ro)
+		if ro {
+			fillF32(dev, buf, n, r)
+		}
+		return buf
+	}
+	bd, be := mk("density", true), mk("energy", true)
+	bp, bs := mk("pressure", false), mk("soundspeed", false)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bd), driver.BufArg(be), driver.BufArg(bp),
+			driver.BufArg(bs), driver.ScalarArg(int64(n))},
+		Invocations: 10,
+	}, nil
+}
+
+// buildCloverPdV is CloverLeaf's PdV kernel: the most buffer-hungry kernel
+// in the corpus (12 field arrays), faithful to CloverLeaf's long argument
+// lists and the upper tail of Fig. 1.
+func buildCloverPdV(dev *driver.Device, scale int) (*Spec, error) {
+	w := 64
+	h := 16 * scale
+	n := w * h
+
+	b := kernel.NewBuilder("clover-pdv")
+	fields := []string{"xarea", "yarea", "volume", "density0", "density1",
+		"energy0", "energy1", "pressure", "viscosity", "xvel0", "yvel0"}
+	params := make([]kernel.Operand, len(fields))
+	for i, f := range fields {
+		ro := i < 3 || f == "pressure" || f == "viscosity" || f == "xvel0" || f == "yvel0"
+		_ = ro
+		params[i] = b.BufferParam(f, i != 4 && i != 6) // density1, energy1 written
+	}
+	pout := b.BufferParam("volchange", false)
+	pw := b.ScalarParam("w")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, pw)
+	hi := b.SetLT(gtid, b.Sub(pn, pw))
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		ld := func(i int, idx kernel.Operand) kernel.Operand {
+			return b.LoadGlobalF32(b.AddScaled(params[i], idx, 4))
+		}
+		xa := ld(0, gtid)
+		ya := ld(1, gtid)
+		vol := ld(2, gtid)
+		d0 := ld(3, gtid)
+		e0 := ld(5, gtid)
+		press := ld(7, gtid)
+		visc := ld(8, gtid)
+		xv := ld(9, gtid)
+		xvR := ld(9, b.Add(gtid, kernel.Imm(1)))
+		yv := ld(10, gtid)
+		yvD := ld(10, b.Add(gtid, pw))
+		fluxX := b.FMul(xa, b.FAdd(xv, xvR))
+		fluxY := b.FMul(ya, b.FAdd(yv, yvD))
+		dv := b.FMul(b.FAdd(fluxX, fluxY), kernel.FImm(0.125))
+		ratio := b.FDiv(vol, b.FAdd(vol, dv))
+		b.StoreGlobalF32(b.AddScaled(params[4], gtid, 4), b.FMul(d0, ratio)) // density1
+		work := b.FMul(b.FAdd(press, visc), b.FDiv(dv, b.FAdd(d0, kernel.FImm(1e-6))))
+		b.StoreGlobalF32(b.AddScaled(params[6], gtid, 4), b.FSub(e0, work)) // energy1
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), dv)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("clover-pdv")
+	args := make([]driver.Arg, 0, len(fields)+3)
+	for i, f := range fields {
+		ro := i != 4 && i != 6
+		buf := dev.Malloc("pdv-"+f, uint64(n*4), ro)
+		fillF32(dev, buf, n, r)
+		args = append(args, driver.BufArg(buf))
+	}
+	bout := dev.Malloc("pdv-volchange", uint64(n*4), false)
+	args = append(args, driver.BufArg(bout), driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n)))
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args:        args,
+		Invocations: 10,
+	}, nil
+}
+
+// buildFinBS is FinanceBench's Black-Scholes variant with both greeks
+// written (6 buffers).
+func buildFinBS(dev *driver.Device, scale int) (*Spec, error) {
+	n := 4096 * scale
+
+	b := kernel.NewBuilder("fin-blackscholes")
+	ps := b.BufferParam("spot", true)
+	pk := b.BufferParam("strike", true)
+	pt := b.BufferParam("tte", true)
+	pv := b.BufferParam("vol", true)
+	pcall := b.BufferParam("call", false)
+	pdelta := b.BufferParam("delta", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		s := b.LoadGlobalF32(b.AddScaled(ps, gtid, 4))
+		kk := b.LoadGlobalF32(b.AddScaled(pk, gtid, 4))
+		t := b.LoadGlobalF32(b.AddScaled(pt, gtid, 4))
+		v := b.LoadGlobalF32(b.AddScaled(pv, gtid, 4))
+		sq := b.FSqrt(b.FMul(t, b.FMul(v, v)))
+		d1 := b.FDiv(b.FSub(s, kk), b.FAdd(sq, kernel.FImm(0.01)))
+		// Logistic CND approximation.
+		nd1 := b.FDiv(kernel.FImm(1), b.FAdd(kernel.FImm(1),
+			b.FDiv(kernel.FImm(1), b.FAdd(b.FMul(d1, d1), kernel.FImm(1)))))
+		call := b.FSub(b.FMul(s, nd1), b.FMul(kk, b.FMul(nd1, kernel.FImm(0.97))))
+		b.StoreGlobalF32(b.AddScaled(pcall, gtid, 4), call)
+		b.StoreGlobalF32(b.AddScaled(pdelta, gtid, 4), nd1)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("fin-blackscholes")
+	mk := func(name string, ro bool) *driver.Buffer {
+		buf := dev.Malloc("finbs-"+name, uint64(n*4), ro)
+		if ro {
+			fillF32(dev, buf, n, r)
+		}
+		return buf
+	}
+	bs, bk, bt, bv := mk("spot", true), mk("strike", true), mk("tte", true), mk("vol", true)
+	bc, bd := mk("call", false), mk("delta", false)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bs), driver.BufArg(bk), driver.BufArg(bt),
+			driver.BufArg(bv), driver.BufArg(bc), driver.BufArg(bd), driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildFinBinomial prices options on a binomial tree: each thread folds a
+// small tree held in its local (off-chip stack) array — a local-memory
+// workload, the Table 1 "local" row.
+func buildFinBinomial(dev *driver.Device, scale int) (*Spec, error) {
+	n := 512 * scale
+	const steps = 16
+
+	b := kernel.NewBuilder("fin-binomial")
+	pspot := b.BufferParam("spot", true)
+	pstrike := b.BufferParam("strike", true)
+	pout := b.BufferParam("price", false)
+	pn := b.ScalarParam("n")
+	tree := b.Local("tree", (steps+1)*4)
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		s := b.LoadGlobalF32(b.AddScaled(pspot, gtid, 4))
+		strike := b.LoadGlobalF32(b.AddScaled(pstrike, gtid, 4))
+		// Terminal payoffs into the local tree.
+		b.ForRange(kernel.Imm(0), kernel.Imm(steps+1), kernel.Imm(1), func(i kernel.Operand) {
+			up := b.CvtIF(b.Sub(b.Mul(i, kernel.Imm(2)), kernel.Imm(steps)))
+			st := b.FMad(up, b.FMul(s, kernel.FImm(0.05)), s)
+			payoff := b.FMax(b.FSub(st, strike), kernel.FImm(0))
+			b.StoreLocalF32(tree, b.Mul(i, kernel.Imm(4)), payoff)
+		})
+		// Backward induction.
+		b.ForRange(kernel.Imm(0), kernel.Imm(steps), kernel.Imm(1), func(lvl kernel.Operand) {
+			bound := b.Sub(kernel.Imm(steps), lvl)
+			b.ForRange(kernel.Imm(0), bound, kernel.Imm(1), func(i kernel.Operand) {
+				active := b.SetLT(i, bound)
+				b.If(active, func() {
+					lo2 := b.LoadLocalF32(tree, b.Mul(i, kernel.Imm(4)))
+					hi2 := b.LoadLocalF32(tree, b.Mul(b.Add(i, kernel.Imm(1)), kernel.Imm(4)))
+					disc := b.FMul(b.FAdd(lo2, hi2), kernel.FImm(0.4975))
+					b.StoreLocalF32(tree, b.Mul(i, kernel.Imm(4)), disc)
+				})
+			})
+		})
+		price := b.LoadLocalF32(tree, kernel.Imm(0))
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), price)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("fin-binomial")
+	bs := dev.Malloc("bin-spot", uint64(n*4), true)
+	bk := dev.Malloc("bin-strike", uint64(n*4), true)
+	bo := dev.Malloc("bin-price", uint64(n*4), false)
+	fillF32(dev, bs, n, r)
+	fillF32(dev, bk, n, r)
+	return &Spec{
+		Kernel: k, Grid: (n + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bs), driver.BufArg(bk), driver.BufArg(bo),
+			driver.ScalarArg(int64(n))},
+	}, nil
+}
+
+// buildHMAES is one AES SubBytes+AddRoundKey round over 16-byte blocks:
+// S-box lookups are data-dependent (indirect) table reads.
+func buildHMAES(dev *driver.Device, scale int) (*Spec, error) {
+	blocks := 2048 * scale
+
+	b := kernel.NewBuilder("hm-aes")
+	pstate := b.BufferParam("state", true)
+	psbox := b.BufferParam("sbox", true)
+	pkey := b.BufferParam("roundkey", true)
+	pout := b.BufferParam("out", false)
+	pnb := b.ScalarParam("blocks")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(pnb, kernel.Imm(4)))
+	b.If(guard, func() {
+		word := b.LoadGlobal(b.AddScaled(pstate, gtid, 4), 4)
+		kw := b.LoadGlobal(b.AddScaled(pkey, b.Rem(gtid, kernel.Imm(4)), 4), 4)
+		out := b.Mov(kernel.Imm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(4), kernel.Imm(1), func(byteI kernel.Operand) {
+			sh := b.Mul(byteI, kernel.Imm(8))
+			byteV := b.And(b.Shr(word, sh), kernel.Imm(255))
+			sub := b.LoadGlobal(b.AddScaled(psbox, byteV, 4), 4)
+			b.MovTo(out, b.Or(out, b.Shl(b.And(sub, kernel.Imm(255)), sh)))
+		})
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), b.Xor(out, kw), 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("hm-aes")
+	bst := dev.Malloc("aes-state", uint64(blocks*4*4), true)
+	bsb := dev.Malloc("aes-sbox", 256*4, true)
+	bk := dev.Malloc("aes-roundkey", 4*4, true)
+	bo := dev.Malloc("aes-out", uint64(blocks*4*4), false)
+	fillU32(dev, bst, blocks*4, r, 1<<31)
+	fillU32(dev, bsb, 256, r, 256)
+	fillU32(dev, bk, 4, r, 1<<31)
+	return &Spec{
+		Kernel: k, Grid: blocks * 4 / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bst), driver.BufArg(bsb), driver.BufArg(bk),
+			driver.BufArg(bo), driver.ScalarArg(int64(blocks))},
+		Invocations: 10, // AES rounds
+	}, nil
+}
+
+// buildHMFIR is a multi-tap FIR filter over a signal.
+func buildHMFIR(dev *driver.Device, scale int) (*Spec, error) {
+	n := 8192 * scale
+	const taps = 16
+
+	b := kernel.NewBuilder("hm-fir")
+	pin := b.BufferParam("signal", true)
+	pcoef := b.BufferParam("coeff", true)
+	pout := b.BufferParam("filtered", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, kernel.Imm(taps))
+	hi := b.SetLT(gtid, pn)
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		acc := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(taps), kernel.Imm(1), func(t kernel.Operand) {
+			sv := b.LoadGlobalF32(b.AddScaled(pin, b.Sub(gtid, t), 4))
+			cv := b.LoadGlobalF32(b.AddScaled(pcoef, t, 4))
+			b.MovTo(acc, b.FMad(sv, cv, acc))
+		})
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), acc)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("hm-fir")
+	bi := dev.Malloc("fir-signal", uint64(n*4), true)
+	bc := dev.Malloc("fir-coeff", taps*4, true)
+	bo := dev.Malloc("fir-filtered", uint64(n*4), false)
+	fillF32(dev, bi, n, r)
+	fillF32(dev, bc, taps, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bi), driver.BufArg(bc), driver.BufArg(bo),
+			driver.ScalarArg(int64(n))},
+		Invocations: 4,
+		Verify: func(dev *driver.Device) error {
+			for i := taps; i < n; i += maxInt(n/9, 1) {
+				acc := 0.0
+				for t := 0; t < taps; t++ {
+					acc = float64(dev.ReadFloat32(bi, i-t))*float64(dev.ReadFloat32(bc, t)) + acc
+				}
+				got := dev.ReadFloat32(bo, i)
+				d := got - float32(acc)
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-4 {
+					return fmt.Errorf("hm-fir: out[%d] = %g, want %g", i, got, acc)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildHMEP evaluates an evolutionary-programming fitness function per
+// individual over a gene vector.
+func buildHMEP(dev *driver.Device, scale int) (*Spec, error) {
+	pop := 1024 * scale
+	const genes = 16
+
+	b := kernel.NewBuilder("hm-ep")
+	pgenes := b.BufferParam("population", true)
+	pfit := b.BufferParam("fitness", false)
+	pn := b.ScalarParam("pop")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		fit := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(genes), kernel.Imm(1), func(g kernel.Operand) {
+			v := b.LoadGlobalF32(b.AddScaled(pgenes, b.Mad(gtid, kernel.Imm(genes), g), 4))
+			// Rastrigin-flavoured term: x² - cosine-ish bump.
+			x2 := b.FMul(v, v)
+			bump := b.FSub(kernel.FImm(1), b.FMul(x2, kernel.FImm(0.5)))
+			b.MovTo(fit, b.FAdd(fit, b.FSub(x2, b.FMul(bump, kernel.FImm(0.1)))))
+		})
+		b.StoreGlobalF32(b.AddScaled(pfit, gtid, 4), fit)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("hm-ep")
+	bg := dev.Malloc("ep-population", uint64(pop*genes*4), true)
+	bf := dev.Malloc("ep-fitness", uint64(pop*4), false)
+	fillF32(dev, bg, pop*genes, r)
+	return &Spec{
+		Kernel: k, Grid: pop / 128, Block: 128,
+		Args:        []driver.Arg{driver.BufArg(bg), driver.BufArg(bf), driver.ScalarArg(int64(pop))},
+		Invocations: 20, // generations
+	}, nil
+}
+
+// buildODCRC computes table-driven CRC32 over per-thread data blocks.
+func buildODCRC(dev *driver.Device, scale int) (*Spec, error) {
+	n := 2048 * scale
+	const blockWords = 8
+
+	b := kernel.NewBuilder("od-crc")
+	pdata := b.BufferParam("data", true)
+	ptable := b.BufferParam("crctable", true)
+	pout := b.BufferParam("crc", false)
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		crc := b.Mov(kernel.Imm(0xFFFFFFFF))
+		b.ForRange(kernel.Imm(0), kernel.Imm(blockWords), kernel.Imm(1), func(w kernel.Operand) {
+			v := b.LoadGlobal(b.AddScaled(pdata, b.Mad(gtid, kernel.Imm(blockWords), w), 4), 4)
+			idx := b.And(b.Xor(crc, v), kernel.Imm(255))
+			te := b.LoadGlobal(b.AddScaled(ptable, idx, 4), 4)
+			b.MovTo(crc, b.And(b.Xor(b.Shr(crc, kernel.Imm(8)), te), kernel.Imm(0xFFFFFFFF)))
+		})
+		b.StoreGlobal(b.AddScaled(pout, gtid, 4), crc, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("od-crc")
+	bd := dev.Malloc("crc-data", uint64(n*blockWords*4), true)
+	bt := dev.Malloc("crc-crctable", 256*4, true)
+	bo := dev.Malloc("crc-crc", uint64(n*4), false)
+	fillU32(dev, bd, n*blockWords, r, 1<<31)
+	fillU32(dev, bt, 256, r, 1<<31)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bd), driver.BufArg(bt), driver.BufArg(bo),
+			driver.ScalarArg(int64(n))},
+		Verify: func(dev *driver.Device) error {
+			for t := 0; t < n; t += maxInt(n/7, 1) {
+				crc := uint32(0xFFFFFFFF)
+				for w := 0; w < blockWords; w++ {
+					v := dev.ReadUint32(bd, t*blockWords+w)
+					idx := (crc ^ v) & 255
+					crc = (crc >> 8) ^ dev.ReadUint32(bt, int(idx))
+				}
+				if got := dev.ReadUint32(bo, t); got != crc {
+					return fmt.Errorf("od-crc: crc[%d] = %#x, want %#x", t, got, crc)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildODSwat is a Smith-Waterman anti-diagonal with affine gap penalties:
+// three DP matrices plus the substitution table (6 buffers).
+func buildODSwat(dev *driver.Device, scale int) (*Spec, error) {
+	n := 256 * scale
+	const alphabet = 24
+
+	b := kernel.NewBuilder("od-swat")
+	pseq1 := b.BufferParam("seq1", true)
+	pseq2 := b.BufferParam("seq2", true)
+	psub := b.BufferParam("submatrix", true)
+	ph := b.BufferParam("H", false)
+	pe := b.BufferParam("E", false)
+	pf := b.BufferParam("F", false)
+	pdiag := b.ScalarParam("diag")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	i := b.Add(gtid, kernel.Imm(1))
+	j := b.Sub(pdiag, i)
+	ok := b.And(b.And(b.SetGE(j, kernel.Imm(1)), b.SetLT(j, pn)), b.SetLT(i, pn))
+	guard := b.SetNE(ok, kernel.Imm(0))
+	b.If(guard, func() {
+		s1 := b.LoadGlobal(b.AddScaled(pseq1, i, 4), 4)
+		s2 := b.LoadGlobal(b.AddScaled(pseq2, j, 4), 4)
+		sub := b.LoadGlobal(b.AddScaled(psub, b.Mad(s1, kernel.Imm(alphabet), s2), 4), 4)
+		hNW := b.LoadGlobal(b.AddScaled(ph, b.Mad(b.Sub(i, kernel.Imm(1)), pn, b.Sub(j, kernel.Imm(1))), 4), 4)
+		hN := b.LoadGlobal(b.AddScaled(ph, b.Mad(b.Sub(i, kernel.Imm(1)), pn, j), 4), 4)
+		hW := b.LoadGlobal(b.AddScaled(ph, b.Mad(i, pn, b.Sub(j, kernel.Imm(1))), 4), 4)
+		eN := b.LoadGlobal(b.AddScaled(pe, b.Mad(b.Sub(i, kernel.Imm(1)), pn, j), 4), 4)
+		fW := b.LoadGlobal(b.AddScaled(pf, b.Mad(i, pn, b.Sub(j, kernel.Imm(1))), 4), 4)
+		const open, extend = 4, 1
+		e := b.Max(b.Sub(hN, kernel.Imm(open)), b.Sub(eN, kernel.Imm(extend)))
+		f := b.Max(b.Sub(hW, kernel.Imm(open)), b.Sub(fW, kernel.Imm(extend)))
+		h := b.Max(kernel.Imm(0), b.Max(b.Add(hNW, sub), b.Max(e, f)))
+		idx := b.Mad(i, pn, j)
+		b.StoreGlobal(b.AddScaled(ph, idx, 4), h, 4)
+		b.StoreGlobal(b.AddScaled(pe, idx, 4), e, 4)
+		b.StoreGlobal(b.AddScaled(pf, idx, 4), f, 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("od-swat")
+	bs1 := dev.Malloc("swat-seq1", uint64(n*4), true)
+	bs2 := dev.Malloc("swat-seq2", uint64(n*4), true)
+	bsub := dev.Malloc("swat-submatrix", alphabet*alphabet*4, true)
+	bh := dev.Malloc("swat-H", uint64(n*n*4), false)
+	be := dev.Malloc("swat-E", uint64(n*n*4), false)
+	bf := dev.Malloc("swat-F", uint64(n*n*4), false)
+	fillU32(dev, bs1, n, r, alphabet)
+	fillU32(dev, bs2, n, r, alphabet)
+	fillU32(dev, bsub, alphabet*alphabet, r, 10)
+	return &Spec{
+		Kernel: k, Grid: (n + 127) / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bs1), driver.BufArg(bs2), driver.BufArg(bsub),
+			driver.BufArg(bh), driver.BufArg(be), driver.BufArg(bf),
+			driver.ScalarArg(int64(n)), driver.ScalarArg(int64(n))},
+		Invocations: 2*n - 3,
+	}, nil
+}
+
+// buildSnapSweep is one angular-flux sweep plane of SNAP's discrete-
+// ordinates transport: flux update from upstream cells and cross sections.
+func buildSnapSweep(dev *driver.Device, scale int) (*Spec, error) {
+	w := 64
+	h := 16 * scale
+	n := w * h
+	const angles = 4
+
+	b := kernel.NewBuilder("snap-sweep")
+	ppsi := b.BufferParam("psi", false)
+	psigt := b.BufferParam("sigt", true)
+	psrc := b.BufferParam("source", true)
+	pflux := b.BufferParam("flux", false)
+	pw := b.ScalarParam("w")
+	pn := b.ScalarParam("cells")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, b.Add(pw, kernel.Imm(1)))
+	hi := b.SetLT(gtid, pn)
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		st := b.LoadGlobalF32(b.AddScaled(psigt, gtid, 4))
+		src := b.LoadGlobalF32(b.AddScaled(psrc, gtid, 4))
+		total := b.Mov(kernel.FImm(0))
+		b.ForRange(kernel.Imm(0), kernel.Imm(angles), kernel.Imm(1), func(a kernel.Operand) {
+			aIdx := b.Mad(a, pn, gtid)
+			upX := b.LoadGlobalF32(b.AddScaled(ppsi, b.Sub(aIdx, kernel.Imm(1)), 4))
+			upY := b.LoadGlobalF32(b.AddScaled(ppsi, b.Sub(aIdx, pw), 4))
+			num := b.FAdd(src, b.FMad(upX, kernel.FImm(0.3), b.FMul(upY, kernel.FImm(0.3))))
+			psi := b.FDiv(num, b.FAdd(st, kernel.FImm(0.6)))
+			b.StoreGlobalF32(b.AddScaled(ppsi, aIdx, 4), psi)
+			b.MovTo(total, b.FAdd(total, psi))
+		})
+		b.StoreGlobalF32(b.AddScaled(pflux, gtid, 4), total)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("snap-sweep")
+	bpsi := dev.Malloc("snap-psi", uint64(angles*n*4), false)
+	bst := dev.Malloc("snap-sigt", uint64(n*4), true)
+	bsrc := dev.Malloc("snap-source", uint64(n*4), true)
+	bfl := dev.Malloc("snap-flux", uint64(n*4), false)
+	fillF32(dev, bst, n, r)
+	fillF32(dev, bsrc, n, r)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bpsi), driver.BufArg(bst), driver.BufArg(bsrc),
+			driver.BufArg(bfl), driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n))},
+		Invocations: 8,
+	}, nil
+}
+
+// buildTeaJacobi is TeaLeaf's Jacobi heat-diffusion iteration with
+// face-centred conductivities.
+func buildTeaJacobi(dev *driver.Device, scale int) (*Spec, error) {
+	w := 128
+	h := 16 * scale
+	n := w * h
+
+	b := kernel.NewBuilder("tea-jacobi")
+	pu := b.BufferParam("u", true)
+	pu0 := b.BufferParam("u0", true)
+	pkx := b.BufferParam("Kx", true)
+	pky := b.BufferParam("Ky", true)
+	pout := b.BufferParam("unew", false)
+	pw := b.ScalarParam("w")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, pw)
+	hi := b.SetLT(gtid, b.Sub(pn, pw))
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		u0 := b.LoadGlobalF32(b.AddScaled(pu0, gtid, 4))
+		kxW := b.LoadGlobalF32(b.AddScaled(pkx, gtid, 4))
+		kxE := b.LoadGlobalF32(b.AddScaled(pkx, b.Add(gtid, kernel.Imm(1)), 4))
+		kyS := b.LoadGlobalF32(b.AddScaled(pky, gtid, 4))
+		kyN := b.LoadGlobalF32(b.AddScaled(pky, b.Add(gtid, pw), 4))
+		uW := b.LoadGlobalF32(b.AddScaled(pu, b.Sub(gtid, kernel.Imm(1)), 4))
+		uE := b.LoadGlobalF32(b.AddScaled(pu, b.Add(gtid, kernel.Imm(1)), 4))
+		uS := b.LoadGlobalF32(b.AddScaled(pu, b.Sub(gtid, pw), 4))
+		uN := b.LoadGlobalF32(b.AddScaled(pu, b.Add(gtid, pw), 4))
+		num := b.FAdd(u0, b.FAdd(b.FMad(kxW, uW, b.FMul(kxE, uE)), b.FMad(kyS, uS, b.FMul(kyN, uN))))
+		den := b.FAdd(kernel.FImm(1), b.FAdd(b.FAdd(kxW, kxE), b.FAdd(kyS, kyN)))
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), b.FDiv(num, den))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("tea-jacobi")
+	mk := func(name string, ro bool) *driver.Buffer {
+		buf := dev.Malloc("tea-"+name, uint64((n+w)*4), ro)
+		if ro {
+			fillF32(dev, buf, n+w, r)
+		}
+		return buf
+	}
+	bu, bu0, bkx, bky := mk("u", true), mk("u0", true), mk("Kx", true), mk("Ky", true)
+	bout := mk("unew", false)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bu), driver.BufArg(bu0), driver.BufArg(bkx),
+			driver.BufArg(bky), driver.BufArg(bout), driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n))},
+		Invocations: 20,
+	}, nil
+}
+
+// buildTeaCG is TeaLeaf's conjugate-gradient w = A·p step.
+func buildTeaCG(dev *driver.Device, scale int) (*Spec, error) {
+	w := 128
+	h := 16 * scale
+	n := w * h
+
+	b := kernel.NewBuilder("tea-cg")
+	pp := b.BufferParam("p", true)
+	pkx := b.BufferParam("Kx", true)
+	pky := b.BufferParam("Ky", true)
+	pw2 := b.BufferParam("w", false)
+	ppart := b.BufferParam("pw_partial", false)
+	pwidth := b.ScalarParam("width")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	lo := b.SetGE(gtid, pwidth)
+	hi := b.SetLT(gtid, b.Sub(pn, pwidth))
+	guard := b.SetNE(b.And(lo, hi), kernel.Imm(0))
+	b.If(guard, func() {
+		p := b.LoadGlobalF32(b.AddScaled(pp, gtid, 4))
+		kxW := b.LoadGlobalF32(b.AddScaled(pkx, gtid, 4))
+		kxE := b.LoadGlobalF32(b.AddScaled(pkx, b.Add(gtid, kernel.Imm(1)), 4))
+		kyS := b.LoadGlobalF32(b.AddScaled(pky, gtid, 4))
+		kyN := b.LoadGlobalF32(b.AddScaled(pky, b.Add(gtid, pwidth), 4))
+		pW := b.LoadGlobalF32(b.AddScaled(pp, b.Sub(gtid, kernel.Imm(1)), 4))
+		pE := b.LoadGlobalF32(b.AddScaled(pp, b.Add(gtid, kernel.Imm(1)), 4))
+		pS := b.LoadGlobalF32(b.AddScaled(pp, b.Sub(gtid, pwidth), 4))
+		pN := b.LoadGlobalF32(b.AddScaled(pp, b.Add(gtid, pwidth), 4))
+		diag := b.FAdd(kernel.FImm(1), b.FAdd(b.FAdd(kxW, kxE), b.FAdd(kyS, kyN)))
+		wv := b.FSub(b.FMul(diag, p),
+			b.FAdd(b.FMad(kxW, pW, b.FMul(kxE, pE)), b.FMad(kyS, pS, b.FMul(kyN, pN))))
+		b.StoreGlobalF32(b.AddScaled(pw2, gtid, 4), wv)
+		b.StoreGlobalF32(b.AddScaled(ppart, gtid, 4), b.FMul(p, wv))
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("tea-cg")
+	mk := func(name string, ro bool) *driver.Buffer {
+		buf := dev.Malloc("teacg-"+name, uint64((n+w)*4), ro)
+		if ro {
+			fillF32(dev, buf, n+w, r)
+		}
+		return buf
+	}
+	bp, bkx, bky := mk("p", true), mk("Kx", true), mk("Ky", true)
+	bw, bpart := mk("w", false), mk("pw_partial", false)
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(bp), driver.BufArg(bkx), driver.BufArg(bky),
+			driver.BufArg(bw), driver.BufArg(bpart), driver.ScalarArg(int64(w)), driver.ScalarArg(int64(n))},
+		Invocations: 20,
+	}, nil
+}
+
+// buildXSLookup is XSBench's macroscopic cross-section lookup: a binary
+// search on the energy grid followed by indirect gathers from five
+// reaction-channel tables — the canonical memory-latency-bound Monte Carlo
+// particle-transport kernel (7 buffers).
+func buildXSLookup(dev *driver.Device, scale int) (*Spec, error) {
+	lookups := 2048 * scale
+	const gridPoints = 1024
+
+	b := kernel.NewBuilder("xs-lookup")
+	pegrid := b.BufferParam("egrid", true)
+	ptotal := b.BufferParam("xs_total", true)
+	pelastic := b.BufferParam("xs_elastic", true)
+	pabsorb := b.BufferParam("xs_absorb", true)
+	pfission := b.BufferParam("xs_fission", true)
+	penergy := b.BufferParam("energies", true)
+	pout := b.BufferParam("macro_xs", false)
+	pn := b.ScalarParam("lookups")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		e := b.LoadGlobal(b.AddScaled(penergy, gtid, 4), 4)
+		// Binary search over the sorted energy grid.
+		lo2 := b.Mov(kernel.Imm(0))
+		hi2 := b.Mov(kernel.Imm(gridPoints - 1))
+		b.ForRange(kernel.Imm(0), kernel.Imm(10), kernel.Imm(1), func(it kernel.Operand) {
+			mid := b.Shr(b.Add(lo2, hi2), kernel.Imm(1))
+			gv := b.LoadGlobal(b.AddScaled(pegrid, mid, 4), 4)
+			le := b.SetLE(gv, e)
+			b.MovTo(lo2, b.Selp(mid, lo2, le))
+			b.MovTo(hi2, b.Selp(hi2, mid, le))
+		})
+		// Gather the five channels at the bracketing index.
+		t := b.LoadGlobalF32(b.AddScaled(ptotal, lo2, 4))
+		el := b.LoadGlobalF32(b.AddScaled(pelastic, lo2, 4))
+		ab := b.LoadGlobalF32(b.AddScaled(pabsorb, lo2, 4))
+		fi := b.LoadGlobalF32(b.AddScaled(pfission, lo2, 4))
+		macro := b.FAdd(b.FAdd(t, el), b.FAdd(ab, fi))
+		b.StoreGlobalF32(b.AddScaled(pout, gtid, 4), macro)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("xs-lookup")
+	beg := dev.Malloc("xs-egrid", gridPoints*4, true)
+	for i := 0; i < gridPoints; i++ {
+		dev.WriteUint32(beg, i, uint32(i*37)) // sorted grid
+	}
+	mkxs := func(name string) *driver.Buffer {
+		buf := dev.Malloc("xs-"+name, gridPoints*4, true)
+		fillF32(dev, buf, gridPoints, r)
+		return buf
+	}
+	bt, bel, bab, bfi := mkxs("xs_total"), mkxs("xs_elastic"), mkxs("xs_absorb"), mkxs("xs_fission")
+	ben := dev.Malloc("xs-energies", uint64(lookups*4), true)
+	fillU32(dev, ben, lookups, r, int64(gridPoints*37))
+	bo := dev.Malloc("xs-macro", uint64(lookups*4), false)
+	return &Spec{
+		Kernel: k, Grid: lookups / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(beg), driver.BufArg(bt), driver.BufArg(bel),
+			driver.BufArg(bab), driver.BufArg(bfi), driver.BufArg(ben), driver.BufArg(bo),
+			driver.ScalarArg(int64(lookups))},
+		Verify: func(dev *driver.Device) error {
+			for t := 0; t < lookups; t += maxInt(lookups/9, 1) {
+				e := int32(dev.ReadUint32(ben, t))
+				lo, hi := int32(0), int32(gridPoints-1)
+				for it := 0; it < 10; it++ {
+					mid := (lo + hi) >> 1
+					if int32(dev.ReadUint32(beg, int(mid))) <= e {
+						lo = mid
+					} else {
+						hi = mid
+					}
+				}
+				want := dev.ReadFloat32(bt, int(lo)) + dev.ReadFloat32(bel, int(lo)) +
+					dev.ReadFloat32(bab, int(lo)) + dev.ReadFloat32(bfi, int(lo))
+				got := dev.ReadFloat32(bo, t)
+				d := got - want
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-3 {
+					return fmt.Errorf("xs-lookup: macro[%d] = %g, want %g", t, got, want)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildPanFW is one k-step of pannotia's Floyd-Warshall all-pairs shortest
+// paths: dist[i][j] = min(dist[i][j], dist[i][k] + dist[k][j]).
+func buildPanFW(dev *driver.Device, scale int) (*Spec, error) {
+	n := 96 * scale
+
+	b := kernel.NewBuilder("pan-fw")
+	pdist := b.BufferParam("dist", false)
+	pk := b.ScalarParam("k")
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, b.Mul(pn, pn))
+	b.If(guard, func() {
+		i := b.Div(gtid, pn)
+		j := b.Rem(gtid, pn)
+		dij := b.LoadGlobal(b.AddScaled(pdist, gtid, 4), 4)
+		dik := b.LoadGlobal(b.AddScaled(pdist, b.Mad(i, pn, pk), 4), 4)
+		dkj := b.LoadGlobal(b.AddScaled(pdist, b.Mad(pk, pn, j), 4), 4)
+		cand := b.Add(dik, dkj)
+		b.StoreGlobal(b.AddScaled(pdist, gtid, 4), b.Min(dij, cand), 4)
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng("pan-fw")
+	bd := dev.Malloc("fw-dist", uint64(n*n*4), false)
+	for i := 0; i < n*n; i++ {
+		dev.WriteUint32(bd, i, uint32(r.Intn(1000)+1))
+	}
+	// Zero diagonal (standard FW): row k and column k are then fixed
+	// points of the k-step, so the parallel update is race-free.
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(bd, i*n+i, 0)
+	}
+	// Host reference for the k=3 step computed against the original matrix.
+	ref := make([]uint32, n*n)
+	for i := 0; i < n*n; i++ {
+		ref[i] = dev.ReadUint32(bd, i)
+	}
+	return &Spec{
+		Kernel: k, Grid: (n*n + 127) / 128, Block: 128,
+		Args:        []driver.Arg{driver.BufArg(bd), driver.ScalarArg(3), driver.ScalarArg(int64(n))},
+		Invocations: int(uint(n)),
+		Verify: func(dev *driver.Device) error {
+			const kStep = 3
+			for idx := 0; idx < n*n; idx += maxInt(n*n/11, 1) {
+				i, j := idx/n, idx%n
+				want := ref[idx]
+				if cand := ref[i*n+kStep] + ref[kStep*n+j]; cand < want {
+					want = cand
+				}
+				if got := dev.ReadUint32(bd, idx); got != want {
+					return fmt.Errorf("pan-fw: dist[%d][%d] = %d, want %d", i, j, got, want)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildPanMIS is one round of pannotia's maximal-independent-set: a vertex
+// joins the set when its random priority beats all undecided neighbors.
+func buildPanMIS(dev *driver.Device, scale int) (*Spec, error) {
+	n := 2048 * scale
+	r := rng("pan-mis")
+	g := genGraph(r, n, 5)
+
+	b := kernel.NewBuilder("pan-mis")
+	prow := b.BufferParam("rowptr", true)
+	pcol := b.BufferParam("colidx", true)
+	pprio := b.BufferParam("prio", true)
+	pstate := b.BufferParam("state", false) // 0 undecided, 1 in set, 2 excluded
+	pn := b.ScalarParam("n")
+	gtid := b.GlobalTID()
+	guard := b.SetLT(gtid, pn)
+	b.If(guard, func() {
+		st := b.LoadGlobal(b.AddScaled(pstate, gtid, 4), 4)
+		undecided := b.SetEQ(st, kernel.Imm(0))
+		b.If(undecided, func() {
+			myPrio := b.LoadGlobal(b.AddScaled(pprio, gtid, 4), 4)
+			wins := b.Mov(kernel.Imm(1))
+			start := b.LoadGlobal(b.AddScaled(prow, gtid, 4), 4)
+			end := b.LoadGlobal(b.AddScaled(prow, b.Add(gtid, kernel.Imm(1)), 4), 4)
+			b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+				active := b.SetLT(e, end)
+				b.If(active, func() {
+					nb := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+					nst := b.LoadGlobal(b.AddScaled(pstate, nb, 4), 4)
+					np := b.LoadGlobal(b.AddScaled(pprio, nb, 4), 4)
+					loses := b.And(b.SetEQ(nst, kernel.Imm(0)), b.SetGT(np, myPrio))
+					cond := b.SetNE(loses, kernel.Imm(0))
+					b.If(cond, func() { b.MovTo(wins, kernel.Imm(0)) })
+				})
+			})
+			winner := b.SetNE(wins, kernel.Imm(0))
+			b.If(winner, func() {
+				b.StoreGlobal(b.AddScaled(pstate, gtid, 4), kernel.Imm(1), 4)
+				// Exclude neighbors.
+				b.ForRange(start, end, kernel.Imm(1), func(e kernel.Operand) {
+					active := b.SetLT(e, end)
+					b.If(active, func() {
+						nb := b.LoadGlobal(b.AddScaled(pcol, e, 4), 4)
+						b.StoreGlobal(b.AddScaled(pstate, nb, 4), kernel.Imm(2), 4)
+					})
+				})
+			})
+		})
+	})
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	brow, bcol := uploadCSR(dev, "mis", g)
+	bprio := dev.Malloc("mis-prio", uint64(n*4), true)
+	bstate := dev.Malloc("mis-state", uint64(n*4), false)
+	perm := r.Perm(n)
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(bprio, i, uint32(perm[i]))
+	}
+	return &Spec{
+		Kernel: k, Grid: n / 128, Block: 128,
+		Args: []driver.Arg{driver.BufArg(brow), driver.BufArg(bcol), driver.BufArg(bprio),
+			driver.BufArg(bstate), driver.ScalarArg(int64(n))},
+		Invocations: 8,
+	}, nil
+}

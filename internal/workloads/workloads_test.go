@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpushield/internal/compiler"
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/sim"
+)
+
+// runBench builds and executes one benchmark under one protection mode and
+// returns its stats.
+func runBench(t *testing.T, b Benchmark, mode driver.Mode) *sim.LaunchStats {
+	t.Helper()
+	dev := driver.NewDevice(42)
+	spec, err := b.Build(dev, 1)
+	if err != nil {
+		t.Fatalf("%s: build: %v", b.Name, err)
+	}
+	var an *compiler.Analysis
+	if mode == driver.ModeShieldStatic {
+		an, err = compiler.Analyze(spec.Kernel, spec.Info())
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", b.Name, err)
+		}
+		if len(an.OOBReports) > 0 {
+			t.Fatalf("%s: static analysis reports OOB: %+v", b.Name, an.OOBReports)
+		}
+	}
+	l, err := dev.PrepareLaunch(spec.Kernel, spec.Grid, spec.Block, spec.Args, mode, an)
+	if err != nil {
+		t.Fatalf("%s: prepare: %v", b.Name, err)
+	}
+	cfg := sim.NvidiaConfig()
+	if b.API == "opencl" {
+		cfg = sim.IntelConfig()
+	}
+	if mode != driver.ModeOff {
+		cfg = cfg.WithShield(core.DefaultBCUConfig())
+	}
+	gpu := sim.New(cfg, dev)
+	st, err := gpu.Run(l)
+	if err != nil {
+		t.Fatalf("%s: run: %v", b.Name, err)
+	}
+	if st.Aborted {
+		t.Fatalf("%s[%v]: aborted: %s", b.Name, mode, st.AbortMsg)
+	}
+	if len(st.Violations) > 0 {
+		t.Fatalf("%s[%v]: %d violations, first: %v", b.Name, mode, len(st.Violations), st.Violations[0])
+	}
+	if spec.Verify != nil {
+		if err := spec.Verify(dev); err != nil {
+			t.Fatalf("%s[%v]: verify: %v", b.Name, mode, err)
+		}
+	}
+	return st
+}
+
+// TestCorpusRunsCleanInAllModes executes every benchmark under baseline,
+// shield, and shield+static: a benign workload must finish without aborts
+// or violations in every mode, and its functional results must match the
+// host reference when one exists.
+func TestCorpusRunsCleanInAllModes(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			off := runBench(t, b, driver.ModeOff)
+			shield := runBench(t, b, driver.ModeShield)
+			static := runBench(t, b, driver.ModeShieldStatic)
+
+			if off.WarpInstrs == 0 {
+				t.Fatalf("no work executed")
+			}
+			// Same program: instruction counts must agree across modes up to
+			// the scheduling-dependent wiggle of racy kernels (graph updates
+			// read neighbor state other threads write concurrently, so a
+			// timing change legally shifts a few masked branch outcomes).
+			for _, other := range []*sim.LaunchStats{shield, static} {
+				lo, hi := off.WarpInstrs, other.WarpInstrs
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if float64(hi-lo) > 0.02*float64(hi) {
+					t.Fatalf("instruction counts diverge: off=%d shield=%d static=%d",
+						off.WarpInstrs, shield.WarpInstrs, static.WarpInstrs)
+				}
+			}
+			// Shield mode must actually check protected accesses.
+			if shield.Checks == 0 && shield.MemInstrs > 0 {
+				t.Fatalf("shield mode performed no checks over %d memory instructions", shield.MemInstrs)
+			}
+			// Static filtering never increases the number of runtime checks.
+			if static.Checks > shield.Checks {
+				t.Fatalf("static mode checks %d > shield mode %d", static.Checks, shield.Checks)
+			}
+		})
+	}
+}
+
+// TestCorpusShape sanity-checks corpus-level properties the experiments
+// rely on.
+func TestCorpusShape(t *testing.T) {
+	all := All()
+	if len(all) < 100 {
+		t.Fatalf("corpus has %d benchmarks, want >= 100", len(all))
+	}
+	// Every Fig. 1 suite must be represented.
+	suites := map[string]bool{}
+	for _, b := range all {
+		suites[b.Suite] = true
+	}
+	for _, s := range []string{"Chai", "CloverLeaf", "FinanceBench", "Hetero-Mark",
+		"OpenDwarf", "Parboil", "PolyBench/ACC", "SHOC", "SNAP", "TeaLeaf",
+		"XSBench", "pannotia", "Rodinia", "GraphBig", "CUDA-SDK"} {
+		if !suites[s] {
+			t.Errorf("suite %s missing from the corpus (Fig. 1 coverage)", s)
+		}
+	}
+	if got := len(OpenCL()); got != 17 {
+		t.Fatalf("OpenCL set has %d benchmarks, want 17 (Table 6)", got)
+	}
+	if got := len(Sensitive()); got < 15 {
+		t.Fatalf("RCache-sensitive set has %d benchmarks, want >= 15 (Fig. 15)", got)
+	}
+	for _, cat := range []string{CatML, CatLA, CatGT, CatGI, CatPS, CatIM, CatDM} {
+		if len(Category(cat)) == 0 {
+			t.Fatalf("category %s is empty", cat)
+		}
+	}
+	if len(Rodinia()) < 15 {
+		t.Fatalf("Rodinia suite has %d benchmarks, want >= 15 (Fig. 11)", len(Rodinia()))
+	}
+	seen := map[string]bool{}
+	for _, b := range all {
+		if seen[b.Name] {
+			t.Fatalf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Build == nil {
+			t.Fatalf("%s: nil build func", b.Name)
+		}
+	}
+}
+
+// TestBufferCountsMatchFig1 checks that the corpus reproduces Fig. 1's
+// headline: most kernels use fewer than 10 buffers, and the average is in
+// the single digits.
+func TestBufferCountsMatchFig1(t *testing.T) {
+	dev := driver.NewDevice(7)
+	total, under10 := 0, 0
+	sum := 0
+	for _, b := range All() {
+		spec, err := b.Build(dev, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		nb := spec.Kernel.NumBuffers()
+		if nb == 0 {
+			t.Fatalf("%s: kernel with no buffers", b.Name)
+		}
+		total++
+		sum += nb
+		if nb < 10 {
+			under10++
+		}
+	}
+	if frac := float64(under10) / float64(total); frac < 0.9 {
+		t.Fatalf("only %.0f%% of benchmarks use < 10 buffers; Fig. 1 shape requires most", 100*frac)
+	}
+	if avg := float64(sum) / float64(total); avg > 10 {
+		t.Fatalf("average buffer count %.1f too high for Fig. 1 (paper: 6.5)", avg)
+	}
+}
+
+// TestCorpusStatsSane spot-checks that every benchmark produces sensible
+// simulator statistics under shield mode (work done, memory touched,
+// nonzero IPC) — a guard against silently degenerate workloads.
+func TestCorpusStatsSane(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			st := runBench(t, b, driver.ModeShield)
+			if st.MemInstrs == 0 {
+				t.Fatalf("no memory instructions executed")
+			}
+			if st.Transactions == 0 {
+				t.Fatalf("no memory transactions issued")
+			}
+			if st.IPC() <= 0 {
+				t.Fatalf("non-positive IPC")
+			}
+			if st.Checks+st.Type3Checks+st.Skipped == 0 {
+				t.Fatalf("no protected-space accesses observed")
+			}
+			if st.L1DAccesses == 0 {
+				t.Fatalf("memory hierarchy untouched")
+			}
+		})
+	}
+}

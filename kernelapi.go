@@ -1,0 +1,56 @@
+package gpushield
+
+import "gpushield/internal/kernel"
+
+// This file re-exports the kernel IR and builder so library users can
+// construct kernels without reaching into internal packages.
+
+// Kernel is a compiled kernel program.
+type Kernel = kernel.Kernel
+
+// Builder assembles kernels; see NewKernel.
+type Builder = kernel.Builder
+
+// Operand is one instruction operand.
+type Operand = kernel.Operand
+
+// Instr is a raw IR instruction (advanced use via Builder.Emit).
+type Instr = kernel.Instr
+
+// Op is an IR opcode.
+type Op = kernel.Op
+
+// Space identifies a memory space.
+type Space = kernel.Space
+
+// Memory spaces.
+const (
+	SpaceGlobal = kernel.SpaceGlobal
+	SpaceLocal  = kernel.SpaceLocal
+	SpaceShared = kernel.SpaceShared
+)
+
+// NewKernel starts building a kernel with the given name.
+func NewKernel(name string) *Builder { return kernel.NewBuilder(name) }
+
+// Operand constructors.
+
+// Imm returns an integer immediate operand.
+func Imm(v int64) Operand { return kernel.Imm(v) }
+
+// FImm returns a float64 immediate operand (carried as bits).
+func FImm(f float64) Operand { return kernel.FImm(f) }
+
+// Reg returns a register operand.
+func Reg(r int) Operand { return kernel.Reg(r) }
+
+// Param returns a kernel-parameter operand.
+func Param(i int) Operand { return kernel.Param(i) }
+
+// F2B and B2F convert between float64 values and register bit patterns.
+
+// F2B converts a float64 to its register bit pattern.
+func F2B(f float64) int64 { return kernel.F2B(f) }
+
+// B2F converts register bits back to a float64.
+func B2F(bits int64) float64 { return kernel.B2F(bits) }
