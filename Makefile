@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench experiments examples attackdemo vet fmt clean
+.PHONY: all build test test-race bench experiments examples attackdemo vet fmt clean
 
 all: build test
 
@@ -17,6 +17,10 @@ fmt:
 
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector (what CI runs).
+test-race:
+	$(GO) test -race ./...
 
 # One testing.B per paper table/figure plus structure micro-benchmarks.
 bench:

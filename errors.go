@@ -1,0 +1,25 @@
+package gpushield
+
+import (
+	"gpushield/internal/driver"
+	"gpushield/internal/sim"
+)
+
+// Typed error classes, re-exported so callers can classify failures with
+// errors.Is without importing internal packages.
+var (
+	// ErrWatchdog marks a launch aborted by the kernel watchdog after the
+	// WithMaxCycles budget was exhausted (or a barrier deadlock was proven).
+	// The Report returned alongside it is partial, valid up to the abort.
+	ErrWatchdog = sim.ErrWatchdog
+
+	// ErrInvalidLaunch marks a launch request rejected before execution:
+	// nil kernel, argument/parameter mismatch, or bad grid/block geometry.
+	ErrInvalidLaunch = driver.ErrInvalidLaunch
+
+	// ErrAllocExhausted marks device-memory, heap, or buffer-ID exhaustion.
+	ErrAllocExhausted = driver.ErrAllocExhausted
+
+	// ErrInvalidConfig marks a GPU configuration that cannot be built.
+	ErrInvalidConfig = sim.ErrInvalidConfig
+)

@@ -69,13 +69,14 @@ type Report = sim.LaunchStats
 type Option func(*config)
 
 type config struct {
-	arch     Arch
-	mode     Protection
-	bcu      BCUConfig
-	seed     int64
-	fault    bool
-	pages    bool
-	fineHeap bool
+	arch      Arch
+	mode      Protection
+	bcu       BCUConfig
+	seed      int64
+	fault     bool
+	pages     bool
+	fineHeap  bool
+	maxCycles uint64
 }
 
 // WithArch selects the simulated architecture (default Nvidia).
@@ -101,6 +102,13 @@ func WithPageTracking() Option { return func(c *config) { c.pages = true } }
 // instead of the default single coarse heap region (the paper's §5.7
 // future-work extension).
 func WithFineGrainedHeap() Option { return func(c *config) { c.fineHeap = true } }
+
+// WithMaxCycles arms the kernel watchdog: any launch (or concurrent launch
+// set) still running after n simulated cycles is aborted, its partial Report
+// returned together with an error matching ErrWatchdog. 0 (the default)
+// disables the watchdog, restoring the historical spin-forever behaviour for
+// non-terminating kernels.
+func WithMaxCycles(n uint64) Option { return func(c *config) { c.maxCycles = n } }
 
 // WithPerThreadChecks disables warp-level address-range gathering so the
 // BCU checks every lane individually — an ablation knob, not a deployment
@@ -135,6 +143,7 @@ func NewSystem(opts ...Option) *System {
 	if c.mode != Off {
 		simCfg = simCfg.WithShield(c.bcu)
 	}
+	simCfg.MaxCycles = c.maxCycles
 	gpu := sim.New(simCfg, dev)
 	gpu.TrackPages(c.pages)
 	return &System{cfg: c, dev: dev, gpu: gpu}
@@ -252,6 +261,12 @@ func launchInfo(k *Kernel, grid, block int, args []Arg) compiler.LaunchInfo {
 // fails before touching the GPU, mirroring the paper's compile-time error
 // reports.
 func (s *System) Launch(k *Kernel, grid, block int, args ...Arg) (*Report, error) {
+	if k == nil {
+		return nil, fmt.Errorf("%w: nil kernel", ErrInvalidLaunch)
+	}
+	if grid <= 0 || block <= 0 {
+		return nil, fmt.Errorf("%w: %s: bad launch geometry grid=%d block=%d", ErrInvalidLaunch, k.Name, grid, block)
+	}
 	var an *compiler.Analysis
 	if s.cfg.mode == ShieldStatic {
 		var err error
@@ -277,8 +292,14 @@ func (s *System) Launch(k *Kernel, grid, block int, args ...Arg) (*Report, error
 // modes: inter-core partitions cores between kernels, intra-core lets them
 // share cores.
 func (s *System) LaunchConcurrent(mode ShareMode, launches ...PreparedLaunch) ([]*Report, error) {
+	if len(launches) == 0 {
+		return nil, fmt.Errorf("%w: no launches", ErrInvalidLaunch)
+	}
 	ls := make([]*driver.Launch, len(launches))
 	for i, p := range launches {
+		if p.Kernel == nil {
+			return nil, fmt.Errorf("%w: launch %d: nil kernel", ErrInvalidLaunch, i)
+		}
 		l, err := s.dev.PrepareLaunch(p.Kernel, p.Grid, p.Block, p.Args, s.cfg.mode, nil)
 		if err != nil {
 			return nil, err

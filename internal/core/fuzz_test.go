@@ -48,3 +48,55 @@ func FuzzBoundsCodec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBoundsBitFlip fuzzes the fault-injection mutator: Flip must be a
+// deterministic involution (flipping the same bits twice restores the entry)
+// and survive the entry codec.
+func FuzzBoundsBitFlip(f *testing.F) {
+	f.Add(uint64(0x1000), uint32(4096), true, uint64(1)<<63, uint32(1))
+	f.Add(uint64(0), uint32(0), false, uint64(0), uint32(0))
+	f.Fuzz(func(t *testing.T, base uint64, size uint32, ro bool, baseMask uint64, sizeMask uint32) {
+		b := NewBounds(base&AddrMask, size, ro)
+		x := b.Flip(baseMask, sizeMask)
+		if x != b.Flip(baseMask, sizeMask) {
+			t.Fatalf("Flip is not deterministic")
+		}
+		if (baseMask != 0 || sizeMask != 0) && x == b {
+			t.Fatalf("nonzero masks %#x/%#x left the entry unchanged", baseMask, sizeMask)
+		}
+		if got := x.Flip(baseMask, sizeMask); got != b {
+			t.Fatalf("Flip is not an involution: %+v != %+v", got, b)
+		}
+		var buf [BoundsEntryBytes]byte
+		x.EncodeTo(buf[:])
+		if DecodeBounds(buf[:]) != x {
+			t.Fatalf("flipped entry does not survive the codec")
+		}
+	})
+}
+
+// FuzzFeistelKeyPerturbation fuzzes the cipher under key corruption: for any
+// key and any perturbation of it, Encrypt/Decrypt must remain a bijection on
+// the 14-bit domain, and decrypting under a perturbed key must stay
+// in-domain (a corrupted key register misroutes RBT lookups but can never
+// escape the table).
+func FuzzFeistelKeyPerturbation(f *testing.F) {
+	f.Add(uint16(42), uint64(0xDEADBEEF), uint64(1)<<17)
+	f.Add(uint16(0x3FFF), uint64(0), uint64(0xFFFFFFFFFFFFFFFF))
+	f.Fuzz(func(t *testing.T, id uint16, key uint64, mask uint64) {
+		id &= 0x3FFF
+		bad := key ^ mask
+		ct := EncryptID(id, bad)
+		if ct >= NumIDs {
+			t.Fatalf("ciphertext %d escapes the domain under perturbed key %#x", ct, bad)
+		}
+		if got := DecryptID(ct, bad); got != id {
+			t.Fatalf("perturbed key %#x is not a bijection: decrypt(encrypt(%d)) = %d", bad, id, got)
+		}
+		// Cross-key decryption (the fault-model path: pointer encrypted with
+		// the good key, decrypted with the corrupted one) must stay in-domain.
+		if got := DecryptID(EncryptID(id, key), bad); got >= NumIDs {
+			t.Fatalf("cross-key decrypt escapes the domain: %d", got)
+		}
+	})
+}

@@ -79,8 +79,17 @@ type Device struct {
 	// buffers.
 	idBudget int
 
+	// launchMutator, when set, runs over every prepared launch just before
+	// PrepareLaunch returns it. Fault campaigns use it to model driver bugs
+	// (stale/duplicate ID assignment, omitted RBT setup).
+	launchMutator func(*Launch)
+
 	rng *rand.Rand
 }
+
+// SetLaunchMutator registers (or, with nil, clears) a hook that may mutate
+// every prepared launch before the simulator sees it.
+func (d *Device) SetLaunchMutator(fn func(*Launch)) { d.launchMutator = fn }
 
 // NewDevice creates a device with an empty address space. The seed makes ID
 // and key generation deterministic for reproducible experiments; use
@@ -189,7 +198,7 @@ func (d *Device) DeviceMalloc(size uint64) (uint64, error) {
 	d.Heap()
 	base := align(d.heapNext, 16)
 	if base+size > d.heapLimit {
-		return 0, fmt.Errorf("driver: heap limit exceeded (%d bytes requested)", size)
+		return 0, fmt.Errorf("%w: heap limit exceeded (%d bytes requested)", ErrAllocExhausted, size)
 	}
 	d.heapNext = base + size
 	d.heapChunks = append(d.heapChunks, Buffer{

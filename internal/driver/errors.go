@@ -1,0 +1,17 @@
+package driver
+
+import "errors"
+
+// Typed error classes the driver returns so long-lived hosts can tell a
+// recoverable caller mistake from a resource-exhaustion condition.
+var (
+	// ErrInvalidLaunch marks a launch request the driver refused before any
+	// device state changed: nil kernel, argument/parameter mismatch, bad
+	// grid/block geometry, or a scalar passed where a buffer is required.
+	ErrInvalidLaunch = errors.New("driver: invalid launch")
+
+	// ErrAllocExhausted marks an allocation failure: device memory, the
+	// device heap, or the 14-bit buffer-ID space ran out. The device remains
+	// usable; freeing or resetting recovers.
+	ErrAllocExhausted = errors.New("driver: allocation exhausted")
+)

@@ -125,21 +125,24 @@ var launchCounterBits = uint16(0xFFF)
 // the per-kernel encryption key; and tags pointer arguments according to
 // the mode and the static analysis.
 func (d *Device) PrepareLaunch(k *kernel.Kernel, grid, block int, args []Arg, mode Mode, an *compiler.Analysis) (*Launch, error) {
+	if k == nil {
+		return nil, fmt.Errorf("%w: nil kernel", ErrInvalidLaunch)
+	}
 	if err := k.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidLaunch, err)
 	}
 	if len(args) != len(k.Params) {
-		return nil, fmt.Errorf("driver: %s: %d args for %d params", k.Name, len(args), len(k.Params))
+		return nil, fmt.Errorf("%w: %s: %d args for %d params", ErrInvalidLaunch, k.Name, len(args), len(k.Params))
 	}
 	if grid <= 0 || block <= 0 {
-		return nil, fmt.Errorf("driver: %s: bad launch geometry %dx%d", k.Name, grid, block)
+		return nil, fmt.Errorf("%w: %s: bad launch geometry grid=%d block=%d", ErrInvalidLaunch, k.Name, grid, block)
 	}
 	for i, p := range k.Params {
 		if p.Kind == kernel.ParamBuffer && args[i].Buffer == nil {
-			return nil, fmt.Errorf("driver: %s: param %d (%s) needs a buffer", k.Name, i, p.Name)
+			return nil, fmt.Errorf("%w: %s: param %d (%s) needs a buffer", ErrInvalidLaunch, k.Name, i, p.Name)
 		}
 		if p.Kind == kernel.ParamScalar && args[i].Buffer != nil {
-			return nil, fmt.Errorf("driver: %s: param %d (%s) is scalar", k.Name, i, p.Name)
+			return nil, fmt.Errorf("%w: %s: param %d (%s) is scalar", ErrInvalidLaunch, k.Name, i, p.Name)
 		}
 	}
 
@@ -157,9 +160,17 @@ func (d *Device) PrepareLaunch(k *kernel.Kernel, grid, block int, args []Arg, mo
 		BufferIDs:  make(map[int]uint16),
 	}
 
-	// Random-but-unique 14-bit ID assignment (§5.2.4).
+	// Random-but-unique 14-bit ID assignment (§5.2.4). An exhausted ID space
+	// is reported instead of looping forever looking for a free ID.
 	used := make(map[uint16]bool)
+	var idErr error
 	nextID := func() uint16 {
+		if len(used) >= core.NumIDs-1 {
+			if idErr == nil {
+				idErr = fmt.Errorf("%w: all %d buffer IDs in use", ErrAllocExhausted, core.NumIDs-1)
+			}
+			return 0
+		}
 		for {
 			id := uint16(d.rng.Intn(core.NumIDs-1)) + 1
 			if !used[id] {
@@ -280,6 +291,10 @@ func (d *Device) PrepareLaunch(k *kernel.Kernel, grid, block int, args []Arg, mo
 		}
 	}
 
+	if idErr != nil {
+		return nil, idErr
+	}
+
 	// Serialize the RBT into device memory at its reserved (untranslated)
 	// location, as the driver does at launch (§5.4).
 	l.RBTBase = d.allocRBT()
@@ -291,6 +306,12 @@ func (d *Device) PrepareLaunch(k *kernel.Kernel, grid, block int, args []Arg, mo
 		}
 		b.EncodeTo(buf[:])
 		d.Mem.WriteBytes(core.EntryAddr(l.RBTBase, uint16(id)), buf[:])
+	}
+
+	// Fault injection: a registered campaign may mutate the prepared launch
+	// (stale/duplicate IDs, omitted RBT setup) before the simulator sees it.
+	if d.launchMutator != nil {
+		d.launchMutator(l)
 	}
 	return l, nil
 }

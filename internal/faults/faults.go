@@ -1,0 +1,212 @@
+// Package faults is a deterministic fault-injection campaign engine for the
+// GPUShield stack. A campaign is a list of FaultSpecs; each spec is injected
+// into its own freshly built device + GPU running a small reference kernel,
+// and the run is classified by its architectural outcome:
+//
+//   - Detected: the stack raised an alarm (bounds violation, precise fault,
+//     kernel abort, or a typed error such as a watchdog abort);
+//   - Masked: no alarm and the kernel output is bit-identical to the golden
+//     run — the fault was architecturally invisible;
+//   - SDC: silent data corruption — wrong output with no alarm, the outcome
+//     a protection mechanism most needs to avoid.
+//
+// All randomness derives from the campaign seed, so a campaign replays to
+// byte-identical classifications: the generator draws specs from a seeded
+// stream, every injection runs on a device seeded from (seed, index), and
+// the simulator itself is deterministic.
+package faults
+
+import (
+	"fmt"
+
+	"gpushield/internal/sim"
+)
+
+// Target selects the structure a fault corrupts — the fault classes of the
+// campaign.
+type Target int
+
+// Fault classes. The first group models soft errors in GPUShield's hardware
+// state, the second driver bugs, the third memory-system data loss.
+const (
+	// TargetRBTEntry flips bits in one Region Bounds Table entry (both the
+	// architectural copy and its device-memory image).
+	TargetRBTEntry Target = iota
+	// TargetRCacheL1 flips tag/data bits in an occupied L1 RCache slot.
+	TargetRCacheL1
+	// TargetRCacheL2 flips tag/data bits in an occupied L2 RCache slot.
+	TargetRCacheL2
+	// TargetKey perturbs one core's per-kernel Feistel key register.
+	TargetKey
+	// TargetPointerTag flips upper (class/payload) bits of a tagged kernel
+	// pointer argument.
+	TargetPointerTag
+	// TargetDriverStaleID models a driver bug that tags an argument with an
+	// ID that has no RBT entry (a stale ID from an earlier launch).
+	TargetDriverStaleID
+	// TargetDriverDupID models a driver bug that assigns one argument
+	// another argument's encrypted ID.
+	TargetDriverDupID
+	// TargetDriverRBTOmit models a driver bug that skips the RBT setup for
+	// one argument: the pointer is tagged but its entry is missing.
+	TargetDriverRBTOmit
+	// TargetTxDrop drops a memory instruction's DRAM-bound transactions
+	// with the spec's probability: stores vanish, loads return zeros.
+	TargetTxDrop
+	// TargetTxDup duplicates transactions (a timing-only disturbance).
+	TargetTxDup
+
+	numTargets = int(TargetTxDup) + 1
+)
+
+func (t Target) String() string {
+	switch t {
+	case TargetRBTEntry:
+		return "rbt-bitflip"
+	case TargetRCacheL1:
+		return "rcache-l1-bitflip"
+	case TargetRCacheL2:
+		return "rcache-l2-bitflip"
+	case TargetKey:
+		return "key-perturb"
+	case TargetPointerTag:
+		return "pointer-tag-flip"
+	case TargetDriverStaleID:
+		return "driver-stale-id"
+	case TargetDriverDupID:
+		return "driver-dup-id"
+	case TargetDriverRBTOmit:
+		return "driver-rbt-omit"
+	case TargetTxDrop:
+		return "dram-tx-drop"
+	case TargetTxDup:
+		return "dram-tx-dup"
+	}
+	return fmt.Sprintf("target(%d)", int(t))
+}
+
+// FaultSpec describes one injection. Field meaning depends on Target:
+// BitMask applies to the base word / key / pointer, SizeMask to 32-bit size
+// fields, IDMask to RCache ID tags; Cycle delays cycle-targeted corruption;
+// Probability drives per-instruction transaction faults; Index selects the
+// victim (argument, RCache slot, core) modulo the available population.
+type FaultSpec struct {
+	Target      Target
+	Cycle       uint64
+	Probability float64
+	BitMask     uint64
+	SizeMask    uint32
+	IDMask      uint16
+	Index       int
+}
+
+func (s FaultSpec) String() string {
+	return fmt.Sprintf("%s{cycle=%d p=%.3f bits=%#x size=%#x id=%#x idx=%d}",
+		s.Target, s.Cycle, s.Probability, s.BitMask, s.SizeMask, s.IDMask, s.Index)
+}
+
+// Outcome is the architectural classification of one injected run.
+type Outcome int
+
+// Outcomes.
+const (
+	// Detected: an alarm was raised (violation log, fault, abort, or error).
+	Detected Outcome = iota
+	// Masked: no alarm and the output matches the golden run.
+	Masked
+	// SDC: silent data corruption — wrong output, no alarm.
+	SDC
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Detected:
+		return "detected"
+	case Masked:
+		return "masked"
+	case SDC:
+		return "SDC"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Classify maps one run's observables to an outcome: any raised alarm wins,
+// then output correctness separates masked from SDC.
+func Classify(rep *sim.LaunchStats, err error, outputOK bool) Outcome {
+	if err != nil {
+		return Detected
+	}
+	if rep != nil && (rep.Aborted || len(rep.Violations) > 0) {
+		return Detected
+	}
+	if outputOK {
+		return Masked
+	}
+	return SDC
+}
+
+// Result records one injection.
+type Result struct {
+	Index   int
+	Spec    FaultSpec
+	Outcome Outcome
+	// Landed reports whether the fault actually mutated state (a corrupted
+	// RCache slot must be occupied, a cycle trigger must fire before the
+	// kernel ends, a probabilistic transaction fault must select at least
+	// one instruction). Un-landed faults are architecturally masked.
+	Landed bool
+	Detail string
+}
+
+// ClassSummary is the per-fault-class coverage aggregate.
+type ClassSummary struct {
+	Target   Target
+	Total    int
+	Landed   int
+	Detected int
+	Masked   int
+	SDC      int
+}
+
+// Coverage returns detected / landed, the detection coverage over faults
+// that actually mutated state (1 when none landed).
+func (c ClassSummary) Coverage() float64 {
+	if c.Landed == 0 {
+		return 1
+	}
+	return float64(c.Detected) / float64(c.Landed)
+}
+
+// Summarize aggregates results into per-class rows, in Target order.
+func Summarize(results []Result) []ClassSummary {
+	rows := make([]ClassSummary, numTargets)
+	for i := range rows {
+		rows[i].Target = Target(i)
+	}
+	for _, r := range results {
+		t := int(r.Spec.Target)
+		if t < 0 || t >= numTargets {
+			continue
+		}
+		c := &rows[t]
+		c.Total++
+		if r.Landed {
+			c.Landed++
+		}
+		switch r.Outcome {
+		case Detected:
+			c.Detected++
+		case Masked:
+			c.Masked++
+		case SDC:
+			c.SDC++
+		}
+	}
+	out := rows[:0]
+	for _, c := range rows {
+		if c.Total > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"gpushield/internal/sim"
+)
+
+// TestCampaignDeterminism replays the same seeded campaign twice and requires
+// byte-identical classifications: same outcome, landed flag, and detail for
+// every injection.
+func TestCampaignDeterminism(t *testing.T) {
+	const seed, n = 0xD0_0D, 40
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	specs := DefaultCampaign(seed, n)
+
+	a, err := RunCampaign(cfg, specs)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunCampaign(cfg, specs)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if len(a) != n || len(b) != n {
+		t.Fatalf("want %d results, got %d and %d", n, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("injection %d diverged between runs:\n  first:  %+v\n  second: %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCampaignGeneratorDeterminism checks the spec stream itself replays.
+func TestCampaignGeneratorDeterminism(t *testing.T) {
+	a := DefaultCampaign(7, 100)
+	b := DefaultCampaign(7, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := DefaultCampaign(8, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical campaigns")
+	}
+}
+
+// TestCampaignCoverage runs a small campaign and checks the headline result:
+// metadata-corruption classes must show detections, driver-bug classes must be
+// fully detected, and every class must land at least once.
+func TestCampaignCoverage(t *testing.T) {
+	const seed, n = 20260804, 100
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	results, err := RunCampaign(cfg, DefaultCampaign(seed, n))
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	sum := Summarize(results)
+	if len(sum) != numTargets {
+		t.Fatalf("want %d class rows, got %d", numTargets, len(sum))
+	}
+	byTarget := make(map[Target]ClassSummary, len(sum))
+	for _, c := range sum {
+		byTarget[c.Target] = c
+		if c.Landed == 0 {
+			t.Errorf("%s: no injection landed", c.Target)
+		}
+	}
+	for _, tgt := range []Target{TargetRBTEntry, TargetRCacheL2, TargetKey, TargetPointerTag} {
+		if byTarget[tgt].Detected == 0 {
+			t.Errorf("%s: expected nonzero detections", tgt)
+		}
+	}
+	for _, tgt := range []Target{TargetDriverStaleID, TargetDriverDupID, TargetDriverRBTOmit} {
+		c := byTarget[tgt]
+		if c.Detected != c.Landed {
+			t.Errorf("%s: driver bugs must be fully detected, got %d/%d", tgt, c.Detected, c.Landed)
+		}
+	}
+	// Dropped transactions bypass the bounds-check path entirely: they are the
+	// silent-data-corruption class GPUShield does not cover.
+	if c := byTarget[TargetTxDrop]; c.SDC == 0 {
+		t.Errorf("dram-tx-drop: expected SDC outcomes, got %+v", c)
+	}
+}
+
+func TestRunCampaignRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GPU.EnableBCU = false
+	if _, err := RunCampaign(cfg, DefaultCampaign(1, 1)); err == nil {
+		t.Fatalf("campaign without BCU must be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.GPU.Cores = 0
+	if _, err := RunCampaign(cfg, DefaultCampaign(1, 1)); !errors.Is(err, sim.ErrInvalidConfig) {
+		t.Fatalf("want ErrInvalidConfig, got %v", err)
+	}
+	cfg = DefaultConfig()
+	cfg.Grid = 0
+	if _, err := RunCampaign(cfg, DefaultCampaign(1, 1)); err == nil {
+		t.Fatalf("bad geometry must be rejected")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		rep      *sim.LaunchStats
+		err      error
+		outputOK bool
+		want     Outcome
+	}{
+		{nil, errors.New("boom"), true, Detected},
+		{&sim.LaunchStats{Aborted: true}, nil, false, Detected},
+		{&sim.LaunchStats{}, nil, true, Masked},
+		{&sim.LaunchStats{}, nil, false, SDC},
+	}
+	for i, c := range cases {
+		if got := Classify(c.rep, c.err, c.outputOK); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -48,17 +48,29 @@ type Cache struct {
 	Stats    CacheStats
 }
 
-// NewCache builds a cache from cfg. It panics on a malformed geometry, which
-// indicates a programming error in a simulator preset.
-func NewCache(cfg CacheConfig) *Cache {
+// Validate reports whether the geometry describes a constructible cache.
+func (cfg CacheConfig) Validate() error {
 	if cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
-		panic(fmt.Sprintf("memsys: bad cache config %+v", cfg))
+		return fmt.Errorf("memsys: bad cache config %+v", cfg)
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return fmt.Errorf("memsys: %s: line size %d is not a power of two", cfg.Name, cfg.LineBytes)
 	}
 	lines := cfg.SizeBytes / cfg.LineBytes
-	if lines%cfg.Ways != 0 {
-		panic(fmt.Sprintf("memsys: %s: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways))
+	if lines == 0 || lines%cfg.Ways != 0 {
+		return fmt.Errorf("memsys: %s: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways)
 	}
-	numSets := lines / cfg.Ways
+	return nil
+}
+
+// NewCache builds a cache from cfg, rejecting malformed geometries with an
+// error so a bad runtime configuration degrades into a typed failure instead
+// of crashing the process.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
 	c := &Cache{cfg: cfg, numSets: uint64(numSets)}
 	c.sets = make([][]cacheLine, numSets)
 	for i := range c.sets {
@@ -66,6 +78,16 @@ func NewCache(cfg CacheConfig) *Cache {
 	}
 	for b := cfg.LineBytes; b > 1; b >>= 1 {
 		c.lineBits++
+	}
+	return c, nil
+}
+
+// MustCache is NewCache for the built-in simulator presets, whose geometries
+// are known good; it panics on error and must not be fed runtime input.
+func MustCache(cfg CacheConfig) *Cache {
+	c, err := NewCache(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func newTestCache() *Cache {
-	return NewCache(CacheConfig{
+	return MustCache(CacheConfig{
 		Name: "test", SizeBytes: 1024, LineBytes: 64, Ways: 4, HitLatency: 10,
 	})
 }
@@ -74,7 +74,7 @@ func TestCacheProbeDoesNotAllocate(t *testing.T) {
 }
 
 func TestCacheFullyAssociative(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "fa", SizeBytes: 512, LineBytes: 64, Ways: 8, HitLatency: 1})
+	c := MustCache(CacheConfig{Name: "fa", SizeBytes: 512, LineBytes: 64, Ways: 8, HitLatency: 1})
 	// 8 lines with wildly different set bits all fit.
 	for i := uint64(0); i < 8; i++ {
 		c.Access(i * 4096)
@@ -86,13 +86,34 @@ func TestCacheFullyAssociative(t *testing.T) {
 	}
 }
 
-func TestCacheBadGeometryPanics(t *testing.T) {
+func TestCacheBadGeometryErrors(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 0, LineBytes: 64, Ways: 4},
+		{SizeBytes: 1024, LineBytes: 0, Ways: 4},
+		{SizeBytes: 1024, LineBytes: 96, Ways: 4},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 5},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCache(cfg); err == nil {
+			t.Fatalf("expected error for %+v", cfg)
+		}
+	}
+	if _, err := NewTLB(TLBConfig{Entries: 4, Ways: 3, PageBytes: 4096}); err == nil {
+		t.Fatalf("expected TLB geometry error")
+	}
+	if _, err := NewTLB(TLBConfig{Entries: 4, Ways: 4, PageBytes: 1000}); err == nil {
+		t.Fatalf("expected TLB page-size error")
+	}
+}
+
+func TestMustCachePanicsOnBadPreset(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatalf("expected panic")
 		}
 	}()
-	NewCache(CacheConfig{SizeBytes: 0, LineBytes: 64, Ways: 4})
+	MustCache(CacheConfig{SizeBytes: 0, LineBytes: 64, Ways: 4})
 }
 
 func TestHitRateProperty(t *testing.T) {
@@ -102,7 +123,7 @@ func TestHitRateProperty(t *testing.T) {
 		if len(seed) == 0 {
 			return true
 		}
-		c := NewCache(CacheConfig{Name: "p", SizeBytes: 1 << 14, LineBytes: 64, Ways: 16, HitLatency: 1})
+		c := MustCache(CacheConfig{Name: "p", SizeBytes: 1 << 14, LineBytes: 64, Ways: 16, HitLatency: 1})
 		addrs := make([]uint64, 0, len(seed))
 		for _, s := range seed {
 			addrs = append(addrs, uint64(s)*64)
@@ -124,7 +145,7 @@ func TestHitRateProperty(t *testing.T) {
 }
 
 func TestTLBBasics(t *testing.T) {
-	tlb := NewTLB(TLBConfig{Name: "tlb", Entries: 4, Ways: 4, PageBytes: 4096})
+	tlb := MustTLB(TLBConfig{Name: "tlb", Entries: 4, Ways: 4, PageBytes: 4096})
 	if tlb.Access(0x1000) {
 		t.Fatalf("cold TLB access must miss")
 	}

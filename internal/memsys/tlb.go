@@ -22,13 +22,24 @@ type TLB struct {
 	Stats    CacheStats
 }
 
-// NewTLB builds a TLB from cfg.
-func NewTLB(cfg TLBConfig) *TLB {
+// Validate reports whether the geometry describes a constructible TLB.
+func (cfg TLBConfig) Validate() error {
 	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.PageBytes <= 0 {
-		panic(fmt.Sprintf("memsys: bad TLB config %+v", cfg))
+		return fmt.Errorf("memsys: bad TLB config %+v", cfg)
+	}
+	if cfg.PageBytes&(cfg.PageBytes-1) != 0 {
+		return fmt.Errorf("memsys: %s: page size %d is not a power of two", cfg.Name, cfg.PageBytes)
 	}
 	if cfg.Entries%cfg.Ways != 0 {
-		panic(fmt.Sprintf("memsys: %s: %d entries not divisible by %d ways", cfg.Name, cfg.Entries, cfg.Ways))
+		return fmt.Errorf("memsys: %s: %d entries not divisible by %d ways", cfg.Name, cfg.Entries, cfg.Ways)
+	}
+	return nil
+}
+
+// NewTLB builds a TLB from cfg, rejecting malformed geometries with an error.
+func NewTLB(cfg TLBConfig) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	numSets := cfg.Entries / cfg.Ways
 	t := &TLB{cfg: cfg, numSets: uint64(numSets)}
@@ -38,6 +49,16 @@ func NewTLB(cfg TLBConfig) *TLB {
 	}
 	for b := cfg.PageBytes; b > 1; b >>= 1 {
 		t.pageBits++
+	}
+	return t, nil
+}
+
+// MustTLB is NewTLB for the built-in simulator presets; it panics on error
+// and must not be fed runtime input.
+func MustTLB(cfg TLBConfig) *TLB {
+	t, err := NewTLB(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }

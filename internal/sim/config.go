@@ -8,6 +8,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"gpushield/internal/core"
 	"gpushield/internal/memsys"
 )
@@ -39,10 +41,42 @@ type Config struct {
 	// BCU enables GPUShield hardware checking when EnableBCU is true.
 	EnableBCU bool
 	BCU       core.BCUConfig
+
+	// MaxCycles is the kernel watchdog budget: a RunConcurrent invocation
+	// that has simulated this many cycles without finishing is aborted, its
+	// unfinished launches marked Aborted, and ErrWatchdog returned together
+	// with the partial reports. 0 disables the watchdog (the historical
+	// behaviour: a kernel that never terminates spins forever).
+	MaxCycles uint64
 }
 
 // MaxWarpsPerCore returns the warp-context capacity of one core.
 func (c Config) MaxWarpsPerCore() int { return c.MaxThreadsPerCore / c.WarpWidth }
+
+// Validate reports whether the configuration describes a constructible GPU.
+// Every violation wraps ErrInvalidConfig.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.WarpWidth <= 0 || c.WarpWidth > 64 ||
+		c.MaxThreadsPerCore < c.WarpWidth || c.MaxWGsPerCore <= 0 {
+		return fmt.Errorf("%w: %q: cores=%d warp=%d threads/core=%d wgs/core=%d",
+			ErrInvalidConfig, c.Name, c.Cores, c.WarpWidth, c.MaxThreadsPerCore, c.MaxWGsPerCore)
+	}
+	for _, cc := range []memsys.CacheConfig{c.L1D, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+	for _, tc := range []memsys.TLBConfig{c.L1TLB, c.L2TLB} {
+		if err := tc.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+	if c.DRAM.Channels <= 0 || c.DRAM.BanksPerChannel <= 0 ||
+		c.DRAM.RowBytes <= 0 || c.DRAM.InterleaveBytes <= 0 {
+		return fmt.Errorf("%w: %q: DRAM geometry %+v", ErrInvalidConfig, c.Name, c.DRAM)
+	}
+	return nil
+}
 
 // NvidiaConfig returns the Table 5 Nvidia-style configuration: 16 SMs, 1024
 // threads per SM, 32-wide warps, 16 KB 4-way L1, 64-entry fully-associative

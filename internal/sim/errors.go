@@ -1,0 +1,20 @@
+package sim
+
+import "errors"
+
+// Typed error classes the simulator returns instead of hanging or panicking,
+// so long-lived callers (serving loops, fault campaigns) can classify
+// failures and keep going.
+var (
+	// ErrWatchdog marks a launch aborted by the kernel watchdog: either the
+	// cycle budget (Config.MaxCycles) was exhausted — the infinite-loop /
+	// stuck-warp case — or the simulator proved no resident warp can ever
+	// make progress again (barrier deadlock). The LaunchStats returned
+	// alongside it are a partial report up to the abort cycle.
+	ErrWatchdog = errors.New("sim: watchdog abort")
+
+	// ErrInvalidConfig marks a GPU configuration that cannot be
+	// instantiated (malformed cache/TLB geometry, nonpositive core or warp
+	// counts).
+	ErrInvalidConfig = errors.New("sim: invalid config")
+)

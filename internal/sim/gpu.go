@@ -40,19 +40,42 @@ type GPU struct {
 	now        uint64
 	trackPages bool
 
+	// cycleHook, when set, runs once per simulated scheduling step; the
+	// fault-injection engine uses it to corrupt microarchitectural state
+	// (RCache entries, keys) at a chosen cycle.
+	cycleHook func(now uint64)
+	// txFault, when set, is consulted once per warp-level global-memory
+	// instruction and can drop or duplicate its DRAM-bound transactions.
+	txFault TxFaultFunc
+
 	// atomicBusy serializes atomic operations to the same word: GPUs
 	// resolve same-address atomics one at a time in the L2 atomic units,
 	// which is what makes massively parallel device malloc slow (§5.2.1).
 	atomicBusy map[uint64]uint64
 }
 
-// New builds a GPU from cfg operating on dev's memory.
-func New(cfg Config, dev *driver.Device) *GPU {
+// TxVerdict is a fault-injection decision for one memory instruction's
+// coalesced transactions: Drop loses them (stores silently discarded, loads
+// return zeros), Dup re-issues them (timing disturbance only).
+type TxVerdict struct {
+	Drop bool
+	Dup  bool
+}
+
+// TxFaultFunc decides the fault verdict for one global-memory instruction.
+type TxFaultFunc func(now uint64, addr uint64, isStore bool) TxVerdict
+
+// NewGPU builds a GPU from cfg operating on dev's memory, rejecting invalid
+// configurations with an error wrapping ErrInvalidConfig.
+func NewGPU(cfg Config, dev *driver.Device) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	g := &GPU{
 		cfg:        cfg,
 		dev:        dev,
-		l2:         memsys.NewCache(cfg.L2),
-		l2tlb:      memsys.NewTLB(cfg.L2TLB),
+		l2:         memsys.MustCache(cfg.L2),
+		l2tlb:      memsys.MustTLB(cfg.L2TLB),
 		dram:       memsys.NewDRAM(cfg.DRAM),
 		atomicBusy: make(map[uint64]uint64),
 	}
@@ -60,8 +83,8 @@ func New(cfg Config, dev *driver.Device) *GPU {
 		c := &coreState{
 			id:    i,
 			gpu:   g,
-			l1d:   memsys.NewCache(cfg.L1D),
-			l1tlb: memsys.NewTLB(cfg.L1TLB),
+			l1d:   memsys.MustCache(cfg.L1D),
+			l1tlb: memsys.MustTLB(cfg.L1TLB),
 		}
 		if cfg.EnableBCU {
 			c.bcu = core.NewBCU(cfg.BCU)
@@ -69,8 +92,25 @@ func New(cfg Config, dev *driver.Device) *GPU {
 		}
 		g.cores = append(g.cores, c)
 	}
+	return g, nil
+}
+
+// New is NewGPU for known-good preset configurations; it panics on an
+// invalid config and must not be fed runtime input (use NewGPU for that).
+func New(cfg Config, dev *driver.Device) *GPU {
+	g, err := NewGPU(cfg, dev)
+	if err != nil {
+		panic(err)
+	}
 	return g
 }
+
+// SetCycleHook installs (or clears, with nil) the per-step callback used by
+// fault-injection campaigns to corrupt state at a chosen cycle.
+func (g *GPU) SetCycleHook(f func(now uint64)) { g.cycleHook = f }
+
+// SetTxFault installs (or clears, with nil) the DRAM-transaction fault hook.
+func (g *GPU) SetTxFault(f TxFaultFunc) { g.txFault = f }
 
 // Config returns the GPU configuration.
 func (g *GPU) Config() Config { return g.cfg }
@@ -148,25 +188,30 @@ func (r *kernelRun) finished() bool {
 }
 
 // Run executes a single launch to completion and returns its statistics.
+// On a watchdog abort the partial report is returned together with the
+// error, so callers can still inspect what happened up to the abort.
 func (g *GPU) Run(l *driver.Launch) (*LaunchStats, error) {
 	res, err := g.RunConcurrent([]*driver.Launch{l}, ShareIntraCore)
-	if err != nil {
-		return nil, err
+	if len(res) == 1 {
+		return res[0], err
 	}
-	return res[0], nil
+	return nil, err
 }
 
 // RunConcurrent executes several launches simultaneously under the given
 // sharing mode and returns per-launch statistics in input order.
 func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*LaunchStats, error) {
 	if len(launches) == 0 {
-		return nil, fmt.Errorf("sim: no launches")
+		return nil, fmt.Errorf("%w: no launches", driver.ErrInvalidLaunch)
 	}
 	runs := make([]*kernelRun, len(launches))
 	for i, l := range launches {
+		if l == nil || l.Kernel == nil {
+			return nil, fmt.Errorf("%w: nil launch", driver.ErrInvalidLaunch)
+		}
 		if l.Block > g.cfg.MaxThreadsPerCore {
-			return nil, fmt.Errorf("sim: %s: block of %d exceeds %d threads per core",
-				l.Kernel.Name, l.Block, g.cfg.MaxThreadsPerCore)
+			return nil, fmt.Errorf("%w: %s: block of %d exceeds %d threads per core",
+				driver.ErrInvalidLaunch, l.Kernel.Name, l.Block, g.cfg.MaxThreadsPerCore)
 		}
 		r := &kernelRun{
 			launch: l,
@@ -227,12 +272,33 @@ func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*Launc
 	}
 
 	live := len(runs)
+	t0 := g.now
+	var werr error
 	g.dispatch(allowed)
 	for live > 0 {
+		if g.cycleHook != nil {
+			g.cycleHook(g.now)
+		}
 		issued := false
 		for _, c := range g.cores {
 			if c.tryIssue(g.now) {
 				issued = true
+			}
+		}
+		// Kernel watchdog: a run that exhausts the cycle budget — or can
+		// provably never make progress again (every resident warp parked at
+		// a barrier that will not release) — is aborted with a partial
+		// report instead of spinning forever.
+		if werr == nil {
+			switch {
+			case g.cfg.MaxCycles > 0 && g.now-t0 >= g.cfg.MaxCycles:
+				msg := fmt.Sprintf("watchdog: MaxCycles=%d exceeded", g.cfg.MaxCycles)
+				werr = fmt.Errorf("%w: %s", ErrWatchdog, msg)
+				g.abortUnfinished(runs, msg)
+			case !issued && g.deadlocked():
+				msg := "watchdog: barrier deadlock, no resident warp can progress"
+				werr = fmt.Errorf("%w: %s", ErrWatchdog, msg)
+				g.abortUnfinished(runs, msg)
 			}
 		}
 		// Retire finished runs and refill free workgroup slots.
@@ -276,7 +342,38 @@ func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*Launc
 	for i, r := range runs {
 		stats[i] = r.stats
 	}
-	return stats, nil
+	return stats, werr
+}
+
+// abortUnfinished tears down every run that has not completed, attributing
+// the abort to the watchdog. Finished runs keep their reports untouched.
+func (g *GPU) abortUnfinished(runs []*kernelRun, msg string) {
+	for _, r := range runs {
+		if r.stats.FinishCycle == 0 && !r.finished() {
+			g.abortRun(r, msg)
+		}
+	}
+}
+
+// deadlocked reports whether the resident warp population can provably never
+// issue again: at least one warp is live and every live warp is parked at a
+// workgroup barrier. (A warp merely waiting on a latency or the LSU has a
+// future ready time and does not count.) Since barrier release is driven
+// only by other warps arriving or retiring, this state is permanent.
+func (g *GPU) deadlocked() bool {
+	stuck := false
+	for _, c := range g.cores {
+		for _, w := range c.warps {
+			if w.done {
+				continue
+			}
+			if !w.atBarrier {
+				return false
+			}
+			stuck = true
+		}
+	}
+	return stuck
 }
 
 // harvestBCU folds a core's per-kernel violation log into the run's stats.

@@ -137,6 +137,26 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 	}
 	st.Transactions += uint64(nLines)
 
+	// Fault injection: the campaign engine may drop this instruction's
+	// transactions (silent data loss — stores vanish, loads return zeros)
+	// or duplicate them (the transactions replay; timing disturbance only).
+	var txDropped bool
+	if c.gpu.txFault != nil {
+		switch v := c.gpu.txFault(now, minAddr, in.Op.IsStore()); {
+		case v.Drop:
+			txDropped = true
+			st.DroppedTx += uint64(nLines)
+		case v.Dup:
+			st.DupTx += uint64(nLines)
+			for i := 0; i < nLines; i++ {
+				if lat, _ := c.gpu.memAccess(c, st, lines[i]); lat > maxLat {
+					maxLat = lat
+				}
+			}
+			st.Transactions += uint64(nLines)
+		}
+	}
+
 	// Bounds checking (BCU).
 	var (
 		squash, drop bool
@@ -218,6 +238,12 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 			c.gpu.abortRun(r, fmt.Sprintf("GPUShield fault: %s", fault))
 			return
 		}
+	}
+
+	// A dropped transaction never reaches memory: loads return zeros, stores
+	// are discarded, and no page fault can be observed for it.
+	if txDropped {
+		squash, drop = true, true
 	}
 
 	// Page-fault check: an access to an unmapped page aborts the kernel

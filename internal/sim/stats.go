@@ -40,6 +40,11 @@ type LaunchStats struct {
 	Aborted    bool
 	AbortMsg   string
 
+	// Fault-injection bookkeeping: transactions dropped or duplicated by an
+	// active campaign (zero outside fault experiments).
+	DroppedTx uint64
+	DupTx     uint64
+
 	// PagesPerBuffer maps buffer-argument names to the number of distinct
 	// 4 KB pages the kernel touched in them (Fig. 11). Populated only when
 	// page tracking is enabled.

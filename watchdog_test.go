@@ -1,0 +1,90 @@
+package gpushield
+
+import (
+	"errors"
+	"testing"
+)
+
+// spinKernel builds a kernel whose every thread loops forever.
+func spinKernel(t *testing.T) *Kernel {
+	t.Helper()
+	b := NewKernel("spin")
+	acc := b.Mov(Imm(0))
+	b.WhileAny(func() Operand {
+		return b.SetLT(Imm(0), Imm(1)) // always true
+	}, func() {
+		b.MovTo(acc, b.Add(acc, Imm(1)))
+	})
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return k
+}
+
+func TestFacadeWatchdogSingleKernel(t *testing.T) {
+	for _, arch := range []Arch{Nvidia, Intel} {
+		sys := NewSystem(WithArch(arch), WithMaxCycles(20_000))
+		rep, err := sys.Launch(spinKernel(t), 1, 64)
+		if !errors.Is(err, ErrWatchdog) {
+			t.Fatalf("arch %v: want ErrWatchdog, got %v", arch, err)
+		}
+		if rep == nil || !rep.Aborted {
+			t.Fatalf("arch %v: want aborted partial report, got %+v", arch, rep)
+		}
+	}
+}
+
+func TestFacadeWatchdogConcurrent(t *testing.T) {
+	sys := NewSystem(WithMaxCycles(50_000))
+	quick := func() *Kernel {
+		b := NewKernel("quick")
+		b.Mov(Imm(1))
+		k, err := b.Build()
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		return k
+	}()
+	reps, err := sys.LaunchConcurrent(IntraCore,
+		PreparedLaunch{Kernel: quick, Grid: 1, Block: 32},
+		PreparedLaunch{Kernel: spinKernel(t), Grid: 1, Block: 32})
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("want ErrWatchdog, got %v", err)
+	}
+	if len(reps) != 2 || reps[0].Aborted || !reps[1].Aborted {
+		t.Fatalf("want clean report for quick kernel and aborted for spin, got %+v", reps)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	sys := NewSystem()
+	if _, err := sys.Launch(nil, 1, 32); !errors.Is(err, ErrInvalidLaunch) {
+		t.Fatalf("nil kernel: want ErrInvalidLaunch, got %v", err)
+	}
+	k := spinKernel(t)
+	if _, err := sys.Launch(k, 0, 32); !errors.Is(err, ErrInvalidLaunch) {
+		t.Fatalf("zero grid: want ErrInvalidLaunch, got %v", err)
+	}
+	if _, err := sys.Launch(k, 1, -1); !errors.Is(err, ErrInvalidLaunch) {
+		t.Fatalf("negative block: want ErrInvalidLaunch, got %v", err)
+	}
+	// A buffer param fed no argument at all.
+	if _, err := sys.Launch(k, 1, 32, Scalar(1), Scalar(2), Scalar(3)); !errors.Is(err, ErrInvalidLaunch) {
+		t.Fatalf("arg mismatch: want ErrInvalidLaunch, got %v", err)
+	}
+	if _, err := sys.LaunchConcurrent(IntraCore); !errors.Is(err, ErrInvalidLaunch) {
+		t.Fatalf("empty concurrent set: want ErrInvalidLaunch, got %v", err)
+	}
+	if _, err := sys.LaunchConcurrent(IntraCore, PreparedLaunch{Kernel: nil, Grid: 1, Block: 32}); !errors.Is(err, ErrInvalidLaunch) {
+		t.Fatalf("nil concurrent kernel: want ErrInvalidLaunch, got %v", err)
+	}
+}
+
+func TestHeapExhaustionTyped(t *testing.T) {
+	sys := NewSystem()
+	sys.SetHeapLimit(1 << 12)
+	if _, err := sys.Device().DeviceMalloc(1 << 20); !errors.Is(err, ErrAllocExhausted) {
+		t.Fatalf("want ErrAllocExhausted, got %v", err)
+	}
+}
