@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench experiments examples attackdemo vet fmt clean
+.PHONY: all build test test-race bench experiments experiments-smoke examples attackdemo vet fmt clean
 
 all: build test
 
@@ -29,6 +29,11 @@ bench:
 # Regenerate every table and figure at full fidelity.
 experiments:
 	$(GO) run ./cmd/experiments -run all
+
+# One fast experiment through the parallel engine under the race detector —
+# the CI smoke test for the pool + memo cache.
+experiments-smoke:
+	$(GO) run -race ./cmd/experiments -run heap -parallel 4 -json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -25,6 +25,9 @@ func runExperiment(b *testing.B, id string) *experiments.Result {
 	}
 	var res *experiments.Result
 	for i := 0; i < b.N; i++ {
+		// Drop the engine's memo cache between iterations: the benchmark
+		// measures simulation cost, not cache-hit latency.
+		experiments.ResetEngine()
 		res, err = e.Run()
 		if err != nil {
 			b.Fatal(err)

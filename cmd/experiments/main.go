@@ -4,10 +4,20 @@
 //
 //	experiments -list
 //	experiments -run fig14
-//	experiments -run all [-csv]
+//	experiments -run all [-csv] [-parallel N] [-json]
+//
+// Tables and CSV go to stdout; progress, per-experiment errors, and the
+// engine footer go to stderr, so stdout is byte-identical for any -parallel
+// width (compare `-parallel 1` against `-parallel 8` with a plain diff).
+// With -json the roles shift: stdout carries only the JSON report (parseable
+// with a plain `| jq .`) and the tables move to stderr.
+// With -run all a failing experiment no longer aborts the sweep: every
+// remaining experiment still runs, failures are reported per-experiment,
+// and the process exits non-zero at the end if anything failed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,10 +26,31 @@ import (
 	"gpushield/internal/experiments"
 )
 
+// expTiming is one experiment's entry in the -json timing output.
+type expTiming struct {
+	ID     string  `json:"id"`
+	OK     bool    `json:"ok"`
+	Error  string  `json:"error,omitempty"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// runReport is the full machine-readable -json payload: per-experiment
+// timings plus the engine's job/cache accounting, for the bench trajectory.
+type runReport struct {
+	Parallel    int                     `json:"parallel"`
+	Experiments []expTiming             `json:"experiments"`
+	Engine      experiments.EngineStats `json:"engine"`
+	TotalWallMS float64                 `json:"total_wall_ms"`
+	Speedup     float64                 `json:"speedup"`
+	Failed      int                     `json:"failed"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	parallel := flag.Int("parallel", 0, "engine worker-pool width; 0 = one per CPU, 1 = serial")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable timing summary (JSON) on stdout; tables move to stderr")
 	flag.Parse()
 
 	if *list {
@@ -28,6 +59,8 @@ func main() {
 		}
 		return
 	}
+
+	experiments.SetParallelism(*parallel)
 
 	var todo []experiments.Experiment
 	if *run == "all" {
@@ -41,21 +74,67 @@ func main() {
 		todo = []experiments.Experiment{e}
 	}
 
+	// With -json, stdout must be pure JSON; the tables stay visible on stderr.
+	tableOut := os.Stdout
+	if *jsonOut {
+		tableOut = os.Stderr
+	}
+
+	start := time.Now()
+	timings := make([]expTiming, 0, len(todo))
+	var failures []string
 	for _, e := range todo {
-		start := time.Now()
+		t0 := time.Now()
 		res, err := e.Run()
+		elapsed := time.Since(t0)
+		tm := expTiming{ID: e.ID, OK: err == nil, WallMS: float64(elapsed.Microseconds()) / 1000}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		if *csv {
-			fmt.Printf("# %s: %s\n", res.ID, res.Title)
+			tm.Error = err.Error()
+			failures = append(failures, e.ID)
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", e.ID, err)
+		} else if *csv {
+			fmt.Fprintf(tableOut, "# %s: %s\n", res.ID, res.Title)
 			for _, t := range res.Tables {
-				fmt.Print(t.CSV())
+				fmt.Fprint(tableOut, t.CSV())
 			}
 		} else {
-			fmt.Print(res.String())
+			fmt.Fprint(tableOut, res.String())
 		}
-		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		timings = append(timings, tm)
+		fmt.Fprintf(os.Stderr, "(%s finished in %v)\n", e.ID, elapsed.Round(time.Millisecond))
+	}
+	wall := time.Since(start)
+	es := experiments.EngineSnapshot()
+	speedup := 0.0
+	if w := wall.Seconds(); w > 0 {
+		speedup = es.SerialSeconds / w
+	}
+
+	if *jsonOut {
+		rep := runReport{
+			Parallel:    experiments.Parallelism(),
+			Experiments: timings,
+			Engine:      es,
+			TotalWallMS: float64(wall.Microseconds()) / 1000,
+			Speedup:     speedup,
+			Failed:      len(failures),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr,
+			"engine: %d jobs (%d unique runs, %d cache hits), parallel=%d, wall %v, serial-equivalent %v, speedup %.2fx\n",
+			es.Jobs, es.UniqueRuns, es.CacheHits, experiments.Parallelism(),
+			wall.Round(time.Millisecond), time.Duration(es.SerialSeconds*float64(time.Second)).Round(time.Millisecond),
+			speedup)
+		fmt.Fprintf(os.Stderr, "experiments: %d passed, %d failed\n", len(todo)-len(failures), len(failures))
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "failed: %v\n", failures)
+		os.Exit(1)
 	}
 }

@@ -25,33 +25,33 @@ var ablationSet = []string{"streamcluster", "dxtc", "mri-q", "spmv", "blackschol
 func runAblation() (*Result, error) {
 	t := stats.NewTable("Normalized exec time over no-bounds-check",
 		"benchmark", "warp-level (default)", "per-thread checks", "1-entry L1 RCache", "checks (warp)", "checks (thread)")
-	var defN, ptN, l1N []float64
+	ptCfg := core.DefaultBCUConfig()
+	ptCfg.PerThread = true
+	l1Cfg := core.DefaultBCUConfig()
+	l1Cfg.L1Entries = 1
+	l1Cfg.L2Latency = 5
+	// Four jobs per benchmark: baseline, warp-level default, per-thread
+	// checking, and the 1-entry L1 RCache point.
+	const perBench = 4
+	jobs := make([]Job, 0, perBench*len(ablationSet))
 	for _, name := range ablationSet {
 		b, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		base, err := RunBenchmark(b, RunOpts{Mode: driver.ModeOff, Scale: 2})
-		if err != nil {
-			return nil, err
-		}
-		def, err := RunBenchmark(b, RunOpts{Mode: driver.ModeShield, Scale: 2})
-		if err != nil {
-			return nil, err
-		}
-		ptCfg := core.DefaultBCUConfig()
-		ptCfg.PerThread = true
-		pt, err := RunBenchmark(b, RunOpts{Mode: driver.ModeShield, BCU: ptCfg, Scale: 2})
-		if err != nil {
-			return nil, err
-		}
-		l1Cfg := core.DefaultBCUConfig()
-		l1Cfg.L1Entries = 1
-		l1Cfg.L2Latency = 5
-		l1, err := RunBenchmark(b, RunOpts{Mode: driver.ModeShield, BCU: l1Cfg, Scale: 2})
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			Job{b, RunOpts{Mode: driver.ModeOff, Scale: 2}},
+			Job{b, RunOpts{Mode: driver.ModeShield, Scale: 2}},
+			Job{b, RunOpts{Mode: driver.ModeShield, BCU: ptCfg, Scale: 2}},
+			Job{b, RunOpts{Mode: driver.ModeShield, BCU: l1Cfg, Scale: 2}})
+	}
+	res, err := runSet(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var defN, ptN, l1N []float64
+	for bi, name := range ablationSet {
+		base, def, pt, l1 := res[bi*perBench], res[bi*perBench+1], res[bi*perBench+2], res[bi*perBench+3]
 		nd := float64(def.Cycles()) / float64(base.Cycles())
 		np := float64(pt.Cycles()) / float64(base.Cycles())
 		nl := float64(l1.Cycles()) / float64(base.Cycles())

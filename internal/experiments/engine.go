@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/pool"
+	"gpushield/internal/sim"
+	"gpushield/internal/workloads"
+)
+
+// Job is one declarative unit of work for the engine: run Bench under Opts.
+// Fig/table/ablation runners build a []Job up front and consume the results
+// by index, so table rows come out in the same order the old serial loops
+// produced them no matter how the jobs were scheduled.
+type Job struct {
+	Bench workloads.Benchmark
+	Opts  RunOpts
+}
+
+// memoKey identifies a benchmark run up to simulation determinism: two runs
+// with equal keys produce bit-identical LaunchStats, so the engine computes
+// the result once and serves copies. Benchmarks are keyed by name (names
+// are unique across the corpus, including unregistered variants like
+// streamcluster-tiny).
+type memoKey struct {
+	bench      string
+	arch       string
+	mode       driver.Mode
+	bcu        core.BCUConfig
+	scale      int
+	seed       int64
+	trackPages bool
+}
+
+func (o RunOpts) memoKey(bench string) memoKey {
+	scale := o.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	return memoKey{
+		bench:      bench,
+		arch:       o.Arch,
+		mode:       o.Mode,
+		bcu:        o.BCU,
+		scale:      scale,
+		seed:       o.effectiveSeed(),
+		trackPages: o.TrackPages,
+	}
+}
+
+// memoEntry is one cached run. The first requester computes under once;
+// every requester (including the first) receives a deep copy, so cached
+// stats can never be mutated through a caller's hands.
+type memoEntry struct {
+	once sync.Once
+	st   *sim.LaunchStats
+	err  error
+	dur  time.Duration
+}
+
+// EngineStats is the engine's cumulative accounting, surfaced in the
+// `-run all` footer and the `-json` timing output.
+type EngineStats struct {
+	Jobs           int     `json:"jobs"`            // runs requested through the engine
+	UniqueRuns     int     `json:"unique_runs"`     // simulations actually executed
+	CacheHits      int     `json:"cache_hits"`      // requests served from the memo cache
+	ComputeSeconds float64 `json:"compute_seconds"` // Σ executed-run wall-clock
+	SerialSeconds  float64 `json:"serial_seconds"`  // Σ wall-clock every request would have paid serially
+}
+
+// Engine executes benchmark runs across a bounded worker pool with a
+// process-wide memoization cache. Determinism contract: results are
+// delivered by job index and each simulation builds private device/GPU
+// state, so for any worker count the rendered tables are byte-identical to
+// the serial (workers = 1) path.
+type Engine struct {
+	mu      sync.Mutex
+	workers int
+	memo    map[memoKey]*memoEntry
+
+	jobs       int
+	uniqueRuns int
+	compute    time.Duration
+	serial     time.Duration
+}
+
+// NewEngine builds an engine; workers <= 0 selects one worker per CPU.
+func NewEngine(workers int) *Engine {
+	return &Engine{workers: pool.Normalize(workers), memo: map[memoKey]*memoEntry{}}
+}
+
+// SetWorkers resizes the pool for subsequent run sets (<= 0 = per-CPU).
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	e.workers = pool.Normalize(n)
+	e.mu.Unlock()
+}
+
+// Workers reports the current pool width.
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workers
+}
+
+// Reset drops the memo cache and zeroes the accounting (pool width stays).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.memo = map[memoKey]*memoEntry{}
+	e.jobs, e.uniqueRuns = 0, 0
+	e.compute, e.serial = 0, 0
+	e.mu.Unlock()
+}
+
+// Stats snapshots the engine accounting.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{
+		Jobs:           e.jobs,
+		UniqueRuns:     e.uniqueRuns,
+		CacheHits:      e.jobs - e.uniqueRuns,
+		ComputeSeconds: e.compute.Seconds(),
+		SerialSeconds:  e.serial.Seconds(),
+	}
+}
+
+// RunBenchmark executes (or recalls) one benchmark run and returns a
+// defensive copy of its stats: every caller owns its result outright.
+func (e *Engine) RunBenchmark(b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
+	key := o.memoKey(b.Name)
+	e.mu.Lock()
+	ent, ok := e.memo[key]
+	if !ok {
+		ent = &memoEntry{}
+		e.memo[key] = ent
+	}
+	e.mu.Unlock()
+
+	executed := false
+	ent.once.Do(func() {
+		start := time.Now()
+		ent.st, ent.err = runBenchmarkUncached(b, o)
+		ent.dur = time.Since(start)
+		executed = true
+	})
+
+	e.mu.Lock()
+	e.jobs++
+	e.serial += ent.dur
+	if executed {
+		e.uniqueRuns++
+		e.compute += ent.dur
+	}
+	e.mu.Unlock()
+	return ent.st.Clone(), ent.err
+}
+
+// RunSet fans jobs out across the pool (memoized) and delivers stats by
+// index. On failure it returns the lowest-index error, matching what the
+// serial loop would have reported first.
+func (e *Engine) RunSet(jobs []Job) ([]*sim.LaunchStats, error) {
+	out := make([]*sim.LaunchStats, len(jobs))
+	err := pool.ForEachErr(e.Workers(), len(jobs), func(i int) error {
+		st, err := e.RunBenchmark(jobs[i].Bench, jobs[i].Opts)
+		out[i] = st
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachErr runs n bespoke jobs (multi-kernel pairs, microbenchmark
+// variants, tool models — anything that is not a plain RunBenchmark) across
+// the pool. The jobs are timed into the engine accounting but not
+// memoized; fn must write its result into an index-addressed slot.
+func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	pool.ForEach(e.Workers(), n, func(i int) {
+		start := time.Now()
+		errs[i] = fn(i)
+		dur := time.Since(start)
+		e.mu.Lock()
+		e.jobs++
+		e.uniqueRuns++
+		e.compute += dur
+		e.serial += dur
+		e.mu.Unlock()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultEngine is the process-wide engine: every figure shares it, which
+// is what lets fig15's and fig17's ModeOff baselines reuse fig14's runs.
+var defaultEngine = NewEngine(0)
+
+// SetParallelism sets the default engine's pool width (<= 0 = per-CPU);
+// cmd/experiments wires its -parallel flag here.
+func SetParallelism(n int) { defaultEngine.SetWorkers(n) }
+
+// Parallelism reports the default engine's pool width.
+func Parallelism() int { return defaultEngine.Workers() }
+
+// ResetEngine clears the default engine's memo cache and accounting —
+// determinism tests use it to compare genuinely fresh serial and parallel
+// runs.
+func ResetEngine() { defaultEngine.Reset() }
+
+// EngineSnapshot returns the default engine's cumulative stats.
+func EngineSnapshot() EngineStats { return defaultEngine.Stats() }
+
+// runSet executes jobs on the default engine.
+func runSet(jobs []Job) ([]*sim.LaunchStats, error) { return defaultEngine.RunSet(jobs) }
+
+// forEach runs bespoke indexed jobs on the default engine's pool.
+func forEach(n int, fn func(i int) error) error { return defaultEngine.ForEachErr(n, fn) }

@@ -31,6 +31,7 @@ func runFaults() (*Result, error) {
 	}
 	cfg := faults.DefaultConfig()
 	cfg.Seed = seed
+	cfg.Parallel = Parallelism()
 	specs := faults.DefaultCampaign(seed, n)
 	results, err := faults.RunCampaign(cfg, specs)
 	if err != nil {

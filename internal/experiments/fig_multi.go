@@ -80,26 +80,38 @@ func runPair(na, nb string, shield bool, mode sim.ShareMode) (uint64, error) {
 func runFig18() (*Result, error) {
 	t := stats.NewTable("Multi-kernel normalized exec time (GPUShield / no bounds check)",
 		"pair", "inter-core", "intra-core")
-	var inter, intra []float64
+	// Declare the 21 pairs up front; each pair's four concurrent-kernel
+	// simulations are one pool job, results land by pair index.
+	type appPair struct{ na, nb string }
+	var pairs []appPair
 	for i := 0; i < len(fig18Apps); i++ {
 		for j := i + 1; j < len(fig18Apps); j++ {
-			na, nb := fig18Apps[i], fig18Apps[j]
-			var norm [2]float64
-			for mi, mode := range []sim.ShareMode{sim.ShareInterCore, sim.ShareIntraCore} {
-				base, err := runPair(na, nb, false, mode)
-				if err != nil {
-					return nil, err
-				}
-				prot, err := runPair(na, nb, true, mode)
-				if err != nil {
-					return nil, err
-				}
-				norm[mi] = float64(prot) / float64(base)
-			}
-			t.AddRow(fmt.Sprintf("%s_%s", trim(na), trim(nb)), norm[0], norm[1])
-			inter = append(inter, norm[0])
-			intra = append(intra, norm[1])
+			pairs = append(pairs, appPair{fig18Apps[i], fig18Apps[j]})
 		}
+	}
+	norms := make([][2]float64, len(pairs))
+	err := forEach(len(pairs), func(p int) error {
+		for mi, mode := range []sim.ShareMode{sim.ShareInterCore, sim.ShareIntraCore} {
+			base, err := runPair(pairs[p].na, pairs[p].nb, false, mode)
+			if err != nil {
+				return err
+			}
+			prot, err := runPair(pairs[p].na, pairs[p].nb, true, mode)
+			if err != nil {
+				return err
+			}
+			norms[p][mi] = float64(prot) / float64(base)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var inter, intra []float64
+	for p, pr := range pairs {
+		t.AddRow(fmt.Sprintf("%s_%s", trim(pr.na), trim(pr.nb)), norms[p][0], norms[p][1])
+		inter = append(inter, norms[p][0])
+		intra = append(intra, norms[p][1])
 	}
 	t.AddRow("Geomean", stats.Geomean(inter), stats.Geomean(intra))
 	return &Result{ID: "fig18", Title: "Multi-kernel execution",

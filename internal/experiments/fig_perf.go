@@ -40,22 +40,29 @@ func runFig14() (*Result, error) {
 		"category", "L1:1 L2:3 (default)", "L1:2 L2:5", "benchmarks")
 	detail := stats.NewTable("Per-benchmark normalized exec time",
 		"benchmark", "category", "L1:1 L2:3", "L1:2 L2:5")
+	// Declarative run set: per benchmark a ModeOff baseline plus the two
+	// RCache-latency points; the engine executes them (memoized, possibly
+	// in parallel) and hands results back by index.
+	var jobs []Job
+	for _, cat := range cats {
+		for _, b := range workloads.Category(cat) {
+			jobs = append(jobs,
+				Job{b, RunOpts{Mode: driver.ModeOff, Scale: 2}},
+				Job{b, RunOpts{Mode: driver.ModeShield, BCU: bcuLat(1, 3), Scale: 2}},
+				Job{b, RunOpts{Mode: driver.ModeShield, BCU: bcuLat(2, 5), Scale: 2}})
+		}
+	}
+	res, err := runSet(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var allDef, allSlow []float64
+	idx := 0
 	for _, cat := range cats {
 		var defs, slows []float64
 		for _, b := range workloads.Category(cat) {
-			base, err := RunBenchmark(b, RunOpts{Mode: driver.ModeOff, Scale: 2})
-			if err != nil {
-				return nil, err
-			}
-			def, err := RunBenchmark(b, RunOpts{Mode: driver.ModeShield, BCU: bcuLat(1, 3), Scale: 2})
-			if err != nil {
-				return nil, err
-			}
-			slow, err := RunBenchmark(b, RunOpts{Mode: driver.ModeShield, BCU: bcuLat(2, 5), Scale: 2})
-			if err != nil {
-				return nil, err
-			}
+			base, def, slow := res[idx], res[idx+1], res[idx+2]
+			idx += 3
 			nd := float64(def.Cycles()) / float64(base.Cycles())
 			ns := float64(slow.Cycles()) / float64(base.Cycles())
 			defs = append(defs, nd)
@@ -75,21 +82,27 @@ func runFig14() (*Result, error) {
 	}, nil
 }
 
-// runFig15 sweeps the L1 RCache from 1 to 16 entries over the
-// RCache-sensitive CUDA benchmarks, reporting the L1 RCache hit rate.
-func runFig15() (*Result, error) {
+// rcacheSweep declares the L1 RCache size sweep over benches — one job per
+// (benchmark, entry count) — and renders the hit-rate table, geomean last.
+func rcacheSweep(title, arch string, benches []workloads.Benchmark) (*stats.Table, error) {
 	sizes := []int{1, 2, 4, 8, 16}
-	t := stats.NewTable("L1 RCache hit rate (%), Nvidia",
+	jobs := make([]Job, 0, len(benches)*len(sizes))
+	for _, b := range benches {
+		for _, n := range sizes {
+			jobs = append(jobs, Job{b, RunOpts{Arch: arch, Mode: driver.ModeShield, BCU: bcuEntries(n)}})
+		}
+	}
+	res, err := runSet(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(title,
 		"benchmark", "1-entry", "2-entry", "4-entry", "8-entry", "16-entry")
 	perSize := make([][]float64, len(sizes))
-	for _, b := range workloads.Sensitive() {
+	for bi, b := range benches {
 		row := []any{b.Name}
-		for i, n := range sizes {
-			st, err := RunBenchmark(b, RunOpts{Mode: driver.ModeShield, BCU: bcuEntries(n)})
-			if err != nil {
-				return nil, err
-			}
-			hr := 100 * st.RL1HitRate()
+		for i := range sizes {
+			hr := 100 * res[bi*len(sizes)+i].RL1HitRate()
 			perSize[i] = append(perSize[i], hr)
 			row = append(row, fmt.Sprintf("%.1f", hr))
 		}
@@ -100,6 +113,16 @@ func runFig15() (*Result, error) {
 		row = append(row, fmt.Sprintf("%.1f", stats.Geomean(perSize[i])))
 	}
 	t.AddRow(row...)
+	return t, nil
+}
+
+// runFig15 sweeps the L1 RCache from 1 to 16 entries over the
+// RCache-sensitive CUDA benchmarks, reporting the L1 RCache hit rate.
+func runFig15() (*Result, error) {
+	t, err := rcacheSweep("L1 RCache hit rate (%), Nvidia", "", workloads.Sensitive())
+	if err != nil {
+		return nil, err
+	}
 	return &Result{ID: "fig15", Title: "L1 RCache sensitivity",
 		Tables: []*stats.Table{t},
 		Notes:  []string{"paper shape: 4 entries reach ~100% for most benchmarks"},
@@ -109,28 +132,10 @@ func runFig15() (*Result, error) {
 // runFig16 repeats the L1 RCache sweep on the Intel configuration with the
 // 17 OpenCL benchmarks.
 func runFig16() (*Result, error) {
-	sizes := []int{1, 2, 4, 8, 16}
-	t := stats.NewTable("L1 RCache hit rate (%), Intel OpenCL",
-		"benchmark", "1-entry", "2-entry", "4-entry", "8-entry", "16-entry")
-	perSize := make([][]float64, len(sizes))
-	for _, b := range workloads.OpenCL() {
-		row := []any{b.Name}
-		for i, n := range sizes {
-			st, err := RunBenchmark(b, RunOpts{Arch: "intel", Mode: driver.ModeShield, BCU: bcuEntries(n)})
-			if err != nil {
-				return nil, err
-			}
-			hr := 100 * st.RL1HitRate()
-			perSize[i] = append(perSize[i], hr)
-			row = append(row, fmt.Sprintf("%.1f", hr))
-		}
-		t.AddRow(row...)
+	t, err := rcacheSweep("L1 RCache hit rate (%), Intel OpenCL", "intel", workloads.OpenCL())
+	if err != nil {
+		return nil, err
 	}
-	row := []any{"Geomean"}
-	for i := range sizes {
-		row = append(row, fmt.Sprintf("%.1f", stats.Geomean(perSize[i])))
-	}
-	t.AddRow(row...)
 	return &Result{ID: "fig16", Title: "Intel L1 RCache hit rate",
 		Tables: []*stats.Table{t},
 		Notes:  []string{"paper shape: near-100% with 4 entries, as on Nvidia"},
@@ -143,41 +148,36 @@ func runFig16() (*Result, error) {
 func runFig17() (*Result, error) {
 	t := stats.NewTable("Static filtering under slower RCaches (normalized exec time)",
 		"benchmark", "L1:1 L2:5", "L1:1 L2:5 +static", "L1:2 L2:5", "L1:2 L2:5 +static", "check reduction %")
+	benches := workloads.Sensitive()
+	// Five jobs per benchmark: the ModeOff baseline (shared with fig14 via
+	// the memo cache) and the four (latency, static?) points.
+	const perBench = 5
+	jobs := make([]Job, 0, perBench*len(benches))
+	for _, b := range benches {
+		jobs = append(jobs,
+			Job{b, RunOpts{Mode: driver.ModeOff, Scale: 2}},
+			Job{b, RunOpts{Mode: driver.ModeShield, BCU: bcuLat(1, 5), Scale: 2}},
+			Job{b, RunOpts{Mode: driver.ModeShieldStatic, BCU: bcuLat(1, 5), Scale: 2}},
+			Job{b, RunOpts{Mode: driver.ModeShield, BCU: bcuLat(2, 5), Scale: 2}},
+			Job{b, RunOpts{Mode: driver.ModeShieldStatic, BCU: bcuLat(2, 5), Scale: 2}})
+	}
+	res, err := runSet(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var n15, n15s, n25, n25s, reds []float64
-	for _, b := range workloads.Sensitive() {
-		base, err := RunBenchmark(b, RunOpts{Mode: driver.ModeOff, Scale: 2})
-		if err != nil {
-			return nil, err
+	for bi, b := range benches {
+		base := res[bi*perBench]
+		norm := func(off int) float64 {
+			return float64(res[bi*perBench+off].Cycles()) / float64(base.Cycles())
 		}
-		run := func(mode driver.Mode, l1, l2 int) (*float64, float64, error) {
-			st, err := RunBenchmark(b, RunOpts{Mode: mode, BCU: bcuLat(l1, l2), Scale: 2})
-			if err != nil {
-				return nil, 0, err
-			}
-			norm := float64(st.Cycles()) / float64(base.Cycles())
-			return &norm, st.CheckReduction(), nil
-		}
-		a, _, err := run(driver.ModeShield, 1, 5)
-		if err != nil {
-			return nil, err
-		}
-		as, _, err := run(driver.ModeShieldStatic, 1, 5)
-		if err != nil {
-			return nil, err
-		}
-		c, _, err := run(driver.ModeShield, 2, 5)
-		if err != nil {
-			return nil, err
-		}
-		cs, red, err := run(driver.ModeShieldStatic, 2, 5)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(b.Name, *a, *as, *c, *cs, fmt.Sprintf("%.1f", 100*red))
-		n15 = append(n15, *a)
-		n15s = append(n15s, *as)
-		n25 = append(n25, *c)
-		n25s = append(n25s, *cs)
+		a, as, c, cs := norm(1), norm(2), norm(3), norm(4)
+		red := res[bi*perBench+4].CheckReduction()
+		t.AddRow(b.Name, a, as, c, cs, fmt.Sprintf("%.1f", 100*red))
+		n15 = append(n15, a)
+		n15s = append(n15s, as)
+		n25 = append(n25, c)
+		n25s = append(n25s, cs)
 		reds = append(reds, 100*red)
 	}
 	t.AddRow("Geomean", stats.Geomean(n15), stats.Geomean(n15s),

@@ -92,12 +92,18 @@ func runFig4() (*Result, error) {
 func runFig11() (*Result, error) {
 	t := stats.NewTable("4KB pages touched per buffer (Rodinia)",
 		"benchmark", "buffers", "pages/buffer(avg)", "pages/buffer(max)")
+	benches := workloads.Rodinia()
+	jobs := make([]Job, len(benches))
+	for i, b := range benches {
+		jobs[i] = Job{b, RunOpts{Mode: driver.ModeOff, TrackPages: true, Scale: 2}}
+	}
+	res, err := runSet(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var allAvgs []float64
-	for _, b := range workloads.Rodinia() {
-		st, err := RunBenchmark(b, RunOpts{Mode: driver.ModeOff, TrackPages: true, Scale: 2})
-		if err != nil {
-			return nil, err
-		}
+	for bi, b := range benches {
+		st := res[bi]
 		if len(st.PagesPerBuffer) == 0 {
 			continue
 		}

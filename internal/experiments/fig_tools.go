@@ -141,7 +141,12 @@ func runFig19() (*Result, error) {
 			scales[k] = 1
 		}
 	}
-	for _, name := range fig19Set {
+	// One pool job per benchmark; each job runs its tool suite (the
+	// RunBenchmark legs inside measureTools are memoized engine runs) and
+	// deposits its row by index.
+	rows := make([]*toolRuns, len(fig19Set))
+	err := forEach(len(fig19Set), func(i int) error {
+		name := fig19Set[i]
 		var b workloads.Benchmark
 		scale := 1
 		if name == "streamcluster" {
@@ -150,14 +155,22 @@ func runFig19() (*Result, error) {
 			var err error
 			b, err = workloads.ByName(name)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			scale = scales[name]
 		}
 		r, err := measureTools(b, scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range fig19Set {
+		r := rows[i]
 		fMem := baselines.MemcheckFactor(r.base, r.memcheck)
 		fGmod := baselines.GMODFactor(r.base)
 		fCl := baselines.ClArmorFactor(r.base, r.check)

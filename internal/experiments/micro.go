@@ -23,7 +23,13 @@ func runHeapMicro() (*Result, error) {
 	t := stats.NewTable("Per-thread dynamic allocation vs preallocation",
 		"threads", "prealloc cycles", "device-malloc cycles", "slowdown")
 	var notes []string
-	for _, threads := range []int{1024, 4096, 16384} {
+	threadCounts := []int{1024, 4096, 16384}
+	// One pool job per thread count; each job runs its prealloc/device-malloc
+	// variant pair and lands its cycle counts by index.
+	type heapRow struct{ pre, mall uint64 }
+	rows := make([]heapRow, len(threadCounts))
+	err := forEach(len(threadCounts), func(ti int) error {
+		threads := threadCounts[ti]
 		block := 256
 		grid := threads / block
 
@@ -37,11 +43,11 @@ func runHeapMicro() (*Result, error) {
 		ka := ba.MustBuild()
 		la, err := devA.PrepareLaunch(ka, grid, block, []driver.Arg{driver.BufArg(outA)}, driver.ModeOff, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		stA, err := sim.New(sim.NvidiaConfig(), devA).Run(la)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Variant B: every thread bumps the heap-top pointer atomically
@@ -62,18 +68,25 @@ func runHeapMicro() (*Result, error) {
 		lb, err := devB.PrepareLaunch(kb, grid, block,
 			[]driver.Arg{driver.BufArg(top), driver.ScalarArg(0)}, driver.ModeOff, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lb.Args[1] = lb.HeapPtr
 		stB, err := sim.New(sim.NvidiaConfig(), devB).Run(lb)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if stB.Aborted {
-			return nil, fmt.Errorf("device-malloc variant aborted: %s", stB.AbortMsg)
+			return fmt.Errorf("device-malloc variant aborted: %s", stB.AbortMsg)
 		}
-		slow := float64(stB.Cycles()) / float64(stA.Cycles())
-		t.AddRow(threads, stA.Cycles(), stB.Cycles(), slow)
+		rows[ti] = heapRow{pre: stA.Cycles(), mall: stB.Cycles()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, threads := range threadCounts {
+		slow := float64(rows[ti].mall) / float64(rows[ti].pre)
+		t.AddRow(threads, rows[ti].pre, rows[ti].mall, slow)
 	}
 	notes = append(notes, "paper: CUDA built-in malloc costs 4.9-63.7x, growing with thread count; this is why GPUShield covers the heap with one coarse region instead of per-allocation bounds")
 	return &Result{ID: "heap", Title: "Dynamic allocation", Tables: []*stats.Table{t}, Notes: notes}, nil
@@ -151,33 +164,37 @@ func runSWCheck() (*Result, error) {
 	const threads = 4096
 	t := stats.NewTable("Software vs hardware bounds checking (kmeans swap kernel)",
 		"configuration", "cycles", "overhead vs HW-checked %")
-	// Hardware-checked, no software guard (buffers sized for all threads).
-	hw, err := run(build(noCheck), threads, threads, driver.ModeShield)
+	// The four configurations as one declarative run set: hardware-checked
+	// with no software guard; the Fig. 13 entry guard with every thread
+	// passing (pure extra instructions); the entry guard at 75% occupancy
+	// (tail-warp divergence on top); and defensive per-access checks (a
+	// compare and a divergent branch around every load and store).
+	cases := []struct {
+		label   string
+		style   checkStyle
+		npoints int
+		mode    driver.Mode
+	}{
+		{"GPUShield, no software checks", noCheck, threads, driver.ModeShield},
+		{"entry if-guard, all threads pass", entryGuard, threads, driver.ModeOff},
+		{"entry if-guard, 75% pass (divergent)", entryGuard, threads * 3 / 4, driver.ModeOff},
+		{"per-access if-guards", perAccessGuard, threads, driver.ModeOff},
+	}
+	cycles := make([]uint64, len(cases))
+	err := forEach(len(cases), func(i int) error {
+		c, err := run(build(cases[i].style), cases[i].npoints, threads, cases[i].mode)
+		cycles[i] = c
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Entry guard (Fig. 13 style), guard always true: pure extra
-	// instructions.
-	swFull, err := run(build(entryGuard), threads, threads, driver.ModeOff)
-	if err != nil {
-		return nil, err
-	}
-	// Entry guard with 75% occupancy: tail-warp divergence on top.
-	swDiv, err := run(build(entryGuard), threads*3/4, threads, driver.ModeOff)
-	if err != nil {
-		return nil, err
-	}
-	// Defensive per-access checks: a compare and a divergent branch around
-	// every load and store.
-	swPer, err := run(build(perAccessGuard), threads, threads, driver.ModeOff)
-	if err != nil {
-		return nil, err
-	}
+	hw := cycles[0]
 	pct := func(c uint64) string { return fmt.Sprintf("%.1f", 100*(float64(c)/float64(hw)-1)) }
-	t.AddRow("GPUShield, no software checks", hw, "0.0")
-	t.AddRow("entry if-guard, all threads pass", swFull, pct(swFull))
-	t.AddRow("entry if-guard, 75% pass (divergent)", swDiv, pct(swDiv))
-	t.AddRow("per-access if-guards", swPer, pct(swPer))
+	t.AddRow(cases[0].label, hw, "0.0")
+	for i := 1; i < len(cases); i++ {
+		t.AddRow(cases[i].label, cycles[i], pct(cycles[i]))
+	}
 	return &Result{ID: "swcheck", Title: "Replacing software bounds checks",
 		Tables: []*stats.Table{t},
 		Notes:  []string{"paper: software if-clause checking costs up to 76% (§6.4); GPUShield can subsume it"},

@@ -22,6 +22,9 @@ import (
 // tractable; cmd/experiments leaves it off for full-fidelity tables).
 var Quick bool
 
+// DefaultSeed is the driver seed used when RunOpts.Seed is left nil.
+const DefaultSeed int64 = 12345
+
 // RunOpts configures one benchmark execution.
 type RunOpts struct {
 	Arch       string // "nvidia" or "intel"; default chosen from the benchmark's API
@@ -29,7 +32,22 @@ type RunOpts struct {
 	BCU        core.BCUConfig // zero value = paper default
 	Scale      int            // problem-size multiplier, default 1
 	TrackPages bool
-	Seed       int64
+	// Seed pins the driver's randomness stream (buffer IDs, kernel keys).
+	// nil means "never set" and selects DefaultSeed; an explicit zero is a
+	// legal, distinct seed. Build one inline with FixedSeed.
+	Seed *int64
+}
+
+// FixedSeed returns a RunOpts.Seed pinning the driver seed to v (zero
+// included).
+func FixedSeed(v int64) *int64 { return &v }
+
+// effectiveSeed resolves the seed the run will actually use.
+func (o RunOpts) effectiveSeed() int64 {
+	if o.Seed == nil {
+		return DefaultSeed
+	}
+	return *o.Seed
 }
 
 func (o RunOpts) config(api string) sim.Config {
@@ -55,14 +73,20 @@ func (o RunOpts) config(api string) sim.Config {
 }
 
 // RunBenchmark builds and executes one benchmark under the given options.
+// Runs go through the process-wide engine: identical (benchmark, options)
+// requests are simulated once and every caller receives its own deep copy
+// of the stats.
 func RunBenchmark(b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
+	return defaultEngine.RunBenchmark(b, o)
+}
+
+// runBenchmarkUncached is the raw compute path behind the engine's memo
+// cache: build a private device + GPU and simulate.
+func runBenchmarkUncached(b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
-	if o.Seed == 0 {
-		o.Seed = 12345
-	}
-	dev := driver.NewDevice(o.Seed)
+	dev := driver.NewDevice(o.effectiveSeed())
 	spec, err := b.Build(dev, o.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("%s: build: %w", b.Name, err)
@@ -97,7 +121,9 @@ func RunBenchmark(b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
 			return nil, fmt.Errorf("%s: aborted: %s", b.Name, st.AbortMsg)
 		}
 		if agg == nil {
-			agg = st
+			// Defensive copy: the aggregate must not alias the first
+			// launch's stats, which accumulate would otherwise mutate.
+			agg = st.Clone()
 		} else {
 			accumulate(agg, st)
 		}

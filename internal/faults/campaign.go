@@ -7,6 +7,7 @@ import (
 	"gpushield/internal/core"
 	"gpushield/internal/driver"
 	"gpushield/internal/kernel"
+	"gpushield/internal/pool"
 	"gpushield/internal/sim"
 )
 
@@ -19,6 +20,11 @@ type Config struct {
 	Grid  int
 	Block int
 	Seed  int64
+	// Parallel bounds the injection worker pool; <= 0 means one worker per
+	// CPU. Every injection builds a private device + GPU and derives its
+	// randomness from (Seed, index), so any pool width classifies a
+	// campaign identically to the serial replay.
+	Parallel int
 }
 
 // DefaultConfig returns the standard campaign setup: the Nvidia preset with
@@ -145,12 +151,16 @@ func RunCampaign(cfg Config, specs []FaultSpec) ([]Result, error) {
 		return nil, fmt.Errorf("faults: bad workload geometry %dx%d", cfg.Grid, cfg.Block)
 	}
 	out := make([]Result, len(specs))
-	for i, s := range specs {
-		r, err := runOne(cfg, s, i)
+	err := pool.ForEachErr(cfg.Parallel, len(specs), func(i int) error {
+		r, err := runOne(cfg, specs[i], i)
 		if err != nil {
-			return nil, fmt.Errorf("faults: injection %d (%s): %v", i, s, err)
+			return fmt.Errorf("faults: injection %d (%s): %v", i, specs[i], err)
 		}
 		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

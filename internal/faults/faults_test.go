@@ -34,6 +34,35 @@ func TestCampaignDeterminism(t *testing.T) {
 	}
 }
 
+// TestCampaignParallelMatchesSerial requires the pooled campaign to
+// classify every injection exactly as the serial replay does: results are
+// index-addressed and each injection's randomness derives from (seed,
+// index), so pool width must be invisible in the output.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	const seed, n = 0xFA_CE, 40
+	specs := DefaultCampaign(seed, n)
+
+	serial := DefaultConfig()
+	serial.Seed = seed
+	serial.Parallel = 1
+	a, err := RunCampaign(serial, specs)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	pooled := DefaultConfig()
+	pooled.Seed = seed
+	pooled.Parallel = 4
+	b, err := RunCampaign(pooled, specs)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("injection %d diverged between serial and parallel:\n  serial:   %+v\n  parallel: %+v", i, a[i], b[i])
+		}
+	}
+}
+
 // TestCampaignGeneratorDeterminism checks the spec stream itself replays.
 func TestCampaignGeneratorDeterminism(t *testing.T) {
 	a := DefaultCampaign(7, 100)

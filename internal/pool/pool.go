@@ -1,0 +1,78 @@
+// Package pool provides the bounded, deterministic fan-out primitive the
+// experiment and fault-campaign harnesses share. Each simulation run builds
+// its own driver.Device + sim.GPU (no shared mutable state across
+// instances), so independent runs are embarrassingly parallel; this package
+// supplies the worker pool that exploits that while keeping results
+// index-addressed, so callers reassemble output in the exact order the
+// serial path would have produced it.
+package pool
+
+import "runtime"
+
+// DefaultWorkers returns the default pool width: one worker per available
+// CPU (runtime.GOMAXPROCS(0)).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Normalize clamps a caller-supplied worker count: values <= 0 select
+// DefaultWorkers, so zero-valued configs degrade to "use the machine".
+func Normalize(workers int) int {
+	if workers <= 0 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// ForEach runs fn(0..n-1) across at most `workers` goroutines and returns
+// once every call finished. Determinism contract: fn must communicate only
+// through index-addressed slots (fn(i) writing result[i]); ForEach itself
+// imposes no ordering between calls. With workers <= 1 (or n <= 1) the
+// calls happen inline on the caller's goroutine, in index order — the
+// serial reference path.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// ForEachErr is ForEach for jobs that can fail: it collects every job's
+// error and returns the first non-nil one in *index* order — the same error
+// the serial loop would have surfaced first — regardless of completion
+// order. Unlike the serial loop it does not stop early; later jobs still
+// run (their results land in the caller's slots, their errors are dropped).
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const workers, n = 3, 40
+	var cur, peak int32
+	var mu sync.Mutex
+	ForEach(workers, n, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent jobs, pool width %d", peak, workers)
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var got []int
+	ForEach(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial path out of order: %v", got)
+		}
+	}
+}
+
+func TestForEachErrReturnsFirstByIndex(t *testing.T) {
+	e3, e7 := errors.New("e3"), errors.New("e7")
+	err := ForEachErr(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("got %v, want the lowest-index error %v", err, e3)
+	}
+	if err := ForEachErr(4, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(0) != DefaultWorkers() || Normalize(-2) != DefaultWorkers() {
+		t.Fatal("non-positive counts must select the default")
+	}
+	if Normalize(5) != 5 {
+		t.Fatal("positive counts pass through")
+	}
+}

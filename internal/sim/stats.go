@@ -55,6 +55,27 @@ type LaunchStats struct {
 	CoresUsed int
 }
 
+// Clone returns a deep copy of the stats: the Violations slice and the
+// PagesPerBuffer map are duplicated, so mutating the copy (or aggregating
+// into it) cannot disturb the original. Callers that cache or hand out
+// LaunchStats use this to keep every recipient's view independent.
+func (s *LaunchStats) Clone() *LaunchStats {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	if s.Violations != nil {
+		c.Violations = append([]core.Violation(nil), s.Violations...)
+	}
+	if s.PagesPerBuffer != nil {
+		c.PagesPerBuffer = make(map[string]int, len(s.PagesPerBuffer))
+		for k, v := range s.PagesPerBuffer {
+			c.PagesPerBuffer[k] = v
+		}
+	}
+	return &c
+}
+
 // Cycles returns the launch's makespan.
 func (s *LaunchStats) Cycles() uint64 {
 	if s.FinishCycle < s.StartCycle {

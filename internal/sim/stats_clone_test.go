@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+
+	"gpushield/internal/core"
+)
+
+func TestLaunchStatsClone(t *testing.T) {
+	orig := &LaunchStats{
+		Kernel:      "k",
+		FinishCycle: 100,
+		WarpInstrs:  7,
+		Violations:  []core.Violation{{}},
+		PagesPerBuffer: map[string]int{
+			"a": 3,
+		},
+	}
+	c := orig.Clone()
+	if c == orig {
+		t.Fatal("Clone returned the receiver")
+	}
+	c.FinishCycle = 999
+	c.Violations = append(c.Violations, core.Violation{})
+	c.PagesPerBuffer["b"] = 5
+	if orig.FinishCycle != 100 {
+		t.Fatal("scalar mutation leaked into the original")
+	}
+	if len(orig.Violations) != 1 {
+		t.Fatal("violations slice shared with the clone")
+	}
+	if len(orig.PagesPerBuffer) != 1 {
+		t.Fatal("pages map shared with the clone")
+	}
+
+	var nilStats *LaunchStats
+	if nilStats.Clone() != nil {
+		t.Fatal("Clone of nil must be nil")
+	}
+	empty := &LaunchStats{}
+	ce := empty.Clone()
+	if ce.Violations != nil || ce.PagesPerBuffer != nil {
+		t.Fatal("Clone invented containers the original lacked")
+	}
+}

@@ -105,14 +105,34 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as RFC-4180 comma-separated values: cells
+// containing commas, double quotes, or line breaks are quoted, with
+// embedded quotes doubled.
 func (t *Table) CSV() string {
 	var sb strings.Builder
-	sb.WriteString(strings.Join(t.Headers, ",") + "\n")
+	writeCSVRow(&sb, t.Headers)
 	for _, row := range t.Rows {
-		sb.WriteString(strings.Join(row, ",") + "\n")
+		writeCSVRow(&sb, row)
 	}
 	return sb.String()
+}
+
+func writeCSVRow(sb *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(csvEscape(c))
+	}
+	sb.WriteByte('\n')
+}
+
+// csvEscape applies RFC-4180 quoting to one cell.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 func pad(s string, w int) string {

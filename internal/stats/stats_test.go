@@ -84,6 +84,36 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestTableCSVEscaping(t *testing.T) {
+	tab := NewTable("", "plain", "with,comma")
+	tab.AddRow(`say "hi"`, "a,b")
+	tab.AddRow("line\nbreak", "cr\rcell")
+	csv := tab.CSV()
+	want := "plain,\"with,comma\"\n" +
+		"\"say \"\"hi\"\"\",\"a,b\"\n" +
+		"\"line\nbreak\",\"cr\rcell\"\n"
+	if csv != want {
+		t.Fatalf("CSV escaping:\ngot  %q\nwant %q", csv, want)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"", ""},
+		{"a,b", `"a,b"`},
+		{`he said "x"`, `"he said ""x"""`},
+		{"two\nlines", "\"two\nlines\""},
+		{"carriage\rreturn", "\"carriage\rreturn\""},
+		{"1.5", "1.5"},
+	}
+	for _, c := range cases {
+		if got := csvEscape(c.in); got != c.want {
+			t.Errorf("csvEscape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(5, 10, 20)
 	for _, v := range []int{1, 4, 5, 9, 10, 19, 20, 100} {
