@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench experiments experiments-smoke examples attackdemo vet fmt clean
+.PHONY: all build test test-race bench bench-json experiments experiments-smoke examples attackdemo vet fmt clean
 
 all: build test
 
@@ -25,6 +25,15 @@ test-race:
 # One testing.B per paper table/figure plus structure micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR3.json).
+# BENCHTIME=1x gives a fast smoke run (CI); the checked-in file is made with
+# the default 2s. Override BENCH to snapshot a different selection.
+BENCHTIME ?= 2s
+BENCH ?= BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput|BenchmarkSimulatorThroughput|BenchmarkFunctionalMemPath|BenchmarkBackingReadUint
+bench-json:
+	$(GO) test ./internal/sim -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR3.json
 
 # Regenerate every table and figure at full fidelity.
 experiments:

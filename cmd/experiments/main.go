@@ -5,6 +5,7 @@
 //	experiments -list
 //	experiments -run fig14
 //	experiments -run all [-csv] [-parallel N] [-json]
+//	experiments -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Tables and CSV go to stdout; progress, per-experiment errors, and the
 // engine footer go to stderr, so stdout is byte-identical for any -parallel
@@ -21,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gpushield/internal/experiments"
@@ -45,19 +48,56 @@ type runReport struct {
 	Failed      int                     `json:"failed"`
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the exit code back through the deferred profile writers
+// (os.Exit would skip them).
+func realMain() int {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	parallel := flag.Int("parallel", 0, "engine worker-pool width; 0 = one per CPU, 1 = serial")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable timing summary (JSON) on stdout; tables move to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // only reachable steady-state memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	experiments.SetParallelism(*parallel)
@@ -69,7 +109,7 @@ func main() {
 		e, err := experiments.ByID(*run)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		todo = []experiments.Experiment{e}
 	}
@@ -123,7 +163,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		fmt.Fprintf(os.Stderr,
@@ -135,6 +175,7 @@ func main() {
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "failed: %v\n", failures)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

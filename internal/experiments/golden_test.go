@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/sim"
+	"gpushield/internal/workloads"
+)
+
+// Regenerate with:
+//
+//	go test ./internal/experiments -run TestGoldenBenchmarkStats -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden benchmark stats file")
+
+// goldenBenchCases is the representative benchmark set whose LaunchStats are
+// locked byte-for-byte: one per Table 6 category plus both OpenCL/Intel
+// entries, across the three protection modes and the page-census path.
+var goldenBenchCases = []struct {
+	Bench string
+	Opts  RunOpts
+	Tag   string
+}{
+	{"backprop", RunOpts{Mode: driver.ModeOff}, ""},
+	{"backprop", RunOpts{Mode: driver.ModeShield}, ""},
+	{"backprop", RunOpts{Mode: driver.ModeShieldStatic}, ""},
+	{"bfs", RunOpts{Mode: driver.ModeOff}, ""},
+	{"bfs", RunOpts{Mode: driver.ModeShield}, ""},
+	{"gaussian", RunOpts{Mode: driver.ModeShield}, ""},
+	{"hotspot", RunOpts{Mode: driver.ModeShield}, ""},
+	{"hotspot", RunOpts{Mode: driver.ModeShieldStatic}, ""},
+	{"hotspot", RunOpts{Mode: driver.ModeShield, TrackPages: true}, "pages"},
+	{"kmeans", RunOpts{Mode: driver.ModeShield}, ""},
+	{"dwt2d", RunOpts{Mode: driver.ModeShield}, ""},
+	{"b+tree", RunOpts{Mode: driver.ModeShield}, ""},
+	{"mm", RunOpts{Mode: driver.ModeShield}, ""},
+	{"ocl-kmeans", RunOpts{Mode: driver.ModeShield}, ""},
+	{"ocl-bfs", RunOpts{Mode: driver.ModeShield}, ""},
+}
+
+type goldenBenchRecord struct {
+	Key   string
+	Stats *sim.LaunchStats
+}
+
+// TestGoldenBenchmarkStats asserts that the simulator reproduces, byte for
+// byte, the LaunchStats recorded on the pre-event-driven simulator for a
+// representative workload set. Any timing-model or scheduler change that
+// alters results (rather than host-side speed) trips this test.
+func TestGoldenBenchmarkStats(t *testing.T) {
+	records := make([]goldenBenchRecord, 0, len(goldenBenchCases))
+	for _, c := range goldenBenchCases {
+		b, err := workloads.ByName(c.Bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := runBenchmarkUncached(b, c.Opts)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Bench, err)
+		}
+		key := c.Bench + "/" + c.Opts.Mode.String()
+		if c.Tag != "" {
+			key += "/" + c.Tag
+		}
+		records = append(records, goldenBenchRecord{Key: key, Stats: st})
+	}
+
+	got, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden_stats.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d records)", path, len(records))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to record): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		var old []goldenBenchRecord
+		if err := json.Unmarshal(want, &old); err != nil {
+			t.Fatalf("golden file corrupt: %v", err)
+		}
+		for i := range records {
+			if i >= len(old) {
+				t.Fatalf("golden mismatch: extra record %q", records[i].Key)
+			}
+			g, _ := json.Marshal(records[i])
+			w, _ := json.Marshal(old[i])
+			if !bytes.Equal(g, w) {
+				t.Errorf("golden mismatch at %q:\n got: %s\nwant: %s", records[i].Key, g, w)
+			}
+		}
+		if !t.Failed() {
+			t.Fatalf("golden mismatch (record count or trailing bytes)")
+		}
+	}
+}

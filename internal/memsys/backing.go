@@ -12,6 +12,12 @@ const chunkBytes = 1 << 16
 // simulator uses identity virtual→physical mapping after tag stripping).
 type Backing struct {
 	chunks map[uint64][]byte
+
+	// One-entry chunk cache: functional memory traffic is heavily clustered
+	// (a warp's lanes touch neighbouring addresses), so the last chunk
+	// serves almost every access without a map lookup.
+	lastBase  uint64
+	lastChunk []byte
 }
 
 // NewBacking returns an empty backing store.
@@ -19,26 +25,36 @@ func NewBacking() *Backing {
 	return &Backing{chunks: make(map[uint64][]byte)}
 }
 
+// chunk returns the backing chunk containing addr, materializing it on
+// first touch and refreshing the one-entry chunk cache.
 func (m *Backing) chunk(addr uint64) []byte {
 	base := addr / chunkBytes
+	if m.lastChunk != nil && base == m.lastBase {
+		return m.lastChunk
+	}
 	c, ok := m.chunks[base]
 	if !ok {
 		c = make([]byte, chunkBytes)
 		m.chunks[base] = c
 	}
+	m.lastBase, m.lastChunk = base, c
 	return c
 }
 
 // ReadBytes copies n bytes starting at addr into a new slice.
 func (m *Backing) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
-	for i := 0; i < n; {
+	m.readInto(addr, out)
+	return out
+}
+
+// readInto fills out from addr without allocating.
+func (m *Backing) readInto(addr uint64, out []byte) {
+	for i := 0; i < len(out); {
 		c := m.chunk(addr + uint64(i))
 		off := int((addr + uint64(i)) % chunkBytes)
-		k := copy(out[i:], c[off:])
-		i += k
+		i += copy(out[i:], c[off:])
 	}
-	return out
 }
 
 // WriteBytes stores p starting at addr.
@@ -51,15 +67,56 @@ func (m *Backing) WriteBytes(addr uint64, p []byte) {
 	}
 }
 
-// ReadUint reads an n-byte little-endian unsigned value (n in 1,2,4,8).
+// ReadUint reads an n-byte little-endian unsigned value (n in 1..8). The
+// common case — the value lies inside one chunk — indexes the chunk
+// directly; only a chunk-straddling access takes the byte-copy path.
 func (m *Backing) ReadUint(addr uint64, n int) uint64 {
+	off := int(addr % chunkBytes)
+	if off+n <= chunkBytes {
+		c := m.chunk(addr)
+		switch n {
+		case 8:
+			return binary.LittleEndian.Uint64(c[off:])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(c[off:]))
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(c[off:]))
+		case 1:
+			return uint64(c[off])
+		}
+		var v uint64
+		for i := n - 1; i >= 0; i-- {
+			v = v<<8 | uint64(c[off+i])
+		}
+		return v
+	}
 	var buf [8]byte
-	copy(buf[:n], m.ReadBytes(addr, n))
+	m.readInto(addr, buf[:n])
 	return binary.LittleEndian.Uint64(buf[:])
 }
 
-// WriteUint writes the low n bytes of v little-endian at addr.
+// WriteUint writes the low n bytes of v little-endian at addr (n in 1..8),
+// with the same single-chunk fast path as ReadUint.
 func (m *Backing) WriteUint(addr uint64, v uint64, n int) {
+	off := int(addr % chunkBytes)
+	if off+n <= chunkBytes {
+		c := m.chunk(addr)
+		switch n {
+		case 8:
+			binary.LittleEndian.PutUint64(c[off:], v)
+		case 4:
+			binary.LittleEndian.PutUint32(c[off:], uint32(v))
+		case 2:
+			binary.LittleEndian.PutUint16(c[off:], uint16(v))
+		case 1:
+			c[off] = byte(v)
+		default:
+			for i := 0; i < n; i++ {
+				c[off+i] = byte(v >> (8 * uint(i)))
+			}
+		}
+		return
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	m.WriteBytes(addr, buf[:n])

@@ -27,6 +27,8 @@ type warp struct {
 	exited uint64 // lanes retired via exit
 	stack  []stackEntry
 	regs   [][]int64 // [lane][reg]
+	flat   []int64   // the backing array of regs: [lane*nregs + reg]
+	nregs  int
 
 	readyAt   uint64
 	atBarrier bool
@@ -79,6 +81,7 @@ func (c *coreState) placeWorkgroup(r *kernelRun, wgID int, now uint64) {
 		w := &warp{wg: wg, inWG: wi, active: mask, readyAt: now}
 		w.regs = make([][]int64, ww)
 		flat := make([]int64, ww*l.Kernel.NumRegs)
+		w.flat, w.nregs = flat, l.Kernel.NumRegs
 		for lane := 0; lane < ww; lane++ {
 			w.regs[lane] = flat[lane*l.Kernel.NumRegs : (lane+1)*l.Kernel.NumRegs]
 		}
@@ -87,6 +90,8 @@ func (c *coreState) placeWorkgroup(r *kernelRun, wgID int, now uint64) {
 	}
 	c.wgs = append(c.wgs, wg)
 	c.threadsUsed += l.Block
+	// Fresh warps are ready immediately: wake the core.
+	c.gpu.wakes.earlier(c.id, now)
 }
 
 // removeWorkgroup frees a completed (or aborted) workgroup's resources.
@@ -108,27 +113,47 @@ func (c *coreState) removeWorkgroup(wg *workgroup) {
 	if c.lastWarp >= len(c.warps) {
 		c.lastWarp = 0
 	}
+	// Freed capacity may admit a pending workgroup; run dispatch this step.
+	c.gpu.dispatchNeeded = true
 }
 
 // tryIssue issues at most one instruction on this core at cycle now,
 // greedy-then-oldest: the warp issued last keeps priority while it is
 // ready, which preserves the RCache temporal locality the paper relies on.
+//
+// It also maintains the core's wake time. On an issue the core may issue
+// again next cycle, so the wake moves to now+1. On a failed scan the pass
+// has already seen every warp, so the exact next opportunity — the earliest
+// future readyAt, or lsuFreeAt for a ready warp stalled behind the LSU — is
+// recorded for free; until then the scheduler never looks at this core.
 func (c *coreState) tryIssue(now uint64) bool {
 	n := len(c.warps)
+	next := farFuture
 	for k := 0; k < n; k++ {
 		idx := (c.lastWarp + k) % n
 		w := c.warps[idx]
-		if w.done || w.atBarrier || w.readyAt > now {
+		if w.done || w.atBarrier {
+			continue
+		}
+		if w.readyAt > now {
+			if w.readyAt < next {
+				next = w.readyAt
+			}
 			continue
 		}
 		in := &w.wg.run.launch.Kernel.Code[w.reconverge()]
 		if in.Op.IsMemory() && in.Space != kernel.SpaceShared && c.lsuFreeAt > now {
+			if c.lsuFreeAt < next {
+				next = c.lsuFreeAt
+			}
 			continue
 		}
 		c.lastWarp = idx
 		c.execute(w, in, now)
+		c.gpu.wakes.set(c.id, now+1)
 		return true
 	}
+	c.gpu.wakes.set(c.id, next)
 	return false
 }
 
@@ -157,7 +182,7 @@ func (w *warp) guardMask(in *kernel.Instr) uint64 {
 	for lanes := w.active; lanes != 0; {
 		lane := bits.TrailingZeros64(lanes)
 		lanes &^= 1 << uint(lane)
-		v := w.regs[lane][in.Pred] != 0
+		v := w.flat[lane*w.nregs+in.Pred] != 0
 		if v != in.PNeg {
 			m |= 1 << uint(lane)
 		}
@@ -212,11 +237,7 @@ func (c *coreState) execute(w *warp, in *kernel.Instr, now uint64) {
 	}
 
 	// ALU path.
-	for lanes := gmask; lanes != 0; {
-		lane := bits.TrailingZeros64(lanes)
-		lanes &^= 1 << uint(lane)
-		c.execALU(w, in, lane)
-	}
+	c.execALUWarp(w, in, gmask)
 	w.pc++
 	w.readyAt = now + uint64(aluLatency(cfg, in.Op))
 }
@@ -249,6 +270,8 @@ func (c *coreState) releaseBarrier(wg *workgroup, now uint64) {
 			w.readyAt = now + 1
 		}
 	}
+	// Released warps are ready next cycle; wake the core for them.
+	c.gpu.wakes.earlier(c.id, now+1)
 }
 
 func (c *coreState) execBranch(w *warp, in *kernel.Instr, gmask uint64, now uint64) {
@@ -287,6 +310,64 @@ func (c *coreState) execBranch(w *warp, in *kernel.Instr, gmask uint64, now uint
 			w.pc = in.Label
 		}
 	}
+}
+
+// srcPlan is a source operand resolved once per warp instruction instead of
+// once per lane. Every operand kind is either a per-lane register read
+// (reg >= 0) or an affine function of the lane id, base + slope*lane:
+// immediates and params are lane-invariant (slope 0), and each special
+// register is affine by construction (tid = inWG*ww + lane, etc.).
+type srcPlan struct {
+	reg   int
+	base  int64
+	slope int64
+}
+
+func (p *srcPlan) eval(w *warp, lane int) int64 {
+	if p.reg >= 0 {
+		return w.flat[lane*w.nregs+p.reg]
+	}
+	return p.base + p.slope*int64(lane)
+}
+
+// plan resolves one operand of w's current instruction into a srcPlan. It
+// must agree exactly with operand()/special() — the golden-stats tests lock
+// that equivalence.
+func (c *coreState) plan(w *warp, op kernel.Operand) srcPlan {
+	switch op.Kind {
+	case kernel.OperandReg:
+		return srcPlan{reg: op.Reg}
+	case kernel.OperandImm:
+		return srcPlan{reg: -1, base: op.Imm}
+	case kernel.OperandParam:
+		return srcPlan{reg: -1, base: int64(w.wg.run.launch.Args[op.Param])}
+	case kernel.OperandSpecial:
+		l := w.wg.run.launch
+		switch op.Special {
+		case kernel.SpecTIDX:
+			return srcPlan{reg: -1, base: int64(w.inWG * c.gpu.cfg.WarpWidth), slope: 1}
+		case kernel.SpecCTAIDX:
+			return srcPlan{reg: -1, base: int64(w.wg.id)}
+		case kernel.SpecNTIDX:
+			return srcPlan{reg: -1, base: int64(l.Block)}
+		case kernel.SpecNTIDY, kernel.SpecNCTAIDY:
+			return srcPlan{reg: -1, base: 1}
+		case kernel.SpecNCTAIDX:
+			return srcPlan{reg: -1, base: int64(l.Grid)}
+		case kernel.SpecLaneID:
+			return srcPlan{reg: -1, slope: 1}
+		case kernel.SpecWarpID:
+			return srcPlan{reg: -1, base: int64(w.inWG)}
+		case kernel.SpecGlobalTID:
+			return srcPlan{reg: -1,
+				base:  int64(w.wg.id)*int64(l.Block) + int64(w.inWG*c.gpu.cfg.WarpWidth),
+				slope: 1}
+		case kernel.SpecGlobalSize:
+			return srcPlan{reg: -1, base: int64(l.Grid) * int64(l.Block)}
+		}
+		return srcPlan{reg: -1} // SpecTIDY, SpecCTAIDY, unknown
+	}
+	return srcPlan{reg: -1} // OperandNone
 }
 
 // operand evaluates one source operand for a lane.
@@ -333,10 +414,169 @@ func (c *coreState) special(w *warp, s kernel.Special, lane int) int64 {
 	return 0
 }
 
+// execALUWarp executes one ALU instruction across all guarded lanes.
+// Operands are resolved once per warp instruction (srcPlan), and for the
+// common integer opcodes the opcode itself is dispatched once per warp with
+// a dedicated lane loop, so the per-lane work is just operand reads and the
+// arithmetic. Rare opcodes (divides, floating point, converts) fall back to
+// the per-lane interpreter, which is the semantic reference.
+func (c *coreState) execALUWarp(w *warp, in *kernel.Instr, gmask uint64) {
+	var ps [3]srcPlan
+	ps[0] = c.plan(w, in.Src[0])
+	ps[1] = c.plan(w, in.Src[1])
+	ps[2] = c.plan(w, in.Src[2])
+	dst := in.Dst
+	if dst < 0 {
+		// Destination-less integer ALU ops have no architectural effect;
+		// keep the reference path for exactness.
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			execALU(w, in, lane, &ps)
+		}
+		return
+	}
+	switch in.Op {
+	case kernel.OpMov:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = ps[0].eval(w, lane)
+		}
+	case kernel.OpAdd:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = ps[0].eval(w, lane) + ps[1].eval(w, lane)
+		}
+	case kernel.OpSub:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = ps[0].eval(w, lane) - ps[1].eval(w, lane)
+		}
+	case kernel.OpMul:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = ps[0].eval(w, lane) * ps[1].eval(w, lane)
+		}
+	case kernel.OpMad:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = ps[0].eval(w, lane)*ps[1].eval(w, lane) + ps[2].eval(w, lane)
+		}
+	case kernel.OpMin:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			a, b := ps[0].eval(w, lane), ps[1].eval(w, lane)
+			if b < a {
+				a = b
+			}
+			w.flat[lane*w.nregs+dst] = a
+		}
+	case kernel.OpMax:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			a, b := ps[0].eval(w, lane), ps[1].eval(w, lane)
+			if b > a {
+				a = b
+			}
+			w.flat[lane*w.nregs+dst] = a
+		}
+	case kernel.OpAnd:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = ps[0].eval(w, lane) & ps[1].eval(w, lane)
+		}
+	case kernel.OpOr:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = ps[0].eval(w, lane) | ps[1].eval(w, lane)
+		}
+	case kernel.OpXor:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = ps[0].eval(w, lane) ^ ps[1].eval(w, lane)
+		}
+	case kernel.OpShl:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = ps[0].eval(w, lane) << uint64(ps[1].eval(w, lane)&63)
+		}
+	case kernel.OpShr:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = int64(uint64(ps[0].eval(w, lane)) >> uint64(ps[1].eval(w, lane)&63))
+		}
+	case kernel.OpSetLT:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = b2i(ps[0].eval(w, lane) < ps[1].eval(w, lane))
+		}
+	case kernel.OpSetLE:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = b2i(ps[0].eval(w, lane) <= ps[1].eval(w, lane))
+		}
+	case kernel.OpSetEQ:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = b2i(ps[0].eval(w, lane) == ps[1].eval(w, lane))
+		}
+	case kernel.OpSetNE:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = b2i(ps[0].eval(w, lane) != ps[1].eval(w, lane))
+		}
+	case kernel.OpSetGT:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = b2i(ps[0].eval(w, lane) > ps[1].eval(w, lane))
+		}
+	case kernel.OpSetGE:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			w.flat[lane*w.nregs+dst] = b2i(ps[0].eval(w, lane) >= ps[1].eval(w, lane))
+		}
+	case kernel.OpSelp:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			v := ps[1].eval(w, lane)
+			if ps[2].eval(w, lane) != 0 {
+				v = ps[0].eval(w, lane)
+			}
+			w.flat[lane*w.nregs+dst] = v
+		}
+	default:
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			execALU(w, in, lane, &ps)
+		}
+	}
+}
+
 // execALU applies the functional semantics of an ALU instruction to one
-// lane. Division by zero yields zero (GPUs do not trap).
-func (c *coreState) execALU(w *warp, in *kernel.Instr, lane int) {
-	ev := func(i int) int64 { return c.operand(w, in.Src[i], lane) }
+// lane, reading sources through pre-resolved plans. Division by zero yields
+// zero (GPUs do not trap).
+func execALU(w *warp, in *kernel.Instr, lane int, ps *[3]srcPlan) {
+	ev := func(i int) int64 { return ps[i].eval(w, lane) }
 	var v int64
 	switch in.Op {
 	case kernel.OpMov:

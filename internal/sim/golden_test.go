@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpushield/internal/compiler"
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// Regenerate with: go test ./internal/sim -run TestGoldenLaunchStats -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden LaunchStats files")
+
+// buildMixedGolden exercises every scheduler path in one kernel: global
+// loads, shared-memory staging, a workgroup barrier, divergent predicated
+// stores, and same-address atomics.
+func buildMixedGolden(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	b := kernel.NewBuilder("mixed")
+	in := b.BufferParam("in", true)
+	out := b.BufferParam("out", false)
+	cnt := b.BufferParam("cnt", false)
+	sh := b.Shared(256 * 4)
+	tid := b.TID()
+	gtid := b.GlobalTID()
+	v := b.LoadGlobal(b.AddScaled(in, gtid, 4), 4)
+	b.StoreShared(b.AddScaled(kernel.Imm(sh), tid, 4), v, 4)
+	b.Barrier()
+	sv := b.LoadShared(b.AddScaled(kernel.Imm(sh), b.Sub(kernel.Imm(255), tid), 4), 4)
+	even := b.SetEQ(b.And(tid, kernel.Imm(1)), kernel.Imm(0))
+	b.If(even, func() {
+		b.StoreGlobal(b.AddScaled(out, gtid, 4), b.Add(sv, v), 4)
+	})
+	b.AtomAddGlobal(b.AddScaled(cnt, b.And(gtid, kernel.Imm(7)), 4), kernel.Imm(1), 4)
+	return b.MustBuild()
+}
+
+// buildSpinGolden loops forever, for the watchdog-abort golden.
+func buildSpinGolden(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	b := kernel.NewBuilder("spin")
+	p := b.BufferParam("p", false)
+	b.WhileAny(func() kernel.Operand { return b.SetLT(kernel.Imm(0), kernel.Imm(1)) }, func() {
+		b.StoreGlobal(b.AddScaled(p, b.TID(), 4), kernel.Imm(1), 4)
+	})
+	return b.MustBuild()
+}
+
+type goldenRecord struct {
+	Name  string
+	Stats []*LaunchStats
+	Err   string
+}
+
+// TestGoldenLaunchStats locks per-launch LaunchStats byte-for-byte against
+// goldens recorded on the pre-event-driven (scan-every-cycle) simulator, so
+// scheduler rewrites can prove they change performance, not results.
+func TestGoldenLaunchStats(t *testing.T) {
+	prep := func(t *testing.T, dev *driver.Device, k *kernel.Kernel, grid, block int, args []driver.Arg, mode driver.Mode, an *compiler.Analysis) *driver.Launch {
+		t.Helper()
+		l, err := dev.PrepareLaunch(k, grid, block, args, mode, an)
+		if err != nil {
+			t.Fatalf("prepare %s: %v", k.Name, err)
+		}
+		return l
+	}
+	vecAddArgs := func(t *testing.T, dev *driver.Device, n int) []driver.Arg {
+		t.Helper()
+		ba := dev.Malloc("a", uint64(n*4), true)
+		bb := dev.Malloc("b", uint64(n*4), true)
+		bc := dev.Malloc("c", uint64(n*4), false)
+		for i := 0; i < n; i++ {
+			dev.WriteUint32(ba, i, uint32(i))
+			dev.WriteUint32(bb, i, uint32(2*i))
+		}
+		return []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc), driver.ScalarArg(int64(n))}
+	}
+	mixedArgs := func(t *testing.T, dev *driver.Device, n int) []driver.Arg {
+		t.Helper()
+		bi := dev.Malloc("in", uint64(n*4), true)
+		bo := dev.Malloc("out", uint64(n*4), false)
+		bcnt := dev.Malloc("cnt", 64, false)
+		for i := 0; i < n; i++ {
+			dev.WriteUint32(bi, i, uint32(7*i+3))
+		}
+		return []driver.Arg{driver.BufArg(bi), driver.BufArg(bo), driver.BufArg(bcnt)}
+	}
+
+	var records []goldenRecord
+	record := func(name string, stats []*LaunchStats, err error) {
+		r := goldenRecord{Name: name, Stats: stats}
+		if err != nil {
+			r.Err = err.Error()
+		}
+		records = append(records, r)
+	}
+
+	// Single-kernel runs across the three protection modes.
+	for _, mode := range []driver.Mode{driver.ModeOff, driver.ModeShield, driver.ModeShieldStatic} {
+		k := buildVecAdd(t)
+		dev := driver.NewDevice(7)
+		const n = 1000
+		args := vecAddArgs(t, dev, n)
+		var an *compiler.Analysis
+		if mode == driver.ModeShieldStatic {
+			var err error
+			an, err = compiler.Analyze(k, compiler.LaunchInfo{
+				Block: 128, Grid: 8,
+				BufferBytes: []uint64{n * 4, n * 4, n * 4, 0},
+				ScalarVal:   []int64{0, 0, 0, n},
+				ScalarKnown: []bool{false, false, false, true},
+			})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+		}
+		cfg := NvidiaConfig()
+		if mode != driver.ModeOff {
+			cfg = cfg.WithShield(core.DefaultBCUConfig())
+		}
+		gpu := New(cfg, dev)
+		gpu.TrackPages(true)
+		st, err := gpu.Run(prep(t, dev, k, 8, 128, args, mode, an))
+		record("vecadd/"+mode.String(), []*LaunchStats{st}, err)
+	}
+
+	// Mixed kernel (shared memory, barrier, divergence, atomics), shield.
+	{
+		dev := driver.NewDevice(7)
+		gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+		st, err := gpu.Run(prep(t, dev, buildMixedGolden(t), 12, 256, mixedArgs(t, dev, 12*256), driver.ModeShield, nil))
+		record("mixed/shield", []*LaunchStats{st}, err)
+	}
+
+	// Concurrent kernels under both sharing modes, plus back-to-back reuse
+	// of one GPU (locks cross-launch cache/heap warm-up effects).
+	for _, share := range []ShareMode{ShareInterCore, ShareIntraCore} {
+		dev := driver.NewDevice(7)
+		const n = 1000
+		la := prep(t, dev, buildVecAdd(t), 8, 128, vecAddArgs(t, dev, n), driver.ModeShield, nil)
+		lb := prep(t, dev, buildMixedGolden(t), 12, 256, mixedArgs(t, dev, 12*256), driver.ModeShield, nil)
+		gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+		st, err := gpu.RunConcurrent([]*driver.Launch{la, lb}, share)
+		record("concurrent/"+share.String(), st, err)
+		st2, err2 := gpu.RunConcurrent([]*driver.Launch{
+			prep(t, dev, buildVecAdd(t), 8, 128, vecAddArgs(t, dev, n), driver.ModeShield, nil),
+		}, share)
+		record("concurrent/"+share.String()+"/rerun", st2, err2)
+	}
+
+	// Intel configuration (16-wide warps, different core count).
+	{
+		dev := driver.NewDevice(7)
+		gpu := New(IntelConfig().WithShield(core.DefaultBCUConfig()), dev)
+		st, err := gpu.Run(prep(t, dev, buildMixedGolden(t), 12, 256, mixedArgs(t, dev, 12*256), driver.ModeShield, nil))
+		record("mixed/intel", []*LaunchStats{st}, err)
+	}
+
+	// Watchdog abort: locks the exact abort cycle of the budget path.
+	{
+		dev := driver.NewDevice(7)
+		buf := dev.Malloc("p", 4096, false)
+		cfg := NvidiaConfig()
+		cfg.MaxCycles = 4096
+		gpu := New(cfg, dev)
+		st, err := gpu.Run(prep(t, dev, buildSpinGolden(t), 2, 64, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil))
+		record("watchdog/spin", []*LaunchStats{st}, err)
+	}
+
+	got, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden_launchstats.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d records)", path, len(records))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to record): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		var old []goldenRecord
+		if err := json.Unmarshal(want, &old); err != nil {
+			t.Fatalf("golden file corrupt: %v", err)
+		}
+		for i := range records {
+			if i >= len(old) {
+				t.Fatalf("golden mismatch: extra record %q", records[i].Name)
+			}
+			g, _ := json.Marshal(records[i])
+			w, _ := json.Marshal(old[i])
+			if !bytes.Equal(g, w) {
+				t.Errorf("golden mismatch at %q:\n got: %s\nwant: %s", records[i].Name, g, w)
+			}
+		}
+		if !t.Failed() {
+			t.Fatalf("golden mismatch (record count or trailing bytes)")
+		}
+	}
+}

@@ -40,6 +40,15 @@ type GPU struct {
 	now        uint64
 	trackPages bool
 
+	// wakes tracks, per core, the earliest cycle at which that core might
+	// issue; the scheduling loop only visits cores whose wake time has
+	// arrived, and the next idle-skip target is the heap minimum. See
+	// DESIGN.md "Event-driven scheduler" for the invariants.
+	wakes *wakeHeap
+	// dispatchNeeded is set when a workgroup slot frees (retire, abort) or a
+	// launch starts; dispatch runs only then instead of every cycle.
+	dispatchNeeded bool
+
 	// cycleHook, when set, runs once per simulated scheduling step; the
 	// fault-injection engine uses it to corrupt microarchitectural state
 	// (RCache entries, keys) at a chosen cycle.
@@ -78,6 +87,7 @@ func NewGPU(cfg Config, dev *driver.Device) (*GPU, error) {
 		l2tlb:      memsys.MustTLB(cfg.L2TLB),
 		dram:       memsys.NewDRAM(cfg.DRAM),
 		atomicBusy: make(map[uint64]uint64),
+		wakes:      newWakeHeap(cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		c := &coreState{
@@ -274,6 +284,8 @@ func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*Launc
 	live := len(runs)
 	t0 := g.now
 	var werr error
+	g.wakes.reset()
+	g.dispatchNeeded = false
 	g.dispatch(allowed)
 	for live > 0 {
 		if g.cycleHook != nil {
@@ -281,6 +293,12 @@ func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*Launc
 		}
 		issued := false
 		for _, c := range g.cores {
+			// Skip cores that provably cannot issue yet: their wake time —
+			// maintained at issue, barrier release, retire, and dispatch —
+			// is still in the future.
+			if g.wakes.at(c.id) > g.now {
+				continue
+			}
 			if c.tryIssue(g.now) {
 				issued = true
 			}
@@ -314,12 +332,16 @@ func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*Launc
 						g.cores[ci].bcu.RemoveKernel(r.launch.KernelID)
 					}
 				}
+				g.pruneAtomicBusy()
 			}
 		}
 		if live == 0 {
 			break
 		}
-		g.dispatch(allowed)
+		if g.dispatchNeeded {
+			g.dispatchNeeded = false
+			g.dispatch(allowed)
+		}
 		if issued {
 			g.now++
 		} else {
@@ -425,27 +447,29 @@ func (g *GPU) dispatch(allowed [][]*kernelRun) {
 	}
 }
 
-// nextEvent returns the earliest future cycle at which any warp can issue.
+// nextEvent returns the earliest future cycle at which any warp can issue:
+// a peek at the core wake-time heap. The heap is exact whenever this is
+// called — a scheduling step reaches nextEvent only when no core issued, so
+// every core whose wake had arrived just recomputed its wake in a failed
+// tryIssue scan, and the remaining cores' wakes were maintained by the
+// events (issue, barrier release, placement, abort) that could move them.
 func (g *GPU) nextEvent() uint64 {
-	next := ^uint64(0)
-	for _, c := range g.cores {
-		for _, w := range c.warps {
-			if w.done || w.atBarrier {
-				continue
-			}
-			if w.readyAt > g.now && w.readyAt < next {
-				next = w.readyAt
-			}
-			if w.readyAt <= g.now {
-				// Ready but blocked on the LSU.
-				if c.lsuFreeAt > g.now && c.lsuFreeAt < next {
-					next = c.lsuFreeAt
-				}
-			}
-		}
-	}
-	if next == ^uint64(0) || next <= g.now {
+	next := g.wakes.min()
+	if next == farFuture || next <= g.now {
 		return g.now + 1
 	}
 	return next
+}
+
+// pruneAtomicBusy drops atomic-unit reservations that ended at or before the
+// current cycle. Run at launch retire, it keeps the map from accumulating
+// one entry per atomically-touched word across a long campaign on a reused
+// GPU; entries with busyUntil <= now can never delay a future atomic (every
+// future start time is >= now), so dropping them cannot change timing.
+func (g *GPU) pruneAtomicBusy() {
+	for word, busy := range g.atomicBusy {
+		if busy <= g.now {
+			delete(g.atomicBusy, word)
+		}
+	}
 }

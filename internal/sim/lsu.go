@@ -8,6 +8,7 @@ import (
 	"gpushield/internal/core"
 	"gpushield/internal/driver"
 	"gpushield/internal/kernel"
+	"gpushield/internal/memsys"
 )
 
 // execMem executes one warp-level memory instruction: address generation,
@@ -45,11 +46,12 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 		reg := &l.Locals[varIdx]
 		ptr = l.LocalPtrs[varIdx]
 		havePtr = true
+		p0 := c.plan(w, in.Src[0])
 		for lanes := gmask; lanes != 0; {
 			lane := bits.TrailingZeros64(lanes)
 			lanes &^= 1 << uint(lane)
 			thr := w.wg.id*l.Block + w.inWG*ww + lane
-			off := c.operand(w, in.Src[0], lane)
+			off := p0.eval(w, lane)
 			addrs[lane] = reg.LocalAddr(thr, off)
 			offs[lane] = int64(addrs[lane]) - int64(reg.Base)
 		}
@@ -58,21 +60,25 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 		base := l.Args[in.Src[0].Param]
 		ptr = base
 		havePtr = true
+		p1 := c.plan(w, in.Src[1])
 		for lanes := gmask; lanes != 0; {
 			lane := bits.TrailingZeros64(lanes)
 			lanes &^= 1 << uint(lane)
-			off := c.operand(w, in.Src[1], lane)
+			off := p1.eval(w, lane)
 			addrs[lane] = core.Addr(base) + uint64(off)
 			offs[lane] = off
 		}
 	default:
 		// Method B: the register holds a full (possibly tagged) address.
+		p0 := c.plan(w, in.Src[0])
+		p1 := c.plan(w, in.Src[1])
+		hasOff := in.Src[1].Kind != kernel.OperandNone
 		for lanes := gmask; lanes != 0; {
 			lane := bits.TrailingZeros64(lanes)
 			lanes &^= 1 << uint(lane)
-			v := uint64(c.operand(w, in.Src[0], lane))
-			if in.Src[1].Kind != kernel.OperandNone {
-				v += uint64(c.operand(w, in.Src[1], lane))
+			v := uint64(p0.eval(w, lane))
+			if hasOff {
+				v += uint64(p1.eval(w, lane))
 			}
 			if !havePtr {
 				ptr, havePtr = v, true
@@ -279,34 +285,38 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 	mem := c.gpu.dev.Mem
 	switch in.Op {
 	case kernel.OpLd:
-		for lanes := gmask; lanes != 0; {
-			lane := bits.TrailingZeros64(lanes)
-			lanes &^= 1 << uint(lane)
-			var v int64
-			if !squash {
-				v = loadValue(mem, addrs[lane], in)
-			}
-			w.regs[lane][in.Dst] = v
-		}
-	case kernel.OpSt:
-		if !drop {
+		if in.Dst >= 0 { // a discard-destination load still paid its timing above
 			for lanes := gmask; lanes != 0; {
 				lane := bits.TrailingZeros64(lanes)
 				lanes &^= 1 << uint(lane)
-				storeValue(mem, addrs[lane], in, c.operand(w, in.Src[2], lane))
+				var v int64
+				if !squash {
+					v = loadValue(mem, addrs[lane], in)
+				}
+				w.flat[lane*w.nregs+in.Dst] = v
+			}
+		}
+	case kernel.OpSt:
+		if !drop {
+			p2 := c.plan(w, in.Src[2])
+			for lanes := gmask; lanes != 0; {
+				lane := bits.TrailingZeros64(lanes)
+				lanes &^= 1 << uint(lane)
+				storeValue(mem, addrs[lane], in, p2.eval(w, lane))
 			}
 		}
 	case kernel.OpAtomAdd:
+		p2 := c.plan(w, in.Src[2])
 		for lanes := gmask; lanes != 0; {
 			lane := bits.TrailingZeros64(lanes)
 			lanes &^= 1 << uint(lane)
 			var old int64
 			if !squash && !drop {
 				old = loadValue(mem, addrs[lane], in)
-				storeValue(mem, addrs[lane], in, old+c.operand(w, in.Src[2], lane))
+				storeValue(mem, addrs[lane], in, old+p2.eval(w, lane))
 			}
 			if in.Dst >= 0 {
-				w.regs[lane][in.Dst] = old
+				w.flat[lane*w.nregs+in.Dst] = old
 			}
 		}
 	}
@@ -351,17 +361,19 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 func (c *coreState) execShared(w *warp, in *kernel.Instr, gmask uint64, now uint64) {
 	st := w.wg.run.stats
 	sh := w.wg.shared
+	p0 := c.plan(w, in.Src[0])
+	p2 := c.plan(w, in.Src[2])
 	for lanes := gmask; lanes != 0; {
 		lane := bits.TrailingZeros64(lanes)
 		lanes &^= 1 << uint(lane)
 		st.SharedAccs++
 		if len(sh) == 0 {
 			if in.Op == kernel.OpLd && in.Dst >= 0 {
-				w.regs[lane][in.Dst] = 0
+				w.flat[lane*w.nregs+in.Dst] = 0
 			}
 			continue
 		}
-		addr := int(uint64(c.operand(w, in.Src[0], lane)) % uint64(len(sh)))
+		addr := int(uint64(p0.eval(w, lane)) % uint64(len(sh)))
 		end := addr + in.Bytes
 		if end > len(sh) {
 			addr = len(sh) - in.Bytes
@@ -369,13 +381,16 @@ func (c *coreState) execShared(w *warp, in *kernel.Instr, gmask uint64, now uint
 		}
 		switch in.Op {
 		case kernel.OpLd:
+			if in.Dst < 0 {
+				continue
+			}
 			var raw uint64
 			for i := addr; i < end; i++ {
 				raw |= uint64(sh[i]) << (8 * uint(i-addr))
 			}
-			w.regs[lane][in.Dst] = widen(raw, in)
+			w.flat[lane*w.nregs+in.Dst] = widen(raw, in)
 		case kernel.OpSt:
-			raw := narrow(c.operand(w, in.Src[2], lane), in)
+			raw := narrow(p2.eval(w, lane), in)
 			for i := addr; i < end; i++ {
 				sh[i] = byte(raw >> (8 * uint(i-addr)))
 			}
@@ -387,10 +402,9 @@ func (c *coreState) execShared(w *warp, in *kernel.Instr, gmask uint64, now uint
 
 // loadValue reads one element, applying the IR's width and type rules:
 // 4-byte integer loads sign-extend, 1/2-byte loads zero-extend, f32 loads
-// widen to float64 bits.
-func loadValue(mem interface {
-	ReadUint(addr uint64, n int) uint64
-}, addr uint64, in *kernel.Instr) int64 {
+// widen to float64 bits. It takes the concrete backing store (not an
+// interface) so the per-lane hot path is a direct, inlinable call.
+func loadValue(mem *memsys.Backing, addr uint64, in *kernel.Instr) int64 {
 	raw := mem.ReadUint(addr, in.Bytes)
 	return widen(raw, in)
 }
@@ -410,9 +424,7 @@ func widen(raw uint64, in *kernel.Instr) int64 {
 }
 
 // storeValue writes one element, narrowing per the IR rules.
-func storeValue(mem interface {
-	WriteUint(addr uint64, v uint64, n int)
-}, addr uint64, in *kernel.Instr, v int64) {
+func storeValue(mem *memsys.Backing, addr uint64, in *kernel.Instr, v int64) {
 	mem.WriteUint(addr, narrow(v, in), in.Bytes)
 }
 
@@ -451,6 +463,7 @@ func (g *GPU) abortRun(r *kernelRun, msg string) {
 	r.stats.Aborted = true
 	r.stats.AbortMsg = msg
 	for _, c := range g.cores {
+		torn := false
 		for _, wg := range append([]*workgroup(nil), c.wgs...) {
 			if wg.run != r {
 				continue
@@ -460,6 +473,14 @@ func (g *GPU) abortRun(r *kernelRun, msg string) {
 			}
 			wg.live = 0
 			c.removeWorkgroup(wg)
+			torn = true
+		}
+		if torn {
+			// The stored wake time may reference warps that no longer
+			// exist. Forcing a visit now makes the next tryIssue scan
+			// recompute it from the surviving warps, keeping nextEvent
+			// exact (and hence the visited-cycle sequence unchanged).
+			g.wakes.set(c.id, g.now)
 		}
 	}
 	r.liveWGs = 0
