@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json experiments experiments-smoke examples attackdemo vet fmt clean
+.PHONY: all build test test-race bench bench-json experiments experiments-smoke soak-smoke resume-smoke examples attackdemo vet fmt clean
 
 all: build test
 
@@ -26,14 +26,16 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR3.json).
+# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR4.json).
 # BENCHTIME=1x gives a fast smoke run (CI); the checked-in file is made with
-# the default 2s. Override BENCH to snapshot a different selection.
+# the default 2s. Override BENCH to snapshot a different selection and
+# BENCHOUT to write a different file.
 BENCHTIME ?= 2s
+BENCHOUT ?= BENCH_PR4.json
 BENCH ?= BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput|BenchmarkSimulatorThroughput|BenchmarkFunctionalMemPath|BenchmarkBackingReadUint
 bench-json:
 	$(GO) test ./internal/sim -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
 # Regenerate every table and figure at full fidelity.
 experiments:
@@ -43,6 +45,17 @@ experiments:
 # the CI smoke test for the pool + memo cache.
 experiments-smoke:
 	$(GO) run -race ./cmd/experiments -run heap -parallel 4 -json
+
+# Short fault-campaign soak under the race detector: loops campaigns under a
+# deadline, checking cancellation, panic containment, and heap growth.
+SOAK ?= 20s
+soak-smoke:
+	$(GO) run -race ./cmd/experiments -run faults -soak $(SOAK) -parallel 4
+
+# Kill a journaled sweep mid-flight, resume it, and assert final stdout is
+# byte-identical to an uninterrupted run.
+resume-smoke:
+	bash scripts/resume_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -8,6 +8,7 @@ package gpushield
 // produces the full-fidelity tables.
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func runExperiment(b *testing.B, id string) *experiments.Result {
 		// Drop the engine's memo cache between iterations: the benchmark
 		// measures simulation cost, not cache-hit latency.
 		experiments.ResetEngine()
-		res, err = e.Run()
+		res, err = e.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

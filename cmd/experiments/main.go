@@ -5,6 +5,9 @@
 //	experiments -list
 //	experiments -run fig14
 //	experiments -run all [-csv] [-parallel N] [-json]
+//	experiments -run all -journal runs.jsonl        # crash-safe sweep
+//	experiments -run all -resume runs.jsonl -journal runs.jsonl
+//	experiments -run faults -soak 20s -parallel 4   # soak the campaign path
 //	experiments -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Tables and CSV go to stdout; progress, per-experiment errors, and the
@@ -15,18 +18,32 @@
 // With -run all a failing experiment no longer aborts the sweep: every
 // remaining experiment still runs, failures are reported per-experiment,
 // and the process exits non-zero at the end if anything failed.
+//
+// Lifecycle: -journal appends every completed unique run to a write-ahead
+// log (fsync'd before the result is reported); -resume replays such a log
+// into the memo cache so an interrupted sweep continues where it stopped,
+// with final stdout byte-identical to an uninterrupted run. The first
+// SIGINT/SIGTERM cancels cleanly (in-flight simulations abort with partial
+// stats, the journal stays valid); a second signal hard-exits. -soak loops
+// fault-injection campaigns until the duration elapses, watching for memory
+// growth between iterations.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"gpushield/internal/experiments"
+	"gpushield/internal/faults"
 )
 
 // expTiming is one experiment's entry in the -json timing output.
@@ -40,15 +57,41 @@ type expTiming struct {
 // runReport is the full machine-readable -json payload: per-experiment
 // timings plus the engine's job/cache accounting, for the bench trajectory.
 type runReport struct {
-	Parallel    int                     `json:"parallel"`
-	Experiments []expTiming             `json:"experiments"`
-	Engine      experiments.EngineStats `json:"engine"`
-	TotalWallMS float64                 `json:"total_wall_ms"`
-	Speedup     float64                 `json:"speedup"`
-	Failed      int                     `json:"failed"`
+	Parallel    int                           `json:"parallel"`
+	Experiments []expTiming                   `json:"experiments"`
+	Engine      experiments.EngineStats       `json:"engine"`
+	Quarantined []experiments.QuarantineEntry `json:"quarantined,omitempty"`
+	Interrupted bool                          `json:"interrupted,omitempty"`
+	TotalWallMS float64                       `json:"total_wall_ms"`
+	Speedup     float64                       `json:"speedup"`
+	Failed      int                           `json:"failed"`
 }
 
 func main() { os.Exit(realMain()) }
+
+// interruptExit is the conventional exit status for a SIGINT-terminated
+// process (128 + signal 2).
+const interruptExit = 130
+
+// installSignalHandler wires the two-stage shutdown: the first
+// SIGINT/SIGTERM cancels ctx (simulations abort with partial stats, the
+// journal stays consistent) and prints how to resume; the second kills the
+// process immediately for the case where a clean drain itself is wedged.
+func installSignalHandler(cancel context.CancelCauseFunc, journalPath string) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		hint := "use -journal FILE to make interrupted sweeps resumable"
+		if journalPath != "" {
+			hint = fmt.Sprintf("resume later with -resume %s -journal %s", journalPath, journalPath)
+		}
+		fmt.Fprintf(os.Stderr, "\n%v: canceling (%s); signal again to exit immediately\n", s, hint)
+		cancel(fmt.Errorf("received %v", s))
+		<-sig
+		os.Exit(interruptExit)
+	}()
+}
 
 // realMain carries the exit code back through the deferred profile writers
 // (os.Exit would skip them).
@@ -58,6 +101,9 @@ func realMain() int {
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	parallel := flag.Int("parallel", 0, "engine worker-pool width; 0 = one per CPU, 1 = serial")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable timing summary (JSON) on stdout; tables move to stderr")
+	journalPath := flag.String("journal", "", "append every completed run to this write-ahead journal (JSON lines, fsync'd)")
+	resumePath := flag.String("resume", "", "replay a journal into the run cache before starting (continue an interrupted sweep)")
+	soak := flag.Duration("soak", 0, "loop fault-injection campaigns for this duration, checking for memory growth")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
@@ -102,6 +148,42 @@ func realMain() int {
 
 	experiments.SetParallelism(*parallel)
 
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	installSignalHandler(cancel, *journalPath)
+
+	if *soak > 0 {
+		return runSoak(ctx, *soak)
+	}
+
+	// Replay before opening for append: -resume and -journal may (and in the
+	// resume workflow do) name the same file.
+	if *resumePath != "" {
+		entries, err := experiments.LoadJournal(*resumePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			return 1
+		}
+		n := experiments.PrimeJournal(entries)
+		fmt.Fprintf(os.Stderr, "resume: replayed %d completed runs from %s\n", n, *resumePath)
+	}
+	var journal *experiments.Journal
+	if *journalPath != "" {
+		j, err := experiments.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "journal: %v\n", err)
+			return 1
+		}
+		journal = j
+		experiments.SetJournal(j)
+		defer func() {
+			experiments.SetJournal(nil)
+			if err := j.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "journal: %v (resume coverage may be incomplete)\n", err)
+			}
+		}()
+	}
+
 	var todo []experiments.Experiment
 	if *run == "all" {
 		todo = experiments.All()
@@ -123,10 +205,22 @@ func realMain() int {
 	start := time.Now()
 	timings := make([]expTiming, 0, len(todo))
 	var failures []string
+	interrupted := false
 	for _, e := range todo {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		t0 := time.Now()
-		res, err := e.Run()
+		res, err := e.Run(ctx)
 		elapsed := time.Since(t0)
+		if err != nil && ctx.Err() != nil {
+			// Cancellation, not a failure: the run is healthy and will be
+			// re-executed (or journal-served) on resume.
+			fmt.Fprintf(os.Stderr, "CANCELED %s after %v\n", e.ID, elapsed.Round(time.Millisecond))
+			interrupted = true
+			break
+		}
 		tm := expTiming{ID: e.ID, OK: err == nil, WallMS: float64(elapsed.Microseconds()) / 1000}
 		if err != nil {
 			tm.Error = err.Error()
@@ -149,12 +243,15 @@ func realMain() int {
 	if w := wall.Seconds(); w > 0 {
 		speedup = es.SerialSeconds / w
 	}
+	quarantined := experiments.QuarantineSnapshot()
 
 	if *jsonOut {
 		rep := runReport{
 			Parallel:    experiments.Parallelism(),
 			Experiments: timings,
 			Engine:      es,
+			Quarantined: quarantined,
+			Interrupted: interrupted,
 			TotalWallMS: float64(wall.Microseconds()) / 1000,
 			Speedup:     speedup,
 			Failed:      len(failures),
@@ -167,15 +264,66 @@ func realMain() int {
 		}
 	} else {
 		fmt.Fprintf(os.Stderr,
-			"engine: %d jobs (%d unique runs, %d cache hits), parallel=%d, wall %v, serial-equivalent %v, speedup %.2fx\n",
-			es.Jobs, es.UniqueRuns, es.CacheHits, experiments.Parallelism(),
+			"engine: %d jobs (%d unique runs, %d cache hits, %d replayed), parallel=%d, wall %v, serial-equivalent %v, speedup %.2fx\n",
+			es.Jobs, es.UniqueRuns, es.CacheHits, es.Replayed, experiments.Parallelism(),
 			wall.Round(time.Millisecond), time.Duration(es.SerialSeconds*float64(time.Second)).Round(time.Millisecond),
 			speedup)
-		fmt.Fprintf(os.Stderr, "experiments: %d passed, %d failed\n", len(todo)-len(failures), len(failures))
+		fmt.Fprintf(os.Stderr, "experiments: %d passed, %d failed\n", len(timings)-len(failures), len(failures))
+	}
+	for _, q := range quarantined {
+		fmt.Fprintf(os.Stderr, "quarantined: %s (%s) after %d attempts: %s\n", q.Bench, q.Mode, q.Attempts, q.Err)
+	}
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "journal: %v (resume coverage may be incomplete)\n", err)
+		}
+	}
+	if interrupted {
+		if *journalPath != "" {
+			fmt.Fprintf(os.Stderr, "interrupted: rerun with -resume %s -journal %s to continue\n", *journalPath, *journalPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted: rerun with -journal FILE next time to make sweeps resumable")
+		}
+		return interruptExit
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "failed: %v\n", failures)
 		return 1
+	}
+	return 0
+}
+
+// soakInjections is the per-iteration campaign size in -soak mode: small
+// enough that iterations turn over every few seconds (so cancellation and
+// the heap check both get exercised), large enough to cover every fault
+// class per iteration.
+const soakInjections = 40
+
+// runSoak loops fault campaigns until the duration elapses (or a signal
+// arrives), then reports. Reaching the deadline is success; Ctrl-C is a
+// clean interruption; heap growth or a campaign failure is an error.
+func runSoak(ctx context.Context, d time.Duration) int {
+	cfg := faults.DefaultConfig()
+	cfg.Parallel = experiments.Parallelism()
+	sctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	fmt.Fprintf(os.Stderr, "soak: fault campaigns of %d injections for %v (parallel=%d)\n",
+		soakInjections, d, cfg.Parallel)
+	rep, err := faults.Soak(sctx, cfg, soakInjections, 2)
+	if rep != nil {
+		fmt.Fprintln(os.Stderr, rep)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		return 1
+	}
+	// The loop always ends canceled; what matters is why.
+	if cause := context.Cause(sctx); !errors.Is(cause, context.DeadlineExceeded) && cause != nil {
+		fmt.Fprintf(os.Stderr, "soak: interrupted: %v\n", cause)
+		return interruptExit
+	}
+	if rep.SDC > 0 {
+		fmt.Fprintf(os.Stderr, "soak: note: %d silent corruptions among injected faults (expected for undetectable classes)\n", rep.SDC)
 	}
 	return 0
 }

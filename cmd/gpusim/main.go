@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gpushield/internal/compiler"
 	"gpushield/internal/core"
@@ -108,8 +112,25 @@ func main() {
 	}
 	gpu := sim.New(cfg, dev)
 	gpu.TrackPages(*pages)
-	st, err := gpu.Run(l)
-	if err != nil {
+
+	// Two-stage shutdown: the first SIGINT/SIGTERM cancels the run (the
+	// simulator aborts at its next cancellation poll and the partial report
+	// below still prints); a second signal hard-exits.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "\ngpusim: %v: aborting run (partial statistics follow); signal again to exit immediately\n", s)
+		cancel(fmt.Errorf("received %v", s))
+		<-sig
+		os.Exit(130)
+	}()
+
+	st, err := gpu.RunCtx(ctx, l)
+	canceled := err != nil && errors.Is(err, sim.ErrCanceled)
+	if err != nil && !canceled {
 		fatal(err)
 	}
 
@@ -135,6 +156,11 @@ func main() {
 		for name, n := range st.PagesPerBuffer {
 			fmt.Printf("pages[%s] = %d\n", name, n)
 		}
+	}
+	if canceled {
+		// The stats above are a partial report up to the abort cycle;
+		// verification would only report the half-finished output.
+		os.Exit(130)
 	}
 	if spec.Verify != nil {
 		if err := spec.Verify(dev); err != nil {

@@ -2,6 +2,7 @@ package gpushield
 
 import (
 	"gpushield/internal/driver"
+	"gpushield/internal/pool"
 	"gpushield/internal/sim"
 )
 
@@ -22,4 +23,14 @@ var (
 
 	// ErrInvalidConfig marks a GPU configuration that cannot be built.
 	ErrInvalidConfig = sim.ErrInvalidConfig
+
+	// ErrCanceled marks a launch aborted because its context was canceled
+	// (Ctrl-C, a deadline). The Report returned alongside it is partial,
+	// valid up to the abort; the run is safe to retry under a fresh context.
+	ErrCanceled = sim.ErrCanceled
+
+	// ErrRunPanic marks a run that panicked inside a worker pool and was
+	// contained: the panic was converted into an error carrying the run
+	// identity and stack instead of killing the process.
+	ErrRunPanic = pool.ErrRunPanic
 )

@@ -21,6 +21,7 @@
 package gpushield
 
 import (
+	"context"
 	"fmt"
 
 	"gpushield/internal/compiler"
@@ -261,6 +262,14 @@ func launchInfo(k *Kernel, grid, block int, args []Arg) compiler.LaunchInfo {
 // fails before touching the GPU, mirroring the paper's compile-time error
 // reports.
 func (s *System) Launch(k *Kernel, grid, block int, args ...Arg) (*Report, error) {
+	return s.LaunchCtx(context.Background(), k, grid, block, args...)
+}
+
+// LaunchCtx is Launch under a context: cancellation (Ctrl-C, a deadline)
+// aborts the kernel mid-flight, returning the partial Report together with
+// an error matching ErrCanceled. A background context makes LaunchCtx
+// identical to Launch.
+func (s *System) LaunchCtx(ctx context.Context, k *Kernel, grid, block int, args ...Arg) (*Report, error) {
 	if k == nil {
 		return nil, fmt.Errorf("%w: nil kernel", ErrInvalidLaunch)
 	}
@@ -285,13 +294,18 @@ func (s *System) Launch(k *Kernel, grid, block int, args ...Arg) (*Report, error
 		return nil, err
 	}
 	l.Mailbox = s.mailbox
-	return s.gpu.Run(l)
+	return s.gpu.RunCtx(ctx, l)
 }
 
 // LaunchConcurrent runs several launches simultaneously (§6.2). Share
 // modes: inter-core partitions cores between kernels, intra-core lets them
 // share cores.
 func (s *System) LaunchConcurrent(mode ShareMode, launches ...PreparedLaunch) ([]*Report, error) {
+	return s.LaunchConcurrentCtx(context.Background(), mode, launches...)
+}
+
+// LaunchConcurrentCtx is LaunchConcurrent under a context; see LaunchCtx.
+func (s *System) LaunchConcurrentCtx(ctx context.Context, mode ShareMode, launches ...PreparedLaunch) ([]*Report, error) {
 	if len(launches) == 0 {
 		return nil, fmt.Errorf("%w: no launches", ErrInvalidLaunch)
 	}
@@ -306,7 +320,7 @@ func (s *System) LaunchConcurrent(mode ShareMode, launches ...PreparedLaunch) ([
 		}
 		ls[i] = l
 	}
-	return s.gpu.RunConcurrent(ls, sim.ShareMode(mode))
+	return s.gpu.RunConcurrentCtx(ctx, ls, sim.ShareMode(mode))
 }
 
 // ShareMode selects multi-kernel core sharing.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"gpushield/internal/core"
 	"gpushield/internal/driver"
 	"gpushield/internal/stats"
@@ -22,7 +23,7 @@ var ablationSet = []string{"streamcluster", "dxtc", "mri-q", "spmv", "blackschol
 //     the §1/§5.5 optimization that keeps RCache bandwidth tractable.
 //  2. The L1 RCache: removing it (1 entry) exposes the L2 RCache latency
 //     on every check; the 4-entry default hides it.
-func runAblation() (*Result, error) {
+func runAblation(ctx context.Context) (*Result, error) {
 	t := stats.NewTable("Normalized exec time over no-bounds-check",
 		"benchmark", "warp-level (default)", "per-thread checks", "1-entry L1 RCache", "checks (warp)", "checks (thread)")
 	ptCfg := core.DefaultBCUConfig()
@@ -45,7 +46,7 @@ func runAblation() (*Result, error) {
 			Job{b, RunOpts{Mode: driver.ModeShield, BCU: ptCfg, Scale: 2}},
 			Job{b, RunOpts{Mode: driver.ModeShield, BCU: l1Cfg, Scale: 2}})
 	}
-	res, err := runSet(jobs)
+	res, err := runSet(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

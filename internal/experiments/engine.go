@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -61,35 +64,75 @@ type memoEntry struct {
 	dur  time.Duration
 }
 
+// QuarantineEntry records a run that kept failing through every retry and
+// was set aside. Quarantined runs are never silently dropped: the footer
+// lists them and the -json report carries them.
+type QuarantineEntry struct {
+	Bench    string `json:"bench"`
+	Mode     string `json:"mode"`
+	Attempts int    `json:"attempts"`
+	Err      string `json:"err"`
+}
+
 // EngineStats is the engine's cumulative accounting, surfaced in the
 // `-run all` footer and the `-json` timing output.
 type EngineStats struct {
 	Jobs           int     `json:"jobs"`            // runs requested through the engine
 	UniqueRuns     int     `json:"unique_runs"`     // simulations actually executed
 	CacheHits      int     `json:"cache_hits"`      // requests served from the memo cache
+	Retries        int     `json:"retries"`         // re-attempts after a failed execution
+	Quarantined    int     `json:"quarantined"`     // runs that exhausted their retries
+	Replayed       int     `json:"replayed"`        // memo entries primed from a resume journal
 	ComputeSeconds float64 `json:"compute_seconds"` // Σ executed-run wall-clock
 	SerialSeconds  float64 `json:"serial_seconds"`  // Σ wall-clock every request would have paid serially
 }
+
+// Default retry policy: one re-attempt after a deterministic pause. The
+// backoff doubles per attempt (base << attempt) — deterministic so a rerun
+// of a flaky sweep behaves identically, no jitter.
+const (
+	defaultRetries      = 1
+	defaultRetryBackoff = 25 * time.Millisecond
+)
 
 // Engine executes benchmark runs across a bounded worker pool with a
 // process-wide memoization cache. Determinism contract: results are
 // delivered by job index and each simulation builds private device/GPU
 // state, so for any worker count the rendered tables are byte-identical to
 // the serial (workers = 1) path.
+//
+// The engine is the run-lifecycle layer: each unique run is executed with
+// panic containment (a panicking run becomes that run's error, matching
+// pool.ErrRunPanic), retried under the deterministic backoff policy,
+// quarantined if it keeps failing, journaled (when a Journal is attached)
+// before its result is reported, and dropped from the memo cache if it was
+// canceled so a later attempt under a live context can re-execute it.
 type Engine struct {
 	mu      sync.Mutex
 	workers int
 	memo    map[memoKey]*memoEntry
+	journal *Journal
+
+	retries int
+	backoff time.Duration
 
 	jobs       int
 	uniqueRuns int
+	retryCount int
+	replayed   int
+	quarantine []QuarantineEntry
 	compute    time.Duration
 	serial     time.Duration
 }
 
 // NewEngine builds an engine; workers <= 0 selects one worker per CPU.
 func NewEngine(workers int) *Engine {
-	return &Engine{workers: pool.Normalize(workers), memo: map[memoKey]*memoEntry{}}
+	return &Engine{
+		workers: pool.Normalize(workers),
+		memo:    map[memoKey]*memoEntry{},
+		retries: defaultRetries,
+		backoff: defaultRetryBackoff,
+	}
 }
 
 // SetWorkers resizes the pool for subsequent run sets (<= 0 = per-CPU).
@@ -106,11 +149,56 @@ func (e *Engine) Workers() int {
 	return e.workers
 }
 
-// Reset drops the memo cache and zeroes the accounting (pool width stays).
+// SetJournal attaches (or detaches, with nil) the write-ahead journal.
+// Every subsequently executed unique run is appended before its result is
+// returned to the requester.
+func (e *Engine) SetJournal(j *Journal) {
+	e.mu.Lock()
+	e.journal = j
+	e.mu.Unlock()
+}
+
+// SetRetryPolicy overrides the retry count (re-attempts after the first
+// failure; < 0 keeps the current value) and backoff base (<= 0 keeps the
+// current value).
+func (e *Engine) SetRetryPolicy(retries int, backoff time.Duration) {
+	e.mu.Lock()
+	if retries >= 0 {
+		e.retries = retries
+	}
+	if backoff > 0 {
+		e.backoff = backoff
+	}
+	e.mu.Unlock()
+}
+
+// Prime replays journal entries into the memo cache: each entry's once is
+// pre-burned so requests for its key are served from the journal instead of
+// re-simulating. Duplicates apply last-wins (a rerun that overwrote a run
+// supersedes the earlier record). Returns how many distinct keys are now
+// served from the journal.
+func (e *Engine) Prime(entries []JournalEntry) int {
+	distinct := make(map[memoKey]struct{})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ent := range entries {
+		me := &memoEntry{st: ent.st, err: ent.err, dur: ent.dur}
+		me.once.Do(func() {}) // burn: requesters skip the compute path
+		e.memo[ent.key] = me
+		distinct[ent.key] = struct{}{}
+	}
+	e.replayed += len(distinct)
+	return len(distinct)
+}
+
+// Reset drops the memo cache and zeroes the accounting (pool width, journal
+// and retry policy stay).
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	e.memo = map[memoKey]*memoEntry{}
 	e.jobs, e.uniqueRuns = 0, 0
+	e.retryCount, e.replayed = 0, 0
+	e.quarantine = nil
 	e.compute, e.serial = 0, 0
 	e.mu.Unlock()
 }
@@ -123,14 +211,99 @@ func (e *Engine) Stats() EngineStats {
 		Jobs:           e.jobs,
 		UniqueRuns:     e.uniqueRuns,
 		CacheHits:      e.jobs - e.uniqueRuns,
+		Retries:        e.retryCount,
+		Quarantined:    len(e.quarantine),
+		Replayed:       e.replayed,
 		ComputeSeconds: e.compute.Seconds(),
 		SerialSeconds:  e.serial.Seconds(),
 	}
 }
 
+// Quarantine returns the quarantined runs in deterministic (bench, mode)
+// order, for the footer and the -json report.
+func (e *Engine) Quarantine() []QuarantineEntry {
+	e.mu.Lock()
+	out := append([]QuarantineEntry(nil), e.quarantine...)
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Mode < out[j].Mode
+	})
+	return out
+}
+
+// runSafe executes one simulation with panic containment: a panic anywhere
+// under the benchmark build or the simulator becomes this run's error (a
+// *pool.PanicError matching pool.ErrRunPanic) instead of taking down the
+// sweep.
+func runSafe(ctx context.Context, b workloads.Benchmark, o RunOpts) (st *sim.LaunchStats, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			st, err = nil, pool.NewPanicError("run "+b.Name, -1, v)
+		}
+	}()
+	return runBenchmarkUncached(ctx, b, o)
+}
+
+// canceled reports whether err is a cancellation outcome rather than a run
+// failure: retrying is pointless (the context is dead) and caching would be
+// wrong (the run is healthy and must re-execute under a live context).
+func canceled(err error) bool {
+	return errors.Is(err, sim.ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// computeWithRetry runs one unique simulation under the retry policy:
+// failures (including contained panics) re-attempt up to `retries` times
+// after a deterministic backoff; cancellation stops immediately. The final
+// failure after exhausting the retries is quarantined.
+func (e *Engine) computeWithRetry(ctx context.Context, b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
+	e.mu.Lock()
+	retries, backoff := e.retries, e.backoff
+	e.mu.Unlock()
+
+	var st *sim.LaunchStats
+	var err error
+	for attempt := 0; ; attempt++ {
+		st, err = runSafe(ctx, b, o)
+		if err == nil || canceled(err) {
+			return st, err
+		}
+		if attempt >= retries {
+			break
+		}
+		// Deterministic backoff: base << attempt, interruptible by the
+		// context (a Ctrl-C must not sit out a sleep).
+		t := time.NewTimer(backoff << attempt)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return st, err
+		}
+		e.mu.Lock()
+		e.retryCount++
+		e.mu.Unlock()
+	}
+	e.mu.Lock()
+	e.quarantine = append(e.quarantine, QuarantineEntry{
+		Bench:    b.Name,
+		Mode:     o.Mode.String(),
+		Attempts: retries + 1,
+		Err:      err.Error(),
+	})
+	e.mu.Unlock()
+	return st, err
+}
+
 // RunBenchmark executes (or recalls) one benchmark run and returns a
 // defensive copy of its stats: every caller owns its result outright.
-func (e *Engine) RunBenchmark(b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
+// Cancellation surfaces as an error matching sim.ErrCanceled and leaves the
+// run uncached so it re-executes under a live context.
+func (e *Engine) RunBenchmark(ctx context.Context, b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
 	key := o.memoKey(b.Name)
 	e.mu.Lock()
 	ent, ok := e.memo[key]
@@ -143,10 +316,34 @@ func (e *Engine) RunBenchmark(b workloads.Benchmark, o RunOpts) (*sim.LaunchStat
 	executed := false
 	ent.once.Do(func() {
 		start := time.Now()
-		ent.st, ent.err = runBenchmarkUncached(b, o)
+		ent.st, ent.err = e.computeWithRetry(ctx, b, o)
 		ent.dur = time.Since(start)
 		executed = true
 	})
+
+	if ent.err != nil && canceled(ent.err) {
+		// A canceled run is healthy but unfinished: drop it from the cache
+		// (guarding against a newer entry having replaced it) so the next
+		// attempt under a live context re-executes instead of replaying the
+		// cancellation forever.
+		e.mu.Lock()
+		if e.memo[key] == ent {
+			delete(e.memo, key)
+		}
+		e.mu.Unlock()
+		return nil, ent.err
+	}
+
+	if executed {
+		// Write-ahead: the record must be durable before the result is
+		// reported, so a killed sweep never re-pays for a reported run.
+		e.mu.Lock()
+		j := e.journal
+		e.mu.Unlock()
+		if j != nil {
+			j.append(key, ent.st, ent.err, ent.dur)
+		}
+	}
 
 	e.mu.Lock()
 	e.jobs++
@@ -161,11 +358,12 @@ func (e *Engine) RunBenchmark(b workloads.Benchmark, o RunOpts) (*sim.LaunchStat
 
 // RunSet fans jobs out across the pool (memoized) and delivers stats by
 // index. On failure it returns the lowest-index error, matching what the
-// serial loop would have reported first.
-func (e *Engine) RunSet(jobs []Job) ([]*sim.LaunchStats, error) {
+// serial loop would have reported first; cancellation stops dispatch and
+// surfaces the context's cause.
+func (e *Engine) RunSet(ctx context.Context, jobs []Job) ([]*sim.LaunchStats, error) {
 	out := make([]*sim.LaunchStats, len(jobs))
-	err := pool.ForEachErr(e.Workers(), len(jobs), func(i int) error {
-		st, err := e.RunBenchmark(jobs[i].Bench, jobs[i].Opts)
+	err := pool.ForEachErrCtx(ctx, e.Workers(), len(jobs), func(i int) error {
+		st, err := e.RunBenchmark(ctx, jobs[i].Bench, jobs[i].Opts)
 		out[i] = st
 		return err
 	})
@@ -177,13 +375,13 @@ func (e *Engine) RunSet(jobs []Job) ([]*sim.LaunchStats, error) {
 
 // ForEachErr runs n bespoke jobs (multi-kernel pairs, microbenchmark
 // variants, tool models — anything that is not a plain RunBenchmark) across
-// the pool. The jobs are timed into the engine accounting but not
-// memoized; fn must write its result into an index-addressed slot.
-func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
-	errs := make([]error, n)
-	pool.ForEach(e.Workers(), n, func(i int) {
+// the pool. The jobs are timed into the engine accounting but not memoized
+// or journaled; fn must write its result into an index-addressed slot. A
+// panicking job becomes that index's error.
+func (e *Engine) ForEachErr(ctx context.Context, n int, fn func(i int) error) error {
+	return pool.ForEachErrCtx(ctx, e.Workers(), n, func(i int) error {
 		start := time.Now()
-		errs[i] = fn(i)
+		err := fn(i)
 		dur := time.Since(start)
 		e.mu.Lock()
 		e.jobs++
@@ -191,13 +389,8 @@ func (e *Engine) ForEachErr(n int, fn func(i int) error) error {
 		e.compute += dur
 		e.serial += dur
 		e.mu.Unlock()
+		return err
 	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // defaultEngine is the process-wide engine: every figure shares it, which
@@ -211,6 +404,17 @@ func SetParallelism(n int) { defaultEngine.SetWorkers(n) }
 // Parallelism reports the default engine's pool width.
 func Parallelism() int { return defaultEngine.Workers() }
 
+// SetJournal attaches the write-ahead run journal to the default engine;
+// cmd/experiments wires its -journal flag here.
+func SetJournal(j *Journal) { defaultEngine.SetJournal(j) }
+
+// PrimeJournal replays journal entries into the default engine's memo
+// cache (the -resume path), returning how many distinct runs were primed.
+func PrimeJournal(entries []JournalEntry) int { return defaultEngine.Prime(entries) }
+
+// QuarantineSnapshot returns the default engine's quarantined runs.
+func QuarantineSnapshot() []QuarantineEntry { return defaultEngine.Quarantine() }
+
 // ResetEngine clears the default engine's memo cache and accounting —
 // determinism tests use it to compare genuinely fresh serial and parallel
 // runs.
@@ -220,7 +424,11 @@ func ResetEngine() { defaultEngine.Reset() }
 func EngineSnapshot() EngineStats { return defaultEngine.Stats() }
 
 // runSet executes jobs on the default engine.
-func runSet(jobs []Job) ([]*sim.LaunchStats, error) { return defaultEngine.RunSet(jobs) }
+func runSet(ctx context.Context, jobs []Job) ([]*sim.LaunchStats, error) {
+	return defaultEngine.RunSet(ctx, jobs)
+}
 
 // forEach runs bespoke indexed jobs on the default engine's pool.
-func forEach(n int, fn func(i int) error) error { return defaultEngine.ForEachErr(n, fn) }
+func forEach(ctx context.Context, n int, fn func(i int) error) error {
+	return defaultEngine.ForEachErr(ctx, n, fn)
+}

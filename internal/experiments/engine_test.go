@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"gpushield/internal/driver"
@@ -44,7 +45,7 @@ func multiLaunchBench(name string) workloads.Benchmark {
 // then corrupt) the first launch's stats.
 func TestMultiLaunchAggregation(t *testing.T) {
 	b := multiLaunchBench("test-multilaunch-agg")
-	agg, err := RunBenchmark(b, RunOpts{Mode: driver.ModeShield})
+	agg, err := RunBenchmark(context.Background(), b, RunOpts{Mode: driver.ModeShield})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestSeedSentinel(t *testing.T) {
 		t.Fatal("unset seed and explicit DefaultSeed must share a memo key")
 	}
 	// And an explicit zero seed actually runs.
-	if _, err := RunBenchmark(b, RunOpts{Seed: FixedSeed(0)}); err != nil {
+	if _, err := RunBenchmark(context.Background(), b, RunOpts{Seed: FixedSeed(0)}); err != nil {
 		t.Fatalf("seed-0 run failed: %v", err)
 	}
 }
@@ -130,11 +131,11 @@ func TestMemoReturnsDistinctCopies(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := RunOpts{Mode: driver.ModeShield}
-	st1, err := RunBenchmark(b, o)
+	st1, err := RunBenchmark(context.Background(), b, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st2, err := RunBenchmark(b, o)
+	st2, err := RunBenchmark(context.Background(), b, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestMemoReturnsDistinctCopies(t *testing.T) {
 	// Mutating one copy must not leak into the next request.
 	st1.FinishCycle += 1_000_000
 	st1.Checks = 0
-	st3, err := RunBenchmark(b, o)
+	st3, err := RunBenchmark(context.Background(), b, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		defer SetParallelism(0)
 		var out []string
 		for _, id := range ids {
-			res, err := ByIDMust(t, id).Run()
+			res, err := ByIDMust(t, id).Run(context.Background())
 			if err != nil {
 				t.Fatalf("%s under parallel=%d: %v", id, workers, err)
 			}
@@ -199,7 +200,7 @@ func TestEngineAccounting(t *testing.T) {
 		{b, RunOpts{Mode: driver.ModeShield}},
 		{b, RunOpts{Mode: driver.ModeOff}}, // duplicate of job 0
 	}
-	res, err := e.RunSet(jobs)
+	res, err := e.RunSet(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,11 +32,11 @@ func TestRunBenchmarkModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := RunBenchmark(b, RunOpts{Mode: driver.ModeOff})
+	off, err := RunBenchmark(context.Background(), b, RunOpts{Mode: driver.ModeOff})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := RunBenchmark(b, RunOpts{Mode: driver.ModeShield})
+	sh, err := RunBenchmark(context.Background(), b, RunOpts{Mode: driver.ModeShield})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunBenchmarkModes(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	res, err := ByIDMust(t, "fig1").Run()
+	res, err := ByIDMust(t, "fig1").Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig4Outcomes(t *testing.T) {
-	res, err := ByIDMust(t, "fig4").Run()
+	res, err := ByIDMust(t, "fig4").Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFig4Outcomes(t *testing.T) {
 }
 
 func TestTable3MatchesPaper(t *testing.T) {
-	res, err := ByIDMust(t, "table3").Run()
+	res, err := ByIDMust(t, "table3").Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestTable3MatchesPaper(t *testing.T) {
 }
 
 func TestHeapSlowdownGrowsWithThreads(t *testing.T) {
-	res, err := ByIDMust(t, "heap").Run()
+	res, err := ByIDMust(t, "heap").Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestHeapSlowdownGrowsWithThreads(t *testing.T) {
 }
 
 func TestSWCheckOverheadPositive(t *testing.T) {
-	res, err := ByIDMust(t, "swcheck").Run()
+	res, err := ByIDMust(t, "swcheck").Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func parseF(t *testing.T, s string) float64 {
 }
 
 func TestResultString(t *testing.T) {
-	res, err := ByIDMust(t, "table5").Run()
+	res, err := ByIDMust(t, "table5").Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

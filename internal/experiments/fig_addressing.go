@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gpushield/internal/compiler"
@@ -18,7 +19,7 @@ func init() {
 // Intel send-instruction style of Fig. 3b), with each memory instruction
 // annotated with its addressing method and the pointer type GPUShield's
 // analysis assigns.
-func runFig3() (*Result, error) {
+func runFig3(ctx context.Context) (*Result, error) {
 	methodB := func() *kernel.Kernel {
 		b := kernel.NewBuilder("vecadd-methodB")
 		pa := b.BufferParam("a", true)

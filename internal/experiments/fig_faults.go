@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gpushield/internal/faults"
@@ -20,7 +21,7 @@ func init() {
 // pointer-tag flips, driver ID-assignment bugs, and dropped/duplicated DRAM
 // transactions — and reports each class's detected / masked / SDC split.
 // The campaign is deterministic: the same seed replays to identical rows.
-func runFaults() (*Result, error) {
+func runFaults(ctx context.Context) (*Result, error) {
 	const (
 		seed       = 20260804
 		injections = 250
@@ -33,7 +34,7 @@ func runFaults() (*Result, error) {
 	cfg.Seed = seed
 	cfg.Parallel = Parallelism()
 	specs := faults.DefaultCampaign(seed, n)
-	results, err := faults.RunCampaign(cfg, specs)
+	results, err := faults.RunCampaignContext(ctx, cfg, specs)
 	if err != nil {
 		return nil, err
 	}

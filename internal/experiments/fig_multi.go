@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gpushield/internal/core"
@@ -22,7 +23,7 @@ var fig18Apps = []string{
 
 // runPair launches two benchmarks concurrently on one Intel GPU and returns
 // the pair's makespan.
-func runPair(na, nb string, shield bool, mode sim.ShareMode) (uint64, error) {
+func runPair(ctx context.Context, na, nb string, shield bool, mode sim.ShareMode) (uint64, error) {
 	dev := driver.NewDevice(2024)
 	ba, err := workloads.ByName(na)
 	if err != nil {
@@ -55,7 +56,7 @@ func runPair(na, nb string, shield bool, mode sim.ShareMode) (uint64, error) {
 		return 0, err
 	}
 	gpu := sim.New(cfg, dev)
-	res, err := gpu.RunConcurrent([]*driver.Launch{la, lb}, mode)
+	res, err := gpu.RunConcurrentCtx(ctx, []*driver.Launch{la, lb}, mode)
 	if err != nil {
 		return 0, err
 	}
@@ -77,7 +78,7 @@ func runPair(na, nb string, shield bool, mode sim.ShareMode) (uint64, error) {
 // runFig18 runs all 21 pairs of the seven applications under inter-core
 // and intra-core sharing, reporting GPUShield's overhead over the
 // unprotected concurrent run.
-func runFig18() (*Result, error) {
+func runFig18(ctx context.Context) (*Result, error) {
 	t := stats.NewTable("Multi-kernel normalized exec time (GPUShield / no bounds check)",
 		"pair", "inter-core", "intra-core")
 	// Declare the 21 pairs up front; each pair's four concurrent-kernel
@@ -90,13 +91,13 @@ func runFig18() (*Result, error) {
 		}
 	}
 	norms := make([][2]float64, len(pairs))
-	err := forEach(len(pairs), func(p int) error {
+	err := forEach(ctx, len(pairs), func(p int) error {
 		for mi, mode := range []sim.ShareMode{sim.ShareInterCore, sim.ShareIntraCore} {
-			base, err := runPair(pairs[p].na, pairs[p].nb, false, mode)
+			base, err := runPair(ctx, pairs[p].na, pairs[p].nb, false, mode)
 			if err != nil {
 				return err
 			}
-			prot, err := runPair(pairs[p].na, pairs[p].nb, true, mode)
+			prot, err := runPair(ctx, pairs[p].na, pairs[p].nb, true, mode)
 			if err != nil {
 				return err
 			}

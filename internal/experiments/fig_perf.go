@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gpushield/internal/core"
@@ -33,7 +34,7 @@ func bcuEntries(n int) core.BCUConfig {
 // runFig14 measures normalized execution time (GPUShield / no bounds check)
 // per Table 6 category under the default (L1:1,L2:3) and slower (L1:2,L2:5)
 // RCache latencies.
-func runFig14() (*Result, error) {
+func runFig14(ctx context.Context) (*Result, error) {
 	cats := []string{workloads.CatML, workloads.CatLA, workloads.CatGT,
 		workloads.CatGI, workloads.CatPS, workloads.CatIM, workloads.CatDM}
 	t := stats.NewTable("Normalized exec time over no-bounds-check (geomean per category)",
@@ -52,7 +53,7 @@ func runFig14() (*Result, error) {
 				Job{b, RunOpts{Mode: driver.ModeShield, BCU: bcuLat(2, 5), Scale: 2}})
 		}
 	}
-	res, err := runSet(jobs)
+	res, err := runSet(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +85,7 @@ func runFig14() (*Result, error) {
 
 // rcacheSweep declares the L1 RCache size sweep over benches — one job per
 // (benchmark, entry count) — and renders the hit-rate table, geomean last.
-func rcacheSweep(title, arch string, benches []workloads.Benchmark) (*stats.Table, error) {
+func rcacheSweep(ctx context.Context, title, arch string, benches []workloads.Benchmark) (*stats.Table, error) {
 	sizes := []int{1, 2, 4, 8, 16}
 	jobs := make([]Job, 0, len(benches)*len(sizes))
 	for _, b := range benches {
@@ -92,7 +93,7 @@ func rcacheSweep(title, arch string, benches []workloads.Benchmark) (*stats.Tabl
 			jobs = append(jobs, Job{b, RunOpts{Arch: arch, Mode: driver.ModeShield, BCU: bcuEntries(n)}})
 		}
 	}
-	res, err := runSet(jobs)
+	res, err := runSet(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -118,8 +119,8 @@ func rcacheSweep(title, arch string, benches []workloads.Benchmark) (*stats.Tabl
 
 // runFig15 sweeps the L1 RCache from 1 to 16 entries over the
 // RCache-sensitive CUDA benchmarks, reporting the L1 RCache hit rate.
-func runFig15() (*Result, error) {
-	t, err := rcacheSweep("L1 RCache hit rate (%), Nvidia", "", workloads.Sensitive())
+func runFig15(ctx context.Context) (*Result, error) {
+	t, err := rcacheSweep(ctx, "L1 RCache hit rate (%), Nvidia", "", workloads.Sensitive())
 	if err != nil {
 		return nil, err
 	}
@@ -131,8 +132,8 @@ func runFig15() (*Result, error) {
 
 // runFig16 repeats the L1 RCache sweep on the Intel configuration with the
 // 17 OpenCL benchmarks.
-func runFig16() (*Result, error) {
-	t, err := rcacheSweep("L1 RCache hit rate (%), Intel OpenCL", "intel", workloads.OpenCL())
+func runFig16(ctx context.Context) (*Result, error) {
+	t, err := rcacheSweep(ctx, "L1 RCache hit rate (%), Intel OpenCL", "intel", workloads.OpenCL())
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +146,7 @@ func runFig16() (*Result, error) {
 // runFig17 measures the effect of compile-time bounds-check filtering:
 // normalized time under lengthened RCache latencies with and without the
 // static pass, plus the fraction of runtime checks it removes.
-func runFig17() (*Result, error) {
+func runFig17(ctx context.Context) (*Result, error) {
 	t := stats.NewTable("Static filtering under slower RCaches (normalized exec time)",
 		"benchmark", "L1:1 L2:5", "L1:1 L2:5 +static", "L1:2 L2:5", "L1:2 L2:5 +static", "check reduction %")
 	benches := workloads.Sensitive()
@@ -161,7 +162,7 @@ func runFig17() (*Result, error) {
 			Job{b, RunOpts{Mode: driver.ModeShield, BCU: bcuLat(2, 5), Scale: 2}},
 			Job{b, RunOpts{Mode: driver.ModeShieldStatic, BCU: bcuLat(2, 5), Scale: 2}})
 	}
-	res, err := runSet(jobs)
+	res, err := runSet(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gpushield/internal/attack"
@@ -20,7 +21,7 @@ func init() {
 
 // runFig1 reports the static buffer-count distribution of the corpus,
 // grouped by suite, with the <5/<10/<20/>=20 bins of Fig. 1.
-func runFig1() (*Result, error) {
+func runFig1(ctx context.Context) (*Result, error) {
 	dev := driver.NewDevice(1)
 	bySuite := map[string]*stats.Histogram{}
 	var all []int
@@ -64,7 +65,7 @@ func runFig1() (*Result, error) {
 
 // runFig4 reproduces the three SVM overflow outcomes natively, then shows
 // GPUShield blocking each.
-func runFig4() (*Result, error) {
+func runFig4(ctx context.Context) (*Result, error) {
 	native, err := attack.RunSVMOverflow(false)
 	if err != nil {
 		return nil, err
@@ -89,7 +90,7 @@ func runFig4() (*Result, error) {
 
 // runFig11 measures how many 4KB pages each buffer touches across the
 // Rodinia suite — the evidence that TLB misses dominate RCache misses.
-func runFig11() (*Result, error) {
+func runFig11(ctx context.Context) (*Result, error) {
 	t := stats.NewTable("4KB pages touched per buffer (Rodinia)",
 		"benchmark", "buffers", "pages/buffer(avg)", "pages/buffer(max)")
 	benches := workloads.Rodinia()
@@ -97,7 +98,7 @@ func runFig11() (*Result, error) {
 	for i, b := range benches {
 		jobs[i] = Job{b, RunOpts{Mode: driver.ModeOff, TrackPages: true, Scale: 2}}
 	}
-	res, err := runSet(jobs)
+	res, err := runSet(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +130,7 @@ func runFig11() (*Result, error) {
 
 // runTable3 prints the hardware-overhead model at the default configuration
 // (reproducing Table 3) plus an RCache-size ablation.
-func runTable3() (*Result, error) {
+func runTable3(ctx context.Context) (*Result, error) {
 	def := core.EstimateHW(core.DefaultBCUConfig())
 	t := stats.NewTable("Per-core overhead, default BCU (45nm, 1GHz)",
 		"structure", "entries", "SRAM(B)", "area(mm2)", "leak(uW)", "dyn(mW)")
@@ -162,7 +163,7 @@ func runTable3() (*Result, error) {
 }
 
 // runTable5 prints both simulated configurations.
-func runTable5() (*Result, error) {
+func runTable5(ctx context.Context) (*Result, error) {
 	t := stats.NewTable("Simulated system (Table 5)", "parameter", "Nvidia", "Intel")
 	type row struct{ name, nv, in string }
 	nv := RunOpts{Arch: "nvidia", Mode: driver.ModeShield}.config("cuda")

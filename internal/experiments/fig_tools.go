@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gpushield/internal/baselines"
@@ -30,13 +31,13 @@ type toolRuns struct {
 	reduction float64 // static check-reduction fraction
 }
 
-func measureTools(b workloads.Benchmark, scale int) (*toolRuns, error) {
+func measureTools(ctx context.Context, b workloads.Benchmark, scale int) (*toolRuns, error) {
 	var out toolRuns
 
 	// Baseline. RunBenchmark accumulates three launches for repeatedly
 	// launched kernels; normalize everything to per-launch cycles so the
 	// tool factors (which add per-launch costs) compare like for like.
-	st, err := RunBenchmark(b, RunOpts{Mode: driver.ModeOff, Scale: scale})
+	st, err := RunBenchmark(ctx, b, RunOpts{Mode: driver.ModeOff, Scale: scale})
 	if err != nil {
 		return nil, err
 	}
@@ -51,14 +52,14 @@ func measureTools(b workloads.Benchmark, scale int) (*toolRuns, error) {
 	out.base = st.Cycles() / launches
 
 	// GPUShield (default BCU).
-	st, err = RunBenchmark(b, RunOpts{Mode: driver.ModeShield, Scale: scale})
+	st, err = RunBenchmark(ctx, b, RunOpts{Mode: driver.ModeShield, Scale: scale})
 	if err != nil {
 		return nil, err
 	}
 	out.shield = st.Cycles() / launches
 
 	// Static reduction for the Fig. 19 secondary axis.
-	st, err = RunBenchmark(b, RunOpts{Mode: driver.ModeShieldStatic, Scale: scale})
+	st, err = RunBenchmark(ctx, b, RunOpts{Mode: driver.ModeShieldStatic, Scale: scale})
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +79,7 @@ func measureTools(b workloads.Benchmark, scale int) (*toolRuns, error) {
 		return nil, fmt.Errorf("%s: memcheck prepare: %w", b.Name, err)
 	}
 	l.NoCoalesce = true
-	mst, err := sim.New(RunOpts{}.config(b.API), dev).Run(l)
+	mst, err := sim.New(RunOpts{}.config(b.API), dev).RunCtx(ctx, l)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +111,7 @@ func measureTools(b workloads.Benchmark, scale int) (*toolRuns, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: clarmor prepare: %w", b.Name, err)
 	}
-	cst, err := sim.New(RunOpts{}.config(b.API), cdev).Run(cl)
+	cst, err := sim.New(RunOpts{}.config(b.API), cdev).RunCtx(ctx, cl)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +124,7 @@ func measureTools(b workloads.Benchmark, scale int) (*toolRuns, error) {
 
 // runFig19 reports the per-benchmark overhead factor of CUDA-MEMCHECK,
 // GMOD, clArmor, and GPUShield, plus the static check-reduction percentage.
-func runFig19() (*Result, error) {
+func runFig19(ctx context.Context) (*Result, error) {
 	t := stats.NewTable("Overhead over no-bounds-check (x)",
 		"benchmark", "CUDA-MEMCHECK", "GMOD", "clArmor", "GPUShield", "check reduction %")
 	var mc, gm, ca, sh, red []float64
@@ -145,7 +146,7 @@ func runFig19() (*Result, error) {
 	// RunBenchmark legs inside measureTools are memoized engine runs) and
 	// deposits its row by index.
 	rows := make([]*toolRuns, len(fig19Set))
-	err := forEach(len(fig19Set), func(i int) error {
+	err := forEach(ctx, len(fig19Set), func(i int) error {
 		name := fig19Set[i]
 		var b workloads.Benchmark
 		scale := 1
@@ -159,7 +160,7 @@ func runFig19() (*Result, error) {
 			}
 			scale = scales[name]
 		}
-		r, err := measureTools(b, scale)
+		r, err := measureTools(ctx, b, scale)
 		if err != nil {
 			return err
 		}

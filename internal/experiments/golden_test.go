@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -59,7 +60,7 @@ func TestGoldenBenchmarkStats(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := runBenchmarkUncached(b, c.Opts)
+		st, err := runBenchmarkUncached(context.Background(), b, c.Opts)
 		if err != nil {
 			t.Fatalf("%s: %v", c.Bench, err)
 		}

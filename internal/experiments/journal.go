@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"sync"
+	"time"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/sim"
+)
+
+// The run journal is the crash-safety layer under the memo cache: every
+// completed unique run is appended to it as one fsync'd JSON line *before*
+// the result is reported, so an interrupted sweep can be resumed by
+// replaying the journal into the cache (`-resume`). The format is
+// line-oriented and versioned:
+//
+//	{"v":1,"key":{...memo key...},"dur_ns":N,"stats":{...}}
+//	{"v":1,"key":{...},"dur_ns":N,"err":"benchmark x: build: ..."}
+//
+// Crash-only contract: a process killed mid-write leaves at most one torn
+// final line, which the parser skips (that run simply re-executes on
+// resume). Unknown versions and malformed lines are skipped the same way —
+// a journal never aborts a resume, it only shrinks how much is replayed.
+
+// journalVersion is the schema version stamped on every record. Bump it
+// when the key or stats encoding changes incompatibly; old readers skip
+// newer records instead of mis-replaying them.
+const journalVersion = 1
+
+// journalKey is the exported JSON mirror of memoKey. Two runs with equal
+// keys produce bit-identical stats, which is exactly what makes a journal
+// entry safe to serve in place of re-running the simulation.
+type journalKey struct {
+	Bench      string         `json:"bench"`
+	Arch       string         `json:"arch,omitempty"`
+	Mode       driver.Mode    `json:"mode"`
+	BCU        core.BCUConfig `json:"bcu"`
+	Scale      int            `json:"scale"`
+	Seed       int64          `json:"seed"`
+	TrackPages bool           `json:"track_pages,omitempty"`
+}
+
+func (k memoKey) journal() journalKey {
+	return journalKey{
+		Bench: k.bench, Arch: k.arch, Mode: k.mode, BCU: k.bcu,
+		Scale: k.scale, Seed: k.seed, TrackPages: k.trackPages,
+	}
+}
+
+func (k journalKey) memo() memoKey {
+	return memoKey{
+		bench: k.Bench, arch: k.Arch, mode: k.Mode, bcu: k.BCU,
+		scale: k.Scale, seed: k.Seed, trackPages: k.TrackPages,
+	}
+}
+
+// journalRecord is one line of the journal.
+type journalRecord struct {
+	V     int              `json:"v"`
+	Key   journalKey       `json:"key"`
+	Err   string           `json:"err,omitempty"`
+	DurNS int64            `json:"dur_ns"`
+	Stats *sim.LaunchStats `json:"stats,omitempty"`
+}
+
+// JournalEntry is one replayable run recovered from a journal file.
+type JournalEntry struct {
+	key memoKey
+	st  *sim.LaunchStats
+	err error
+	dur time.Duration
+}
+
+// Journal appends completed runs to a write-ahead log. It is safe for
+// concurrent use (the engine's workers append from the pool). Write errors
+// are sticky and deliberately do not fail the runs themselves — losing the
+// journal must never lose the sweep — but they are surfaced through Err so
+// the command can warn that resume coverage is incomplete.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// OpenJournal opens (creating if needed) a journal for appending. Opening
+// an existing journal does not truncate it: resume replays the old records
+// and new completions append after them.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// append writes one completed run as a single fsync'd line. The fsync is
+// the write-ahead guarantee: once the caller reports the result, the record
+// is durable, so a later crash cannot lose a run that was already shown.
+func (j *Journal) append(key memoKey, st *sim.LaunchStats, runErr error, dur time.Duration) {
+	rec := journalRecord{V: journalVersion, Key: key.journal(), DurNS: dur.Nanoseconds(), Stats: st}
+	if runErr != nil {
+		rec.Err = runErr.Error()
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		j.mu.Lock()
+		if j.err == nil {
+			j.err = err
+		}
+		j.mu.Unlock()
+		return
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if _, err := j.f.Write(data); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = err
+	}
+}
+
+// Err reports the first write/sync failure, if any. A non-nil Err means
+// the journal on disk is missing records completed after the failure.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close closes the underlying file, returning the sticky write error if
+// one occurred.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cerr := j.f.Close()
+	if j.err != nil {
+		return j.err
+	}
+	return cerr
+}
+
+// LoadJournal reads and parses a journal file. A missing file is not an
+// error — it is an empty journal (first run with -resume pointing at the
+// -journal path it is about to create).
+func LoadJournal(path string) ([]JournalEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return ParseJournal(data), nil
+}
+
+// ParseJournal decodes journal bytes into replayable entries, tolerating
+// every corruption a crash can produce. It never fails and never panics:
+//
+//   - a torn final line (no trailing newline — the process died mid-write)
+//     is skipped; that run simply re-executes on resume
+//   - malformed JSON lines and lines with an empty benchmark name are
+//     skipped
+//   - records with an unknown schema version are skipped (a newer writer's
+//     journal degrades to partial replay, never to a wrong replay)
+//   - duplicate keys are all returned in order; the replayer applies them
+//     last-wins
+func ParseJournal(data []byte) []JournalEntry {
+	var out []JournalEntry
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// Torn final record: the '\n' is written with the record, so a
+			// complete record always has one. Skip it.
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue
+		}
+		if rec.V != journalVersion || rec.Key.Bench == "" {
+			continue
+		}
+		ent := JournalEntry{
+			key: rec.Key.memo(),
+			st:  rec.Stats,
+			dur: time.Duration(rec.DurNS),
+		}
+		if rec.Err != "" {
+			// The concrete error type is gone; the message is what the
+			// footer reports, and that is all resume needs to reproduce.
+			ent.err = errors.New(rec.Err)
+		} else if rec.Stats == nil {
+			// A success with no stats cannot be served; skip it.
+			continue
+		}
+		out = append(out, ent)
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gpushield/internal/core"
@@ -19,7 +20,7 @@ func init() {
 // against per-thread dynamic allocation (an atomic bump on the heap-top
 // pointer followed by the store), reproducing the in-kernel malloc
 // slowdown the paper measures at 4.9-63.7x.
-func runHeapMicro() (*Result, error) {
+func runHeapMicro(ctx context.Context) (*Result, error) {
 	t := stats.NewTable("Per-thread dynamic allocation vs preallocation",
 		"threads", "prealloc cycles", "device-malloc cycles", "slowdown")
 	var notes []string
@@ -28,7 +29,7 @@ func runHeapMicro() (*Result, error) {
 	// variant pair and lands its cycle counts by index.
 	type heapRow struct{ pre, mall uint64 }
 	rows := make([]heapRow, len(threadCounts))
-	err := forEach(len(threadCounts), func(ti int) error {
+	err := forEach(ctx, len(threadCounts), func(ti int) error {
 		threads := threadCounts[ti]
 		block := 256
 		grid := threads / block
@@ -45,7 +46,7 @@ func runHeapMicro() (*Result, error) {
 		if err != nil {
 			return err
 		}
-		stA, err := sim.New(sim.NvidiaConfig(), devA).Run(la)
+		stA, err := sim.New(sim.NvidiaConfig(), devA).RunCtx(ctx, la)
 		if err != nil {
 			return err
 		}
@@ -71,7 +72,7 @@ func runHeapMicro() (*Result, error) {
 			return err
 		}
 		lb.Args[1] = lb.HeapPtr
-		stB, err := sim.New(sim.NvidiaConfig(), devB).Run(lb)
+		stB, err := sim.New(sim.NvidiaConfig(), devB).RunCtx(ctx, lb)
 		if err != nil {
 			return err
 		}
@@ -96,7 +97,7 @@ func runHeapMicro() (*Result, error) {
 // check of Fig. 13 against hardware bounds checking: the guarded kernel
 // pays extra instructions on every thread (and divergence when the guard
 // actually masks), while GPUShield checks the same accesses for free.
-func runSWCheck() (*Result, error) {
+func runSWCheck(ctx context.Context) (*Result, error) {
 	const nfeat = 8
 	type checkStyle int
 	const (
@@ -154,7 +155,7 @@ func runSWCheck() (*Result, error) {
 		if mode != driver.ModeOff {
 			cfg = cfg.WithShield(core.DefaultBCUConfig())
 		}
-		st, err := sim.New(cfg, dev).Run(l)
+		st, err := sim.New(cfg, dev).RunCtx(ctx, l)
 		if err != nil {
 			return 0, err
 		}
@@ -181,7 +182,7 @@ func runSWCheck() (*Result, error) {
 		{"per-access if-guards", perAccessGuard, threads, driver.ModeOff},
 	}
 	cycles := make([]uint64, len(cases))
-	err := forEach(len(cases), func(i int) error {
+	err := forEach(ctx, len(cases), func(i int) error {
 		c, err := run(build(cases[i].style), cases[i].npoints, threads, cases[i].mode)
 		cycles[i] = c
 		return err

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -76,13 +77,15 @@ func (o RunOpts) config(api string) sim.Config {
 // Runs go through the process-wide engine: identical (benchmark, options)
 // requests are simulated once and every caller receives its own deep copy
 // of the stats.
-func RunBenchmark(b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
-	return defaultEngine.RunBenchmark(b, o)
+func RunBenchmark(ctx context.Context, b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
+	return defaultEngine.RunBenchmark(ctx, b, o)
 }
 
 // runBenchmarkUncached is the raw compute path behind the engine's memo
-// cache: build a private device + GPU and simulate.
-func runBenchmarkUncached(b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
+// cache: build a private device + GPU and simulate. Cancellation aborts
+// the in-flight launch (sim.ErrCanceled) and discards the partial stats —
+// a canceled benchmark run has no meaningful aggregate.
+func runBenchmarkUncached(ctx context.Context, b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
@@ -113,7 +116,7 @@ func runBenchmarkUncached(b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, e
 		if err != nil {
 			return nil, fmt.Errorf("%s: prepare: %w", b.Name, err)
 		}
-		st, err := gpu.Run(l)
+		st, err := gpu.RunCtx(ctx, l)
 		if err != nil {
 			return nil, fmt.Errorf("%s: run: %w", b.Name, err)
 		}
@@ -179,11 +182,13 @@ func (r *Result) String() string {
 	return s
 }
 
-// Experiment is a registered, runnable reproduction target.
+// Experiment is a registered, runnable reproduction target. Run observes
+// its context: cancellation aborts in-flight simulations and surfaces an
+// error matching sim.ErrCanceled (or the context's cause).
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() (*Result, error)
+	Run   func(ctx context.Context) (*Result, error)
 }
 
 var registry []Experiment

@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -141,6 +143,15 @@ func DefaultCampaign(seed int64, n int) []FaultSpec {
 // RunCampaign executes every spec against a fresh device + GPU and returns
 // the per-injection results in spec order.
 func RunCampaign(cfg Config, specs []FaultSpec) ([]Result, error) {
+	return RunCampaignContext(context.Background(), cfg, specs)
+}
+
+// RunCampaignContext is RunCampaign under a context: cancellation stops
+// dispatching new injections and aborts the in-flight ones (each injection
+// run observes the same context inside the simulator), returning the
+// context's cause. A panicking injection is contained by the pool and
+// surfaces as that injection's error rather than killing the campaign.
+func RunCampaignContext(ctx context.Context, cfg Config, specs []FaultSpec) ([]Result, error) {
 	if err := cfg.GPU.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,10 +162,10 @@ func RunCampaign(cfg Config, specs []FaultSpec) ([]Result, error) {
 		return nil, fmt.Errorf("faults: bad workload geometry %dx%d", cfg.Grid, cfg.Block)
 	}
 	out := make([]Result, len(specs))
-	err := pool.ForEachErr(cfg.Parallel, len(specs), func(i int) error {
-		r, err := runOne(cfg, specs[i], i)
+	err := pool.ForEachErrCtx(ctx, cfg.Parallel, len(specs), func(i int) error {
+		r, err := contained(ctx, cfg, specs[i], i)
 		if err != nil {
-			return fmt.Errorf("faults: injection %d (%s): %v", i, specs[i], err)
+			return fmt.Errorf("faults: injection %d (%s): %w", i, specs[i], err)
 		}
 		out[i] = r
 		return nil
@@ -165,9 +176,32 @@ func RunCampaign(cfg Config, specs []FaultSpec) ([]Result, error) {
 	return out, nil
 }
 
+// contained runs one injection with panic containment. An injected fault
+// that crashes the simulator itself is the strongest possible detection —
+// the standard fault-injection convention counts crashes as detected — so a
+// panic is classified as that injection's Detected outcome (panic value in
+// Detail) instead of killing the campaign. Harness errors (bad config,
+// cancellation) still propagate as errors.
+func contained(ctx context.Context, cfg Config, spec FaultSpec, idx int) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = Result{
+				Index: idx, Spec: spec, Outcome: Detected, Landed: true,
+				Detail: fmt.Sprintf("crash: panic: %v", v),
+			}
+			err = nil
+		}
+	}()
+	return runInjection(ctx, cfg, spec, idx)
+}
+
+// runInjection is the injection entry point behind contained; tests swap it
+// to exercise the containment path with a deliberately panicking run.
+var runInjection = runOne
+
 // runOne performs a single injection: build a fresh device and GPU, arm the
 // fault, run the reference kernel, and classify the outcome.
-func runOne(cfg Config, spec FaultSpec, idx int) (Result, error) {
+func runOne(ctx context.Context, cfg Config, spec FaultSpec, idx int) (Result, error) {
 	res := Result{Index: idx, Spec: spec}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(idx)+1)*0x9E3779B9))
 	dev := driver.NewDevice(cfg.Seed + int64(idx))
@@ -312,7 +346,12 @@ func runOne(cfg Config, spec FaultSpec, idx int) (Result, error) {
 		})
 	}
 
-	rep, rerr := gpu.Run(launch)
+	rep, rerr := gpu.RunCtx(ctx, launch)
+	if rerr != nil && errors.Is(rerr, sim.ErrCanceled) {
+		// Cancellation is not a fault outcome: surface it instead of
+		// classifying a half-run injection as detected or masked.
+		return res, rerr
+	}
 
 	outputOK := true
 	for i := 0; i < n; i++ {

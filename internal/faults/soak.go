@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"gpushield/internal/sim"
+)
+
+// SoakReport aggregates a soak run: repeated fault campaigns under one
+// context until its deadline (or Ctrl-C) stops the loop.
+type SoakReport struct {
+	Iterations int  `json:"iterations"` // campaigns fully completed
+	Injections int  `json:"injections"` // total injections across them
+	Detected   int  `json:"detected"`
+	Masked     int  `json:"masked"`
+	SDC        int  `json:"sdc"`
+	Canceled   bool `json:"canceled"` // the loop ended on cancellation (normal for soak)
+
+	// Heap accounting: live bytes after a forced GC, measured after the
+	// first iteration (baseline) and after the last. A leaking campaign
+	// path — reports retained, pool goroutines stuck, caches unbounded —
+	// shows up here long before it OOMs a production box.
+	HeapBaseBytes  uint64 `json:"heap_base_bytes"`
+	HeapFinalBytes uint64 `json:"heap_final_bytes"`
+}
+
+func (r SoakReport) String() string {
+	state := "deadline reached"
+	if !r.Canceled {
+		state = "stopped"
+	}
+	return fmt.Sprintf(
+		"soak: %d iterations, %d injections (%d detected, %d masked, %d SDC), heap %d -> %d bytes, %s",
+		r.Iterations, r.Injections, r.Detected, r.Masked, r.SDC,
+		r.HeapBaseBytes, r.HeapFinalBytes, state)
+}
+
+// liveHeap forces a GC and returns the live heap size, so consecutive
+// measurements compare reachable memory rather than allocator noise.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// Soak loops fault campaigns until ctx is canceled (normally by the
+// caller's deadline), deriving each iteration's campaign from cfg.Seed +
+// iteration so the fault population varies while staying reproducible.
+// Between iterations it measures the live heap against the post-first-
+// iteration baseline; growth beyond growthLimit× the baseline (plus a
+// 64 MiB absolute allowance for runtime variance) fails the soak — that is
+// the leak the mode exists to catch. Cancellation mid-campaign is the
+// normal exit: the partial iteration is discarded and the report of the
+// completed ones returned.
+func Soak(ctx context.Context, cfg Config, injections int, growthLimit float64) (*SoakReport, error) {
+	if injections <= 0 {
+		return nil, fmt.Errorf("faults: soak needs a positive injection count, got %d", injections)
+	}
+	if growthLimit <= 0 {
+		growthLimit = 2
+	}
+	rep := &SoakReport{}
+	for iter := 0; ; iter++ {
+		if ctx.Err() != nil {
+			rep.Canceled = true
+			break
+		}
+		specs := DefaultCampaign(cfg.Seed+int64(iter), injections)
+		results, err := RunCampaignContext(ctx, cfg, specs)
+		if err != nil {
+			if errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.Canceled) ||
+				errors.Is(err, context.DeadlineExceeded) {
+				rep.Canceled = true
+				break
+			}
+			return rep, err
+		}
+		rep.Iterations++
+		rep.Injections += len(results)
+		for _, r := range results {
+			switch r.Outcome {
+			case Detected:
+				rep.Detected++
+			case Masked:
+				rep.Masked++
+			case SDC:
+				rep.SDC++
+			}
+		}
+		heap := liveHeap()
+		if iter == 0 {
+			rep.HeapBaseBytes = heap
+		}
+		rep.HeapFinalBytes = heap
+		if iter > 0 {
+			limit := uint64(float64(rep.HeapBaseBytes)*growthLimit) + 64<<20
+			if heap > limit {
+				return rep, fmt.Errorf(
+					"faults: soak heap grew from %d to %d bytes after %d iterations (limit %d): suspected leak",
+					rep.HeapBaseBytes, heap, rep.Iterations, limit)
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gpushield/internal/sim"
+)
+
+// TestSoakCancellationIsCleanExit: a soak cut short by its deadline is a
+// normal outcome — Canceled reported, no error, and at least some work done.
+func TestSoakCancellationIsCleanExit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallel = 2
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	rep, err := Soak(ctx, cfg, 4, 2)
+	if err != nil {
+		t.Fatalf("canceled soak returned an error: %v", err)
+	}
+	if !rep.Canceled {
+		t.Fatal("soak stopped by the deadline must report Canceled")
+	}
+	if rep.Iterations > 0 && rep.Injections == 0 {
+		t.Fatalf("report counts %d iterations but no injections", rep.Iterations)
+	}
+	if rep.Iterations > 0 && rep.Detected+rep.Masked+rep.SDC != rep.Injections {
+		t.Fatalf("outcome counts don't add up: %+v", rep)
+	}
+}
+
+// TestSoakRejectsBadArguments: misconfiguration fails fast, before any
+// simulation work.
+func TestSoakRejectsBadArguments(t *testing.T) {
+	if _, err := Soak(context.Background(), DefaultConfig(), 0, 2); err == nil {
+		t.Fatal("injections=0 must be rejected")
+	}
+}
+
+// TestCampaignCanceledMidFlight: cancelling a campaign surfaces ErrCanceled
+// (not a fault classification) and stops dispatching further injections.
+func TestCampaignCanceledMidFlight(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallel = 1
+	specs := DefaultCampaign(cfg.Seed, 16)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errors.New("operator stop"))
+	_, err := RunCampaignContext(ctx, cfg, specs)
+	if err == nil {
+		t.Fatal("campaign under a dead context must fail")
+	}
+	if !errors.Is(err, sim.ErrCanceled) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want a cancellation error", err)
+	}
+}
+
+// TestCampaignPanickingInjectionContained is the crash-only contract: a
+// deliberately panicking injected run fails only that run — classified as a
+// crash detection with the panic value reported — and every other injection
+// in the campaign completes normally.
+func TestCampaignPanickingInjectionContained(t *testing.T) {
+	const poisoned = 3
+	orig := runInjection
+	runInjection = func(ctx context.Context, cfg Config, spec FaultSpec, idx int) (Result, error) {
+		if idx == poisoned {
+			panic("deliberately poisoned injection")
+		}
+		return orig(ctx, cfg, spec, idx)
+	}
+	t.Cleanup(func() { runInjection = orig })
+
+	cfg := DefaultConfig()
+	cfg.Parallel = 4
+	specs := DefaultCampaign(cfg.Seed, 10)
+	results, err := RunCampaignContext(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatalf("a contained panic must not fail the campaign: %v", err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+	r := results[poisoned]
+	if r.Outcome != Detected || !r.Landed {
+		t.Fatalf("poisoned injection = %+v, want a Landed crash detection", r)
+	}
+	if !strings.Contains(r.Detail, "poisoned injection") {
+		t.Fatalf("detail %q lost the panic value", r.Detail)
+	}
+	for i, r := range results {
+		if i != poisoned && strings.Contains(r.Detail, "panic") {
+			t.Fatalf("injection %d contaminated by the poison: %+v", i, r)
+		}
+	}
+}
+
+// TestCampaignContextBackgroundMatchesLegacy: the context-free entry point
+// and an explicit background context produce identical campaign reports.
+func TestCampaignContextBackgroundMatchesLegacy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallel = 2
+	specs := DefaultCampaign(cfg.Seed, 6)
+	r1, err := RunCampaign(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunCampaignContext(context.Background(), cfg, DefaultCampaign(cfg.Seed, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("result counts diverge: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Outcome != r2[i].Outcome {
+			t.Fatalf("injection %d: outcome %v vs %v", i, r1[i].Outcome, r2[i].Outcome)
+		}
+	}
+}

@@ -5,9 +5,55 @@
 // supplies the worker pool that exploits that while keeping results
 // index-addressed, so callers reassemble output in the exact order the
 // serial path would have produced it.
+//
+// The pool is crash-only: a task that panics is contained per-task — the
+// panic is captured as a *PanicError (matching ErrRunPanic) carrying the
+// index, panic value, and stack — and the pool keeps draining the remaining
+// indices instead of killing the process or deadlocking the feeder. A
+// canceled context stops dispatching new indices; tasks already running
+// finish (simulation runs observe the same context and abort themselves).
 package pool
 
-import "runtime"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+)
+
+// ErrRunPanic marks a pooled task that panicked and was contained. Errors
+// returned by the pool for panicking tasks are *PanicError values wrapping
+// this sentinel, so callers classify with errors.Is(err, ErrRunPanic) and
+// recover the detail with errors.As.
+var ErrRunPanic = errors.New("pool: run panicked")
+
+// PanicError is a contained task panic: which task (a caller-supplied label
+// plus the pool index), what it panicked with, and the goroutine stack at
+// the panic site. It unwraps to ErrRunPanic.
+type PanicError struct {
+	Task  string // caller-supplied identity, e.g. a benchmark or fault name
+	Index int    // pool index of the task, -1 when not pool-addressed
+	Value any    // the recovered panic value
+	Stack []byte // debug.Stack() captured inside the deferred recover
+}
+
+// NewPanicError builds a PanicError for a recovered panic value, capturing
+// the current goroutine's stack. Call it inside the deferred recover so the
+// stack still contains the panic site.
+func NewPanicError(task string, index int, value any) *PanicError {
+	return &PanicError{Task: task, Index: index, Value: value, Stack: debug.Stack()}
+}
+
+func (e *PanicError) Error() string {
+	if e.Task != "" {
+		return fmt.Sprintf("%v: %s (index %d): %v", ErrRunPanic, e.Task, e.Index, e.Value)
+	}
+	return fmt.Sprintf("%v: index %d: %v", ErrRunPanic, e.Index, e.Value)
+}
+
+func (e *PanicError) Unwrap() error { return ErrRunPanic }
 
 // DefaultWorkers returns the default pool width: one worker per available
 // CPU (runtime.GOMAXPROCS(0)).
@@ -22,42 +68,105 @@ func Normalize(workers int) int {
 	return workers
 }
 
+// guarded runs fn(i), converting a panic into a *PanicError. The recover
+// lives in its own function so the pool's dispatch loops stay on the stack
+// when a worker unwinds — the bug that used to deadlock the feeder.
+func guarded(i int, fn func(i int)) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = NewPanicError("", i, v)
+		}
+	}()
+	fn(i)
+	return nil
+}
+
+// run is the shared dispatch engine: fn(0..n-1) across at most `workers`
+// goroutines, panics contained per index, dispatch stopping early when ctx
+// is canceled. It returns the contained panics sorted by index and whether
+// cancellation cut dispatch short. Indices that were dispatched always run
+// to completion — workers are always drained, never leaked.
+func run(ctx context.Context, workers, n int, fn func(i int)) (panics []*PanicError, canceled bool) {
+	if n <= 0 {
+		return nil, false
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	done := ctx.Done()
+	if workers <= 1 || n <= 1 {
+		// Serial reference path: inline, index order.
+		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return panics, true
+				default:
+				}
+			}
+			if pe := guarded(i, fn); pe != nil {
+				panics = append(panics, pe)
+			}
+		}
+		return panics, false
+	}
+
+	next := make(chan int)
+	out := make(chan []*PanicError, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			// Panics accumulate worker-locally and ship once at exit, so a
+			// worker never blocks mid-drain no matter how many tasks panic.
+			var mine []*PanicError
+			for i := range next {
+				if pe := guarded(i, fn); pe != nil {
+					mine = append(mine, pe)
+				}
+			}
+			out <- mine
+		}()
+	}
+
+	// Feeder: stop handing out indices once the context is canceled. The
+	// send never blocks forever — every worker drains `next` until close.
+feed:
+	for i := 0; i < n; i++ {
+		if done == nil {
+			next <- i
+			continue
+		}
+		select {
+		case <-done:
+			canceled = true
+			break feed
+		case next <- i:
+		}
+	}
+	close(next)
+
+	for w := 0; w < workers; w++ {
+		panics = append(panics, <-out...)
+	}
+	sort.Slice(panics, func(a, b int) bool { return panics[a].Index < panics[b].Index })
+	return panics, canceled
+}
+
 // ForEach runs fn(0..n-1) across at most `workers` goroutines and returns
 // once every call finished. Determinism contract: fn must communicate only
 // through index-addressed slots (fn(i) writing result[i]); ForEach itself
 // imposes no ordering between calls. With workers <= 1 (or n <= 1) the
 // calls happen inline on the caller's goroutine, in index order — the
 // serial reference path.
+//
+// A panicking fn no longer kills the pool mid-drain: every other index
+// still runs, the workers all exit, and ForEach then re-panics with the
+// lowest-index *PanicError — the same panic the serial loop would have
+// surfaced first. Callers that want panics as errors use ForEachErrCtx.
 func ForEach(workers, n int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	workers = Normalize(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	next := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer func() { done <- struct{}{} }()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		<-done
+	panics, _ := run(context.Background(), workers, n, fn)
+	if len(panics) > 0 {
+		panic(panics[0])
 	}
 }
 
@@ -67,12 +176,34 @@ func ForEach(workers, n int, fn func(i int)) {
 // order. Unlike the serial loop it does not stop early; later jobs still
 // run (their results land in the caller's slots, their errors are dropped).
 func ForEachErr(workers, n int, fn func(i int) error) error {
+	return ForEachErrCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachErrCtx is ForEachErr under a context. Cancellation stops new
+// indices from being dispatched (already-running jobs finish; simulation
+// jobs watching the same context abort themselves) and is reported as the
+// context's cause when no job error outranks it. A panicking job becomes
+// that index's error (a *PanicError matching ErrRunPanic) rather than a
+// process death, so one poisoned run cannot take down a campaign.
+func ForEachErrCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	errs := make([]error, n)
-	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	panics, canceled := run(ctx, workers, n, func(i int) { errs[i] = fn(i) })
+	for _, pe := range panics {
+		errs[pe.Index] = pe
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	if canceled {
+		cause := context.Cause(ctx)
+		if cause == nil || errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded) {
+			return cause
+		}
+		// Keep the typed cancellation sentinel in the chain: a custom cause
+		// explains *why*, but callers still match errors.Is(context.Canceled).
+		return fmt.Errorf("%w: %w", context.Canceled, cause)
 	}
 	return nil
 }

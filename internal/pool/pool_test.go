@@ -1,10 +1,14 @@
 package pool
 
 import (
+	"context"
 	"errors"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversEveryIndexOnce(t *testing.T) {
@@ -68,6 +72,132 @@ func TestForEachErrReturnsFirstByIndex(t *testing.T) {
 	}
 	if err := ForEachErr(4, 10, func(int) error { return nil }); err != nil {
 		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+// TestForEachPanicAtEveryIndex is the regression test for the historical
+// feeder deadlock: a panicking fn used to unwind a worker past its `next`
+// consumption loop and hang the dispatcher. Now every index panicking — the
+// worst case — must still drain completely, leak no goroutines, and
+// re-panic deterministically with the lowest-index PanicError.
+func TestForEachPanicAtEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 23
+		before := runtime.NumGoroutine()
+		var ran int32
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				pe, ok := v.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: re-panicked with %T, want *PanicError", workers, v)
+				}
+				if !errors.Is(pe, ErrRunPanic) {
+					t.Fatalf("workers=%d: PanicError does not match ErrRunPanic", workers)
+				}
+				if pe.Index != 0 {
+					t.Fatalf("workers=%d: re-panicked index %d, want the lowest (0)", workers, pe.Index)
+				}
+				if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "pool") {
+					t.Fatalf("workers=%d: PanicError stack missing", workers)
+				}
+			}()
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&ran, 1)
+				panic(i)
+			})
+		}()
+		// Serial path stops at the first panic like a plain loop would not —
+		// containment drains everything on both paths.
+		if got := atomic.LoadInt32(&ran); got != n {
+			t.Fatalf("workers=%d: only %d/%d indices ran before the pool gave up", workers, got, n)
+		}
+		// Workers must all have exited; allow the runtime a moment to reap.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after := runtime.NumGoroutine(); after > before {
+			t.Fatalf("workers=%d: goroutine leak: %d before, %d after", workers, before, after)
+		}
+	}
+}
+
+func TestForEachErrCtxContainsPanics(t *testing.T) {
+	err := ForEachErrCtx(context.Background(), 4, 10, func(i int) error {
+		if i == 2 || i == 6 {
+			panic("poisoned run")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v (%T), want a *PanicError", err, err)
+	}
+	if !errors.Is(err, ErrRunPanic) {
+		t.Fatal("contained panic must match ErrRunPanic")
+	}
+	if pe.Index != 2 {
+		t.Fatalf("got index %d, want the lowest panicking index 2", pe.Index)
+	}
+}
+
+func TestForEachErrCtxPanicVsErrorOrder(t *testing.T) {
+	// A panic at index 1 outranks an error at index 5: first-by-index holds
+	// across both failure kinds.
+	bad := errors.New("bad")
+	err := ForEachErrCtx(context.Background(), 3, 8, func(i int) error {
+		switch i {
+		case 1:
+			panic("early")
+		case 5:
+			return bad
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrRunPanic) {
+		t.Fatalf("got %v, want the index-1 panic", err)
+	}
+}
+
+func TestForEachErrCtxCanceled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancelCause(context.Background())
+		cause := errors.New("operator hit Ctrl-C")
+		var ran int32
+		const n = 1000
+		err := ForEachErrCtx(ctx, workers, n, func(i int) error {
+			if atomic.AddInt32(&ran, 1) == 3 {
+				cancel(cause)
+			}
+			return nil
+		})
+		if !errors.Is(err, cause) {
+			t.Fatalf("workers=%d: got %v, want the cancellation cause", workers, err)
+		}
+		if got := atomic.LoadInt32(&ran); got >= n {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch (%d/%d ran)", workers, got, n)
+		}
+	}
+}
+
+func TestForEachErrCtxJobErrorOutranksCancel(t *testing.T) {
+	// When a dispatched job fails AND the context is canceled, the job error
+	// wins: it is what the serial loop would have reported.
+	ctx, cancel := context.WithCancel(context.Background())
+	bad := errors.New("job failed")
+	err := ForEachErrCtx(ctx, 2, 50, func(i int) error {
+		if i == 0 {
+			cancel()
+			return bad
+		}
+		return nil
+	})
+	if !errors.Is(err, bad) {
+		t.Fatalf("got %v, want the job error", err)
 	}
 }
 

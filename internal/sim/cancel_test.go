@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpushield/internal/driver"
+)
+
+// prepSpin builds the infinite-loop launch used by the cancellation tests:
+// the same spin kernel as the watchdog golden, but with the watchdog off so
+// only the canceled context can stop it.
+func prepSpin(t *testing.T) (*GPU, *driver.Launch) {
+	t.Helper()
+	dev := driver.NewDevice(7)
+	buf := dev.Malloc("p", 4096, false)
+	cfg := NvidiaConfig() // MaxCycles = 0: watchdog disabled
+	gpu := New(cfg, dev)
+	l, err := dev.PrepareLaunch(buildSpinGolden(t), 2, 64, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	return gpu, l
+}
+
+// TestCancelGolden locks the cancellation-abort path byte-for-byte,
+// mirroring the watchdog-abort golden: a run canceled mid-kernel returns
+// ErrCanceled together with a partial LaunchStats report, and because the
+// cycle hook fires the cancel at a fixed cycle and the poll interval is
+// fixed, the abort cycle — and hence the whole report — is deterministic.
+func TestCancelGolden(t *testing.T) {
+	gpu, l := prepSpin(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const cancelAt = 3000
+	gpu.SetCycleHook(func(now uint64) {
+		if now >= cancelAt {
+			cancel()
+		}
+	})
+	st, err := gpu.RunCtx(ctx, l)
+
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want an error matching ErrCanceled", err)
+	}
+	if st == nil || !st.Aborted {
+		t.Fatalf("canceled run must return a partial report with Aborted set, got %+v", st)
+	}
+	if st.FinishCycle == 0 || st.FinishCycle < cancelAt {
+		t.Fatalf("partial report must cover execution up to the abort (FinishCycle=%d, canceled at %d)", st.FinishCycle, cancelAt)
+	}
+	if st.WarpInstrs == 0 {
+		t.Fatal("partial report lost the pre-abort instruction counts")
+	}
+
+	rec := goldenRecord{Name: "cancel/spin", Stats: []*LaunchStats{st}, Err: err.Error()}
+	got, jerr := json.MarshalIndent([]goldenRecord{rec}, "", "  ")
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden_cancel.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("read golden (run with -update-golden to record): %v", rerr)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("cancellation golden mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestCancelCausePreserved checks that the cancellation cause travels into
+// both the returned error and the report's abort message.
+func TestCancelCausePreserved(t *testing.T) {
+	gpu, l := prepSpin(t)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("operator gave up")
+	gpu.SetCycleHook(func(now uint64) {
+		if now >= 2000 {
+			cancel(cause)
+		}
+	})
+	st, err := gpu.RunCtx(ctx, l)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte(cause.Error())) {
+		t.Fatalf("error %q lost the cause %q", err, cause)
+	}
+	if !bytes.Contains([]byte(st.AbortMsg), []byte(cause.Error())) {
+		t.Fatalf("abort message %q lost the cause %q", st.AbortMsg, cause)
+	}
+}
+
+// TestCancelAlreadyCanceled: a context dead before the launch starts aborts
+// at the very first poll instead of spinning forever.
+func TestCancelAlreadyCanceled(t *testing.T) {
+	gpu, l := prepSpin(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := gpu.RunCtx(ctx, l)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if st == nil || !st.Aborted {
+		t.Fatal("expected an aborted partial report")
+	}
+}
+
+// TestBackgroundCtxMatchesRun: plumbing a background context must not
+// change results — RunCtx is Run, bit for bit.
+func TestBackgroundCtxMatchesRun(t *testing.T) {
+	mk := func() (*GPU, *driver.Launch) {
+		dev := driver.NewDevice(7)
+		const n = 1000
+		ba := dev.Malloc("a", n*4, true)
+		bb := dev.Malloc("b", n*4, true)
+		bc := dev.Malloc("c", n*4, false)
+		for i := 0; i < n; i++ {
+			dev.WriteUint32(ba, i, uint32(i))
+			dev.WriteUint32(bb, i, uint32(2*i))
+		}
+		args := []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc), driver.ScalarArg(n)}
+		gpu := New(NvidiaConfig(), dev)
+		l, err := dev.PrepareLaunch(buildVecAdd(t), 8, 128, args, driver.ModeOff, nil)
+		if err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		return gpu, l
+	}
+	g1, l1 := mk()
+	st1, err1 := g1.Run(l1)
+	g2, l2 := mk()
+	st2, err2 := g2.RunCtx(context.Background(), l2)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unexpected errors %v / %v", err1, err2)
+	}
+	j1, _ := json.Marshal(st1)
+	j2, _ := json.Marshal(st2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("RunCtx(Background) diverged from Run:\n%s\n%s", j1, j2)
+	}
+}

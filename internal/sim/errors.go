@@ -17,4 +17,11 @@ var (
 	// instantiated (malformed cache/TLB geometry, nonpositive core or warp
 	// counts).
 	ErrInvalidConfig = errors.New("sim: invalid config")
+
+	// ErrCanceled marks a launch aborted because its context was canceled
+	// (Ctrl-C, a deadline, a soak-loop shutdown). Like a watchdog abort, the
+	// LaunchStats returned alongside it are a partial report up to the abort
+	// cycle; unlike a watchdog abort the run itself was healthy, so it is
+	// safe to re-run under a fresh context.
+	ErrCanceled = errors.New("sim: run canceled")
 )

@@ -1,12 +1,22 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"gpushield/internal/core"
 	"gpushield/internal/driver"
 	"gpushield/internal/memsys"
 )
+
+// cancelCheckInterval is how many scheduling steps pass between polls of the
+// run context's Done channel. The poll is a non-blocking select, but even
+// that is too expensive per step on the hot path; every 1024 steps the
+// latency between Ctrl-C and the abort stays far below a millisecond of
+// wall clock while the cost disappears into the noise. Contexts that can
+// never be canceled (Done() == nil, e.g. context.Background) are detected
+// once up front and never polled at all.
+const cancelCheckInterval = 1024
 
 // ShareMode selects how concurrent kernels share the GPU (§6.2).
 type ShareMode uint8
@@ -201,7 +211,15 @@ func (r *kernelRun) finished() bool {
 // On a watchdog abort the partial report is returned together with the
 // error, so callers can still inspect what happened up to the abort.
 func (g *GPU) Run(l *driver.Launch) (*LaunchStats, error) {
-	res, err := g.RunConcurrent([]*driver.Launch{l}, ShareIntraCore)
+	return g.RunCtx(context.Background(), l)
+}
+
+// RunCtx is Run under a context: cancellation (Ctrl-C, a deadline) aborts
+// the launch within cancelCheckInterval scheduling steps, returning the
+// partial report together with an error matching ErrCanceled. A background
+// context makes RunCtx identical to Run, including its cost.
+func (g *GPU) RunCtx(ctx context.Context, l *driver.Launch) (*LaunchStats, error) {
+	res, err := g.RunConcurrentCtx(ctx, []*driver.Launch{l}, ShareIntraCore)
 	if len(res) == 1 {
 		return res[0], err
 	}
@@ -211,6 +229,15 @@ func (g *GPU) Run(l *driver.Launch) (*LaunchStats, error) {
 // RunConcurrent executes several launches simultaneously under the given
 // sharing mode and returns per-launch statistics in input order.
 func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*LaunchStats, error) {
+	return g.RunConcurrentCtx(context.Background(), launches, mode)
+}
+
+// RunConcurrentCtx is RunConcurrent under a context. Cancellation is polled
+// every cancelCheckInterval scheduling steps alongside the watchdog: every
+// unfinished run is aborted with a partial report (Aborted set, AbortMsg
+// naming the cancellation cause) and the returned error matches ErrCanceled.
+// Runs that had already finished keep their complete reports.
+func (g *GPU) RunConcurrentCtx(ctx context.Context, launches []*driver.Launch, mode ShareMode) ([]*LaunchStats, error) {
 	if len(launches) == 0 {
 		return nil, fmt.Errorf("%w: no launches", driver.ErrInvalidLaunch)
 	}
@@ -284,6 +311,26 @@ func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*Launc
 	live := len(runs)
 	t0 := g.now
 	var werr error
+	// Captured once: a nil Done channel (context.Background and friends)
+	// means the context can never be canceled, so the loop never polls it.
+	done := ctx.Done()
+	var steps uint64
+	// A context that is already dead aborts before the first cycle: short
+	// kernels can otherwise finish inside the first poll interval and make
+	// cancellation look like success.
+	if done != nil {
+		select {
+		case <-done:
+			cause := context.Cause(ctx)
+			g.abortUnfinished(runs, "canceled: "+cause.Error())
+			stats := make([]*LaunchStats, len(runs))
+			for i, r := range runs {
+				stats[i] = r.stats
+			}
+			return stats, fmt.Errorf("%w: %v", ErrCanceled, cause)
+		default:
+		}
+	}
 	g.wakes.reset()
 	g.dispatchNeeded = false
 	g.dispatch(allowed)
@@ -317,6 +364,21 @@ func (g *GPU) RunConcurrent(launches []*driver.Launch, mode ShareMode) ([]*Launc
 				msg := "watchdog: barrier deadlock, no resident warp can progress"
 				werr = fmt.Errorf("%w: %s", ErrWatchdog, msg)
 				g.abortUnfinished(runs, msg)
+			}
+		}
+		// Cancellation poll, next to the watchdog: a canceled context aborts
+		// every unfinished run with a partial report. The poll never mutates
+		// simulator state on the not-canceled path, so enabling it cannot
+		// perturb golden statistics.
+		steps++
+		if werr == nil && done != nil && steps%cancelCheckInterval == 0 {
+			select {
+			case <-done:
+				cause := context.Cause(ctx)
+				msg := "canceled: " + cause.Error()
+				werr = fmt.Errorf("%w: %v", ErrCanceled, cause)
+				g.abortUnfinished(runs, msg)
+			default:
 			}
 		}
 		// Retire finished runs and refill free workgroup slots.
