@@ -6,6 +6,16 @@
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH_PR3.json
 //	go test -bench=. ./internal/sim | benchjson            # JSON to stdout
+//	benchjson -old BENCH_PR4.json -new BENCH_PR5.json -max-regress 15 \
+//	    -match 'WarpIssue|MemInstr'                        # compare mode
+//
+// Compare mode diffs two previously written reports instead of parsing
+// stdin: for every benchmark matched by -match and present in both files it
+// checks ns/op (lower is better) and every */s throughput metric (higher is
+// better), printing a table of deltas and exiting 1 if any matched metric
+// regressed by more than -max-regress percent. Benchmarks present in only
+// one file are reported but never fail the run, so the guard survives
+// benchmark additions and renames.
 //
 // Each benchmark line becomes one record: package (from the preceding
 // `pkg:` header), name (with any -cpu suffix), iterations, ns/op, and every
@@ -20,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,7 +54,19 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	oldPath := flag.String("old", "", "compare mode: baseline report")
+	newPath := flag.String("new", "", "compare mode: candidate report")
+	maxRegress := flag.Float64("max-regress", 15, "compare mode: fail on any matched metric this many percent worse")
+	match := flag.String("match", ".", "compare mode: regexp of benchmark names to guard")
 	flag.Parse()
+
+	if *oldPath != "" || *newPath != "" {
+		if *oldPath == "" || *newPath == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: compare mode needs both -old and -new")
+			os.Exit(2)
+		}
+		os.Exit(compare(*oldPath, *newPath, *match, *maxRegress))
+	}
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -68,6 +92,104 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadReport reads one previously written benchjson document.
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(buf, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare diffs two reports and returns the process exit code: 0 when every
+// matched metric stayed within maxRegress percent of the baseline, 1 on any
+// regression beyond it, 2 on usage errors.
+func compare(oldPath, newPath, match string, maxRegress float64) int {
+	re, err := regexp.Compile(match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: bad -match:", err)
+		return 2
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	baseline := map[string]Result{}
+	for _, r := range oldRep.Benchmarks {
+		baseline[r.Pkg+"."+r.Name] = r
+	}
+
+	failed := false
+	compared := 0
+	for _, nr := range newRep.Benchmarks {
+		if !re.MatchString(nr.Name) {
+			continue
+		}
+		key := nr.Pkg + "." + nr.Name
+		or, ok := baseline[key]
+		if !ok {
+			fmt.Printf("NEW      %-50s (no baseline)\n", nr.Name)
+			continue
+		}
+		delete(baseline, key)
+		units := make([]string, 0, len(or.Metrics))
+		for unit := range or.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			oldV := or.Metrics[unit]
+			newV, ok := nr.Metrics[unit]
+			if !ok || oldV == 0 {
+				continue
+			}
+			// ns/op: lower is better. Throughput (*/s): higher is better.
+			// Everything else (B/op, allocs/op, ...) is informational.
+			var worsePct float64
+			switch {
+			case unit == "ns/op":
+				worsePct = (newV - oldV) / oldV * 100
+			case strings.HasSuffix(unit, "/s"):
+				worsePct = (oldV - newV) / oldV * 100
+			default:
+				continue
+			}
+			compared++
+			status := "ok      "
+			if worsePct > maxRegress {
+				status = "REGRESS "
+				failed = true
+			}
+			fmt.Printf("%s %-50s %-14s %12.2f -> %12.2f  (%+.1f%%)\n",
+				status, nr.Name, unit, oldV, newV, -worsePct)
+		}
+	}
+	for key := range baseline {
+		if re.MatchString(key) {
+			fmt.Printf("GONE     %-50s (not in candidate)\n", key)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: -match %q compared no metrics\n", match)
+		return 2
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% detected\n", maxRegress)
+		return 1
+	}
+	return 0
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

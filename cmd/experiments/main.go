@@ -57,14 +57,15 @@ type expTiming struct {
 // runReport is the full machine-readable -json payload: per-experiment
 // timings plus the engine's job/cache accounting, for the bench trajectory.
 type runReport struct {
-	Parallel    int                           `json:"parallel"`
-	Experiments []expTiming                   `json:"experiments"`
-	Engine      experiments.EngineStats       `json:"engine"`
-	Quarantined []experiments.QuarantineEntry `json:"quarantined,omitempty"`
-	Interrupted bool                          `json:"interrupted,omitempty"`
-	TotalWallMS float64                       `json:"total_wall_ms"`
-	Speedup     float64                       `json:"speedup"`
-	Failed      int                           `json:"failed"`
+	Parallel     int                           `json:"parallel"`
+	CoreParallel int                           `json:"core_parallel"`
+	Experiments  []expTiming                   `json:"experiments"`
+	Engine       experiments.EngineStats       `json:"engine"`
+	Quarantined  []experiments.QuarantineEntry `json:"quarantined,omitempty"`
+	Interrupted  bool                          `json:"interrupted,omitempty"`
+	TotalWallMS  float64                       `json:"total_wall_ms"`
+	Speedup      float64                       `json:"speedup"`
+	Failed       int                           `json:"failed"`
 }
 
 func main() { os.Exit(realMain()) }
@@ -100,6 +101,7 @@ func realMain() int {
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	parallel := flag.Int("parallel", 0, "engine worker-pool width; 0 = one per CPU, 1 = serial")
+	coreParallel := flag.Int("core-parallel", 0, "per-simulation core-stepping width; capped so parallel × core-parallel <= CPU count (0 = auto, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable timing summary (JSON) on stdout; tables move to stderr")
 	journalPath := flag.String("journal", "", "append every completed run to this write-ahead journal (JSON lines, fsync'd)")
 	resumePath := flag.String("resume", "", "replay a journal into the run cache before starting (continue an interrupted sweep)")
@@ -147,6 +149,7 @@ func realMain() int {
 	}
 
 	experiments.SetParallelism(*parallel)
+	experiments.SetCoreParallelism(*coreParallel)
 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	defer cancel(nil)
@@ -247,14 +250,15 @@ func realMain() int {
 
 	if *jsonOut {
 		rep := runReport{
-			Parallel:    experiments.Parallelism(),
-			Experiments: timings,
-			Engine:      es,
-			Quarantined: quarantined,
-			Interrupted: interrupted,
-			TotalWallMS: float64(wall.Microseconds()) / 1000,
-			Speedup:     speedup,
-			Failed:      len(failures),
+			Parallel:     experiments.Parallelism(),
+			CoreParallel: experiments.CoreParallelism(),
+			Experiments:  timings,
+			Engine:       es,
+			Quarantined:  quarantined,
+			Interrupted:  interrupted,
+			TotalWallMS:  float64(wall.Microseconds()) / 1000,
+			Speedup:      speedup,
+			Failed:       len(failures),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -264,8 +268,8 @@ func realMain() int {
 		}
 	} else {
 		fmt.Fprintf(os.Stderr,
-			"engine: %d jobs (%d unique runs, %d cache hits, %d replayed), parallel=%d, wall %v, serial-equivalent %v, speedup %.2fx\n",
-			es.Jobs, es.UniqueRuns, es.CacheHits, es.Replayed, experiments.Parallelism(),
+			"engine: %d jobs (%d unique runs, %d cache hits, %d replayed), parallel=%d, core-parallel=%d, wall %v, serial-equivalent %v, speedup %.2fx\n",
+			es.Jobs, es.UniqueRuns, es.CacheHits, es.Replayed, experiments.Parallelism(), experiments.CoreParallelism(),
 			wall.Round(time.Millisecond), time.Duration(es.SerialSeconds*float64(time.Second)).Round(time.Millisecond),
 			speedup)
 		fmt.Fprintf(os.Stderr, "experiments: %d passed, %d failed\n", len(timings)-len(failures), len(failures))

@@ -20,6 +20,7 @@ import (
 	"gpushield/internal/compiler"
 	"gpushield/internal/core"
 	"gpushield/internal/driver"
+	"gpushield/internal/pool"
 	"gpushield/internal/sim"
 	"gpushield/internal/workloads"
 )
@@ -35,6 +36,7 @@ func main() {
 	l1lat := flag.Int("l1lat", 1, "L1 RCache latency (cycles)")
 	l2lat := flag.Int("l2lat", 3, "L2 RCache latency (cycles)")
 	pages := flag.Bool("pages", false, "track 4KB pages touched per buffer")
+	coreParallel := flag.Int("core-parallel", 1, "core-stepping worker threads; 0 = one per CPU, 1 = serial (results are identical at every width)")
 	disasm := flag.Bool("disasm", false, "print the kernel disassembly and exit")
 	flag.Parse()
 
@@ -106,11 +108,19 @@ func main() {
 		cfg = cfg.WithShield(bcu)
 	}
 
+	if *coreParallel == 0 {
+		*coreParallel = pool.DefaultWorkers()
+	}
+	cfg.CoreParallel = *coreParallel
+
 	l, err := dev.PrepareLaunch(spec.Kernel, spec.Grid, spec.Block, spec.Args, dmode, an)
 	if err != nil {
 		fatal(err)
 	}
-	gpu := sim.New(cfg, dev)
+	gpu, err := sim.NewGPU(cfg, dev)
+	if err != nil {
+		fatal(err)
+	}
 	gpu.TrackPages(*pages)
 
 	// Two-stage shutdown: the first SIGINT/SIGTERM cancels the run (the

@@ -27,6 +27,7 @@ import (
 	"gpushield/internal/compiler"
 	"gpushield/internal/core"
 	"gpushield/internal/driver"
+	"gpushield/internal/pool"
 	"gpushield/internal/sim"
 )
 
@@ -70,14 +71,15 @@ type Report = sim.LaunchStats
 type Option func(*config)
 
 type config struct {
-	arch      Arch
-	mode      Protection
-	bcu       BCUConfig
-	seed      int64
-	fault     bool
-	pages     bool
-	fineHeap  bool
-	maxCycles uint64
+	arch         Arch
+	mode         Protection
+	bcu          BCUConfig
+	seed         int64
+	fault        bool
+	pages        bool
+	fineHeap     bool
+	maxCycles    uint64
+	coreParallel int
 }
 
 // WithArch selects the simulated architecture (default Nvidia).
@@ -110,6 +112,21 @@ func WithFineGrainedHeap() Option { return func(c *config) { c.fineHeap = true }
 // disables the watchdog, restoring the historical spin-forever behaviour for
 // non-terminating kernels.
 func WithMaxCycles(n uint64) Option { return func(c *config) { c.maxCycles = n } }
+
+// WithCoreParallelism shards the simulated cores of each launch across n OS
+// threads under the scheduler's two-phase deterministic protocol: results —
+// every Report byte — are identical at every n, only wall-clock time changes.
+// n <= 0 asks for the machine's worker budget (one worker per available CPU);
+// 1 forces the serial scheduler. The default (no option) is serial unless the
+// GPUSHIELD_CORE_PARALLEL environment variable requests a width.
+func WithCoreParallelism(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			n = pool.DefaultWorkers()
+		}
+		c.coreParallel = n
+	}
+}
 
 // WithPerThreadChecks disables warp-level address-range gathering so the
 // BCU checks every lane individually — an ablation knob, not a deployment
@@ -145,6 +162,7 @@ func NewSystem(opts ...Option) *System {
 		simCfg = simCfg.WithShield(c.bcu)
 	}
 	simCfg.MaxCycles = c.maxCycles
+	simCfg.CoreParallel = c.coreParallel
 	gpu := sim.New(simCfg, dev)
 	gpu.TrackPages(c.pages)
 	return &System{cfg: c, dev: dev, gpu: gpu}

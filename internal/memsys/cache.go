@@ -124,7 +124,11 @@ func (c *Cache) Access(addr uint64) bool {
 	return false
 }
 
-// Probe reports whether addr is resident without changing any state.
+// Probe reports whether addr is resident without changing any state: no
+// LRU update, no allocation, no statistics. It is the read-only half of the
+// probe/apply split (Access is the apply half) the simulator's two-phase
+// scheduler relies on: a parallel planning phase may Probe shared caches
+// freely, while mutation is reserved for the serial commit phase.
 func (c *Cache) Probe(addr uint64) bool {
 	tag := addr >> c.lineBits
 	set := c.sets[tag%c.numSets]

@@ -1,0 +1,99 @@
+package memsys
+
+import "testing"
+
+// TestTLBProbe locks the probe/apply contract on the TLB: Probe agrees with
+// what Access just established, never allocates, never perturbs LRU order,
+// and never counts.
+func TestTLBProbe(t *testing.T) {
+	tlb := MustTLB(TLBConfig{Name: "t", Entries: 4, Ways: 2, PageBytes: 4096})
+	const page = 4096
+
+	if tlb.Probe(0) {
+		t.Fatal("probe hit on an empty TLB")
+	}
+	if tlb.Stats.Accesses != 0 {
+		t.Fatalf("probe counted an access: %+v", tlb.Stats)
+	}
+
+	tlb.Access(0)        // miss, allocates VPN 0
+	tlb.Access(2 * page) // miss, allocates VPN 2 (same set, 2 ways)
+	if !tlb.Probe(0) || !tlb.Probe(2*page) {
+		t.Fatal("probe missed a just-allocated translation")
+	}
+	if tlb.Probe(page) {
+		t.Fatal("probe hit a translation that was never accessed")
+	}
+
+	// A probe must not refresh LRU: after probing VPN 0 (the older entry),
+	// the next conflicting allocation must still evict VPN 0.
+	tlb.Probe(0)
+	tlb.Access(4 * page) // set 0 is full; LRU (VPN 0) must be the victim
+	if tlb.Probe(0) {
+		t.Fatal("probe refreshed LRU: oldest entry survived eviction")
+	}
+	if !tlb.Probe(2*page) || !tlb.Probe(4*page) {
+		t.Fatal("eviction removed the wrong entry")
+	}
+
+	stats := tlb.Stats
+	for i := 0; i < 100; i++ {
+		tlb.Probe(uint64(i) * page)
+	}
+	if tlb.Stats != stats {
+		t.Fatalf("probing changed stats: %+v -> %+v", stats, tlb.Stats)
+	}
+}
+
+// TestCacheProbe locks the same contract on the data cache.
+func TestCacheProbe(t *testing.T) {
+	c := MustCache(CacheConfig{Name: "c", SizeBytes: 512, LineBytes: 128, Ways: 2, HitLatency: 1})
+
+	if c.Probe(0) {
+		t.Fatal("probe hit on an empty cache")
+	}
+	c.Access(0)
+	c.Access(256) // same set, second way
+	if !c.Probe(0) || !c.Probe(256) {
+		t.Fatal("probe missed a resident line")
+	}
+
+	c.Probe(0)    // must not refresh LRU
+	c.Access(512) // evicts line 0, the true LRU
+	if c.Probe(0) {
+		t.Fatal("probe refreshed LRU: oldest line survived eviction")
+	}
+
+	stats := c.Stats
+	for i := 0; i < 100; i++ {
+		c.Probe(uint64(i) * 128)
+	}
+	if c.Stats != stats {
+		t.Fatalf("probing changed stats: %+v -> %+v", stats, c.Stats)
+	}
+}
+
+// TestDRAMProbe locks the probe/apply contract on the DRAM model: Probe
+// predicts exactly what the next Access to that address returns, and leaves
+// bank state and statistics untouched.
+func TestDRAMProbe(t *testing.T) {
+	cfg := DefaultDRAMConfig()
+	d := NewDRAM(cfg)
+
+	addrs := []uint64{0, 64, 2048, 4096, 1 << 20, 0, 2048}
+	now := uint64(100)
+	for _, a := range addrs {
+		want := d.Probe(now, a)
+		stats := d.Stats
+		if again := d.Probe(now, a); again != want {
+			t.Fatalf("probe(%#x) not stable: %d then %d", a, want, again)
+		}
+		if d.Stats != stats {
+			t.Fatalf("probe counted a request: %+v", d.Stats)
+		}
+		if got := d.Access(now, a); got != want {
+			t.Fatalf("probe(%#x)=%d but access=%d", a, want, got)
+		}
+		now += 7
+	}
+}

@@ -66,8 +66,27 @@ func MustTLB(cfg TLBConfig) *TLB {
 // Config returns the TLB geometry.
 func (t *TLB) Config() TLBConfig { return t.cfg }
 
+// Probe reports whether the translation for vaddr is resident without
+// changing any state: no LRU update, no allocation, no statistics. It is
+// the read-only half of the probe/apply split the simulator's two-phase
+// scheduler relies on — a parallel planning phase may Probe shared
+// structures freely, while the mutating Access is reserved for the serial
+// commit phase.
+func (t *TLB) Probe(vaddr uint64) bool {
+	vpn := vaddr >> t.pageBits
+	set := t.sets[vpn%t.numSets]
+	for i := range set {
+		if set[i].valid && set[i].tag == vpn {
+			return true
+		}
+	}
+	return false
+}
+
 // Access translates the page containing vaddr, reporting whether the
-// translation hit. Misses allocate the entry.
+// translation hit. Misses allocate the entry. Access is the apply half of
+// the probe/apply split: it mutates LRU state and statistics, so under the
+// two-phase scheduler it must only run in the serial commit phase.
 func (t *TLB) Access(vaddr uint64) bool {
 	t.useTick++
 	t.Stats.Accesses++

@@ -60,6 +60,29 @@ type coreState struct {
 	lsuFreeAt   uint64
 	lastWarp    int // greedy-then-oldest cursor
 	rrRun       int // round-robin kernel cursor for dispatch
+
+	// intent is the core's phase-A scratch under the parallel scheduler:
+	// the chosen instruction plus every shared-state effect it deferred.
+	// pend points at intent only while the core-private half of an
+	// instruction executes in phase A; helpers that would otherwise touch
+	// shared state (run stats, liveWGs, dispatchNeeded, the wake heap)
+	// consult it and record into the intent instead. It is nil during
+	// serial execution and during the commit phase, so those paths mutate
+	// shared state directly, exactly as the serial scheduler always has.
+	intent coreIntent
+	pend   *coreIntent
+}
+
+// statsFor returns the LaunchStats sink for counters incremented during the
+// core-private half of an instruction: the run's stats in serial execution,
+// or the core's intent scratch during parallel phase A (the commit phase
+// folds the scratch into the run in ascending core-id order, so totals are
+// byte-identical to serial accumulation).
+func (c *coreState) statsFor(r *kernelRun) *LaunchStats {
+	if c.pend != nil {
+		return &c.pend.stats
+	}
+	return r.stats
 }
 
 // placeWorkgroup instantiates workgroup wgID of run r on this core.
@@ -114,21 +137,37 @@ func (c *coreState) removeWorkgroup(wg *workgroup) {
 		c.lastWarp = 0
 	}
 	// Freed capacity may admit a pending workgroup; run dispatch this step.
-	c.gpu.dispatchNeeded = true
+	// Under the parallel scheduler the flag is GPU-global shared state, so a
+	// phase-A retire defers it to the commit.
+	if c.pend != nil {
+		c.pend.dispatch = true
+	} else {
+		c.gpu.dispatchNeeded = true
+	}
 }
 
-// tryIssue issues at most one instruction on this core at cycle now,
-// greedy-then-oldest: the warp issued last keeps priority while it is
+// issuePick is the outcome of one scheduler scan: the chosen warp (w == nil
+// when nothing can issue this cycle) and the wake bookkeeping the scan
+// computed for free — the earliest future readyAt, or lsuFreeAt for a ready
+// warp stalled behind the LSU.
+type issuePick struct {
+	idx  int
+	w    *warp
+	in   *kernel.Instr
+	next uint64
+}
+
+// selectWarp scans for the next instruction to issue without committing to
+// it, greedy-then-oldest: the warp issued last keeps priority while it is
 // ready, which preserves the RCache temporal locality the paper relies on.
 //
-// It also maintains the core's wake time. On an issue the core may issue
-// again next cycle, so the wake moves to now+1. On a failed scan the pass
-// has already seen every warp, so the exact next opportunity — the earliest
-// future readyAt, or lsuFreeAt for a ready warp stalled behind the LSU — is
-// recorded for free; until then the scheduler never looks at this core.
-func (c *coreState) tryIssue(now uint64) bool {
+// The scan's only mutation is reconvergence-stack normalization, which is
+// idempotent — re-running the scan from the same cycle picks the same warp.
+// The parallel scheduler's hazard fallback (re-execute the whole cycle on
+// the serial path) depends on exactly that property.
+func (c *coreState) selectWarp(now uint64) issuePick {
 	n := len(c.warps)
-	next := farFuture
+	pick := issuePick{idx: -1, next: farFuture}
 	for k := 0; k < n; k++ {
 		idx := (c.lastWarp + k) % n
 		w := c.warps[idx]
@@ -136,25 +175,40 @@ func (c *coreState) tryIssue(now uint64) bool {
 			continue
 		}
 		if w.readyAt > now {
-			if w.readyAt < next {
-				next = w.readyAt
+			if w.readyAt < pick.next {
+				pick.next = w.readyAt
 			}
 			continue
 		}
 		in := &w.wg.run.launch.Kernel.Code[w.reconverge()]
 		if in.Op.IsMemory() && in.Space != kernel.SpaceShared && c.lsuFreeAt > now {
-			if c.lsuFreeAt < next {
-				next = c.lsuFreeAt
+			if c.lsuFreeAt < pick.next {
+				pick.next = c.lsuFreeAt
 			}
 			continue
 		}
-		c.lastWarp = idx
-		c.execute(w, in, now)
-		c.gpu.wakes.set(c.id, now+1)
-		return true
+		pick.idx, pick.w, pick.in = idx, w, in
+		return pick
 	}
-	c.gpu.wakes.set(c.id, next)
-	return false
+	return pick
+}
+
+// tryIssue issues at most one instruction on this core at cycle now.
+//
+// It also maintains the core's wake time. On an issue the core may issue
+// again next cycle, so the wake moves to now+1. On a failed scan the pass
+// has already seen every warp, so the exact next opportunity is recorded
+// for free; until then the scheduler never looks at this core.
+func (c *coreState) tryIssue(now uint64) bool {
+	p := c.selectWarp(now)
+	if p.w == nil {
+		c.gpu.wakes.set(c.id, p.next)
+		return false
+	}
+	c.lastWarp = p.idx
+	c.execute(p.w, p.in, now)
+	c.gpu.wakes.set(c.id, now+1)
+	return true
 }
 
 // reconverge pops reconvergence-stack entries whose point the warp reached
@@ -193,7 +247,7 @@ func (w *warp) guardMask(in *kernel.Instr) uint64 {
 // execute runs one warp instruction: functional semantics plus timing.
 func (c *coreState) execute(w *warp, in *kernel.Instr, now uint64) {
 	r := w.wg.run
-	st := r.stats
+	st := c.statsFor(r)
 	gmask := w.guardMask(in)
 	st.WarpInstrs++
 	st.ThreadInstrs += uint64(bits.OnesCount64(gmask))
@@ -254,7 +308,13 @@ func (c *coreState) retireWarp(w *warp, now uint64) {
 	c.releaseBarrier(wg, now)
 	if wg.live == 0 {
 		c.removeWorkgroup(wg)
-		wg.run.liveWGs--
+		// The live-workgroup count is owned by the run (shared across
+		// cores); a phase-A retire defers the decrement to the commit.
+		if c.pend != nil {
+			c.pend.retired = wg.run
+		} else {
+			wg.run.liveWGs--
+		}
 	}
 }
 
@@ -270,8 +330,14 @@ func (c *coreState) releaseBarrier(wg *workgroup, now uint64) {
 			w.readyAt = now + 1
 		}
 	}
-	// Released warps are ready next cycle; wake the core for them.
-	c.gpu.wakes.earlier(c.id, now+1)
+	// Released warps are ready next cycle; wake the core for them. A
+	// release can only happen inside an issuing execute, whose caller
+	// (tryIssue serially, the commit phase in parallel) re-arms the core at
+	// now+1 unconditionally — so in phase A, where the heap is shared, the
+	// call is simply skipped rather than deferred.
+	if c.pend == nil {
+		c.gpu.wakes.earlier(c.id, now+1)
+	}
 }
 
 func (c *coreState) execBranch(w *warp, in *kernel.Instr, gmask uint64, now uint64) {

@@ -36,12 +36,21 @@ func (m ShareMode) String() string {
 	return "inter-core"
 }
 
-// GPU is one simulated device instance. A GPU is built over a driver.Device
-// whose memory holds the kernels' data; it is not safe for concurrent use.
+// GPU is one simulated device instance, built over a driver.Device whose
+// memory holds the kernels' data. A GPU's methods must not be called
+// concurrently from multiple goroutines — but internally one launch may
+// step its simulated cores on several OS threads (Config.CoreParallel, the
+// two-phase deterministic scheduler): core-private work runs in parallel,
+// shared-state effects commit serially in core-id order, and the results
+// are byte-identical to serial stepping at every width.
 type GPU struct {
 	cfg   Config
 	dev   *driver.Device
 	cores []*coreState
+
+	// coreWidth is the resolved CoreParallel value: how many OS threads
+	// step the cores inside one launch (1 = serial stepping).
+	coreWidth int
 
 	l2    *memsys.Cache
 	l2tlb *memsys.TLB
@@ -99,6 +108,7 @@ func NewGPU(cfg Config, dev *driver.Device) (*GPU, error) {
 		atomicBusy: make(map[uint64]uint64),
 		wakes:      newWakeHeap(cfg.Cores),
 	}
+	g.coreWidth = cfg.resolveCoreParallel()
 	for i := 0; i < cfg.Cores; i++ {
 		c := &coreState{
 			id:    i,
@@ -334,21 +344,24 @@ func (g *GPU) RunConcurrentCtx(ctx context.Context, launches []*driver.Launch, m
 	g.wakes.reset()
 	g.dispatchNeeded = false
 	g.dispatch(allowed)
+	// Parallel core stepping (Config.CoreParallel): phase-A workers live for
+	// this invocation only, parked between cycles. Fault hooks stay cycle-
+	// deterministic: cycleHook fires below on this goroutine before any core
+	// steps, and txFault fires inside the serial commit in core-id order.
+	var cw *coreWorkers
+	if g.coreWidth > 1 {
+		cw = newCoreWorkers(g, g.coreWidth)
+		defer cw.stop()
+	}
 	for live > 0 {
 		if g.cycleHook != nil {
 			g.cycleHook(g.now)
 		}
-		issued := false
-		for _, c := range g.cores {
-			// Skip cores that provably cannot issue yet: their wake time —
-			// maintained at issue, barrier release, retire, and dispatch —
-			// is still in the future.
-			if g.wakes.at(c.id) > g.now {
-				continue
-			}
-			if c.tryIssue(g.now) {
-				issued = true
-			}
+		var issued bool
+		if cw != nil {
+			issued = g.stepParallel(cw)
+		} else {
+			issued = g.stepSerial()
 		}
 		// Kernel watchdog: a run that exhausts the cycle budget — or can
 		// provably never make progress again (every resident warp parked at
@@ -427,6 +440,27 @@ func (g *GPU) RunConcurrentCtx(ctx context.Context, launches []*driver.Launch, m
 		stats[i] = r.stats
 	}
 	return stats, werr
+}
+
+// stepSerial visits every core in ascending id order on the calling
+// goroutine and lets each issue at most one instruction — the reference
+// scheduler whose observable effects the parallel path must reproduce
+// bit-for-bit. It is also the fallback for cycles the parallel path cannot
+// prove abort-free.
+func (g *GPU) stepSerial() bool {
+	issued := false
+	for _, c := range g.cores {
+		// Skip cores that provably cannot issue yet: their wake time —
+		// maintained at issue, barrier release, retire, and dispatch —
+		// is still in the future.
+		if g.wakes.at(c.id) > g.now {
+			continue
+		}
+		if c.tryIssue(g.now) {
+			issued = true
+		}
+	}
+	return issued
 }
 
 // abortUnfinished tears down every run that has not completed, attributing

@@ -11,12 +11,32 @@ import (
 	"gpushield/internal/memsys"
 )
 
+// memPrep is the core-private half of one global-memory instruction: the
+// generated per-lane addresses and the coalesced transaction set. It is a
+// pure function of warp registers and the launch, so the parallel scheduler
+// computes it in phase A (where it doubles as the abort-hazard evidence)
+// while the shared-state half, memCommit, waits for the serial commit.
+type memPrep struct {
+	addrs  [64]uint64
+	offs   [64]int64
+	lines  [64]uint64
+	nLines int
+
+	minAddr, maxAddr uint64
+	minOfs, maxOfs   int64
+	ptr              uint64
+}
+
 // execMem executes one warp-level memory instruction: address generation,
 // coalescing, bounds checking, translation + cache timing, and the
-// functional access against simulated device memory.
+// functional access against simulated device memory. Serially that is
+// memGen followed immediately by memCommit; under the parallel scheduler
+// the commit half is deferred into the core's intent and applied in
+// ascending core-id order, so the shared-state mutation sequence is
+// identical either way.
 func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64) {
 	r := w.wg.run
-	st := r.stats
+	st := c.statsFor(r)
 	st.MemInstrs++
 
 	if in.Space == kernel.SpaceShared {
@@ -28,15 +48,30 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 		w.readyAt = now + 1
 		return
 	}
+	if p := c.pend; p != nil {
+		// Parallel phase A: the addresses were already generated during
+		// hazard evaluation in the select phase; everything else touches
+		// shared state and runs at commit time.
+		p.memPend = true
+		return
+	}
+	var prep memPrep
+	c.memGen(w, in, gmask, &prep)
+	c.memCommit(w, in, gmask, now, &prep)
+}
 
-	l := r.launch
+// memGen runs address generation and coalescing for one global-memory
+// instruction into prep. It reads warp registers and launch metadata only —
+// no shared or timing state — and leaves the warp untouched.
+func (c *coreState) memGen(w *warp, in *kernel.Instr, gmask uint64, prep *memPrep) {
+	l := w.wg.run.launch
 	ww := c.gpu.cfg.WarpWidth
 
 	// Address generation (AGU). ptr carries the tag of the pointer being
 	// dereferenced; offsets are collected for Type-3 checking.
 	var (
-		addrs   [64]uint64
-		offs    [64]int64
+		addrs   = &prep.addrs
+		offs    = &prep.offs
 		ptr     uint64
 		havePtr bool
 	)
@@ -91,7 +126,7 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 	// Address range gathering and coalescing (ACU): unique cache-line
 	// transactions plus warp min/max byte range.
 	lineMask := ^uint64(int64(c.gpu.cfg.L1D.LineBytes - 1))
-	var lines [64]uint64
+	lines := &prep.lines
 	nLines := 0
 	minAddr, maxAddr := ^uint64(0), uint64(0)
 	minOfs, maxOfs := int64(math.MaxInt64), int64(math.MinInt64)
@@ -128,6 +163,49 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 			}
 		}
 	}
+
+	prep.nLines = nLines
+	prep.minAddr, prep.maxAddr = minAddr, maxAddr
+	prep.minOfs, prep.maxOfs = minOfs, maxOfs
+	prep.ptr = ptr
+}
+
+// anyUnmapped reports whether any guarded lane's generated address falls on
+// an unmapped page — the parallel scheduler's page-fault hazard evidence.
+// It is deliberately conservative: GPUShield may squash the access before
+// the fault is observed, but such a cycle simply falls back to the serial
+// scheduler, which sequences (or suppresses) the abort exactly.
+func (c *coreState) anyUnmapped(gmask uint64, prep *memPrep) bool {
+	for lanes := gmask; lanes != 0; {
+		lane := bits.TrailingZeros64(lanes)
+		lanes &^= 1 << uint(lane)
+		if !c.gpu.dev.Mapped(prep.addrs[lane]) {
+			return true
+		}
+	}
+	return false
+}
+
+// memCommit applies the shared-state half of one global-memory instruction
+// whose addresses were generated by memGen: TLB/cache/DRAM timing, fault
+// injection, the bounds check (including RBT fetches through the L2), the
+// page-fault abort, the page census, the functional access, and atomic-unit
+// serialization. Under the parallel scheduler it runs in the serial commit
+// phase in ascending core-id order; serially it runs inline, so both paths
+// mutate the L2/L2TLB/DRAM/atomicBusy/backing-store state in the same order
+// and the golden statistics are byte-identical.
+func (c *coreState) memCommit(w *warp, in *kernel.Instr, gmask uint64, now uint64, prep *memPrep) {
+	r := w.wg.run
+	st := r.stats
+	l := r.launch
+	addrs := &prep.addrs
+	offs := &prep.offs
+	lines := &prep.lines
+	nLines := prep.nLines
+	minAddr, maxAddr := prep.minAddr, prep.maxAddr
+	minOfs, maxOfs := prep.minOfs, prep.maxOfs
+	ptr := prep.ptr
+	bytes := uint64(in.Bytes)
 
 	// Timing: each transaction walks the TLB + cache hierarchy.
 	var maxLat uint64

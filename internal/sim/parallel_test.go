@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// parVecAddArgs mirrors the golden test's vecadd inputs so the equivalence
+// scenarios run the same launches the goldens lock.
+func parVecAddArgs(t testing.TB, dev *driver.Device, n int) []driver.Arg {
+	t.Helper()
+	ba := dev.Malloc("a", uint64(n*4), true)
+	bb := dev.Malloc("b", uint64(n*4), true)
+	bc := dev.Malloc("c", uint64(n*4), false)
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(ba, i, uint32(i))
+		dev.WriteUint32(bb, i, uint32(2*i))
+	}
+	return []driver.Arg{driver.BufArg(ba), driver.BufArg(bb), driver.BufArg(bc), driver.ScalarArg(int64(n))}
+}
+
+func parMixedArgs(t testing.TB, dev *driver.Device, n int) []driver.Arg {
+	t.Helper()
+	bi := dev.Malloc("in", uint64(n*4), true)
+	bo := dev.Malloc("out", uint64(n*4), false)
+	bcnt := dev.Malloc("cnt", 64, false)
+	for i := 0; i < n; i++ {
+		dev.WriteUint32(bi, i, uint32(7*i+3))
+	}
+	return []driver.Arg{driver.BufArg(bi), driver.BufArg(bo), driver.BufArg(bcnt)}
+}
+
+func parPrep(t testing.TB, dev *driver.Device, k *kernel.Kernel, grid, block int, args []driver.Arg, mode driver.Mode) *driver.Launch {
+	t.Helper()
+	l, err := dev.PrepareLaunch(k, grid, block, args, mode, nil)
+	if err != nil {
+		t.Fatalf("prepare %s: %v", k.Name, err)
+	}
+	return l
+}
+
+// TestCoreParallelEquivalence is the determinism oracle for the two-phase
+// scheduler: for every share mode and BCU setting, the concurrent
+// vecadd+mixed scenario must produce LaunchStats deep-equal to the serial
+// scheduler's at every core-stepping width. No tolerance — identical bytes.
+func TestCoreParallelEquivalence(t *testing.T) {
+	widths := []int{1, 2, 8}
+	runAt := func(t *testing.T, width int, share ShareMode, bcu bool) ([]*LaunchStats, error) {
+		t.Helper()
+		dev := driver.NewDevice(7)
+		const n = 1000
+		mode := driver.ModeShield
+		cfg := NvidiaConfig()
+		if bcu {
+			cfg = cfg.WithShield(core.DefaultBCUConfig())
+		} else {
+			mode = driver.ModeOff
+		}
+		cfg.CoreParallel = width
+		la := parPrep(t, dev, buildVecAdd(t), 8, 128, parVecAddArgs(t, dev, n), mode)
+		lb := parPrep(t, dev, buildMixedGolden(t), 12, 256, parMixedArgs(t, dev, 12*256), mode)
+		gpu := New(cfg, dev)
+		gpu.TrackPages(true)
+		return gpu.RunConcurrent([]*driver.Launch{la, lb}, share)
+	}
+	for _, share := range []ShareMode{ShareInterCore, ShareIntraCore} {
+		for _, bcu := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%v/bcu=%v", share, bcu), func(t *testing.T) {
+				base, err := runAt(t, 1, share, bcu)
+				if err != nil {
+					t.Fatalf("serial run: %v", err)
+				}
+				for _, w := range widths[1:] {
+					got, err := runAt(t, w, share, bcu)
+					if err != nil {
+						t.Fatalf("width %d: %v", w, err)
+					}
+					if !reflect.DeepEqual(got, base) {
+						t.Errorf("width %d diverged from serial:\n got: %+v\nwant: %+v", w, got, base)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCoreParallelAbortEquivalence pins the hazard fallback: launches that
+// abort mid-flight — a BCU precise fault and a page fault — must tear down
+// identically at every width, because the cycle that might abort re-runs on
+// the serial scheduler.
+func TestCoreParallelAbortEquivalence(t *testing.T) {
+	buildOOB := func(t *testing.T) *kernel.Kernel {
+		t.Helper()
+		b := kernel.NewBuilder("oob-fault")
+		buf := b.BufferParam("buf", false)
+		v := b.LoadGlobal(b.AddScaled(buf, b.GlobalTID(), 4), 4)
+		b.StoreGlobal(b.AddScaled(buf, b.Add(b.GlobalTID(), kernel.Imm(1<<20)), 4), v, 4)
+		return b.MustBuild()
+	}
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T, width int) ([]*LaunchStats, error)
+	}{
+		{"bcu-fail-fault", func(t *testing.T, width int) ([]*LaunchStats, error) {
+			dev := driver.NewDevice(3)
+			buffer := dev.Malloc("buf", 4096, false)
+			la := parPrep(t, dev, buildOOB(t), 16, 64, []driver.Arg{driver.BufArg(buffer)}, driver.ModeShield)
+			lb := parPrep(t, dev, buildVecAdd(t), 8, 128, parVecAddArgs(t, dev, 1000), driver.ModeShield)
+			bcu := core.DefaultBCUConfig()
+			bcu.Mode = core.FailFault
+			cfg := NvidiaConfig().WithShield(bcu)
+			cfg.CoreParallel = width
+			return New(cfg, dev).RunConcurrent([]*driver.Launch{la, lb}, ShareInterCore)
+		}},
+		{"page-fault", func(t *testing.T, width int) ([]*LaunchStats, error) {
+			// Under ModeOff nothing bounds-checks the wild store, so it walks
+			// off every mapping and page-faults; the unmapped-lane hazard must
+			// route the cycle to the serial scheduler at every width.
+			dev := driver.NewDevice(3)
+			buffer := dev.Malloc("buf", 4096, false)
+			la := parPrep(t, dev, buildOOB(t), 16, 64, []driver.Arg{driver.BufArg(buffer)}, driver.ModeOff)
+			lb := parPrep(t, dev, buildVecAdd(t), 8, 128, parVecAddArgs(t, dev, 1000), driver.ModeOff)
+			cfg := NvidiaConfig()
+			cfg.CoreParallel = width
+			return New(cfg, dev).RunConcurrent([]*driver.Launch{la, lb}, ShareInterCore)
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			base, baseErr := sc.run(t, 1)
+			if len(base) == 0 || !base[0].Aborted {
+				t.Fatalf("serial scenario did not abort launch 0: err=%v stats=%+v", baseErr, base)
+			}
+			for _, w := range []int{2, 8} {
+				got, err := sc.run(t, w)
+				if (err == nil) != (baseErr == nil) || (err != nil && err.Error() != baseErr.Error()) {
+					t.Fatalf("width %d error diverged: %v vs %v", w, err, baseErr)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("width %d diverged from serial:\n got: %+v\nwant: %+v", w, got, base)
+				}
+			}
+		})
+	}
+}
+
+// TestCoreParallelCancelAndWatchdog drives the worker group through the two
+// abort channels that arrive from outside the launch — context cancellation
+// and the cycle-budget watchdog — at width 8 on a spin kernel. Run under
+// -race this is also the scheduler's data-race probe: phase-A workers, the
+// canceling goroutine, and the committing scheduler all interleave here.
+func TestCoreParallelCancelAndWatchdog(t *testing.T) {
+	spin := func(t *testing.T, dev *driver.Device, grid int) []*driver.Launch {
+		t.Helper()
+		buf := dev.Malloc("p", 1<<20, false)
+		return []*driver.Launch{
+			parPrep(t, dev, buildSpinGolden(t), grid, 64, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff),
+		}
+	}
+
+	t.Run("cancel", func(t *testing.T) {
+		dev := driver.NewDevice(5)
+		cfg := NvidiaConfig()
+		cfg.CoreParallel = 8
+		gpu := New(cfg, dev)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		st, err := gpu.RunConcurrentCtx(ctx, spin(t, dev, 16), ShareInterCore)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("got %v, want ErrCanceled", err)
+		}
+		if len(st) != 1 || !st[0].Aborted {
+			t.Fatalf("expected an aborted partial report, got %+v", st)
+		}
+	})
+
+	t.Run("watchdog", func(t *testing.T) {
+		runAt := func(width int) ([]*LaunchStats, error) {
+			dev := driver.NewDevice(5)
+			cfg := NvidiaConfig()
+			cfg.CoreParallel = width
+			cfg.MaxCycles = 4096
+			gpu := New(cfg, dev)
+			return gpu.RunConcurrentCtx(context.Background(), spin(t, dev, 16), ShareInterCore)
+		}
+		base, baseErr := runAt(1)
+		if !errors.Is(baseErr, ErrWatchdog) {
+			t.Fatalf("got %v, want ErrWatchdog", baseErr)
+		}
+		if len(base) != 1 || !base[0].Aborted {
+			t.Fatalf("expected an aborted report, got %+v", base)
+		}
+		st, err := runAt(8)
+		if !errors.Is(err, ErrWatchdog) {
+			t.Fatalf("got %v, want ErrWatchdog", err)
+		}
+		if !reflect.DeepEqual(st, base) {
+			t.Fatalf("width 8 watchdog abort diverged from serial:\n got: %+v\nwant: %+v", st, base)
+		}
+	})
+}

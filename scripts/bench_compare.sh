@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# bench_compare.sh OLD.json NEW.json — the bench-guard gate.
+#
+# Diffs two benchjson snapshots and fails (exit 1) if any guarded hot-path
+# benchmark regressed by more than MAX_REGRESS percent. The guarded set is
+# the serial-path contract of the core-parallel work: warp-issue and
+# mem-instr throughput at width 1 must not pay for the two-phase scheduler.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OLD=${1:-BENCH_PR4.json}
+NEW=${2:-BENCH_PR5.json}
+MAX_REGRESS=${MAX_REGRESS:-15}
+MATCH=${MATCH:-'BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput'}
+
+if [[ ! -f $OLD ]]; then
+    echo "bench_compare: baseline $OLD not found" >&2
+    exit 2
+fi
+if [[ ! -f $NEW ]]; then
+    echo "bench_compare: candidate $NEW not found" >&2
+    exit 2
+fi
+
+exec go run ./cmd/benchjson -old "$OLD" -new "$NEW" \
+    -max-regress "$MAX_REGRESS" -match "$MATCH"
