@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-guard experiments experiments-smoke soak-smoke resume-smoke examples attackdemo vet fmt clean
+.PHONY: all build test test-race bench bench-json bench-guard experiments experiments-smoke soak-smoke resume-smoke service-smoke examples attackdemo vet fmt clean
 
 all: build test
 
@@ -26,21 +26,23 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR5.json).
+# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR6_hot.json;
+# the service-level numbers live separately in loadgen's BENCH_PR6.json).
 # BENCHTIME=1x gives a fast smoke run (CI); the checked-in file is made with
 # the default 2s. Override BENCH to snapshot a different selection and
 # BENCHOUT to write a different file.
 BENCHTIME ?= 2s
-BENCHOUT ?= BENCH_PR5.json
+BENCHOUT ?= BENCH_PR6_hot.json
 BENCH ?= BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput|BenchmarkSimulatorThroughput|BenchmarkFunctionalMemPath|BenchmarkBackingReadUint|BenchmarkCoreParallelLaunch
 bench-json:
 	$(GO) test ./internal/sim -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem \
 		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
-# Fail if the serial hot paths regressed >15% against the previous PR's
+# Fail if the serial hot paths — warp issue, cycle-level and functional
+# mem-instr, backing-store reads — regressed >15% against the previous PR's
 # checked-in snapshot (see scripts/bench_compare.sh for the guarded set).
 bench-guard:
-	bash scripts/bench_compare.sh BENCH_PR4.json BENCH_PR5.json
+	bash scripts/bench_compare.sh BENCH_PR5.json BENCH_PR6_hot.json
 
 # Regenerate every table and figure at full fidelity.
 experiments:
@@ -61,6 +63,12 @@ soak-smoke:
 # byte-identical to an uninterrupted run.
 resume-smoke:
 	bash scripts/resume_smoke.sh
+
+# Boot gpushieldd, drive it with a mixed benign/malicious tenant burst, and
+# assert zero cross-tenant corruption, detected OOBs, and a clean SIGTERM
+# drain (exit 0).
+service-smoke:
+	bash scripts/service_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -36,14 +36,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"syscall"
 	"time"
 
 	"gpushield/internal/experiments"
 	"gpushield/internal/faults"
+	"gpushield/internal/lifecycle"
 )
 
 // expTiming is one experiment's entry in the -json timing output.
@@ -70,28 +69,20 @@ type runReport struct {
 
 func main() { os.Exit(realMain()) }
 
-// interruptExit is the conventional exit status for a SIGINT-terminated
-// process (128 + signal 2).
-const interruptExit = 130
-
-// installSignalHandler wires the two-stage shutdown: the first
-// SIGINT/SIGTERM cancels ctx (simulations abort with partial stats, the
-// journal stays consistent) and prints how to resume; the second kills the
-// process immediately for the case where a clean drain itself is wedged.
+// installSignalHandler wires the two-stage shutdown via internal/lifecycle:
+// the first SIGINT/SIGTERM cancels ctx (simulations abort with partial
+// stats, the journal stays consistent) and prints how to resume; the second
+// kills the process immediately for the case where a clean drain itself is
+// wedged.
 func installSignalHandler(cancel context.CancelCauseFunc, journalPath string) {
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
+	lifecycle.Notify(func(s os.Signal) {
 		hint := "use -journal FILE to make interrupted sweeps resumable"
 		if journalPath != "" {
 			hint = fmt.Sprintf("resume later with -resume %s -journal %s", journalPath, journalPath)
 		}
 		fmt.Fprintf(os.Stderr, "\n%v: canceling (%s); signal again to exit immediately\n", s, hint)
-		cancel(fmt.Errorf("received %v", s))
-		<-sig
-		os.Exit(interruptExit)
-	}()
+		cancel(lifecycle.CancelCause(s))
+	})
 }
 
 // realMain carries the exit code back through the deferred profile writers
@@ -104,6 +95,7 @@ func realMain() int {
 	coreParallel := flag.Int("core-parallel", 0, "per-simulation core-stepping width; capped so parallel × core-parallel <= CPU count (0 = auto, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable timing summary (JSON) on stdout; tables move to stderr")
 	journalPath := flag.String("journal", "", "append every completed run to this write-ahead journal (JSON lines, fsync'd)")
+	journalMaxBytes := flag.Int64("journal-max-bytes", 64<<20, "compact the journal (last record per key, atomic rewrite) when it grows past this many bytes; 0 = unbounded. Keeps soak-length loops from growing the journal with wall-clock time")
 	resumePath := flag.String("resume", "", "replay a journal into the run cache before starting (continue an interrupted sweep)")
 	soak := flag.Duration("soak", 0, "loop fault-injection campaigns for this duration, checking for memory growth")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -178,6 +170,7 @@ func realMain() int {
 			return 1
 		}
 		journal = j
+		j.SetMaxBytes(*journalMaxBytes)
 		experiments.SetJournal(j)
 		defer func() {
 			experiments.SetJournal(nil)
@@ -288,7 +281,7 @@ func realMain() int {
 		} else {
 			fmt.Fprintln(os.Stderr, "interrupted: rerun with -journal FILE next time to make sweeps resumable")
 		}
-		return interruptExit
+		return lifecycle.ExitInterrupted
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "failed: %v\n", failures)
@@ -324,7 +317,7 @@ func runSoak(ctx context.Context, d time.Duration) int {
 	// The loop always ends canceled; what matters is why.
 	if cause := context.Cause(sctx); !errors.Is(cause, context.DeadlineExceeded) && cause != nil {
 		fmt.Fprintf(os.Stderr, "soak: interrupted: %v\n", cause)
-		return interruptExit
+		return lifecycle.ExitInterrupted
 	}
 	if rep.SDC > 0 {
 		fmt.Fprintf(os.Stderr, "soak: note: %d silent corruptions among injected faults (expected for undetectable classes)\n", rep.SDC)

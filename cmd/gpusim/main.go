@@ -14,12 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"gpushield/internal/compiler"
 	"gpushield/internal/core"
 	"gpushield/internal/driver"
+	"gpushield/internal/lifecycle"
 	"gpushield/internal/pool"
 	"gpushield/internal/sim"
 	"gpushield/internal/workloads"
@@ -123,20 +122,15 @@ func main() {
 	}
 	gpu.TrackPages(*pages)
 
-	// Two-stage shutdown: the first SIGINT/SIGTERM cancels the run (the
-	// simulator aborts at its next cancellation poll and the partial report
-	// below still prints); a second signal hard-exits.
+	// Two-stage shutdown via internal/lifecycle: the first SIGINT/SIGTERM
+	// cancels the run (the simulator aborts at its next cancellation poll and
+	// the partial report below still prints); a second signal hard-exits.
 	ctx, cancel := context.WithCancelCause(context.Background())
 	defer cancel(nil)
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
+	lifecycle.Notify(func(s os.Signal) {
 		fmt.Fprintf(os.Stderr, "\ngpusim: %v: aborting run (partial statistics follow); signal again to exit immediately\n", s)
-		cancel(fmt.Errorf("received %v", s))
-		<-sig
-		os.Exit(130)
-	}()
+		cancel(lifecycle.CancelCause(s))
+	})
 
 	st, err := gpu.RunCtx(ctx, l)
 	canceled := err != nil && errors.Is(err, sim.ErrCanceled)
@@ -170,7 +164,7 @@ func main() {
 	if canceled {
 		// The stats above are a partial report up to the abort cycle;
 		// verification would only report the half-finished output.
-		os.Exit(130)
+		os.Exit(lifecycle.ExitInterrupted)
 	}
 	if spec.Verify != nil {
 		if err := spec.Verify(dev); err != nil {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gpushield/internal/service"
+)
+
+// apiError is a non-2xx response decoded from the daemon's error envelope,
+// preserving the Retry-After hint and any partial launch report.
+type apiError struct {
+	Status     int
+	Body       string
+	RetryAfter time.Duration
+	Result     *service.LaunchResult
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.Status, e.Body)
+}
+
+// client is one tenant's view of the daemon: a shared pooled transport plus
+// the retry policy for shed responses.
+type client struct {
+	base string
+	http *http.Client
+	// retrySleeps counts how often a shed response's Retry-After was honored.
+	retrySleeps int
+}
+
+// newTransport sizes the shared connection pool for the tenant count so the
+// load generator does not melt into ephemeral-port exhaustion at 1000
+// concurrent tenants.
+func newTransport(tenants int) *http.Transport {
+	return &http.Transport{
+		MaxIdleConns:        tenants + 64,
+		MaxIdleConnsPerHost: tenants + 64,
+		IdleConnTimeout:     90 * time.Second,
+	}
+}
+
+// do performs one JSON round trip. Non-2xx decodes into *apiError.
+func (c *client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		ae := &apiError{Status: resp.StatusCode}
+		var envelope struct {
+			Error        string                `json:"error"`
+			RetryAfterMS int64                 `json:"retry_after_ms"`
+			Result       *service.LaunchResult `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil {
+			ae.Body = envelope.Error
+			ae.RetryAfter = time.Duration(envelope.RetryAfterMS) * time.Millisecond
+			ae.Result = envelope.Result
+		}
+		if ae.RetryAfter == 0 {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// doRetry runs do, honoring Retry-After on shed (429/503) responses up to
+// maxAttempts. Budget-class 429s (no hint) are not retried — backing off will
+// not refill a quota; the caller decides (usually: recycle the session).
+func (c *client) doRetry(ctx context.Context, method, path string, in, out any, maxAttempts int) error {
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err := c.do(ctx, method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		ae, ok := err.(*apiError)
+		if !ok || ae.RetryAfter <= 0 || (ae.Status != http.StatusTooManyRequests && ae.Status != http.StatusServiceUnavailable) {
+			return err
+		}
+		sleep := ae.RetryAfter
+		if sleep > 2*time.Second {
+			sleep = 2 * time.Second
+		}
+		c.retrySleeps++
+		select {
+		case <-ctx.Done():
+			return lastErr
+		case <-time.After(sleep):
+		}
+	}
+	return lastErr
+}

@@ -1,0 +1,266 @@
+// Command loadgen drives a gpushieldd daemon with a large population of
+// concurrent tenants — most well-behaved, a configurable fraction actively
+// malicious — and reports throughput, latency percentiles, shed counts, and
+// the two numbers that matter for the isolation claim: detected out-of-bounds
+// launches (must be nonzero when attackers are present) and byte-level data
+// corruptions observed by benign tenants (must be zero, always).
+//
+// Usage:
+//
+//	loadgen -self-host -tenants 1000 -duration 10s -out BENCH_PR6.json
+//	loadgen -addr localhost:8473 -tenants 200 -duration 5s -expect-violations
+//
+// Exit status: 0 when every expectation holds, 1 otherwise — which makes it
+// directly usable as a CI gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gpushield/internal/lifecycle"
+	"gpushield/internal/service"
+)
+
+type report struct {
+	Config struct {
+		Tenants       int     `json:"tenants"`
+		MaliciousFrac float64 `json:"malicious_frac"`
+		DurationSec   float64 `json:"duration_sec"`
+		SelfHost      bool    `json:"self_host"`
+		Devices       int     `json:"devices,omitempty"`
+	} `json:"config"`
+	Launches       int     `json:"launches"`
+	LaunchesPerSec float64 `json:"launches_per_sec"`
+	LatencyMS      struct {
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		P999 float64 `json:"p999"`
+		Max  float64 `json:"max"`
+	} `json:"latency_ms"`
+	Client struct {
+		Shed429           int    `json:"shed_429"`
+		Shed503           int    `json:"shed_503"`
+		RetrySleeps       int    `json:"retry_sleeps"`
+		SessionRecycles   int    `json:"session_recycles"`
+		DeadlineAborts    int    `json:"deadline_aborts"`
+		WatchdogAborts    int    `json:"watchdog_aborts"`
+		ViolationLaunches int    `json:"violation_launches"`
+		Errors            int    `json:"errors"`
+		Corruptions       int    `json:"corruptions"`
+		LastError         string `json:"last_error,omitempty"`
+	} `json:"client"`
+	Server *service.Stats `json:"server,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "daemon address (host:port); empty requires -self-host")
+	selfHost := flag.Bool("self-host", false, "boot an in-process daemon on a loopback port")
+	tenants := flag.Int("tenants", 1000, "concurrent tenant goroutines")
+	malFrac := flag.Float64("malicious-frac", 0.2, "fraction of tenants running out-of-bounds kernels")
+	duration := flag.Duration("duration", 10*time.Second, "campaign length")
+	seed := flag.Int64("seed", 7, "workload randomness seed base")
+	out := flag.String("out", "", "write the JSON report to this file")
+	expectViolations := flag.Bool("expect-violations", false, "fail unless the server detected OOB launches")
+	expectSheds := flag.Bool("expect-sheds", false, "fail unless overload was shed explicitly (429/503)")
+	devices := flag.Int("devices", 2, "self-host: simulated devices")
+	flag.Parse()
+
+	var rep report
+	rep.Config.Tenants = *tenants
+	rep.Config.MaliciousFrac = *malFrac
+	rep.Config.SelfHost = *selfHost
+
+	base, srv, stop := connect(*addr, *selfHost, *devices, *seed)
+	defer stop()
+	if srv != nil {
+		rep.Config.Devices = *devices
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	stopNotify := lifecycle.Notify(func(sig os.Signal) {
+		log.Printf("loadgen: %v: stopping the campaign (report follows); signal again to exit immediately", sig)
+		cancel()
+	})
+	defer stopNotify()
+
+	transport := newTransport(*tenants)
+	nMal := int(float64(*tenants) * *malFrac)
+	log.Printf("loadgen: %d tenants (%d malicious) against %s for %v", *tenants, nMal, base, *duration)
+
+	start := time.Now()
+	results := make([]tenantResult, *tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < *tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t := newTenant(i, i < nMal, base, transport, *seed)
+			results[i] = t.run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep.Config.DurationSec = elapsed.Seconds()
+
+	var lat []float64
+	for _, r := range results {
+		rep.Launches += r.launches
+		rep.Client.Shed429 += r.shed429
+		rep.Client.Shed503 += r.shed503
+		rep.Client.RetrySleeps += r.retrySleeps
+		rep.Client.SessionRecycles += r.sessionRecycles
+		rep.Client.DeadlineAborts += r.deadlineAborts
+		rep.Client.WatchdogAborts += r.watchdogAborts
+		rep.Client.ViolationLaunches += r.violationLaunches
+		rep.Client.Errors += r.errors
+		rep.Client.Corruptions += r.corruptions
+		if r.lastErr != "" {
+			rep.Client.LastError = r.lastErr
+		}
+		lat = append(lat, r.latencies...)
+	}
+	rep.LaunchesPerSec = float64(rep.Launches) / elapsed.Seconds()
+	sort.Float64s(lat)
+	rep.LatencyMS.P50 = percentile(lat, 0.50)
+	rep.LatencyMS.P90 = percentile(lat, 0.90)
+	rep.LatencyMS.P99 = percentile(lat, 0.99)
+	rep.LatencyMS.P999 = percentile(lat, 0.999)
+	if n := len(lat); n > 0 {
+		rep.LatencyMS.Max = lat[n-1]
+	}
+
+	// Final server counters: from the in-process server, or over the wire.
+	if srv != nil {
+		s := srv.Snapshot()
+		rep.Server = &s
+	} else {
+		cli := &client{base: base, http: &http.Client{Transport: transport, Timeout: 10 * time.Second}}
+		var s service.Stats
+		if err := cli.do(context.Background(), "GET", "/v1/stats", nil, &s); err == nil {
+			rep.Server = &s
+		} else {
+			log.Printf("loadgen: final stats fetch: %v", err)
+		}
+	}
+
+	printReport(&rep)
+	if *out != "" {
+		b, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatalf("loadgen: marshal report: %v", err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen: write %s: %v", *out, err)
+		}
+		log.Printf("loadgen: report written to %s", *out)
+	}
+
+	if failures := check(&rep, *expectViolations, *expectSheds, nMal); len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAILED expectations:\n  %s\n", strings.Join(failures, "\n  "))
+		os.Exit(1)
+	}
+}
+
+// connect resolves the target daemon: a remote address, or a self-hosted
+// in-process server on a loopback port. The returned stop drains whatever was
+// started.
+func connect(addr string, selfHost bool, devices int, seed int64) (base string, srv *service.Server, stop func()) {
+	if addr != "" {
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		return addr, nil, func() {}
+	}
+	if !selfHost {
+		log.Fatal("loadgen: need -addr or -self-host")
+	}
+	cfg := service.DefaultConfig()
+	cfg.Devices = devices
+	cfg.Seed = seed
+	srv, err := service.New(cfg)
+	if err != nil {
+		log.Fatalf("loadgen: self-host: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("loadgen: self-host listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: service.NewHandler(srv)}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("loadgen: self-host serve: %v", err)
+		}
+	}()
+	return "http://" + ln.Addr().String(), srv, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("loadgen: self-host drain: %v", err)
+		}
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func printReport(rep *report) {
+	fmt.Printf("launches        %d (%.0f/s over %.1fs)\n", rep.Launches, rep.LaunchesPerSec, rep.Config.DurationSec)
+	fmt.Printf("latency ms      p50 %.1f  p90 %.1f  p99 %.1f  p99.9 %.1f  max %.1f\n",
+		rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P99, rep.LatencyMS.P999, rep.LatencyMS.Max)
+	fmt.Printf("shed            %d quota (429), %d overload (503), %d retry sleeps, %d session recycles\n",
+		rep.Client.Shed429, rep.Client.Shed503, rep.Client.RetrySleeps, rep.Client.SessionRecycles)
+	fmt.Printf("aborts          %d deadline, %d watchdog (budget-capped)\n", rep.Client.DeadlineAborts, rep.Client.WatchdogAborts)
+	fmt.Printf("attacks         %d launches with detected violations\n", rep.Client.ViolationLaunches)
+	fmt.Printf("corruptions     %d\n", rep.Client.Corruptions)
+	fmt.Printf("client errors   %d\n", rep.Client.Errors)
+	if rep.Client.LastError != "" {
+		fmt.Printf("last error      %s\n", rep.Client.LastError)
+	}
+	if s := rep.Server; s != nil {
+		fmt.Printf("server          %d launches, %d violations (%d cross-tenant blocked), %d watchdog, %d panics, %d rebuilds, %d recycles\n",
+			s.Launches, s.Violations, s.CrossTenant, s.WatchdogAborts, s.Panics, s.GPURebuilds, s.DeviceRecycles)
+	}
+}
+
+// check enforces the CI-facing expectations and the unconditional invariant:
+// benign tenants observed zero corruption.
+func check(rep *report, expectViolations, expectSheds bool, nMal int) []string {
+	var failures []string
+	if rep.Client.Corruptions > 0 {
+		failures = append(failures, fmt.Sprintf("cross-tenant corruption observed (%d) — isolation breached", rep.Client.Corruptions))
+	}
+	if rep.Launches == 0 {
+		failures = append(failures, "no launch completed")
+	}
+	if expectViolations {
+		if rep.Client.ViolationLaunches == 0 {
+			failures = append(failures, "no client-visible OOB detection despite malicious tenants")
+		}
+		if rep.Server != nil && rep.Server.CrossTenant == 0 && nMal > 0 {
+			failures = append(failures, "server blocked no cross-tenant accesses despite attackers")
+		}
+	}
+	if expectSheds && rep.Client.Shed429+rep.Client.Shed503 == 0 {
+		failures = append(failures, "no explicit shedding under deliberate overload")
+	}
+	return failures
+}

@@ -204,6 +204,34 @@ func (b *BCU) L2Stats() RCacheStats {
 // Violations returns the violation log (FailLog mode).
 func (b *BCU) Violations() []Violation { return b.violations }
 
+// TakeViolations removes and returns the violation records belonging to one
+// kernel, clearing its fault state with them. Called at kernel termination:
+// kernel IDs are drawn from a small space and recycle across launches, so a
+// long-lived BCU that kept the log would re-attribute an earlier kernel's
+// violations to a later one that happens to draw the same ID — and the log
+// would grow without bound in a serving daemon.
+func (b *BCU) TakeViolations(kernelID uint16) []Violation {
+	var taken []Violation
+	kept := b.violations[:0]
+	for _, v := range b.violations {
+		if v.KernelID == kernelID {
+			taken = append(taken, v)
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	// Drop the tail so retained records do not pin freed entries.
+	for i := len(kept); i < len(b.violations); i++ {
+		b.violations[i] = Violation{}
+	}
+	b.violations = kept
+	if b.faulted && b.fault.KernelID == kernelID {
+		b.faulted = false
+		b.fault = Violation{}
+	}
+	return taken
+}
+
 // Faulted reports whether a precise fault was raised, and the violation
 // that caused it.
 func (b *BCU) Faulted() (Violation, bool) { return b.fault, b.faulted }

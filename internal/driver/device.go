@@ -79,6 +79,15 @@ type Device struct {
 	// buffers.
 	idBudget int
 
+	// RBT-region recycling (SetRBTRecycle): with it on, every prepared
+	// launch reuses one table region instead of reserving a fresh 256 KB
+	// slice of the RBT arena, and the previous launch's valid entries are
+	// zeroed before the new table is serialized. rbtIDs remembers which IDs
+	// the last launch wrote so the scrub is O(entries), not O(NumIDs).
+	rbtRecycle bool
+	rbtRegion  uint64
+	rbtIDs     []uint16
+
 	// launchMutator, when set, runs over every prepared launch just before
 	// PrepareLaunch returns it. Fault campaigns use it to model driver bugs
 	// (stale/duplicate ID assignment, omitted RBT setup).
@@ -259,8 +268,35 @@ func (r *LocalRegion) LocalAddr(thread int, offset int64) uint64 {
 	return r.Base + word*4*uint64(r.Threads) + uint64(thread)*4 + byteIn
 }
 
-// allocRBT reserves device memory for one kernel's Region Bounds Table.
+// SetRBTRecycle selects whether launches reuse a single RBT region. The
+// default (off) reserves a fresh region per prepared launch — correct for
+// any lifetime pattern, including concurrent launch sets whose tables must
+// coexist, but each launch materializes new backing chunks and a daemon
+// serving millions of launches grows without bound. With recycling on, the
+// device serializes every launch's table into the same region, scrubbing the
+// previous launch's entries first, so serving traffic holds device memory
+// flat. Only legal when launches are strictly serialized: the next
+// PrepareLaunch invalidates the previous launch's table, so no two launches
+// prepared under recycling may ever be in flight together (the service's
+// per-device worker guarantees exactly that).
+func (d *Device) SetRBTRecycle(on bool) { d.rbtRecycle = on }
+
+// allocRBT reserves device memory for one kernel's Region Bounds Table —
+// or, under SetRBTRecycle, returns the shared recycled region after
+// scrubbing the previous occupant's entries.
 func (d *Device) allocRBT() uint64 {
+	if d.rbtRecycle {
+		if d.rbtRegion == 0 {
+			d.rbtRegion = align(d.rbtNext, PageBytes)
+			d.rbtNext = d.rbtRegion + uint64(core.NumIDs*core.BoundsEntryBytes)
+		}
+		var zero [core.BoundsEntryBytes]byte
+		for _, id := range d.rbtIDs {
+			d.Mem.WriteBytes(core.EntryAddr(d.rbtRegion, id), zero[:])
+		}
+		d.rbtIDs = d.rbtIDs[:0]
+		return d.rbtRegion
+	}
 	base := align(d.rbtNext, PageBytes)
 	d.rbtNext = base + uint64(core.NumIDs*core.BoundsEntryBytes)
 	// RBT pages are intentionally NOT entered in the normal mapping: GPU

@@ -306,6 +306,9 @@ func (d *Device) PrepareLaunch(k *kernel.Kernel, grid, block int, args []Arg, mo
 		}
 		b.EncodeTo(buf[:])
 		d.Mem.WriteBytes(core.EntryAddr(l.RBTBase, uint16(id)), buf[:])
+		if d.rbtRecycle {
+			d.rbtIDs = append(d.rbtIDs, uint16(id))
+		}
 	}
 
 	// Fault injection: a registered campaign may mutate the prepared launch

@@ -1,0 +1,73 @@
+package driver
+
+import (
+	"testing"
+
+	"gpushield/internal/core"
+	"gpushield/internal/kernel"
+)
+
+func recycleKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	b := kernel.NewBuilder("touch")
+	p := b.BufferParam("buf", false)
+	b.StoreGlobal(b.AddScaled(p, b.GlobalTID(), 4), kernel.Imm(1), 4)
+	return b.MustBuild()
+}
+
+// TestRBTRecycleReusesRegion pins the daemon-facing contract: under
+// SetRBTRecycle every serialized launch gets the same table region, the
+// previous launch's entries are scrubbed (stale IDs decode as invalid, so a
+// forged pointer cannot hit leftover bounds), and the new launch's entries
+// are present.
+func TestRBTRecycleReusesRegion(t *testing.T) {
+	dev := NewDevice(1)
+	dev.SetRBTRecycle(true)
+	buf := dev.Malloc("a", 4096, false)
+	k := recycleKernel(t)
+
+	l1, err := dev.PrepareLaunch(k, 1, 32, []Arg{BufArg(buf)}, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := dev.PrepareLaunch(k, 1, 32, []Arg{BufArg(buf)}, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.RBTBase != l2.RBTBase {
+		t.Fatalf("recycled launches got distinct RBT regions: %#x vs %#x", l1.RBTBase, l2.RBTBase)
+	}
+
+	// Every ID valid in l1's table but not in l2's must now decode as
+	// invalid from device memory — that is the scrub the recycle depends on.
+	for id := 0; id < core.NumIDs; id++ {
+		was := l1.RBT.Lookup(uint16(id)).Valid()
+		is := l2.RBT.Lookup(uint16(id)).Valid()
+		got := core.DecodeBounds(dev.Mem.ReadBytes(core.EntryAddr(l2.RBTBase, uint16(id)), core.BoundsEntryBytes))
+		if was && !is && got.Valid() {
+			t.Errorf("stale entry for id %d survived the scrub: %+v", id, got)
+		}
+		if is && !got.Valid() {
+			t.Errorf("live entry for id %d missing from device memory", id)
+		}
+	}
+}
+
+// TestRBTRecycleOffKeepsDistinctRegions guards the default: without
+// recycling, concurrent launch sets need coexisting tables.
+func TestRBTRecycleOffKeepsDistinctRegions(t *testing.T) {
+	dev := NewDevice(1)
+	buf := dev.Malloc("a", 4096, false)
+	k := recycleKernel(t)
+	l1, err := dev.PrepareLaunch(k, 1, 32, []Arg{BufArg(buf)}, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := dev.PrepareLaunch(k, 1, 32, []Arg{BufArg(buf)}, ModeShield, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.RBTBase == l2.RBTBase {
+		t.Fatalf("non-recycled launches share an RBT region %#x", l1.RBTBase)
+	}
+}

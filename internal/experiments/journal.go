@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -82,9 +83,22 @@ type JournalEntry struct {
 // journal must never lose the sweep — but they are surfaced through Err so
 // the command can warn that resume coverage is incomplete.
 type Journal struct {
-	mu  sync.Mutex
-	f   *os.File
-	err error
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	err  error
+
+	// Size cap (SetMaxBytes): when an append pushes the file past maxBytes,
+	// the journal compacts itself — rewritten atomically keeping only the
+	// last record per unique key, which is exactly what replay keeps anyway
+	// (last-wins). nextCompact rises to twice the compacted size when a
+	// compaction cannot get under the cap (every key unique), so a journal
+	// of irreducible records degrades to occasional no-op rewrites instead
+	// of compacting on every append.
+	maxBytes    int64
+	size        int64
+	nextCompact int64
+	compactions int
 }
 
 // OpenJournal opens (creating if needed) a journal for appending. Opening
@@ -95,7 +109,127 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Journal{f: f}, nil
+	j := &Journal{f: f, path: path}
+	if st, err := f.Stat(); err == nil {
+		j.size = st.Size()
+	}
+	return j, nil
+}
+
+// SetMaxBytes caps the journal file size; past it, appends trigger a
+// last-wins compaction. 0 (the default) means unbounded. Long-running loops
+// — soak mode, repeated sweeps over the same configuration grid — revisit
+// the same keys over and over, so compaction holds the file near the size
+// of one full sweep instead of growing with wall-clock time.
+func (j *Journal) SetMaxBytes(n int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.maxBytes = n
+	j.nextCompact = n
+}
+
+// Compactions reports how many times the journal has been compacted.
+func (j *Journal) Compactions() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactions
+}
+
+// Size reports the journal file's current size in bytes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// compactLocked rewrites the journal keeping only the last record per key,
+// preserving last-occurrence order. Crash-safe: the compacted image is
+// written to a temp file, fsync'd, and renamed over the journal — a crash at
+// any point leaves either the old complete journal or the new one, never a
+// mix. Caller holds mu. Failures are sticky like any other write error.
+func (j *Journal) compactLocked() {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		j.err = err
+		return
+	}
+	type slot struct {
+		line []byte
+		seq  int
+	}
+	last := make(map[journalKey]slot)
+	seq := 0
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn final line: dropped, same as replay would
+		}
+		line := rest[:nl]
+		rest = rest[nl+1:]
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.V != journalVersion || rec.Key.Bench == "" {
+			continue // malformed or foreign records do not survive compaction
+		}
+		last[rec.Key] = slot{line: line, seq: seq}
+		seq++
+	}
+	kept := make([]slot, 0, len(last))
+	for _, s := range last {
+		kept = append(kept, s)
+	}
+	sort.Slice(kept, func(a, b int) bool { return kept[a].seq < kept[b].seq })
+
+	tmpPath := j.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.err = err
+		return
+	}
+	var buf bytes.Buffer
+	for _, s := range kept {
+		buf.Write(s.line)
+		buf.WriteByte('\n')
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		j.err = err
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		j.err = err
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		j.err = err
+		return
+	}
+	if err := os.Rename(tmpPath, j.path); err != nil {
+		os.Remove(tmpPath)
+		j.err = err
+		return
+	}
+	// The old append handle now points at the unlinked file; reopen on the
+	// compacted one.
+	j.f.Close()
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.err = err
+		return
+	}
+	j.f = f
+	j.size = int64(buf.Len())
+	j.compactions++
+	// If everything was unique the compaction saved nothing; back off so an
+	// irreducible journal is not rewritten on every subsequent append.
+	j.nextCompact = j.maxBytes
+	if j.size*2 > j.nextCompact {
+		j.nextCompact = j.size * 2
+	}
 }
 
 // append writes one completed run as a single fsync'd line. The fsync is
@@ -127,6 +261,11 @@ func (j *Journal) append(key memoKey, st *sim.LaunchStats, runErr error, dur tim
 	}
 	if err := j.f.Sync(); err != nil {
 		j.err = err
+		return
+	}
+	j.size += int64(len(data))
+	if j.maxBytes > 0 && j.size > j.nextCompact {
+		j.compactLocked()
 	}
 }
 

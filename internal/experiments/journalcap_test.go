@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/sim"
+)
+
+func capKey(bench string, scale int) memoKey {
+	return RunOpts{Mode: driver.ModeShield, Scale: scale}.memoKey(bench)
+}
+
+func capStats(bench string, cycles uint64) *sim.LaunchStats {
+	return &sim.LaunchStats{Kernel: bench, FinishCycle: cycles}
+}
+
+// TestJournalCapCompactsLastWins pins the soak-mode disk contract: a capped
+// journal whose keys repeat compacts down to the last record per key —
+// byte-for-byte what replay would keep — and the survivors preserve append
+// order and the newest values.
+func TestJournalCapCompactsLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetMaxBytes(2048)
+
+	// Hammer two keys far past the cap, bumping the journaled cycle count so
+	// last-wins is observable, plus one key written once early on.
+	j.append(capKey("once", 1), capStats("once", 111), nil, time.Millisecond)
+	for i := uint64(1); i <= 60; i++ {
+		j.append(capKey("hot-a", 1), capStats("hot-a", i), nil, time.Millisecond)
+		j.append(capKey("hot-b", 2), capStats("hot-b", 1000+i), nil, time.Millisecond)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("journal error: %v", err)
+	}
+	if j.Compactions() == 0 {
+		t.Fatal("cap never triggered a compaction")
+	}
+	if j.Size() > 2048 {
+		t.Fatalf("journal size %d still past the %d cap after compaction", j.Size(), 2048)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("compacted journal holds %d entries, want 3 (one per key)", len(entries))
+	}
+	byBench := map[string]JournalEntry{}
+	for _, e := range entries {
+		byBench[e.key.bench] = e
+	}
+	if got := byBench["hot-a"].st.FinishCycle; got != 60 {
+		t.Fatalf("hot-a compacted to cycles=%d, want the last write (60)", got)
+	}
+	if got := byBench["hot-b"].st.FinishCycle; got != 1060 {
+		t.Fatalf("hot-b compacted to cycles=%d, want the last write (1060)", got)
+	}
+	if got := byBench["once"].st.FinishCycle; got != 111 {
+		t.Fatalf("once compacted to cycles=%d, want 111", got)
+	}
+}
+
+// TestJournalCapAppendsAfterCompaction checks the reopened append handle
+// works: records written after a compaction land in the compacted file and
+// replay alongside the survivors.
+func TestJournalCapAppendsAfterCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetMaxBytes(1024)
+	for i := uint64(1); i <= 40; i++ {
+		j.append(capKey("churn", 1), capStats("churn", i), nil, time.Millisecond)
+	}
+	if j.Compactions() == 0 {
+		t.Fatal("cap never triggered a compaction")
+	}
+	j.append(capKey("late", 3), capStats("late", 7), nil, time.Millisecond)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("journal holds %d entries, want 2", len(entries))
+	}
+	if entries[len(entries)-1].key.bench != "late" {
+		t.Fatalf("post-compaction append missing: %+v", entries)
+	}
+}
+
+// TestJournalCapIrreducibleBacksOff: when every record is unique the
+// compaction cannot shrink the file; the journal must keep accepting appends
+// (disk truth beats the cap) and must not rewrite the file on every append.
+func TestJournalCapIrreducibleBacksOff(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetMaxBytes(512)
+	for i := 0; i < 50; i++ {
+		j.append(capKey("uniq", i+1), capStats("uniq", uint64(i)), nil, time.Millisecond)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("journal error: %v", err)
+	}
+	if c := j.Compactions(); c > 8 {
+		t.Fatalf("irreducible journal compacted %d times — back-off is not working", c)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 50 {
+		t.Fatalf("unique records lost to compaction: %d of 50 remain", len(entries))
+	}
+}
+
+// TestJournalCapZeroMeansUnbounded guards the default.
+func TestJournalCapZeroMeansUnbounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 30; i++ {
+		j.append(capKey("free", 1), capStats("free", i), nil, time.Millisecond)
+	}
+	if j.Compactions() != 0 {
+		t.Fatal("unbounded journal compacted")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("journal empty")
+	}
+}

@@ -1,0 +1,62 @@
+// Package lifecycle provides the two-stage SIGINT/SIGTERM shutdown protocol
+// every long-running GPUShield command shares: the first signal requests a
+// graceful stop (cancel the run context, drain in-flight work, print partial
+// results), a second signal hard-exits for the case where the clean path
+// itself is wedged. Before this package the protocol was copy-pasted into
+// cmd/experiments and cmd/gpusim; cmd/gpushieldd is the third user.
+package lifecycle
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitInterrupted is the conventional exit status for a process terminated
+// by SIGINT (128 + signal 2). The historical commands used it for SIGTERM
+// hard-exits too, and changing that would break scripts, so the hard-exit
+// path always uses this code.
+const ExitInterrupted = 130
+
+// Notify installs the two-stage handler. On the first SIGINT/SIGTERM it
+// calls firstSignal(sig) on the handler goroutine — the callback cancels the
+// run context (with a cause naming the signal) and may print a hint; it must
+// not block. On the second signal the process exits immediately with
+// ExitInterrupted.
+//
+// It returns a stop function that uninstalls the handler and releases the
+// goroutine; servers that complete a graceful drain call it before exiting 0
+// so a late signal cannot race the clean exit path.
+func Notify(firstSignal func(sig os.Signal)) (stop func()) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case s := <-sig:
+			firstSignal(s)
+		case <-quit:
+			return
+		}
+		select {
+		case <-sig:
+			os.Exit(ExitInterrupted)
+		case <-quit:
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		signal.Stop(sig)
+		close(quit)
+	}
+}
+
+// CancelCause is the cause constructor shared by the commands: the context
+// cancellation cause for a received signal, so errors.Is chains and partial
+// reports can name what stopped the run.
+func CancelCause(sig os.Signal) error { return fmt.Errorf("received %v", sig) }

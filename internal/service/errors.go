@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"gpushield/internal/pool"
+)
+
+// Typed rejection classes. Every error returned by the Server wraps exactly
+// one of these sentinels (or is a contained panic matching pool.ErrRunPanic),
+// so transports classify with errors.Is and map to wire status codes with
+// HTTPStatus. The split mirrors who must act: ErrQuota is the tenant's own
+// budget (back off or buy more), ErrOverloaded is shared-capacity pressure
+// (retry after the hint), ErrDraining is the process going away (retry
+// against a replica).
+var (
+	// ErrBadRequest marks a request rejected before touching any device:
+	// unknown kernel template, malformed arguments, bad launch geometry,
+	// out-of-range buffer access.
+	ErrBadRequest = errors.New("service: bad request")
+
+	// ErrNotFound marks an unknown session or buffer handle, including
+	// handles whose session was closed while the request was queued.
+	ErrNotFound = errors.New("service: not found")
+
+	// ErrQuota marks a per-tenant budget rejection: buffer-ID budget,
+	// resident-byte budget, cycle budget, session count, or a full
+	// per-tenant launch queue. Other tenants are unaffected; this one must
+	// back off.
+	ErrQuota = errors.New("service: tenant quota exhausted")
+
+	// ErrOverloaded marks shared-capacity shedding: the device launch queue
+	// or the global session table is full. The work was refused cheaply and
+	// explicitly instead of queueing toward a timeout; the wrapping
+	// *RetryableError carries a Retry-After hint.
+	ErrOverloaded = errors.New("service: overloaded")
+
+	// ErrDraining marks admission refused because the server is shutting
+	// down gracefully: queued work finishes, new work goes elsewhere.
+	ErrDraining = errors.New("service: draining")
+
+	// ErrDeadline marks a launch aborted because its request deadline
+	// expired while queued or running. The partial LaunchResult returned
+	// alongside it reports what the kernel did up to the abort.
+	ErrDeadline = errors.New("service: deadline exceeded")
+
+	// ErrCanceled marks a launch aborted because the caller went away
+	// (client disconnect) or the server was hard-stopped mid-run.
+	ErrCanceled = errors.New("service: launch canceled")
+)
+
+// RetryableError decorates a shedding rejection with a Retry-After hint
+// derived from current queue depth and observed launch latency.
+type RetryableError struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (e *RetryableError) Error() string {
+	return e.Err.Error() + " (retry after " + e.RetryAfter.String() + ")"
+}
+
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// HTTPStatus maps a Server error to its wire status code. nil maps to 200.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQuota):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrCanceled):
+		// Non-standard but conventional "client closed request".
+		return 499
+	case errors.Is(err, pool.ErrRunPanic):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// RetryAfter extracts the Retry-After hint from an error chain (0 if none).
+func RetryAfter(err error) time.Duration {
+	var re *RetryableError
+	if errors.As(err, &re) {
+		return re.RetryAfter
+	}
+	return 0
+}

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// maxBodyBytes bounds every request body the handler will read. Buffer
+// payloads ride inside JSON as base64, so the cap must clear the byte budget
+// with base64 + framing overhead to spare.
+const maxBodyBytes = 8 << 20
+
+// errorBody is the wire envelope for every non-2xx response. Result is
+// populated when a launch aborted with a usable partial report (deadline or
+// hard-stop mid-run), so clients can see what their kernel did before dying.
+type errorBody struct {
+	Error        string        `json:"error"`
+	Status       int           `json:"status"`
+	RetryAfterMS int64         `json:"retry_after_ms,omitempty"`
+	Result       *LaunchResult `json:"result,omitempty"`
+}
+
+// NewHandler wires the Server into an http.Handler. Routes:
+//
+//	POST   /v1/sessions                          create a session
+//	GET    /v1/sessions                          per-session telemetry
+//	DELETE /v1/sessions/{id}                     close a session
+//	POST   /v1/sessions/{id}/buffers             allocate a buffer
+//	POST   /v1/sessions/{id}/buffers/{name}/write  H2D copy (base64 data)
+//	POST   /v1/sessions/{id}/buffers/{name}/read   D2H copy (base64 data)
+//	POST   /v1/sessions/{id}/launch              run a kernel template
+//	GET    /v1/kernels                           catalog names
+//	GET    /v1/stats                             server counters
+//	GET    /healthz                              200 serving / 503 draining
+//
+// Every handler runs inside a per-request panic guard: a panic is logged with
+// its stack and answered with a 500, and the daemon keeps serving.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Tenant string `json:"tenant"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		info, err := s.CreateSession(req.Tenant)
+		if err != nil {
+			writeError(w, err, nil)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Sessions())
+	})
+
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.CloseSession(r.PathValue("id")); err != nil {
+			writeError(w, err, nil)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/buffers", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name     string `json:"name"`
+			Size     uint64 `json:"size"`
+			ReadOnly bool   `json:"read_only"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		info, err := s.Malloc(r.PathValue("id"), req.Name, req.Size, req.ReadOnly)
+		if err != nil {
+			writeError(w, err, nil)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/buffers/{name}/write", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Offset uint64 `json:"offset"`
+			Data   []byte `json:"data"` // JSON base64
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if err := s.WriteBuffer(r.PathValue("id"), r.PathValue("name"), req.Offset, req.Data); err != nil {
+			writeError(w, err, nil)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/buffers/{name}/read", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Offset uint64 `json:"offset"`
+			N      int    `json:"n"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		data, err := s.ReadBuffer(r.PathValue("id"), r.PathValue("name"), req.Offset, req.N)
+		if err != nil {
+			writeError(w, err, nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Data []byte `json:"data"`
+		}{data})
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/launch", func(w http.ResponseWriter, r *http.Request) {
+		var spec LaunchSpec
+		if !decodeJSON(w, r, &spec) {
+			return
+		}
+		// r.Context() carries the client disconnect: a vanished caller
+		// cancels its own queued/running launch and nobody else's.
+		res, err := s.Launch(r.Context(), r.PathValue("id"), spec)
+		if err != nil {
+			writeError(w, err, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Kernels []string `json:"kernels"`
+		}{KernelNames()})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.isDraining() {
+			writeError(w, ErrDraining, nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+		}{"ok"})
+	})
+
+	return recoverMiddleware(mux)
+}
+
+// recoverMiddleware contains handler panics to the request that caused them:
+// log with stack, answer 500, keep the daemon up. (Simulation panics never
+// reach here — the device worker converts those to pool.ErrRunPanic — this
+// guard is for the HTTP layer itself.)
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeJSON(w, http.StatusInternalServerError, errorBody{
+					Error:  fmt.Sprintf("internal error: %v", v),
+					Status: http.StatusInternalServerError,
+				})
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// decodeJSON parses the body into v; on failure it answers 400 (or 413 for an
+// oversized body) and returns false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error:  fmt.Sprintf("request body over the %d-byte cap", tooBig.Limit),
+				Status: http.StatusRequestEntityTooLarge,
+			})
+			return false
+		}
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err), nil)
+		return false
+	}
+	return true
+}
+
+// writeError maps a Server error chain to its status code, attaches the
+// Retry-After header (whole seconds, rounded up, per RFC 9110) when the error
+// carries a hint, and ships the partial launch report when there is one.
+func writeError(w http.ResponseWriter, err error, partial *LaunchResult) {
+	status := HTTPStatus(err)
+	body := errorBody{Error: err.Error(), Status: status, Result: partial}
+	if ra := RetryAfter(err); ra > 0 {
+		body.RetryAfterMS = ra.Milliseconds()
+		secs := int64((ra + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; all we can do is note it.
+		log.Printf("writing response: %v", err)
+	}
+}

@@ -1,0 +1,352 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"gpushield/internal/driver"
+)
+
+// armPanic makes the device's next PrepareLaunch panic once, exercising the
+// simulation-layer containment path (pool.ErrRunPanic + GPU rebuild).
+func armPanic(d *device, msg string) {
+	armed := true
+	d.mu.Lock()
+	d.dev.SetLaunchMutator(func(l *driver.Launch) {
+		if armed {
+			armed = false
+			panic(msg)
+		}
+	})
+	d.mu.Unlock()
+}
+
+type httpClient struct {
+	t   *testing.T
+	srv *httptest.Server
+}
+
+func newHTTPServer(t *testing.T, cfg Config) (*Server, *httpClient) {
+	t.Helper()
+	srv := newTestServer(t, cfg)
+	ts := httptest.NewServer(NewHandler(srv))
+	t.Cleanup(ts.Close)
+	return srv, &httpClient{t: t, srv: ts}
+}
+
+// do sends a JSON request and decodes the JSON response into out (when
+// non-nil), returning the raw response for header/status assertions.
+func (c *httpClient) do(method, path string, body, out any) *http.Response {
+	c.t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatalf("marshal %s %s: %v", method, path, err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.srv.URL+path, rd)
+	if err != nil {
+		c.t.Fatalf("build %s %s: %v", method, path, err)
+	}
+	resp, err := c.srv.Client().Do(req)
+	if err != nil {
+		c.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp
+}
+
+func (c *httpClient) expect(status int, method, path string, body, out any) *http.Response {
+	c.t.Helper()
+	resp := c.do(method, path, body, out)
+	if resp.StatusCode != status {
+		c.t.Fatalf("%s %s: status %d, want %d", method, path, resp.StatusCode, status)
+	}
+	return resp
+}
+
+// TestHTTPEndToEnd drives the whole wire surface once: session, buffers,
+// copies, a benign launch whose result is verified byte-for-byte, an attack
+// launch whose violations show up in the body and the stats, and teardown.
+func TestHTTPEndToEnd(t *testing.T) {
+	_, c := newHTTPServer(t, testConfig())
+
+	var sess SessionInfo
+	c.expect(http.StatusCreated, "POST", "/v1/sessions", map[string]string{"tenant": "alice"}, &sess)
+	if sess.ID == "" || sess.Tenant != "alice" {
+		t.Fatalf("bad session info: %+v", sess)
+	}
+	base := "/v1/sessions/" + sess.ID
+
+	var buf BufferInfo
+	c.expect(http.StatusCreated, "POST", base+"/buffers",
+		map[string]any{"name": "data", "size": 1024}, &buf)
+	if buf.Padded != 1024 {
+		t.Fatalf("padded = %d, want 1024", buf.Padded)
+	}
+
+	seed := sentinel(1024)
+	c.expect(http.StatusNoContent, "POST", base+"/buffers/data/write",
+		map[string]any{"offset": 0, "data": seed}, nil)
+
+	// Benign fill over the first 64 elements.
+	var res LaunchResult
+	c.expect(http.StatusOK, "POST", base+"/launch", LaunchSpec{
+		Kernel: "fill", Grid: 1, Block: 64,
+		Args: []ArgSpec{Buf("data"), Scalar(64)},
+	}, &res)
+	if res.Violations != 0 || res.Aborted {
+		t.Fatalf("benign launch flagged: %+v", res)
+	}
+
+	var read struct {
+		Data []byte `json:"data"`
+	}
+	c.expect(http.StatusOK, "POST", base+"/buffers/data/read",
+		map[string]any{"offset": 0, "n": 1024}, &read)
+	for i := 0; i < 64; i++ {
+		if got := uint32(read.Data[i*4]) | uint32(read.Data[i*4+1])<<8 | uint32(read.Data[i*4+2])<<16 | uint32(read.Data[i*4+3])<<24; got != uint32(i) {
+			t.Fatalf("data[%d] = %d after fill, want %d", i, got, i)
+		}
+	}
+	if !bytes.Equal(read.Data[64*4:], seed[64*4:]) {
+		t.Fatal("fill touched bytes past n")
+	}
+
+	// Attack: sweep far past the allocation; violations must be reported.
+	c.expect(http.StatusOK, "POST", base+"/launch", LaunchSpec{
+		Kernel: "fill", Grid: 8, Block: 256,
+		Args: []ArgSpec{Buf("data"), Scalar(1 << 20)},
+	}, &res)
+	if res.Violations == 0 {
+		t.Fatalf("OOB sweep reported no violations: %+v", res)
+	}
+
+	var stats Stats
+	c.expect(http.StatusOK, "GET", "/v1/stats", nil, &stats)
+	if stats.Launches != 2 || stats.Violations == 0 || stats.OOBLaunches != 1 {
+		t.Fatalf("stats missing the work: %+v", stats)
+	}
+
+	var sessions []TenantStats
+	c.expect(http.StatusOK, "GET", "/v1/sessions", nil, &sessions)
+	if len(sessions) != 1 || sessions[0].Tenant != "alice" {
+		t.Fatalf("session telemetry: %+v", sessions)
+	}
+
+	var kernels struct {
+		Kernels []string `json:"kernels"`
+	}
+	c.expect(http.StatusOK, "GET", "/v1/kernels", nil, &kernels)
+	if len(kernels.Kernels) != 6 {
+		t.Fatalf("kernel catalog: %v", kernels.Kernels)
+	}
+
+	c.expect(http.StatusNoContent, "DELETE", base, nil, nil)
+	c.expect(http.StatusNotFound, "POST", base+"/launch", LaunchSpec{
+		Kernel: "fill", Grid: 1, Block: 1, Args: []ArgSpec{Buf("data"), Scalar(1)},
+	}, nil)
+}
+
+// TestHTTPErrorMapping checks each rejection class lands on its wire status
+// and that shed responses carry a Retry-After header.
+func TestHTTPErrorMapping(t *testing.T) {
+	cfg := testConfig()
+	cfg.TenantSessions = 1
+	srv, c := newHTTPServer(t, cfg)
+
+	var body errorBody
+	c.expect(http.StatusBadRequest, "POST", "/v1/sessions", map[string]string{"tenant": ""}, &body)
+	if body.Status != http.StatusBadRequest {
+		t.Fatalf("error body status = %d", body.Status)
+	}
+	c.expect(http.StatusBadRequest, "POST", "/v1/sessions", map[string]any{"nonsense": 1}, nil)
+
+	var sess SessionInfo
+	c.expect(http.StatusCreated, "POST", "/v1/sessions", map[string]string{"tenant": "bob"}, &sess)
+	resp := c.expect(http.StatusTooManyRequests, "POST", "/v1/sessions", map[string]string{"tenant": "bob"}, nil)
+	_ = resp
+
+	base := "/v1/sessions/" + sess.ID
+	c.expect(http.StatusNotFound, "POST", "/v1/sessions/s_nope/launch", LaunchSpec{Kernel: "fill"}, nil)
+	c.expect(http.StatusBadRequest, "POST", base+"/launch", LaunchSpec{Kernel: "nope", Grid: 1, Block: 1}, nil)
+	c.expect(http.StatusRequestEntityTooLarge, "POST", base+"/buffers/data/write",
+		map[string]any{"offset": 0, "data": bytes.Repeat([]byte{0}, maxBodyBytes)}, nil)
+
+	// Exhaust the cycle budget over the wire → 429 with the quota class.
+	c.expect(http.StatusCreated, "POST", base+"/buffers", map[string]any{"name": "d", "size": 4096}, nil)
+	for {
+		var res LaunchResult
+		c.expect(http.StatusOK, "POST", base+"/launch", LaunchSpec{
+			Kernel: "spin", Grid: 1, Block: 32, Args: []ArgSpec{Buf("d"), Scalar(1 << 40)},
+		}, &res)
+		if res.CyclesLeft == 0 {
+			break
+		}
+	}
+	c.expect(http.StatusTooManyRequests, "POST", base+"/launch", LaunchSpec{
+		Kernel: "fill", Grid: 1, Block: 1, Args: []ArgSpec{Buf("d"), Scalar(1)},
+	}, &body)
+	if body.RetryAfterMS != 0 {
+		t.Fatalf("cycle-budget rejection is not retryable, got hint %dms", body.RetryAfterMS)
+	}
+
+	// Health flips to 503 once draining.
+	c.expect(http.StatusOK, "GET", "/healthz", nil, nil)
+	go srv.Drain(context.Background())
+	waitFor(t, "draining", srv.isDraining)
+	resp = c.expect(http.StatusServiceUnavailable, "GET", "/healthz", nil, nil)
+	resp = c.expect(http.StatusServiceUnavailable, "POST", "/v1/sessions", map[string]string{"tenant": "x"}, &body)
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("draining rejection Retry-After header = %q", resp.Header.Get("Retry-After"))
+	}
+	if body.RetryAfterMS <= 0 {
+		t.Fatalf("draining rejection body hint = %d", body.RetryAfterMS)
+	}
+}
+
+// TestHTTPDeadlineReturnsPartialReport checks a 504 launch ships the partial
+// LaunchResult in the error envelope.
+func TestHTTPDeadlineReturnsPartialReport(t *testing.T) {
+	cfg := testConfig()
+	cfg.LaunchCycleCap = 1 << 40
+	cfg.CycleBudget = 1 << 40
+	_, c := newHTTPServer(t, cfg)
+
+	var sess SessionInfo
+	c.expect(http.StatusCreated, "POST", "/v1/sessions", map[string]string{"tenant": "slow"}, &sess)
+	base := "/v1/sessions/" + sess.ID
+	c.expect(http.StatusCreated, "POST", base+"/buffers", map[string]any{"name": "d", "size": 65536}, nil)
+
+	var body errorBody
+	c.expect(http.StatusGatewayTimeout, "POST", base+"/launch", LaunchSpec{
+		Kernel: "spin", Grid: 8, Block: 1024, DeadlineMS: 50,
+		Args: []ArgSpec{Buf("d"), Scalar(1 << 40)},
+	}, &body)
+	if body.Result == nil || !body.Result.Aborted {
+		t.Fatalf("504 carried no partial report: %+v", body)
+	}
+	if body.Result.Cycles == 0 {
+		t.Fatalf("partial report shows no progress: %+v", body.Result)
+	}
+}
+
+// TestHTTPPanicContained checks both panic layers over the wire: a simulation
+// panic maps to a 500 for that request only, and the daemon keeps serving.
+func TestHTTPPanicContained(t *testing.T) {
+	srv, c := newHTTPServer(t, testConfig())
+
+	var sess SessionInfo
+	c.expect(http.StatusCreated, "POST", "/v1/sessions", map[string]string{"tenant": "crash"}, &sess)
+	base := "/v1/sessions/" + sess.ID
+	c.expect(http.StatusCreated, "POST", base+"/buffers", map[string]any{"name": "d", "size": 1024}, nil)
+
+	armPanic(srv.devs[0], "http-layer test panic")
+	c.expect(http.StatusInternalServerError, "POST", base+"/launch", LaunchSpec{
+		Kernel: "fill", Grid: 1, Block: 32, Args: []ArgSpec{Buf("d"), Scalar(32)},
+	}, nil)
+
+	var res LaunchResult
+	c.expect(http.StatusOK, "POST", base+"/launch", LaunchSpec{
+		Kernel: "fill", Grid: 1, Block: 32, Args: []ArgSpec{Buf("d"), Scalar(32)},
+	}, &res)
+	if res.Aborted {
+		t.Fatalf("launch after contained panic aborted: %+v", res)
+	}
+	var stats Stats
+	c.expect(http.StatusOK, "GET", "/v1/stats", nil, &stats)
+	if stats.Panics != 1 || stats.GPURebuilds != 1 {
+		t.Fatalf("panic containment not counted: %+v", stats)
+	}
+}
+
+// TestHTTPClientDisconnectCancelsLaunch checks that a caller vanishing
+// mid-launch aborts only its own run (499-class internally; the client is
+// gone, so the assertion is on the server counters).
+func TestHTTPClientDisconnectCancelsLaunch(t *testing.T) {
+	cfg := testConfig()
+	cfg.LaunchCycleCap = 1 << 40
+	cfg.CycleBudget = 1 << 40
+	srv, c := newHTTPServer(t, cfg)
+
+	var sess SessionInfo
+	c.expect(http.StatusCreated, "POST", "/v1/sessions", map[string]string{"tenant": "flaky"}, &sess)
+	base := "/v1/sessions/" + sess.ID
+	c.expect(http.StatusCreated, "POST", base+"/buffers", map[string]any{"name": "d", "size": 65536}, nil)
+
+	spec, _ := json.Marshal(LaunchSpec{
+		Kernel: "spin", Grid: 8, Block: 1024, DeadlineMS: 8000,
+		Args: []ArgSpec{Buf("d"), Scalar(1 << 40)},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", c.srv.URL+base+"/launch", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.srv.Client().Do(req)
+		done <- err
+	}()
+	waitFor(t, "launch in flight", func() bool { return srv.Snapshot().Inflight > 0 })
+	cancel() // client hangs up
+	if err := <-done; err == nil {
+		t.Fatal("expected the canceled request to error client-side")
+	}
+	waitFor(t, "canceled counter", func() bool { return srv.Snapshot().Canceled == 1 })
+
+	// The device is healthy for the next tenant.
+	var res LaunchResult
+	c.expect(http.StatusOK, "POST", base+"/launch", LaunchSpec{
+		Kernel: "fill", Grid: 1, Block: 32, Args: []ArgSpec{Buf("d"), Scalar(32)},
+	}, &res)
+	if res.Aborted {
+		t.Fatalf("launch after disconnect aborted: %+v", res)
+	}
+}
+
+// TestHTTPHandlerPanicRecovered drives the recover middleware directly with a
+// handler-layer panic (not a simulation panic).
+func TestHTTPHandlerPanicRecovered(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(fmt.Errorf("handler bug"))
+	})
+	ts := httptest.NewServer(recoverMiddleware(inner))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error == "" {
+		t.Fatal("empty error body after recovered panic")
+	}
+	// The test server must still answer.
+	if resp2, err := ts.Client().Get(ts.URL + "/boom"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp2.Body.Close()
+	}
+}

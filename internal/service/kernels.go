@@ -1,0 +1,154 @@
+package service
+
+import (
+	"fmt"
+
+	"gpushield/internal/kernel"
+)
+
+// LaunchSpec is the wire form of a kernel launch request. Tenants do not
+// ship arbitrary kernel IR: they pick a template from the service catalog and
+// bind their own buffer handles and scalars to its parameters. That keeps the
+// attack surface of the launch path to argument validation while still
+// letting a malicious tenant aim out-of-bounds accesses anywhere in the
+// shared address space — which is exactly the threat GPUShield's bounds
+// checking is supposed to contain.
+type LaunchSpec struct {
+	Kernel     string    `json:"kernel"`
+	Grid       int       `json:"grid"`
+	Block      int       `json:"block"`
+	Args       []ArgSpec `json:"args"`
+	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+}
+
+// ArgSpec binds one kernel parameter: a buffer handle owned by the session,
+// or a scalar. Exactly one of the two must be set (Scalar is a pointer so an
+// explicit scalar 0 is distinguishable from an empty spec).
+type ArgSpec struct {
+	Buffer string `json:"buffer,omitempty"`
+	Scalar *int64 `json:"scalar,omitempty"`
+}
+
+// Scalar is a convenience constructor for scalar argument specs.
+func Scalar(v int64) ArgSpec { return ArgSpec{Scalar: &v} }
+
+// Buf is a convenience constructor for buffer argument specs.
+func Buf(name string) ArgSpec { return ArgSpec{Buffer: name} }
+
+// catalog holds the launchable kernel templates, keyed by wire name. All
+// element accesses are 4-byte.
+var catalog = buildCatalog()
+
+// KernelNames returns the catalog's template names (unsorted).
+func KernelNames() []string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	return names
+}
+
+func lookupKernel(name string) (*kernel.Kernel, error) {
+	k, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown kernel %q", ErrBadRequest, name)
+	}
+	return k, nil
+}
+
+func buildCatalog() map[string]*kernel.Kernel {
+	return map[string]*kernel.Kernel{
+		"vecadd":    buildVecAdd(),
+		"scale":     buildScale(),
+		"copy":      buildCopy(),
+		"fill":      buildFill(),
+		"oob-store": buildOOBStore(),
+		"spin":      buildSpin(),
+	}
+}
+
+// vecadd(a ro, b ro, c, n): c[tid] = a[tid] + b[tid] for tid < n.
+func buildVecAdd() *kernel.Kernel {
+	b := kernel.NewBuilder("svc-vecadd")
+	pa := b.BufferParam("a", true)
+	pb := b.BufferParam("b", true)
+	pc := b.BufferParam("c", false)
+	n := b.ScalarParam("n")
+	tid := b.GlobalTID()
+	b.If(b.SetLT(tid, n), func() {
+		va := b.LoadGlobal(b.AddScaled(pa, tid, 4), 4)
+		vb := b.LoadGlobal(b.AddScaled(pb, tid, 4), 4)
+		b.StoreGlobal(b.AddScaled(pc, tid, 4), b.Add(va, vb), 4)
+	})
+	return b.MustBuild()
+}
+
+// scale(data, n, k): data[tid] *= k for tid < n.
+func buildScale() *kernel.Kernel {
+	b := kernel.NewBuilder("svc-scale")
+	pd := b.BufferParam("data", false)
+	n := b.ScalarParam("n")
+	k := b.ScalarParam("k")
+	tid := b.GlobalTID()
+	b.If(b.SetLT(tid, n), func() {
+		addr := b.AddScaled(pd, tid, 4)
+		v := b.LoadGlobal(addr, 4)
+		b.StoreGlobal(addr, b.Mul(v, k), 4)
+	})
+	return b.MustBuild()
+}
+
+// copy(src ro, dst, n): dst[tid] = src[tid] for tid < n.
+func buildCopy() *kernel.Kernel {
+	b := kernel.NewBuilder("svc-copy")
+	ps := b.BufferParam("src", true)
+	pd := b.BufferParam("dst", false)
+	n := b.ScalarParam("n")
+	tid := b.GlobalTID()
+	b.If(b.SetLT(tid, n), func() {
+		v := b.LoadGlobal(b.AddScaled(ps, tid, 4), 4)
+		b.StoreGlobal(b.AddScaled(pd, tid, 4), v, 4)
+	})
+	return b.MustBuild()
+}
+
+// fill(data, n): data[tid] = tid for tid < n. Benign when n fits the buffer;
+// with n larger than the allocation it is a striding overflow sweeping into
+// whatever is adjacent — the classic Fig. 4 pattern.
+func buildFill() *kernel.Kernel {
+	b := kernel.NewBuilder("svc-fill")
+	pd := b.BufferParam("data", false)
+	n := b.ScalarParam("n")
+	tid := b.GlobalTID()
+	b.If(b.SetLT(tid, n), func() {
+		b.StoreGlobal(b.AddScaled(pd, tid, 4), tid, 4)
+	})
+	return b.MustBuild()
+}
+
+// oob-store(data, idx): thread 0 stores a marker at data[idx] — a pointed
+// single-address overflow whose target the attacker fully controls.
+func buildOOBStore() *kernel.Kernel {
+	b := kernel.NewBuilder("svc-oob-store")
+	pd := b.BufferParam("data", false)
+	idx := b.ScalarParam("idx")
+	tid := b.GlobalTID()
+	b.If(b.SetEQ(tid, kernel.Imm(0)), func() {
+		b.StoreGlobal(b.AddScaled(pd, idx, 4), kernel.Imm(0x0BAD_F00D), 4)
+	})
+	return b.MustBuild()
+}
+
+// spin(data, iters): every thread burns iters loop trips of ALU work, then
+// stores its accumulator to data[tid]. The cycle-budget / watchdog workload.
+func buildSpin() *kernel.Kernel {
+	b := kernel.NewBuilder("svc-spin")
+	pd := b.BufferParam("data", false)
+	iters := b.ScalarParam("iters")
+	acc := b.Mov(kernel.Imm(1))
+	b.ForRange(kernel.Imm(0), iters, kernel.Imm(1), func(i kernel.Operand) {
+		b.MovTo(acc, b.Xor(b.Add(acc, i), kernel.Imm(7)))
+	})
+	b.StoreGlobal(b.AddScaled(pd, b.GlobalTID(), 4), acc, 4)
+	return b.MustBuild()
+}

@@ -1,0 +1,113 @@
+package service
+
+import "sync/atomic"
+
+// counters is the server-wide telemetry, all lock-free.
+type counters struct {
+	sessionsCreated atomic.Uint64
+	sessionsClosed  atomic.Uint64
+
+	launches     atomic.Uint64
+	launchErrors atomic.Uint64
+	inflight     atomic.Int64
+
+	shedQuota    atomic.Uint64 // 429-class: per-tenant budget rejections
+	shedOverload atomic.Uint64 // 503-class: shared-capacity rejections
+	shedDraining atomic.Uint64 // 503-class: shutdown rejections
+
+	watchdogAborts atomic.Uint64
+	deadlineAborts atomic.Uint64
+	canceled       atomic.Uint64
+	panics         atomic.Uint64
+
+	violations  atomic.Uint64 // individual violation records
+	oobLaunches atomic.Uint64 // launches with >= 1 violation
+	crossTenant atomic.Uint64 // violations aimed at another tenant's memory
+
+	cycles         atomic.Uint64 // simulated cycles served
+	gpuRebuilds    atomic.Uint64 // simulator rebuilt after a contained panic
+	deviceRecycles atomic.Uint64 // idle device swapped for a fresh one
+
+	runNanosEWMA atomic.Uint64 // smoothed launch service time (Retry-After)
+}
+
+// Stats is the wire snapshot of the server counters.
+type Stats struct {
+	SessionsCreated uint64 `json:"sessions_created"`
+	SessionsClosed  uint64 `json:"sessions_closed"`
+	SessionsLive    int    `json:"sessions_live"`
+
+	Launches     uint64 `json:"launches"`
+	LaunchErrors uint64 `json:"launch_errors"`
+	Inflight     int64  `json:"inflight"`
+	Queued       int    `json:"queued"`
+
+	ShedQuota    uint64 `json:"shed_quota"`
+	ShedOverload uint64 `json:"shed_overload"`
+	ShedDraining uint64 `json:"shed_draining"`
+
+	WatchdogAborts uint64 `json:"watchdog_aborts"`
+	DeadlineAborts uint64 `json:"deadline_aborts"`
+	Canceled       uint64 `json:"canceled"`
+	Panics         uint64 `json:"panics"`
+
+	Violations  uint64 `json:"violations"`
+	OOBLaunches uint64 `json:"oob_launches"`
+	CrossTenant uint64 `json:"cross_tenant_blocked"`
+
+	Cycles         uint64 `json:"cycles"`
+	GPURebuilds    uint64 `json:"gpu_rebuilds"`
+	DeviceRecycles uint64 `json:"device_recycles"`
+
+	RunEWMANanos uint64 `json:"run_ewma_nanos"`
+}
+
+// Snapshot returns the current server-wide counters.
+func (s *Server) Snapshot() Stats {
+	s.mu.RLock()
+	live := len(s.sessions)
+	s.mu.RUnlock()
+	queued := 0
+	for _, d := range s.devs {
+		queued += d.queueLen()
+	}
+	c := &s.stats
+	return Stats{
+		SessionsCreated: c.sessionsCreated.Load(),
+		SessionsClosed:  c.sessionsClosed.Load(),
+		SessionsLive:    live,
+		Launches:        c.launches.Load(),
+		LaunchErrors:    c.launchErrors.Load(),
+		Inflight:        c.inflight.Load(),
+		Queued:          queued,
+		ShedQuota:       c.shedQuota.Load(),
+		ShedOverload:    c.shedOverload.Load(),
+		ShedDraining:    c.shedDraining.Load(),
+		WatchdogAborts:  c.watchdogAborts.Load(),
+		DeadlineAborts:  c.deadlineAborts.Load(),
+		Canceled:        c.canceled.Load(),
+		Panics:          c.panics.Load(),
+		Violations:      c.violations.Load(),
+		OOBLaunches:     c.oobLaunches.Load(),
+		CrossTenant:     c.crossTenant.Load(),
+		Cycles:          c.cycles.Load(),
+		GPURebuilds:     c.gpuRebuilds.Load(),
+		DeviceRecycles:  c.deviceRecycles.Load(),
+		RunEWMANanos:    c.runNanosEWMA.Load(),
+	}
+}
+
+// Sessions returns a telemetry snapshot per live session.
+func (s *Server) Sessions() []TenantStats {
+	s.mu.RLock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.RUnlock()
+	out := make([]TenantStats, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, sess.snapshot())
+	}
+	return out
+}

@@ -154,6 +154,14 @@ func (g *GPU) Now() uint64 { return g.now }
 // TrackPages enables the per-buffer 4 KB page-touch census (Fig. 11).
 func (g *GPU) TrackPages(on bool) { g.trackPages = on }
 
+// SetMaxCycles rearms the kernel watchdog for subsequent runs: the next
+// RunConcurrent invocation aborts after n simulated cycles (0 disables the
+// watchdog). Serving loops use it to enforce a per-request cycle budget on a
+// long-lived GPU — e.g. the minimum of a per-launch cap and a tenant's
+// remaining quota — without rebuilding the simulator. It must not be called
+// while a run is in flight.
+func (g *GPU) SetMaxCycles(n uint64) { g.cfg.MaxCycles = n }
+
 // BCU exposes core 0's BCU for inspection in tests.
 func (g *GPU) BCU(coreID int) *core.BCU { return g.cores[coreID].bcu }
 
@@ -496,16 +504,15 @@ func (g *GPU) deadlocked() bool {
 
 // harvestBCU folds a core's per-kernel violation log into the run's stats.
 // Counter attribution happens at check time; only the violation records and
-// fault state need collecting here.
+// fault state need collecting here. The records are consumed, not copied:
+// kernel IDs recycle across launches, and a GPU serving many launches must
+// not leak one kernel's violations into a later launch that draws the same
+// ID (nor grow the log without bound).
 func (g *GPU) harvestBCU(c *coreState, r *kernelRun) {
-	for _, v := range c.bcu.Violations() {
-		if v.KernelID == r.launch.KernelID {
-			r.stats.Violations = append(r.stats.Violations, v)
-		}
-	}
 	if v, ok := c.bcu.Faulted(); ok && v.KernelID == r.launch.KernelID {
 		r.stats.Violations = append(r.stats.Violations, v)
 	}
+	r.stats.Violations = append(r.stats.Violations, c.bcu.TakeViolations(r.launch.KernelID)...)
 }
 
 // dispatch fills free core slots with pending workgroups, round-robin over

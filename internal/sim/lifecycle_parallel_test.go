@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"gpushield/internal/driver"
+)
+
+// statsJSON renders reports in a canonical byte form so "byte-identical at
+// every width" is literal, not just reflect.DeepEqual on in-memory structs.
+func statsJSON(t *testing.T, st []*LaunchStats) []byte {
+	t.Helper()
+	buf, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal stats: %v", err)
+	}
+	return buf
+}
+
+// TestWatchdogPartialStatsAcrossWidths pins the service-facing contract the
+// daemon's cycle budgets rely on: a watchdog abort (ErrWatchdog) fired via
+// SetMaxCycles produces a partial report that is byte-identical at every
+// core-parallelism width.
+func TestWatchdogPartialStatsAcrossWidths(t *testing.T) {
+	runAt := func(width int) ([]*LaunchStats, error) {
+		dev := driver.NewDevice(11)
+		buf := dev.Malloc("p", 1<<20, false)
+		l := parPrep(t, dev, buildSpinGolden(t), 16, 64, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff)
+		cfg := NvidiaConfig()
+		cfg.CoreParallel = width
+		gpu := New(cfg, dev)
+		// Armed after construction, the way the serving loop rearms the
+		// budget per request.
+		gpu.SetMaxCycles(4096)
+		return gpu.RunConcurrentCtx(context.Background(), []*driver.Launch{l}, ShareInterCore)
+	}
+	base, baseErr := runAt(1)
+	if !errors.Is(baseErr, ErrWatchdog) {
+		t.Fatalf("serial: got %v, want ErrWatchdog", baseErr)
+	}
+	if len(base) != 1 || !base[0].Aborted {
+		t.Fatalf("serial: expected aborted partial report, got %+v", base)
+	}
+	want := statsJSON(t, base)
+	for _, w := range []int{2, 4, 8} {
+		got, err := runAt(w)
+		if !errors.Is(err, ErrWatchdog) {
+			t.Fatalf("width %d: got %v, want ErrWatchdog", w, err)
+		}
+		if g := statsJSON(t, got); !reflect.DeepEqual(g, want) {
+			t.Errorf("width %d watchdog partial stats diverged:\n got: %s\nwant: %s", w, g, want)
+		}
+	}
+}
+
+// TestCancelPartialStatsAcrossWidths does the same for the other external
+// abort channel: context cancellation (ErrCanceled). The cancellation is
+// made deterministic by firing it from the cycle hook at a fixed simulated
+// cycle — the hook runs on the scheduling goroutine before any core steps,
+// and the cancellation poll counts scheduling steps, which are identical at
+// every width — so the partial report must be too.
+func TestCancelPartialStatsAcrossWidths(t *testing.T) {
+	const cancelAt = 3000
+	runAt := func(width int) ([]*LaunchStats, error) {
+		dev := driver.NewDevice(11)
+		buf := dev.Malloc("p", 1<<20, false)
+		l := parPrep(t, dev, buildSpinGolden(t), 16, 64, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff)
+		cfg := NvidiaConfig()
+		cfg.CoreParallel = width
+		gpu := New(cfg, dev)
+		ctx, cancel := context.WithCancelCause(context.Background())
+		defer cancel(nil)
+		fired := false
+		gpu.SetCycleHook(func(now uint64) {
+			if !fired && now >= cancelAt {
+				fired = true
+				cancel(errors.New("deterministic test cancel"))
+			}
+		})
+		return gpu.RunConcurrentCtx(ctx, []*driver.Launch{l}, ShareInterCore)
+	}
+	base, baseErr := runAt(1)
+	if !errors.Is(baseErr, ErrCanceled) {
+		t.Fatalf("serial: got %v, want ErrCanceled", baseErr)
+	}
+	if len(base) != 1 || !base[0].Aborted {
+		t.Fatalf("serial: expected aborted partial report, got %+v", base)
+	}
+	want := statsJSON(t, base)
+	for _, w := range []int{2, 4, 8} {
+		got, err := runAt(w)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("width %d: got %v, want ErrCanceled", w, err)
+		}
+		if g := statsJSON(t, got); !reflect.DeepEqual(g, want) {
+			t.Errorf("width %d cancel partial stats diverged:\n got: %s\nwant: %s", w, g, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"gpushield/internal/core"
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+// buildOOBFill builds fill(data, n): data[tid] = tid for tid < n — an
+// overflow sweep whenever n exceeds the bound buffer's element count.
+func buildOOBFill(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	b := kernel.NewBuilder("scope-fill")
+	pd := b.BufferParam("data", false)
+	n := b.ScalarParam("n")
+	tid := b.GlobalTID()
+	b.If(b.SetLT(tid, n), func() {
+		b.StoreGlobal(b.AddScaled(pd, tid, 4), tid, 4)
+	})
+	return b.MustBuild()
+}
+
+// TestViolationLogScopedToLaunch pins the serving-daemon contract: one GPU
+// runs many serialized launches, kernel IDs are drawn from a small space and
+// recycle, and a violating launch must not bleed its violation records into a
+// later clean launch — even one that draws the very same kernel ID. Before
+// the harvest consumed the BCU log, the stale records were re-attributed and
+// the log grew without bound.
+func TestViolationLogScopedToLaunch(t *testing.T) {
+	dev := driver.NewDevice(5)
+	dev.SetRBTRecycle(true)
+	buf := dev.Malloc("data", 1024, false) // 256 elements
+	k := buildOOBFill(t)
+
+	// Force every launch onto the same kernel ID — the worst-case collision
+	// the random ID draw only makes probabilistic.
+	dev.SetLaunchMutator(func(l *driver.Launch) { l.KernelID = 77 })
+
+	gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+
+	run := func(n int64) *LaunchStats {
+		t.Helper()
+		l, err := dev.PrepareLaunch(k, 2, 256, []driver.Arg{
+			driver.BufArg(buf), driver.ScalarArg(n),
+		}, driver.ModeShield, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := gpu.RunCtx(context.Background(), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	dirty := run(1 << 20) // 512 threads sweep far past the 256-element buffer
+	if len(dirty.Violations) == 0 {
+		t.Fatal("overflow sweep produced no violations")
+	}
+	clean := run(256) // in bounds, same GPU, same kernel ID
+	if len(clean.Violations) != 0 {
+		t.Fatalf("clean launch inherited %d stale violations (first: %v)",
+			len(clean.Violations), clean.Violations[0])
+	}
+	// A second dirty launch reports only its own records, not an accumulation.
+	dirty2 := run(1 << 20)
+	if len(dirty2.Violations) != len(dirty.Violations) {
+		t.Fatalf("violation log accumulated across launches: %d then %d",
+			len(dirty.Violations), len(dirty2.Violations))
+	}
+}

@@ -2,16 +2,19 @@
 # bench_compare.sh OLD.json NEW.json — the bench-guard gate.
 #
 # Diffs two benchjson snapshots and fails (exit 1) if any guarded hot-path
-# benchmark regressed by more than MAX_REGRESS percent. The guarded set is
-# the serial-path contract of the core-parallel work: warp-issue and
-# mem-instr throughput at width 1 must not pay for the two-phase scheduler.
+# benchmark regressed by more than MAX_REGRESS percent. The guarded set
+# covers two contracts: the serial-path contract of the core-parallel work
+# (warp-issue and mem-instr throughput at width 1 must not pay for the
+# two-phase scheduler), and the memory-instruction functional path
+# (functional mem-path execution and backing-store reads), which the
+# service daemon's per-launch violation harvesting sits on top of.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OLD=${1:-BENCH_PR4.json}
-NEW=${2:-BENCH_PR5.json}
+OLD=${1:-BENCH_PR5.json}
+NEW=${2:-BENCH_PR6_hot.json}
 MAX_REGRESS=${MAX_REGRESS:-15}
-MATCH=${MATCH:-'BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput'}
+MATCH=${MATCH:-'BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput|BenchmarkFunctionalMemPath|BenchmarkBackingReadUint'}
 
 if [[ ! -f $OLD ]]; then
     echo "bench_compare: baseline $OLD not found" >&2
