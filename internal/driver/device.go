@@ -306,8 +306,11 @@ func (d *Device) allocRBT() uint64 {
 }
 
 // CopyToDevice writes host data into a buffer (cudaMemcpy H2D analogue).
+// The bounds check is two comparisons, not offset+len > Size: a hostile
+// offset near 2^64 would wrap the sum back under Size (and b.Base+offset to
+// an address before the buffer), turning the copy into an arbitrary write.
 func (d *Device) CopyToDevice(b *Buffer, offset uint64, data []byte) error {
-	if offset+uint64(len(data)) > b.Size {
+	if offset > b.Size || uint64(len(data)) > b.Size-offset {
 		return fmt.Errorf("driver: copy of %d bytes at +%d overruns %s (%d bytes)",
 			len(data), offset, b.Name, b.Size)
 	}
@@ -315,9 +318,11 @@ func (d *Device) CopyToDevice(b *Buffer, offset uint64, data []byte) error {
 	return nil
 }
 
-// CopyFromDevice reads buffer contents back to the host.
+// CopyFromDevice reads buffer contents back to the host. Same
+// overflow-proof check as CopyToDevice; a negative n also lands in the
+// rejection (its uint64 conversion exceeds any buffer size).
 func (d *Device) CopyFromDevice(b *Buffer, offset uint64, n int) ([]byte, error) {
-	if offset+uint64(n) > b.Size {
+	if offset > b.Size || uint64(n) > b.Size-offset {
 		return nil, fmt.Errorf("driver: read of %d bytes at +%d overruns %s (%d bytes)",
 			n, offset, b.Name, b.Size)
 	}

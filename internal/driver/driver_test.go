@@ -134,6 +134,29 @@ func TestCopyBounds(t *testing.T) {
 	}
 }
 
+// TestCopyBoundsOverflow: offsets near 2^64 must be rejected, not wrap
+// offset+len back under Size and turn the copy into an arbitrary
+// read/write before the buffer — in a shared address space that is another
+// tenant's memory.
+func TestCopyBoundsOverflow(t *testing.T) {
+	dev := NewDevice(5)
+	b := dev.Malloc("b", 64, false)
+	huge := ^uint64(0) - 3 // offset + 4 wraps to 0
+	if err := dev.CopyToDevice(b, huge, []byte{1, 2, 3, 4}); err == nil {
+		t.Fatalf("wrapping write offset accepted")
+	}
+	if _, err := dev.CopyFromDevice(b, huge, 4); err == nil {
+		t.Fatalf("wrapping read offset accepted")
+	}
+	// Just past the end, and far past it, with zero/small lengths.
+	if err := dev.CopyToDevice(b, 65, nil); err == nil {
+		t.Fatalf("out-of-range offset with empty payload accepted")
+	}
+	if _, err := dev.CopyFromDevice(b, 0, -1); err == nil {
+		t.Fatalf("negative read length accepted")
+	}
+}
+
 func TestFloat32Accessors(t *testing.T) {
 	dev := NewDevice(6)
 	b := dev.Malloc("f", 64, false)

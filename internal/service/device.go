@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpushield/internal/driver"
@@ -27,8 +28,11 @@ type device struct {
 	id  int
 	srv *Server
 
-	// liveSessions is guarded by Server.mu (placement happens there).
-	liveSessions int
+	// liveSessions counts sessions placed on this device. It is mutated only
+	// under Server.mu (placement happens there) but read atomically by
+	// releaseSession — under device.mu — to re-verify idleness at recycle
+	// time, since lock order forbids taking Server.mu there.
+	liveSessions atomic.Int64
 
 	qmu     sync.Mutex
 	queues  map[string][]*launchReq // per-tenant FIFO
@@ -130,16 +134,23 @@ func (d *device) rebuildGPU() {
 }
 
 // malloc allocates in the device's shared address space and records the
-// range's owner for violation attribution.
-func (d *device) malloc(sess *Session, name string, size uint64, readOnly bool) *driver.Buffer {
+// range's owner for violation attribution. The closed re-check happens under
+// mu (Session.mu is a leaf below it): a session torn down between
+// reserveBuffer and here has already had — or will have, ordered after us —
+// its ownership records purged by releaseSession, so refusing closed
+// sessions means no allocation can outlive its owner's records.
+func (d *device) malloc(sess *Session, name string, size uint64, readOnly bool) (*driver.Buffer, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if sess.isClosed() {
+		return nil, fmt.Errorf("%w: session closed", ErrNotFound)
+	}
 	buf := d.dev.Malloc(sess.ID+"/"+name, size, readOnly)
 	d.owners = append(d.owners, ownedRange{
 		base: buf.Base, end: buf.Base + buf.Padded, session: sess.ID, tenant: sess.Tenant,
 	})
 	d.allocBytes += buf.Padded
-	return buf
+	return buf, nil
 }
 
 func (d *device) copyToDevice(b *driver.Buffer, offset uint64, data []byte) error {
@@ -164,7 +175,16 @@ func (d *device) copyFromDevice(b *driver.Buffer, offset uint64, n int) ([]byte,
 // releaseSession drops the session's ownership records; when the device is
 // idle and past its allocation high-water mark it is recycled whole, so a
 // long-lived daemon's memory stays flat under session churn.
-func (d *device) releaseSession(sess *Session, idle bool) {
+//
+// Idleness is decided here, under mu, never from a snapshot taken at
+// CloseSession time: between that snapshot and this lock a concurrent
+// CreateSession could place a new session and Malloc buffers, and recycling
+// on the stale answer would swap the allocator out from under live buffers,
+// aliasing their bases with other tenants' future allocations. The atomic
+// load closes that window: a session placed before we acquired mu has
+// already incremented liveSessions (so we skip the recycle), and one placed
+// after can only malloc once we release mu — on the fresh allocator.
+func (d *device) releaseSession(sess *Session) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	kept := d.owners[:0]
@@ -174,7 +194,7 @@ func (d *device) releaseSession(sess *Session, idle bool) {
 		}
 	}
 	d.owners = kept
-	if idle && d.allocBytes >= d.srv.cfg.DeviceHighWater {
+	if d.liveSessions.Load() == 0 && d.allocBytes >= d.srv.cfg.DeviceHighWater {
 		d.freshHardware()
 		d.srv.stats.deviceRecycles.Add(1)
 	}
@@ -400,6 +420,14 @@ func (d *device) runOne(req *launchReq) (out launchOutcome) {
 			srv.stats.deadlineAborts.Add(1)
 			sess.noteLaunch(res)
 			return launchOutcome{res: res, err: fmt.Errorf("%w after %v", ErrDeadline, elapsed.Round(time.Millisecond))}
+		case req.ctx.Err() == nil:
+			// The client's context is intact, so the abort came through the
+			// AfterFunc wired to the server hard stop: that is the process
+			// going away (503, retry against a replica), not a client
+			// cancellation (499).
+			srv.stats.shedDraining.Add(1)
+			sess.noteLaunch(res)
+			return launchOutcome{res: res, err: fmt.Errorf("%w: launch aborted by server stop: %v", ErrDraining, context.Cause(srv.hardCtx))}
 		default:
 			srv.stats.canceled.Add(1)
 			sess.noteLaunch(res)

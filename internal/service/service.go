@@ -239,14 +239,14 @@ func (s *Server) CreateSession(tenant string) (*SessionInfo, error) {
 		s.stats.shedQuota.Add(1)
 		return nil, fmt.Errorf("%w: tenant %q at its session limit (%d)", ErrQuota, tenant, s.cfg.TenantSessions)
 	}
-	// Least-loaded placement; liveSessions is guarded by s.mu.
+	// Least-loaded placement; liveSessions is mutated only under s.mu.
 	dev := s.devs[0]
 	for _, d := range s.devs[1:] {
-		if d.liveSessions < dev.liveSessions {
+		if d.liveSessions.Load() < dev.liveSessions.Load() {
 			dev = d
 		}
 	}
-	dev.liveSessions++
+	dev.liveSessions.Add(1)
 	s.tenantCounts[tenant]++
 	sess := &Session{
 		ID:         newSessionID(),
@@ -299,12 +299,14 @@ func (s *Server) CloseSession(id string) error {
 		s.tenantCounts[sess.Tenant] = n - 1
 	}
 	dev := sess.dev
-	dev.liveSessions--
-	idle := dev.liveSessions == 0
+	dev.liveSessions.Add(-1)
 	s.mu.Unlock()
 
 	sess.close()
-	dev.releaseSession(sess, idle)
+	// Whether the device is idle enough to recycle is decided inside
+	// releaseSession, under the device lock — a snapshot taken here could go
+	// stale against a concurrent CreateSession before the recycle runs.
+	dev.releaseSession(sess)
 	s.stats.sessionsClosed.Add(1)
 	return nil
 }
@@ -378,7 +380,13 @@ func (s *Server) Malloc(sessionID, name string, size uint64, readOnly bool) (*Bu
 	if err := sess.reserveBuffer(name, padded, s.cfg); err != nil {
 		return nil, err
 	}
-	buf := sess.dev.malloc(sess, name, size, readOnly)
+	buf, err := sess.dev.malloc(sess, name, size, readOnly)
+	if err != nil {
+		// The session closed between the reservation and the device-side
+		// allocation; roll the quota charge back so nothing leaks.
+		sess.unreserveBuffer(name, padded)
+		return nil, err
+	}
 	bytesLeft, buffersLeft := sess.commitBuffer(name, buf, s.cfg)
 	return &BufferInfo{
 		Name: name, Size: size, Padded: buf.Padded, ReadOnly: readOnly,

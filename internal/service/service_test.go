@@ -78,6 +78,50 @@ func TestAdmissionQuotas(t *testing.T) {
 	}
 }
 
+// TestBufferCopyOffsetOverflow: WriteBuffer/ReadBuffer feed untrusted
+// offsets straight to the driver; an offset near 2^64 must be rejected as a
+// bad request, not wrap the driver's bounds check and land the copy in a
+// neighboring tenant's memory.
+func TestBufferCopyOffsetOverflow(t *testing.T) {
+	srv := newTestServer(t, testConfig())
+	s := mustSession(t, srv, "t")
+	mustMalloc(t, srv, s.ID, "buf", 4096)
+
+	huge := ^uint64(0) - 3 // offset + 4 wraps to 0
+	if err := srv.WriteBuffer(s.ID, "buf", huge, []byte{1, 2, 3, 4}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("wrapping write offset: want ErrBadRequest, got %v", err)
+	}
+	if _, err := srv.ReadBuffer(s.ID, "buf", huge, 4); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("wrapping read offset: want ErrBadRequest, got %v", err)
+	}
+}
+
+// TestMallocAfterCloseRefused: the device re-checks the session under its
+// own lock, so an allocation racing CloseSession cannot strand an ownership
+// record (and backing bytes) for a dead session.
+func TestMallocAfterCloseRefused(t *testing.T) {
+	srv := newTestServer(t, testConfig())
+	s := mustSession(t, srv, "t")
+	sess, err := srv.session(s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CloseSession(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.dev.malloc(sess, "late", 64, false); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("malloc on closed session: want ErrNotFound, got %v", err)
+	}
+	d := sess.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, o := range d.owners {
+		if o.session == sess.ID {
+			t.Fatalf("closed session still owns %#x..%#x", o.base, o.end)
+		}
+	}
+}
+
 func TestCycleBudgetEnforcedByWatchdog(t *testing.T) {
 	cfg := testConfig()
 	cfg.CycleBudget = 20_000
@@ -343,8 +387,9 @@ func TestGracefulDrain(t *testing.T) {
 }
 
 // TestForcedDrainAbortsInFlight: when the drain context expires with a
-// launch still running, the launch is hard-aborted (ErrCanceled, partial
-// report) and Drain reports the cut, but every worker still exits.
+// launch still running, the launch is hard-aborted and Drain reports the
+// cut, but every worker still exits. The abort is the server's doing, not
+// the client's, so it must classify as draining (503), not canceled (499).
 func TestForcedDrainAbortsInFlight(t *testing.T) {
 	cfg := testConfig()
 	cfg.LaunchCycleCap = 1 << 40
@@ -373,8 +418,11 @@ func TestForcedDrainAbortsInFlight(t *testing.T) {
 	}
 	select {
 	case err := <-result:
-		if !errors.Is(err, ErrCanceled) {
-			t.Fatalf("aborted in-flight launch: want ErrCanceled, got %v", err)
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("server-aborted in-flight launch: want ErrDraining, got %v", err)
+		}
+		if got := HTTPStatus(err); got != 503 {
+			t.Fatalf("server-aborted launch must map to 503, got %d", got)
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("in-flight launch never returned after forced drain")

@@ -73,6 +73,15 @@ func (s *Session) reserveBuffer(name string, padded uint64, cfg Config) error {
 	return nil
 }
 
+// unreserveBuffer rolls a reservation back when the device-side allocation
+// was refused (session closed mid-Malloc).
+func (s *Session) unreserveBuffer(name string, padded uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.buffers, name)
+	s.bufBytes -= padded
+}
+
 func (s *Session) commitBuffer(name string, b *driver.Buffer, cfg Config) (bytesLeft uint64, buffersLeft int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
