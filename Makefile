@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-guard experiments experiments-smoke soak-smoke resume-smoke service-smoke examples attackdemo vet fmt clean
+.PHONY: all build test test-race bench bench-json bench-guard experiments experiments-smoke soak-smoke resume-smoke service-smoke fuzz-smoke examples attackdemo vet fmt clean
 
 all: build test
 
@@ -69,6 +69,13 @@ resume-smoke:
 # drain (exit 0).
 service-smoke:
 	bash scripts/service_smoke.sh
+
+# Differential kernel fuzz at a fixed seed: 500 generated kernels with
+# planted OOB faults, three-way oracle (static analyzer / BCU / ground
+# truth), byte-identical reports across -parallel widths, and a race pass.
+# Any disagreement fails with a shrunk reproducer in the error message.
+fuzz-smoke:
+	bash scripts/fuzz_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -100,6 +100,10 @@ func realMain() int {
 	soak := flag.Duration("soak", 0, "loop fault-injection campaigns for this duration, checking for memory growth")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+	seed := flag.Int64("seed", 0, "fuzz stream seed for -run fuzz (0 = default 1); the same seed replays byte-identically")
+	fuzzCount := flag.Int("fuzz-count", 0, "number of fuzz cases for -run fuzz (0 = default 500)")
+	fuzzShrink := flag.Int("fuzz-shrink", 0, "shrink budget (oracle evaluations) per fuzz disagreement (0 = default 300)")
+	fuzzCorpus := flag.String("fuzz-corpus", "", "directory to write shrunk fuzz reproducers to (e.g. testdata/bugcorpus); empty = don't persist")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -142,6 +146,7 @@ func realMain() int {
 
 	experiments.SetParallelism(*parallel)
 	experiments.SetCoreParallelism(*coreParallel)
+	experiments.SetFuzzOptions(*seed, *fuzzCount, *fuzzShrink, *fuzzCorpus)
 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	defer cancel(nil)

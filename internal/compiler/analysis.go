@@ -17,6 +17,7 @@ package compiler
 
 import (
 	"fmt"
+	"math"
 
 	"gpushield/internal/kernel"
 )
@@ -32,25 +33,92 @@ func known(lo, hi int64) Interval { return Interval{Lo: lo, Hi: hi, Known: true}
 
 func unknown() Interval { return Interval{} }
 
+// add64/sub64/mul64 are overflow-checked int64 arithmetic. Interval bounds
+// must never wrap: a wrapped Hi turns a provably-unsafe access into a
+// "provably safe" one and the runtime check is then skipped. Any overflow
+// collapses the interval to unknown(), which is always sound.
+func add64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func sub64(a, b int64) (int64, bool) {
+	s := a - b
+	if (b > 0 && s > a) || (b < 0 && s < a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// satDec/satInc adjust a bound by one, saturating instead of wrapping.
+func satDec(v int64) int64 {
+	if v == math.MinInt64 {
+		return v
+	}
+	return v - 1
+}
+
+func satInc(v int64) int64 {
+	if v == math.MaxInt64 {
+		return v
+	}
+	return v + 1
+}
+
 func (iv Interval) add(o Interval) Interval {
 	if !iv.Known || !o.Known {
 		return unknown()
 	}
-	return known(iv.Lo+o.Lo, iv.Hi+o.Hi)
+	lo, okLo := add64(iv.Lo, o.Lo)
+	hi, okHi := add64(iv.Hi, o.Hi)
+	if !okLo || !okHi {
+		return unknown()
+	}
+	return known(lo, hi)
 }
 
 func (iv Interval) sub(o Interval) Interval {
 	if !iv.Known || !o.Known {
 		return unknown()
 	}
-	return known(iv.Lo-o.Hi, iv.Hi-o.Lo)
+	lo, okLo := sub64(iv.Lo, o.Hi)
+	hi, okHi := sub64(iv.Hi, o.Lo)
+	if !okLo || !okHi {
+		return unknown()
+	}
+	return known(lo, hi)
 }
 
 func (iv Interval) mul(o Interval) Interval {
 	if !iv.Known || !o.Known {
 		return unknown()
 	}
-	c := [4]int64{iv.Lo * o.Lo, iv.Lo * o.Hi, iv.Hi * o.Lo, iv.Hi * o.Hi}
+	var c [4]int64
+	pairs := [4][2]int64{{iv.Lo, o.Lo}, {iv.Lo, o.Hi}, {iv.Hi, o.Lo}, {iv.Hi, o.Hi}}
+	for i, p := range pairs {
+		v, ok := mul64(p[0], p[1])
+		if !ok {
+			return unknown()
+		}
+		c[i] = v
+	}
 	lo, hi := c[0], c[0]
 	for _, v := range c[1:] {
 		if v < lo {
@@ -302,7 +370,9 @@ func (a *analyzer) classify(i int, in kernel.Instr) AccessInfo {
 // may be fine — the paper's pass defers those to dynamic checking rather
 // than rejecting correct guarded programs).
 func classifyRange(iv Interval, accessBytes, size int64) AccessClass {
-	if iv.Lo >= 0 && iv.Hi+accessBytes <= size {
+	// iv.Hi + accessBytes is computed checked: if it overflows int64 the
+	// access end is astronomically large and certainly not provably safe.
+	if hiEnd, ok := add64(iv.Hi, accessBytes); ok && iv.Lo >= 0 && hiEnd <= size {
 		return AccessStaticSafe
 	}
 	if iv.Hi < 0 || iv.Lo >= size {
@@ -498,6 +568,7 @@ func addVals(x, y value) value {
 // `if (gtid < n)` software-bounds-check idiom).
 func (a *analyzer) specialRange(s kernel.Special, site int) Interval {
 	block, grid := int64(a.info.Block), int64(a.info.Grid)
+	threads, threadsOK := mul64(block, grid)
 	var iv Interval
 	switch s {
 	case kernel.SpecTIDX:
@@ -509,9 +580,15 @@ func (a *analyzer) specialRange(s kernel.Special, site int) Interval {
 	case kernel.SpecNCTAIDX:
 		iv = known(grid, grid)
 	case kernel.SpecGlobalTID:
-		iv = known(0, block*grid-1)
+		if !threadsOK {
+			return unknown()
+		}
+		iv = known(0, threads-1)
 	case kernel.SpecGlobalSize:
-		iv = known(block*grid, block*grid)
+		if !threadsOK {
+			return unknown()
+		}
+		iv = known(threads, threads)
 	case kernel.SpecLaneID:
 		iv = known(0, block-1) // conservatively the whole block
 	case kernel.SpecWarpID:
@@ -601,12 +678,12 @@ func (a *analyzer) boundFromCond(reg int, s kernel.Special, site, depth int) (In
 	case kernel.OpSetLT: // s < bound  =>  s <= max(bound)-1
 		if matches(in.Src[0]) {
 			if b, ok := side(1); ok {
-				return known(neg62, b.Hi-1), true
+				return known(neg62, satDec(b.Hi)), true
 			}
 		}
 		if matches(in.Src[1]) { // bound < s  =>  s >= min(bound)+1
 			if b, ok := side(0); ok {
-				return known(b.Lo+1, pos62), true
+				return known(satInc(b.Lo), pos62), true
 			}
 		}
 	case kernel.OpSetLE: // s <= bound
@@ -623,12 +700,12 @@ func (a *analyzer) boundFromCond(reg int, s kernel.Special, site, depth int) (In
 	case kernel.OpSetGT: // s > bound  =>  s >= min(bound)+1
 		if matches(in.Src[0]) {
 			if b, ok := side(1); ok {
-				return known(b.Lo+1, pos62), true
+				return known(satInc(b.Lo), pos62), true
 			}
 		}
 		if matches(in.Src[1]) { // bound > s
 			if b, ok := side(0); ok {
-				return known(neg62, b.Hi-1), true
+				return known(neg62, satDec(b.Hi)), true
 			}
 		}
 	case kernel.OpSetGE: // s >= bound
@@ -676,7 +753,7 @@ func (a *analyzer) inductionRange(reg int, defs []int) (Interval, bool) {
 			continue
 		}
 		// Inside the loop body i < bound, so reg <= bound.Hi - 1.
-		return known(initV.off.Lo, bound.off.Hi-1), true
+		return known(initV.off.Lo, satDec(bound.off.Hi)), true
 	}
 	return Interval{}, false
 }

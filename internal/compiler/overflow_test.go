@@ -1,0 +1,143 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+
+	"gpushield/internal/kernel"
+)
+
+// classOf runs the static pass over a one-access kernel and returns the
+// classification of its single memory instruction.
+func soleClassOf(t *testing.T, k *kernel.Kernel, info LaunchInfo) AccessClass {
+	t.Helper()
+	an, err := Analyze(k, info)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(an.Accesses) != 1 {
+		t.Fatalf("expected 1 access, got %d", len(an.Accesses))
+	}
+	return an.Accesses[0].Class
+}
+
+// TestIntervalAddOverflowNotStaticSafe is the regression test for the
+// interval-arithmetic soundness bug: a known near-MaxInt64 scalar parameter
+// added to gtid used to wrap Hi negative, making classifyRange see the
+// access as provably in-bounds and skip its runtime check under
+// ModeShieldStatic. The fixed pass must classify it Runtime.
+func TestIntervalAddOverflowNotStaticSafe(t *testing.T) {
+	b := kernel.NewBuilder("ovf_add")
+	buf := b.BufferParam("d", false)
+	s := b.ScalarParam("s")
+	idx := b.Add(b.GlobalTID(), s)
+	b.StoreGlobal(b.Add(buf, idx), kernel.Imm(1), 1)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	info := LaunchInfo{
+		Block:       4,
+		Grid:        1,
+		BufferBytes: []uint64{64, 0},
+		ScalarVal:   []int64{0, math.MaxInt64 - 2},
+		ScalarKnown: []bool{false, true},
+	}
+	got := soleClassOf(t, k, info)
+	if got == AccessStaticSafe {
+		t.Fatalf("overflowing offset classified static-safe: runtime check would be skipped for a wild store")
+	}
+	if got != AccessRuntime {
+		t.Fatalf("class = %v, want runtime", got)
+	}
+}
+
+// TestIntervalMulOverflowNotStaticSafe covers the multiply path (Shl is
+// lowered to a mul of 1<<shift): gtid << 62 overflows for gtid >= 2 and the
+// wrapped interval used to look bounded.
+func TestIntervalMulOverflowNotStaticSafe(t *testing.T) {
+	b := kernel.NewBuilder("ovf_shl")
+	buf := b.BufferParam("d", false)
+	idx := b.Shl(b.GlobalTID(), kernel.Imm(62))
+	b.StoreGlobal(b.Add(buf, idx), kernel.Imm(1), 1)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	info := LaunchInfo{
+		Block:       4,
+		Grid:        1,
+		BufferBytes: []uint64{64},
+	}
+	if got := soleClassOf(t, k, info); got == AccessStaticSafe {
+		t.Fatalf("overflowing shifted index classified static-safe")
+	}
+}
+
+// TestIntervalSubOverflowNotStaticSafe covers the subtract path: a large
+// negative known scalar subtracted from gtid wraps the interval positive.
+func TestIntervalSubOverflowNotStaticSafe(t *testing.T) {
+	b := kernel.NewBuilder("ovf_sub")
+	buf := b.BufferParam("d", false)
+	s := b.ScalarParam("s")
+	idx := b.Sub(b.GlobalTID(), s)
+	b.StoreGlobal(b.Add(buf, idx), kernel.Imm(1), 1)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	info := LaunchInfo{
+		Block:       4,
+		Grid:        1,
+		BufferBytes: []uint64{64, 0},
+		ScalarVal:   []int64{0, math.MinInt64 + 2},
+		ScalarKnown: []bool{false, true},
+	}
+	if got := soleClassOf(t, k, info); got == AccessStaticSafe {
+		t.Fatalf("overflowing subtracted index classified static-safe")
+	}
+}
+
+// TestClassifyRangeHugeKnownOffsetIsOOB: a known, non-wrapping offset far
+// beyond the buffer stays provably OOB even though Hi+bytes would overflow.
+func TestClassifyRangeHugeKnownOffsetIsOOB(t *testing.T) {
+	iv := known(math.MaxInt64-3, math.MaxInt64-3)
+	if got := classifyRange(iv, 8, 4096); got != AccessStaticOOB {
+		t.Fatalf("classifyRange(near-MaxInt64) = %v, want static-oob", got)
+	}
+}
+
+// TestCheckedArithmeticHelpers pins the overflow-detection edge cases the
+// interval ops rely on.
+func TestCheckedArithmeticHelpers(t *testing.T) {
+	if _, ok := add64(math.MaxInt64, 1); ok {
+		t.Error("add64(MaxInt64, 1) must overflow")
+	}
+	if _, ok := add64(math.MinInt64, -1); ok {
+		t.Error("add64(MinInt64, -1) must overflow")
+	}
+	if v, ok := add64(math.MaxInt64, math.MinInt64); !ok || v != -1 {
+		t.Errorf("add64(MaxInt64, MinInt64) = %d,%v, want -1,true", v, ok)
+	}
+	if _, ok := sub64(math.MinInt64, 1); ok {
+		t.Error("sub64(MinInt64, 1) must overflow")
+	}
+	if _, ok := sub64(0, math.MinInt64); ok {
+		t.Error("sub64(0, MinInt64) must overflow")
+	}
+	if _, ok := mul64(math.MinInt64, -1); ok {
+		t.Error("mul64(MinInt64, -1) must overflow")
+	}
+	if _, ok := mul64(1<<32, 1<<32); ok {
+		t.Error("mul64(2^32, 2^32) must overflow")
+	}
+	if v, ok := mul64(-1, math.MaxInt64); !ok || v != -math.MaxInt64 {
+		t.Errorf("mul64(-1, MaxInt64) = %d,%v, want %d,true", v, ok, -math.MaxInt64)
+	}
+	if v, ok := sub64(-1, math.MaxInt64); !ok || v != math.MinInt64 {
+		t.Errorf("sub64(-1, MaxInt64) = %d,%v, want MinInt64,true", v, ok)
+	}
+}

@@ -13,7 +13,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig3", "fig4", "fig11", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "table3", "table5", "heap", "swcheck", "ablation",
-		"faults"}
+		"faults", "fuzz"}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("experiment %s not registered: %v", id, err)

@@ -286,6 +286,11 @@ func (b *Builder) StoreLocal(varIdx int, offset, val Operand, bytes int) {
 	b.emit(Instr{Op: OpSt, Dst: -1, Src: [3]Operand{offset, Imm(int64(varIdx)), val}, Space: SpaceLocal, Bytes: bytes, Pred: -1})
 }
 
+// Len returns the number of instructions emitted so far. The instruction
+// most recently emitted by a helper sits at index Len()-1; generators use
+// this to record the PC of each memory access they plant.
+func (b *Builder) Len() int { return len(b.k.Code) }
+
 // Barrier emits a workgroup barrier.
 func (b *Builder) Barrier() { b.emit(Instr{Op: OpBar, Dst: -1, Pred: -1}) }
 

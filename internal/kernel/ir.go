@@ -16,7 +16,10 @@
 // the idiom real GPU compilers use for data-dependent trip counts.
 package kernel
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Op enumerates IR opcodes.
 type Op uint8
@@ -170,11 +173,17 @@ const (
 	SpecGlobalSize // convenience: nctaid.x*ntid.x
 )
 
+// specialNames maps Special values to their PTX-style mnemonics; the JSON
+// codec uses the same table in both directions.
+var specialNames = [...]string{"%tid.x", "%tid.y", "%ctaid.x", "%ctaid.y", "%ntid.x",
+	"%ntid.y", "%nctaid.x", "%nctaid.y", "%laneid", "%warpid", "%gtid", "%gsize"}
+
+// NumSpecials is one past the largest defined Special value.
+const NumSpecials = int(SpecGlobalSize) + 1
+
 func (s Special) String() string {
-	names := [...]string{"%tid.x", "%tid.y", "%ctaid.x", "%ctaid.y", "%ntid.x",
-		"%ntid.y", "%nctaid.x", "%nctaid.y", "%laneid", "%warpid", "%gtid", "%gsize"}
-	if int(s) < len(names) {
-		return names[s]
+	if int(s) < len(specialNames) {
+		return specialNames[s]
 	}
 	return "%spec?"
 }
@@ -312,58 +321,123 @@ type Kernel struct {
 	Code        []Instr
 }
 
+// Validation sentinel errors. Validate wraps every rejection in one of
+// these so callers (the fuzzer, the service's catalog loader, corpus
+// replay) can classify build-time failures with errors.Is.
+var (
+	// ErrEmptyProgram rejects kernels with no instructions.
+	ErrEmptyProgram = errors.New("kernel: empty program")
+	// ErrBadOpcode rejects undefined opcode or operand-kind encodings.
+	ErrBadOpcode = errors.New("kernel: invalid opcode or operand kind")
+	// ErrBadRegister rejects register indices outside [0, NumRegs) (or a
+	// Dst/Pred below the -1 "none" sentinel).
+	ErrBadRegister = errors.New("kernel: register out of range")
+	// ErrBadParam rejects parameter indices outside [0, len(Params)).
+	ErrBadParam = errors.New("kernel: parameter out of range")
+	// ErrBadBranch rejects branch targets or reconvergence points outside
+	// the program, and malformed divergence scopes.
+	ErrBadBranch = errors.New("kernel: invalid branch")
+	// ErrBadAccess rejects malformed memory instructions: bad access
+	// sizes, undefined spaces, or negative shared allocations.
+	ErrBadAccess = errors.New("kernel: invalid memory access")
+	// ErrBadLocal rejects local variables with non-positive per-thread
+	// sizes and local accesses naming no valid variable.
+	ErrBadLocal = errors.New("kernel: invalid local variable")
+	// ErrUninitRead rejects programs that read (or guard on) a register no
+	// instruction ever writes; the simulator has no defined value for it.
+	ErrUninitRead = errors.New("kernel: read of never-written register")
+)
+
 // Validate checks structural invariants: branch targets in range, register
-// indices within NumRegs, params in range. It returns the first violation.
+// indices within NumRegs, params in range, opcode/operand encodings
+// defined, local variables positively sized, and every register read
+// reachable from some write. It returns the first violation, wrapped in
+// the matching sentinel error.
 func (k *Kernel) Validate() error {
 	n := len(k.Code)
 	if n == 0 {
-		return fmt.Errorf("kernel %s: empty code", k.Name)
+		return fmt.Errorf("%w: kernel %s", ErrEmptyProgram, k.Name)
+	}
+	if k.SharedBytes < 0 {
+		return fmt.Errorf("%w: kernel %s: negative shared size %d", ErrBadAccess, k.Name, k.SharedBytes)
+	}
+	for _, lv := range k.Locals {
+		if lv.Bytes <= 0 {
+			return fmt.Errorf("%w: kernel %s: local %q has per-thread size %d",
+				ErrBadLocal, k.Name, lv.Name, lv.Bytes)
+		}
+	}
+	// First pass: every register some instruction writes.
+	written := make(map[int]bool)
+	for _, in := range k.Code {
+		if in.Dst >= 0 {
+			written[in.Dst] = true
+		}
 	}
 	checkOperand := func(i int, o Operand) error {
 		switch o.Kind {
+		case OperandNone, OperandImm:
 		case OperandReg:
 			if o.Reg < 0 || o.Reg >= k.NumRegs {
-				return fmt.Errorf("kernel %s @%d: register r%d out of range [0,%d)", k.Name, i, o.Reg, k.NumRegs)
+				return fmt.Errorf("%w: kernel %s @%d: r%d outside [0,%d)", ErrBadRegister, k.Name, i, o.Reg, k.NumRegs)
+			}
+			if !written[o.Reg] {
+				return fmt.Errorf("%w: kernel %s @%d: r%d", ErrUninitRead, k.Name, i, o.Reg)
+			}
+		case OperandSpecial:
+			if int(o.Special) >= NumSpecials {
+				return fmt.Errorf("%w: kernel %s @%d: special %d undefined", ErrBadOpcode, k.Name, i, o.Special)
 			}
 		case OperandParam:
 			if o.Param < 0 || o.Param >= len(k.Params) {
-				return fmt.Errorf("kernel %s @%d: param %d out of range", k.Name, i, o.Param)
+				return fmt.Errorf("%w: kernel %s @%d: param %d", ErrBadParam, k.Name, i, o.Param)
 			}
+		default:
+			return fmt.Errorf("%w: kernel %s @%d: operand kind %d undefined", ErrBadOpcode, k.Name, i, o.Kind)
 		}
 		return nil
 	}
 	for i, in := range k.Code {
-		if in.Dst >= k.NumRegs {
-			return fmt.Errorf("kernel %s @%d: dst r%d out of range", k.Name, i, in.Dst)
+		if in.Op > OpExit {
+			return fmt.Errorf("%w: kernel %s @%d: opcode %d undefined", ErrBadOpcode, k.Name, i, in.Op)
+		}
+		if in.Dst < -1 || in.Dst >= k.NumRegs {
+			return fmt.Errorf("%w: kernel %s @%d: dst r%d", ErrBadRegister, k.Name, i, in.Dst)
 		}
 		for _, src := range in.Src {
 			if err := checkOperand(i, src); err != nil {
 				return err
 			}
 		}
-		if in.Pred >= k.NumRegs {
-			return fmt.Errorf("kernel %s @%d: guard r%d out of range", k.Name, i, in.Pred)
+		if in.Pred < -1 || in.Pred >= k.NumRegs {
+			return fmt.Errorf("%w: kernel %s @%d: guard r%d", ErrBadRegister, k.Name, i, in.Pred)
+		}
+		if in.Pred >= 0 && !written[in.Pred] {
+			return fmt.Errorf("%w: kernel %s @%d: guard r%d", ErrUninitRead, k.Name, i, in.Pred)
 		}
 		if in.Op.IsBranch() {
 			if in.Label < 0 || in.Label >= n {
-				return fmt.Errorf("kernel %s @%d: branch target @%d out of range", k.Name, i, in.Label)
+				return fmt.Errorf("%w: kernel %s @%d: target @%d outside [0,%d)", ErrBadBranch, k.Name, i, in.Label, n)
 			}
 			if in.Op == OpBraDiv {
 				if in.Reconv <= i || in.Reconv >= n {
-					return fmt.Errorf("kernel %s @%d: reconvergence @%d must be forward and in range", k.Name, i, in.Reconv)
+					return fmt.Errorf("%w: kernel %s @%d: reconvergence @%d must be forward and in range", ErrBadBranch, k.Name, i, in.Reconv)
 				}
 				if in.Label > in.Reconv {
-					return fmt.Errorf("kernel %s @%d: divergent target @%d beyond reconvergence @%d", k.Name, i, in.Label, in.Reconv)
+					return fmt.Errorf("%w: kernel %s @%d: divergent target @%d beyond reconvergence @%d", ErrBadBranch, k.Name, i, in.Label, in.Reconv)
 				}
 			}
 		}
 		if in.Op.IsMemory() {
+			if in.Space > SpaceShared {
+				return fmt.Errorf("%w: kernel %s @%d: space %d undefined", ErrBadAccess, k.Name, i, in.Space)
+			}
 			if in.Bytes != 1 && in.Bytes != 2 && in.Bytes != 4 && in.Bytes != 8 {
-				return fmt.Errorf("kernel %s @%d: bad access size %d", k.Name, i, in.Bytes)
+				return fmt.Errorf("%w: kernel %s @%d: bad access size %d", ErrBadAccess, k.Name, i, in.Bytes)
 			}
 			if in.Space == SpaceLocal && (in.Src[1].Kind != OperandImm ||
 				in.Src[1].Imm < 0 || int(in.Src[1].Imm) >= len(k.Locals)) {
-				return fmt.Errorf("kernel %s @%d: local access needs a valid variable index", k.Name, i)
+				return fmt.Errorf("%w: kernel %s @%d: local access needs a valid variable index", ErrBadLocal, k.Name, i)
 			}
 		}
 	}

@@ -1,0 +1,188 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sampleKernel exercises every operand kind, both addressing methods, all
+// three spaces, divergent + uniform control flow, predication, and float
+// immediates with awkward bit patterns.
+func sampleKernel() *Kernel {
+	b := NewBuilder("json_sample")
+	d := b.BufferParam("d", false)
+	idx := b.BufferParam("idx", true)
+	s := b.ScalarParam("n")
+	tmp := b.Local("tmp", 32)
+	b.Shared(64)
+
+	i := b.Add(b.GlobalTID(), Imm(0))
+	guard := b.SetLT(i, s)
+	b.If(guard, func() {
+		v := b.LoadGlobalOfs(idx, b.Mul(i, Imm(8)), 8)
+		f := b.FMul(FImm(math.Copysign(0, -1)), FImm(1.5))
+		nan := b.FAdd(FImm(math.Float64frombits(0x7ff8_dead_beef_0001)), f)
+		b.StoreLocal(tmp, Imm(8), nan, 8)
+		addr := b.AddScaled(d, v, 4)
+		b.StoreGlobal(addr, b.CvtFI(nan), 4)
+	})
+	b.ForRange(Imm(0), Imm(3), Imm(1), func(it Operand) {
+		b.StoreShared(b.Mul(it, Imm(8)), it, 8)
+	})
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// TestKernelJSONRoundTrip: encode → decode → re-encode must reproduce both
+// the in-memory Kernel (deep-equal) and the exact bytes.
+func TestKernelJSONRoundTrip(t *testing.T) {
+	k := sampleKernel()
+	enc, err := k.EncodeJSON()
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	back, err := DecodeJSON(enc)
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	if !reflect.DeepEqual(k, back) {
+		t.Fatalf("round-trip mismatch:\nin:  %+v\nout: %+v", k, back)
+	}
+	enc2, err := back.EncodeJSON()
+	if err != nil {
+		t.Fatalf("re-EncodeJSON: %v", err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encoding not byte-identical:\n%s\n---\n%s", enc, enc2)
+	}
+}
+
+// TestFloatImmediateBitsSurvive pins the satellite requirement directly:
+// F2B immediates must survive encode/decode byte-identically, including
+// NaN payloads, negative zero, and the extreme finite values.
+func TestFloatImmediateBitsSurvive(t *testing.T) {
+	floats := []uint64{
+		math.Float64bits(0),
+		math.Float64bits(math.Copysign(0, -1)),
+		math.Float64bits(1.5),
+		math.Float64bits(math.MaxFloat64),
+		math.Float64bits(math.SmallestNonzeroFloat64),
+		math.Float64bits(math.Inf(1)),
+		math.Float64bits(math.Inf(-1)),
+		0x7ff8_0000_0000_0001, // quiet NaN with payload
+		0xfff8_dead_beef_cafe, // negative NaN with payload
+	}
+	for _, bits := range floats {
+		in := Instr{Op: OpMov, Dst: 0, Src: [3]Operand{FImm(math.Float64frombits(bits))}, Pred: -1}
+		enc, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal imm %#x: %v", bits, err)
+		}
+		var back Instr
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("unmarshal imm %#x: %v", bits, err)
+		}
+		if got := uint64(back.Src[0].Imm); got != bits {
+			t.Errorf("imm bits %#x came back as %#x", bits, got)
+		}
+	}
+}
+
+// TestOperandJSONForms pins the wire format of each operand kind.
+func TestOperandJSONForms(t *testing.T) {
+	cases := []struct {
+		op   Operand
+		want string
+	}{
+		{Operand{}, `null`},
+		{Reg(3), `{"reg":3}`},
+		{Imm(-9), `{"imm":-9}`},
+		{Spec(SpecGlobalTID), `{"spec":"%gtid"}`},
+		{Param(1), `{"param":1}`},
+	}
+	for _, tc := range cases {
+		enc, err := json.Marshal(tc.op)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", tc.op, err)
+		}
+		if string(enc) != tc.want {
+			t.Errorf("marshal %v = %s, want %s", tc.op, enc, tc.want)
+		}
+		var back Operand
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", enc, err)
+		}
+		if back != tc.op {
+			t.Errorf("round-trip %v came back %v", tc.op, back)
+		}
+	}
+}
+
+// TestInstrJSONRejectsMalformed: decoding garbage must error, not panic or
+// silently mis-decode.
+func TestInstrJSONRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`{"op":"frobnicate"}`,
+		`{"op":"mov","src":[{"reg":1,"imm":2}]}`,
+		`{"op":"mov","src":[{}]}`,
+		`{"op":"ld","space":"astral","bytes":4}`,
+		`{"op":"mov","src":[{"spec":"%nope"}]}`,
+		`{"op":"mov","src":[null,null,null,null]}`,
+	}
+	for _, s := range bad {
+		var in Instr
+		if err := json.Unmarshal([]byte(s), &in); err == nil {
+			t.Errorf("malformed instr %s decoded without error (got %+v)", s, in)
+		}
+	}
+}
+
+// FuzzInstrJSONRoundTrip is the go-fuzz-style round-trip property: any JSON
+// that decodes into an Instr must re-encode and decode to the same
+// instruction, with byte-identical re-encodings.
+func FuzzInstrJSONRoundTrip(f *testing.F) {
+	k := sampleKernel()
+	for _, in := range k.Code {
+		enc, err := json.Marshal(in)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(enc))
+	}
+	f.Add(`{"op":"bra.div","pred":1,"pneg":true,"label":0,"reconv":4}`)
+	f.Add(`{"op":"atom.add","dst":2,"src":[{"reg":0},null,{"imm":1}],"space":"global","bytes":8}`)
+	f.Add(`{"op":"st","src":[{"imm":0},{"imm":0},{"spec":"%laneid"}],"space":"local","bytes":2}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		var in Instr
+		if err := json.Unmarshal([]byte(data), &in); err != nil {
+			t.Skip()
+		}
+		enc, err := json.Marshal(in)
+		if err != nil {
+			// Decoded instructions can hold encodings Marshal refuses only
+			// if the decoder accepted something invalid; flag it.
+			t.Fatalf("decoded %q but re-marshal failed: %v", data, err)
+		}
+		var back Instr
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("re-decode of %s failed: %v", enc, err)
+		}
+		if back != in {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", in, back)
+		}
+		enc2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encodings differ: %s vs %s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package kernelfuzz
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCorpusReplay replays every committed reproducer in
+// testdata/bugcorpus/ at core-parallel widths 1, 2, and 4, requiring
+// (a) every recorded expectation to hold and (b) byte-identical
+// LaunchStats across widths. This is the fuzzer's permanent regression
+// net: every bug it ever shrinks stays fixed.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := LoadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no corpus entries in %s (run TestWriteSeedCorpus with GPUSHIELD_WRITE_CORPUS=1)", corpusDir)
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			var baseline []byte
+			for _, width := range []int{1, 2, 4} {
+				res, err := Replay(e, width)
+				if err != nil {
+					t.Fatalf("width %d: %v", width, err)
+				}
+				enc, err := json.Marshal(res)
+				if err != nil {
+					t.Fatalf("width %d: marshal stats: %v", width, err)
+				}
+				if baseline == nil {
+					baseline = enc
+				} else if string(enc) != string(baseline) {
+					t.Fatalf("width %d: LaunchStats differ from width 1:\n%s\n--- vs ---\n%s", width, enc, baseline)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusCoversPlantedClasses keeps the committed corpus honest: every
+// planted OOB class must have at least one reproducer on disk.
+func TestCorpusCoversPlantedClasses(t *testing.T) {
+	entries, err := LoadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, e := range entries {
+		have[e.Class] = true
+	}
+	for _, c := range []PlantClass{PlantIndirect, PlantOffByOne, PlantStraddle, PlantDivergent, PlantUAF} {
+		if !have[c.String()] {
+			t.Errorf("no corpus entry for class %s", c)
+		}
+	}
+	if !have[PlantMalformed.String()] {
+		t.Errorf("no corpus entry for class %s", PlantMalformed)
+	}
+}

@@ -1,0 +1,495 @@
+package kernelfuzz
+
+import (
+	"context"
+	"sort"
+)
+
+// The shrinker reduces a disagreeing case to a small reproducer by greedy
+// clone-mutate-retest: a mutation is kept only if the oracle still produces
+// a finding with the same (Kind, SiteID) signature. Every mutation strictly
+// shrinks the case (fewer statements, fewer loop trips, smaller expression
+// trees, fewer threads, fewer arguments), so the loop reaches a fixpoint;
+// the budget bounds total oracle evaluations on top of that.
+
+// matchesTarget reports whether any finding reproduces the target's
+// signature. SiteID anchors the comparison because PCs shift as statements
+// are deleted while site IDs survive cloning.
+func matchesTarget(findings []Finding, target Finding) bool {
+	for _, f := range findings {
+		if f.Kind != target.Kind {
+			continue
+		}
+		if target.SiteID < 0 || f.SiteID == target.SiteID {
+			return true
+		}
+	}
+	return false
+}
+
+// oracleFunc is the evaluation the shrinker re-runs per candidate; the
+// production value is runCase, tests inject synthetic disagreements.
+type oracleFunc func(ctx context.Context, c *Case, opts oracleOpts) []Finding
+
+// Shrink returns the smallest clone of c that still reproduces target,
+// evaluating the oracle at most budget times. The input case is not
+// mutated. Malformed cases are already minimal (a single corrupt kernel).
+func Shrink(ctx context.Context, c *Case, target Finding, budget int, opts oracleOpts) *Case {
+	return shrinkWith(ctx, c, target, budget, opts, runCase)
+}
+
+func shrinkWith(ctx context.Context, c *Case, target Finding, budget int, opts oracleOpts, oracle oracleFunc) *Case {
+	if c.Malformed != nil || budget <= 0 {
+		return cloneCase(c)
+	}
+	best := cloneCase(c)
+	evals := 0
+	try := func(cand *Case) bool {
+		if evals >= budget || ctx.Err() != nil {
+			return false
+		}
+		evals++
+		return matchesTarget(oracle(ctx, cand, opts), target)
+	}
+
+	for {
+		improved := false
+		for _, mut := range mutations(best) {
+			cand := cloneCase(best)
+			if !mut(cand) {
+				continue
+			}
+			rebuildSites(cand)
+			if try(cand) {
+				best = cand
+				improved = true
+				break // restart enumeration against the smaller case
+			}
+			if evals >= budget || ctx.Err() != nil {
+				return best
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+// InstrCount reports the total emitted instruction count of a case, the
+// size metric the corpus targets. Unbuildable cases count as 0.
+func InstrCount(c *Case) int {
+	kernels, err := BuildKernels(c)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, k := range kernels {
+		n += len(k.Code)
+	}
+	return n
+}
+
+// mutation applies one reduction to a cloned case; it returns false when
+// the mutation does not apply (leaving the clone to be discarded).
+type mutation func(*Case) bool
+
+// stmtPath addresses a statement: launch index plus child indices down the
+// Body trees.
+type stmtPath struct {
+	launch int
+	idx    []int
+}
+
+func allPaths(c *Case) []stmtPath {
+	var out []stmtPath
+	var walk func(launch int, body []*Stmt, prefix []int)
+	walk = func(launch int, body []*Stmt, prefix []int) {
+		for i, s := range body {
+			p := stmtPath{launch, append(append([]int(nil), prefix...), i)}
+			out = append(out, p)
+			walk(launch, s.Body, p.idx)
+		}
+	}
+	for li := range c.Launches {
+		walk(li, c.Launches[li].Body, nil)
+	}
+	return out
+}
+
+// bodyAt resolves the slice holding the addressed statement.
+func bodyAt(c *Case, p stmtPath) (*[]*Stmt, int, bool) {
+	if p.launch >= len(c.Launches) {
+		return nil, 0, false
+	}
+	body := &c.Launches[p.launch].Body
+	for d := 0; d < len(p.idx)-1; d++ {
+		i := p.idx[d]
+		if i >= len(*body) {
+			return nil, 0, false
+		}
+		body = &(*body)[i].Body
+	}
+	last := p.idx[len(p.idx)-1]
+	if last >= len(*body) {
+		return nil, 0, false
+	}
+	return body, last, true
+}
+
+// mutations enumerates every applicable reduction of the current best, in
+// a deterministic order from coarse (drop a launch) to fine (promote an
+// expression child).
+func mutations(c *Case) []mutation {
+	var out []mutation
+
+	// Drop an entire launch (multi-launch cases only).
+	if len(c.Launches) > 1 {
+		for li := range c.Launches {
+			li := li
+			out = append(out, func(m *Case) bool {
+				m.Launches = append(m.Launches[:li], m.Launches[li+1:]...)
+				return true
+			})
+		}
+	}
+
+	paths := allPaths(c)
+
+	// Delete statements, innermost-last ordering so earlier deletions do
+	// not invalidate later paths within one enumeration round.
+	for i := len(paths) - 1; i >= 0; i-- {
+		p := paths[i]
+		out = append(out, func(m *Case) bool {
+			body, at, ok := bodyAt(m, p)
+			if !ok {
+				return false
+			}
+			*body = append((*body)[:at], (*body)[at+1:]...)
+			return true
+		})
+	}
+
+	// Unwrap guards: replace an SIf by its body.
+	for _, p := range paths {
+		p := p
+		out = append(out, func(m *Case) bool {
+			body, at, ok := bodyAt(m, p)
+			if !ok || (*body)[at].Kind != SIf {
+				return false
+			}
+			inner := (*body)[at].Body
+			*body = append((*body)[:at], append(inner, (*body)[at+1:]...)...)
+			return true
+		})
+	}
+
+	// Reduce loop trip counts: first trip only, last trip only (the one
+	// that carries boundary faults), then halved range.
+	for _, p := range paths {
+		p := p
+		out = append(out,
+			func(m *Case) bool { return shrinkLoopBound(m, p, true) },
+			func(m *Case) bool { return shrinkLoopStart(m, p) },
+			func(m *Case) bool { return shrinkLoopBound(m, p, false) })
+	}
+
+	// Reduce geometry.
+	for li := range c.Launches {
+		li := li
+		if c.Launches[li].Grid > 1 {
+			out = append(out, func(m *Case) bool {
+				if li >= len(m.Launches) || m.Launches[li].Grid <= 1 {
+					return false
+				}
+				m.Launches[li].Grid = 1
+				return true
+			})
+		}
+		if c.Launches[li].Block > 1 {
+			out = append(out, func(m *Case) bool {
+				if li >= len(m.Launches) || m.Launches[li].Block <= 1 {
+					return false
+				}
+				m.Launches[li].Block /= 2
+				return true
+			})
+		}
+	}
+
+	// Promote expression children at the root of each expression slot.
+	for _, p := range paths {
+		for which := 0; which < 4; which++ {
+			for _, side := range []bool{true, false} {
+				p, which, side := p, which, side
+				out = append(out, func(m *Case) bool {
+					return promoteExprRoot(m, p, which, side)
+				})
+			}
+		}
+	}
+
+	// Prune arguments (and then buffers) nothing references anymore.
+	out = append(out, pruneUnused)
+	return out
+}
+
+func shrinkLoopBound(c *Case, p stmtPath, single bool) bool {
+	body, at, ok := bodyAt(c, p)
+	if !ok || (*body)[at].Kind != SLoop {
+		return false
+	}
+	s := (*body)[at]
+	if s.Step <= 0 || s.Bound-s.Start <= s.Step {
+		return false
+	}
+	if single {
+		s.Bound = s.Start + s.Step
+	} else {
+		half := s.Start + (s.Bound-s.Start)/2
+		if half <= s.Start || half >= s.Bound {
+			return false
+		}
+		s.Bound = half
+	}
+	return true
+}
+
+func shrinkLoopStart(c *Case, p stmtPath) bool {
+	body, at, ok := bodyAt(c, p)
+	if !ok || (*body)[at].Kind != SLoop {
+		return false
+	}
+	s := (*body)[at]
+	if s.Step <= 0 || s.Bound-s.Start <= s.Step {
+		return false
+	}
+	s.Start = s.Bound - s.Step
+	return true
+}
+
+// promoteExprRoot replaces an expression slot's root binary node with one
+// of its children. which selects the slot: 0=Elem, 1=Val, 2=Cond, 3=Base.
+func promoteExprRoot(c *Case, p stmtPath, which int, left bool) bool {
+	body, at, ok := bodyAt(c, p)
+	if !ok {
+		return false
+	}
+	s := (*body)[at]
+	var slot **Expr
+	switch which {
+	case 0:
+		slot = &s.Elem
+	case 1:
+		slot = &s.Val
+	case 2:
+		slot = &s.Cond
+	case 3:
+		slot = &s.Base
+	}
+	e := *slot
+	if e == nil || e.X == nil || e.Y == nil {
+		return false
+	}
+	if left {
+		*slot = e.X
+	} else {
+		*slot = e.Y
+	}
+	return true
+}
+
+// pruneUnused removes launch arguments no statement references, then case
+// buffers no surviving argument references, remapping all indices.
+func pruneUnused(c *Case) bool {
+	changed := false
+	for li := range c.Launches {
+		l := &c.Launches[li]
+		used := make([]bool, len(l.Args))
+		forEachStmt(l.Body, func(s *Stmt) {
+			if s.Buf >= 0 && s.Buf < len(used) {
+				used[s.Buf] = true
+			}
+			for _, e := range []*Expr{s.Elem, s.Val, s.Cond, s.Base} {
+				markArgRefs(e, used)
+			}
+		})
+		remap := make([]int, len(l.Args))
+		var kept []ArgSpec
+		for i, a := range l.Args {
+			if used[i] {
+				remap[i] = len(kept)
+				kept = append(kept, a)
+			} else {
+				remap[i] = -1
+				changed = true
+			}
+		}
+		if len(kept) == len(l.Args) {
+			continue
+		}
+		l.Args = kept
+		forEachStmt(l.Body, func(s *Stmt) {
+			if s.Buf >= 0 {
+				s.Buf = remap[s.Buf]
+			}
+			if s.Site != nil && s.Site.Buf >= 0 {
+				s.Site.Buf = remap[s.Site.Buf]
+			}
+			for _, e := range []*Expr{s.Elem, s.Val, s.Cond, s.Base} {
+				remapArgRefs(e, remap)
+			}
+		})
+	}
+
+	// Buffers with no surviving reference.
+	usedBuf := make([]bool, len(c.Bufs))
+	for li := range c.Launches {
+		for _, a := range c.Launches[li].Args {
+			if a.Buf >= 0 {
+				usedBuf[a.Buf] = true
+			}
+		}
+	}
+	remap := make([]int, len(c.Bufs))
+	var kept []BufSpec
+	for i, b := range c.Bufs {
+		if usedBuf[i] {
+			remap[i] = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+			changed = true
+		}
+	}
+	if len(kept) != len(c.Bufs) {
+		c.Bufs = kept
+		for li := range c.Launches {
+			for ai := range c.Launches[li].Args {
+				if b := c.Launches[li].Args[ai].Buf; b >= 0 {
+					c.Launches[li].Args[ai].Buf = remap[b]
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func forEachStmt(body []*Stmt, fn func(*Stmt)) {
+	for _, s := range body {
+		fn(s)
+		forEachStmt(s.Body, fn)
+	}
+}
+
+func markArgRefs(e *Expr, used []bool) {
+	if e == nil {
+		return
+	}
+	if (e.Kind == ExScalar || e.Kind == ExParam) && e.Arg >= 0 && e.Arg < len(used) {
+		used[e.Arg] = true
+	}
+	markArgRefs(e.X, used)
+	markArgRefs(e.Y, used)
+}
+
+func remapArgRefs(e *Expr, remap []int) {
+	if e == nil {
+		return
+	}
+	if e.Kind == ExScalar || e.Kind == ExParam {
+		e.Arg = remap[e.Arg]
+	}
+	remapArgRefs(e.X, remap)
+	remapArgRefs(e.Y, remap)
+}
+
+// ---- Deep cloning ----------------------------------------------------------
+
+func cloneExpr(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	n := *e
+	n.X = cloneExpr(e.X)
+	n.Y = cloneExpr(e.Y)
+	return &n
+}
+
+func cloneStmt(s *Stmt, sites map[int]*Site) *Stmt {
+	n := *s
+	if s.Site != nil {
+		cs, ok := sites[s.Site.ID]
+		if !ok {
+			dup := *s.Site
+			cs = &dup
+			sites[s.Site.ID] = cs
+		}
+		n.Site = cs
+	}
+	n.Base = cloneExpr(s.Base)
+	n.Elem = cloneExpr(s.Elem)
+	n.Val = cloneExpr(s.Val)
+	n.Cond = cloneExpr(s.Cond)
+	n.Body = make([]*Stmt, len(s.Body))
+	for i, c := range s.Body {
+		n.Body[i] = cloneStmt(c, sites)
+	}
+	return &n
+}
+
+// cloneCase deep-copies a case. Site IDs are preserved (the shrinker's
+// reproduction signature depends on them); Site pointers are fresh.
+func cloneCase(c *Case) *Case {
+	n := &Case{
+		Seed: c.Seed, Index: c.Index, Class: c.Class,
+		Bufs:         append([]BufSpec(nil), c.Bufs...),
+		PlantedSites: append([]int(nil), c.PlantedSites...),
+		Malformed:    c.Malformed,
+	}
+	for i := range n.Bufs {
+		n.Bufs[i].Init = append([]int64(nil), c.Bufs[i].Init...)
+	}
+	sites := make(map[int]*Site)
+	n.Launches = make([]LaunchSpec, len(c.Launches))
+	for li := range c.Launches {
+		l := c.Launches[li]
+		nl := l
+		nl.Args = append([]ArgSpec(nil), l.Args...)
+		nl.Body = make([]*Stmt, len(l.Body))
+		for i, s := range l.Body {
+			nl.Body[i] = cloneStmt(s, sites)
+		}
+		n.Launches[li] = nl
+	}
+	rebuildSites(n)
+	return n
+}
+
+// rebuildSites recollects the Sites slice from the statement trees after a
+// structural mutation, renumbers Site.Launch, and filters PlantedSites to
+// surviving IDs. Site IDs themselves never change.
+func rebuildSites(c *Case) {
+	var sites []*Site
+	for li := range c.Launches {
+		li := li
+		forEachStmt(c.Launches[li].Body, func(s *Stmt) {
+			if s.Site != nil {
+				s.Site.Launch = li
+				sites = append(sites, s.Site)
+			}
+		})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].ID < sites[j].ID })
+	c.Sites = sites
+	alive := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		alive[s.ID] = true
+	}
+	var planted []int
+	for _, id := range c.PlantedSites {
+		if alive[id] {
+			planted = append(planted, id)
+		}
+	}
+	c.PlantedSites = planted
+}

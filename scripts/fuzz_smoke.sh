@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# fuzz_smoke.sh — CI gate for the differential kernel fuzzer.
+# Runs the generative fuzzer at a fixed seed through the experiments CLI and
+# asserts the three invariants the fuzzer PR claims:
+#
+#   1. soundness: zero oracle disagreements between the static analyzer, the
+#      runtime BCU, and generator ground truth (any finding makes the
+#      experiment exit non-zero, with the shrunk reproducer in the message)
+#   2. determinism: stdout is byte-identical across -parallel widths and
+#      across repeat runs at the same seed
+#   3. race freedom: the full run passes under the race detector
+#
+# Usage: scripts/fuzz_smoke.sh
+# Env:   SEED (default 1), COUNT (default 500) — COUNT >= 500 keeps this an
+#        actual soundness sweep, not a token one.
+set -euo pipefail
+
+SEED=${SEED:-1}
+COUNT=${COUNT:-500}
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== build"
+go build -o "$work/experiments" ./cmd/experiments
+
+echo "== fuzz $COUNT kernels, seed $SEED, -parallel 1"
+"$work/experiments" -run fuzz -seed "$SEED" -fuzz-count "$COUNT" \
+    -parallel 1 >"$work/p1.out"
+
+echo "== fuzz again at -parallel 8"
+"$work/experiments" -run fuzz -seed "$SEED" -fuzz-count "$COUNT" \
+    -parallel 8 >"$work/p8.out"
+
+echo "== fuzz again at -parallel 4 -core-parallel 2"
+"$work/experiments" -run fuzz -seed "$SEED" -fuzz-count "$COUNT" \
+    -parallel 4 -core-parallel 2 >"$work/p4c2.out"
+
+echo "== determinism: diff the three runs"
+if ! diff -u "$work/p1.out" "$work/p8.out" >&2; then
+    echo "FAIL: report differs between -parallel 1 and -parallel 8" >&2
+    exit 1
+fi
+if ! diff -u "$work/p1.out" "$work/p4c2.out" >&2; then
+    echo "FAIL: report differs with -core-parallel 2" >&2
+    exit 1
+fi
+
+echo "== race detector pass (-parallel 4)"
+go run -race ./cmd/experiments -run fuzz -seed "$SEED" -fuzz-count "$COUNT" \
+    -parallel 4 >/dev/null
+
+echo "PASS: $COUNT kernels at seed $SEED, zero findings, deterministic across widths"
