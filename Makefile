@@ -26,23 +26,32 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR6_hot.json;
+# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR8.json;
 # the service-level numbers live separately in loadgen's BENCH_PR6.json).
 # BENCHTIME=1x gives a fast smoke run (CI); the checked-in file is made with
-# the default 2s. Override BENCH to snapshot a different selection and
-# BENCHOUT to write a different file.
+# the default 2s x 3 repeats on a quiet machine — benchjson folds the
+# repeats into a best-of-N record per benchmark, which is what keeps a
+# single noisy scheduling window on a shared host from poisoning one
+# metric (see the snapshot protocol in scripts/bench_compare.sh).
+# Override BENCH to snapshot a different selection and BENCHOUT to write a
+# different file.
 BENCHTIME ?= 2s
-BENCHOUT ?= BENCH_PR6_hot.json
-BENCH ?= BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput|BenchmarkSimulatorThroughput|BenchmarkFunctionalMemPath|BenchmarkBackingReadUint|BenchmarkCoreParallelLaunch
+BENCHCOUNT ?= 3
+BENCHOUT ?= BENCH_PR8.json
+BENCH ?= BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput|BenchmarkSimulatorThroughput|BenchmarkFunctionalMemPath|BenchmarkBackingReadUint|BenchmarkCoreParallelLaunch|BenchmarkLaunchAllocs
 bench-json:
-	$(GO) test ./internal/sim -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem \
+	$(GO) test ./internal/sim -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -benchmem \
 		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
 # Fail if the serial hot paths — warp issue, cycle-level and functional
-# mem-instr, backing-store reads — regressed >15% against the previous PR's
-# checked-in snapshot (see scripts/bench_compare.sh for the guarded set).
+# mem-instr, backing-store reads — regressed >15%, or the launch path
+# regrew allocations, against the pre-PR8 baseline. The baseline
+# (BENCH_PR8_base.json) is the PR 8 parent revision re-measured
+# back-to-back with BENCH_PR8.json, because the shared benchmark host had
+# drifted since BENCH_PR6_hot.json was recorded (see the snapshot protocol
+# in scripts/bench_compare.sh).
 bench-guard:
-	bash scripts/bench_compare.sh BENCH_PR5.json BENCH_PR6_hot.json
+	bash scripts/bench_compare.sh BENCH_PR8_base.json BENCH_PR8.json
 
 # Regenerate every table and figure at full fidelity.
 experiments:

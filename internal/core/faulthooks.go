@@ -20,7 +20,7 @@ func (t *RBT) Corrupt(id uint16, baseMask uint64, sizeMask uint32) bool {
 	if int(id) >= NumIDs || (baseMask == 0 && sizeMask == 0) {
 		return false
 	}
-	old := t.entries[id]
+	old := t.Lookup(id)
 	nu := old.Flip(baseMask, sizeMask)
 	switch {
 	case old.Valid() && !nu.Valid():
@@ -28,7 +28,7 @@ func (t *RBT) Corrupt(id uint16, baseMask uint64, sizeMask uint32) bool {
 	case !old.Valid() && nu.Valid():
 		t.n++
 	}
-	t.entries[id] = nu
+	t.put(id, nu)
 	return true
 }
 

@@ -75,23 +75,60 @@ const BoundsEntryBytes = 16
 // direct-mapped structure indexed by the 14-bit buffer ID. The driver
 // allocates it in device memory upon kernel launch; this struct additionally
 // keeps an architectural copy so the model can be used standalone.
+//
+// The architectural copy is stored sparsely: a launch populates a handful of
+// IDs out of the 16384-slot space, and the old dense [NumIDs]Bounds array
+// cost a 256 KB allocation + zeroing per PrepareLaunch — the single largest
+// per-launch allocation in the simulator. Absent IDs read as the zero (thus
+// invalid) Bounds, exactly as the dense array did.
 type RBT struct {
-	entries [NumIDs]Bounds
-	n       int
+	ids     []uint16 // occupied slots, ascending
+	entries []Bounds // parallel to ids
+	n       int      // valid-entry count
 }
 
 // NewRBT returns an empty table.
 func NewRBT() *RBT { return &RBT{} }
+
+// find returns the position of id in ids, or the insertion point with
+// ok=false. Binary search: tables are small but the BCU's RCache-miss path
+// calls Lookup, so keep it logarithmic rather than linear.
+func (t *RBT) find(id uint16) (int, bool) {
+	lo, hi := 0, len(t.ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(t.ids) && t.ids[lo] == id
+}
+
+// put stores b at id, inserting a slot if absent.
+func (t *RBT) put(id uint16, b Bounds) {
+	i, ok := t.find(id)
+	if ok {
+		t.entries[i] = b
+		return
+	}
+	t.ids = append(t.ids, 0)
+	t.entries = append(t.entries, Bounds{})
+	copy(t.ids[i+1:], t.ids[i:])
+	copy(t.entries[i+1:], t.entries[i:])
+	t.ids[i], t.entries[i] = id, b
+}
 
 // Set installs bounds for a buffer ID.
 func (t *RBT) Set(id uint16, b Bounds) error {
 	if int(id) >= NumIDs {
 		return fmt.Errorf("core: buffer ID %d out of range", id)
 	}
-	if !t.entries[id].Valid() && b.Valid() {
+	if !t.Lookup(id).Valid() && b.Valid() {
 		t.n++
 	}
-	t.entries[id] = b
+	t.put(id, b)
 	return nil
 }
 
@@ -101,7 +138,18 @@ func (t *RBT) Lookup(id uint16) Bounds {
 	if int(id) >= NumIDs {
 		return Bounds{}
 	}
-	return t.entries[id]
+	if i, ok := t.find(id); ok {
+		return t.entries[i]
+	}
+	return Bounds{}
+}
+
+// Each calls f for every occupied slot in ascending ID order — the order the
+// driver serializes the table into device memory.
+func (t *RBT) Each(f func(id uint16, b Bounds)) {
+	for i, id := range t.ids {
+		f(id, t.entries[i])
+	}
 }
 
 // Len returns the number of valid entries.

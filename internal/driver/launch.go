@@ -299,17 +299,16 @@ func (d *Device) PrepareLaunch(k *kernel.Kernel, grid, block int, args []Arg, mo
 	// location, as the driver does at launch (§5.4).
 	l.RBTBase = d.allocRBT()
 	var buf [core.BoundsEntryBytes]byte
-	for id := 0; id < core.NumIDs; id++ {
-		b := l.RBT.Lookup(uint16(id))
+	l.RBT.Each(func(id uint16, b core.Bounds) {
 		if !b.Valid() {
-			continue
+			return
 		}
 		b.EncodeTo(buf[:])
-		d.Mem.WriteBytes(core.EntryAddr(l.RBTBase, uint16(id)), buf[:])
+		d.Mem.WriteBytes(core.EntryAddr(l.RBTBase, id), buf[:])
 		if d.rbtRecycle {
-			d.rbtIDs = append(d.rbtIDs, uint16(id))
+			d.rbtIDs = append(d.rbtIDs, id)
 		}
-	}
+	})
 
 	// Fault injection: a registered campaign may mutate the prepared launch
 	// (stale/duplicate IDs, omitted RBT setup) before the simulator sees it.

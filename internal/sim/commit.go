@@ -40,9 +40,12 @@ type coreIntent struct {
 	issued bool
 	idx    int
 	w      *warp
-	in     *kernel.Instr
-	gmask  uint64
-	next   uint64 // failed-scan wake time, valid when !issued
+	run    *kernelRun // w's run, captured at select time: a phase-A retire
+	// may park w's workgroup shell in the core arena and clear wg.run
+	// before the commit reads it.
+	in    *kernel.Instr
+	gmask uint64
+	next  uint64 // failed-scan wake time, valid when !issued
 
 	// memPend marks a global-memory instruction whose shared-state half
 	// (memCommit) still has to run; prep holds its generated addresses.
@@ -78,6 +81,7 @@ func (c *coreState) selectIntent(now uint64) bool {
 	}
 	it.issued = true
 	it.idx, it.w, it.in = p.idx, p.w, p.in
+	it.run = p.w.wg.run
 	it.gmask = p.w.guardMask(p.in)
 
 	if !p.in.Op.IsMemory() || p.in.Space == kernel.SpaceShared || it.gmask == 0 {
@@ -246,7 +250,7 @@ func (g *GPU) stepParallel(cw *coreWorkers) bool {
 			continue
 		}
 		issued = true
-		st := it.w.wg.run.stats
+		st := it.run.stats
 		st.WarpInstrs += it.stats.WarpInstrs
 		st.ThreadInstrs += it.stats.ThreadInstrs
 		st.MemInstrs += it.stats.MemInstrs

@@ -63,6 +63,24 @@ type Config struct {
 	// Results — every LaunchStats byte — are identical at every width;
 	// only wall-clock time changes. Negative values fail Validate.
 	CoreParallel int
+
+	// NoSuperblocks disables superblock stepping (pre-decoded straight-line
+	// ALU runs executed in one dispatch; see internal/sim/superblock.go),
+	// forcing the reference single-step execution path. Superblock stepping
+	// is byte-identical to single-stepping by construction, so this exists
+	// for the equivalence tests and the fuzz gate that prove it, and as an
+	// escape hatch. The GPUSHIELD_NO_SUPERBLOCKS environment variable
+	// (any non-empty value) forces it on for an unmodified binary.
+	NoSuperblocks bool
+}
+
+// noSuperblocksEnv force-disables superblock stepping, letting CI diff the
+// fast path against reference single-stepping without a rebuild.
+const noSuperblocksEnv = "GPUSHIELD_NO_SUPERBLOCKS"
+
+// resolveNoSuperblocks folds the environment override into the config flag.
+func (c Config) resolveNoSuperblocks() bool {
+	return c.NoSuperblocks || os.Getenv(noSuperblocksEnv) != ""
 }
 
 // coreParallelEnv overrides CoreParallel == 0, which is what lets the

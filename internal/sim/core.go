@@ -22,9 +22,11 @@ type stackEntry struct {
 type warp struct {
 	wg     *workgroup
 	inWG   int // warp index within the workgroup
+	slot   int // index in the owning core's warps / sched arrays
 	pc     int
-	active uint64 // live, non-exited lanes currently enabled
-	exited uint64 // lanes retired via exit
+	active uint64         // live, non-exited lanes currently enabled
+	exited uint64         // lanes retired via exit
+	code   []kernel.Instr // the kernel's instruction stream (fetch shortcut)
 	stack  []stackEntry
 	regs   [][]int64 // [lane][reg]
 	flat   []int64   // the backing array of regs: [lane*nregs + reg]
@@ -33,6 +35,29 @@ type warp struct {
 	readyAt   uint64
 	atBarrier bool
 	done      bool
+
+	// sbLeft counts superblock instructions whose functional effects were
+	// applied ahead of schedule and whose issues are still owed: while > 0,
+	// each selection of this warp is a replay issue (see superblock.go).
+	sbLeft int
+
+	// Lowered-superblock cache: operand plans and specialized forms are
+	// constant for a warp's lifetime (launch args, workgroup id, and the
+	// lane-affine specials are fixed at placement), so every block is
+	// lowered at most once per warp. sbIdx is indexed by pc and holds
+	// 1+entry-index into sbEnt (0 = not lowered yet); placeWorkgroup
+	// clears it when the warp is reused, but the entries' backing arrays
+	// survive so steady-state relowering allocates nothing.
+	sbIdx []int32
+	sbEnt []sbEntry
+
+	// Active-lane cache for execSBFast: register-row offsets and lane
+	// indices of the lanes in sbMask, rebuilt only when the active mask
+	// diverges from it. sbMask = 0 (placeWorkgroup) forces a rebuild —
+	// a warp with no active lanes never reaches the superblock path.
+	sbMask  uint64
+	sbOffs  []int
+	sbLanes []int64
 }
 
 // workgroup is one resident thread block.
@@ -54,8 +79,20 @@ type coreState struct {
 	l1tlb *memsys.TLB
 	bcu   *core.BCU
 
-	wgs         []*workgroup
-	warps       []*warp
+	wgs   []*workgroup
+	warps []*warp
+	// sched is the scheduler's struct-of-arrays view of warp issue state,
+	// parallel to warps: sched[i] is warp i's next possible issue cycle,
+	// with done and at-barrier folded in as farFuture. selectWarp scans
+	// only this array (one cache line per eight warps) instead of chasing
+	// every warp struct; every mutation of readyAt/done/atBarrier keeps it
+	// in sync (see wake).
+	sched []uint64
+	// wgPool is the core's workgroup arena: retired shells (warp structs,
+	// register slabs, shared-memory backing) recycled by placeWorkgroup.
+	// Per-core ownership keeps the parallel scheduler race-free; capacity
+	// is bounded by MaxWGsPerCore.
+	wgPool      []*workgroup
 	threadsUsed int
 	lsuFreeAt   uint64
 	lastWarp    int // greedy-then-oldest cursor
@@ -71,6 +108,10 @@ type coreState struct {
 	// shared state directly, exactly as the serial scheduler always has.
 	intent coreIntent
 	pend   *coreIntent
+
+	// sbPlans is reusable scratch for superblock bulk execution: one operand
+	// plan triple per block instruction (superblock.go).
+	sbPlans [][3]srcPlan
 }
 
 // statsFor returns the LaunchStats sink for counters incremented during the
@@ -85,31 +126,85 @@ func (c *coreState) statsFor(r *kernelRun) *LaunchStats {
 	return r.stats
 }
 
-// placeWorkgroup instantiates workgroup wgID of run r on this core.
+// placeWorkgroup instantiates workgroup wgID of run r on this core, reusing
+// a recycled workgroup shell (warp structs, register slabs, shared-memory
+// backing) from the core's arena when one with the right warp count is
+// available. Recycled register files and shared memory are zeroed before
+// reuse: a fresh workgroup must observe exactly the all-zero state a newly
+// allocated one would — both for equivalence with the allocating path and so
+// one tenant's register or scratchpad contents can never leak into another
+// tenant's launch on a shared GPU (the service layer runs many tenants over
+// one simulator).
 func (c *coreState) placeWorkgroup(r *kernelRun, wgID int, now uint64) {
 	l := r.launch
 	ww := c.gpu.cfg.WarpWidth
 	nw := (l.Block + ww - 1) / ww
-	wg := &workgroup{run: r, id: wgID, live: nw}
-	if l.Kernel.SharedBytes > 0 {
-		wg.shared = make([]byte, l.Kernel.SharedBytes)
+	nregs := l.Kernel.NumRegs
+	var wg *workgroup
+	for i := len(c.wgPool) - 1; i >= 0; i-- {
+		if len(c.wgPool[i].warps) == nw {
+			wg = c.wgPool[i]
+			c.wgPool = append(c.wgPool[:i], c.wgPool[i+1:]...)
+			break
+		}
 	}
-	for wi := 0; wi < nw; wi++ {
+	if wg == nil {
+		wg = &workgroup{warps: make([]*warp, 0, nw)}
+		for wi := 0; wi < nw; wi++ {
+			wg.warps = append(wg.warps, &warp{})
+		}
+	}
+	wg.run, wg.id, wg.live, wg.arrived = r, wgID, nw, 0
+	if sb := l.Kernel.SharedBytes; sb > 0 {
+		if cap(wg.shared) >= sb {
+			wg.shared = wg.shared[:sb]
+			clear(wg.shared)
+		} else {
+			wg.shared = make([]byte, sb)
+		}
+	} else {
+		wg.shared = wg.shared[:0]
+	}
+	for wi, w := range wg.warps {
 		var mask uint64
 		for lane := 0; lane < ww; lane++ {
 			if wi*ww+lane < l.Block {
 				mask |= 1 << uint(lane)
 			}
 		}
-		w := &warp{wg: wg, inWG: wi, active: mask, readyAt: now}
-		w.regs = make([][]int64, ww)
-		flat := make([]int64, ww*l.Kernel.NumRegs)
-		w.flat, w.nregs = flat, l.Kernel.NumRegs
-		for lane := 0; lane < ww; lane++ {
-			w.regs[lane] = flat[lane*l.Kernel.NumRegs : (lane+1)*l.Kernel.NumRegs]
+		w.wg, w.inWG, w.pc, w.active, w.exited = wg, wi, 0, mask, 0
+		w.code = l.Kernel.Code
+		w.stack = w.stack[:0]
+		w.readyAt, w.atBarrier, w.done = now, false, false
+		w.sbLeft, w.sbEnt, w.sbMask = 0, w.sbEnt[:0], 0
+		if nc := len(l.Kernel.Code); cap(w.sbIdx) >= nc {
+			w.sbIdx = w.sbIdx[:nc]
+			clear(w.sbIdx)
+		} else {
+			w.sbIdx = make([]int32, nc)
 		}
-		wg.warps = append(wg.warps, w)
+		n := ww * nregs
+		reslice := w.nregs != nregs
+		if cap(w.flat) >= n {
+			w.flat = w.flat[:n]
+			clear(w.flat)
+		} else {
+			w.flat = make([]int64, n)
+			reslice = true
+		}
+		w.nregs = nregs
+		if w.regs == nil {
+			w.regs = make([][]int64, ww)
+			reslice = true
+		}
+		if reslice {
+			for lane := 0; lane < ww; lane++ {
+				w.regs[lane] = w.flat[lane*nregs : (lane+1)*nregs]
+			}
+		}
+		w.slot = len(c.warps)
 		c.warps = append(c.warps, w)
+		c.sched = append(c.sched, now)
 	}
 	c.wgs = append(c.wgs, wg)
 	c.threadsUsed += l.Block
@@ -117,7 +212,13 @@ func (c *coreState) placeWorkgroup(r *kernelRun, wgID int, now uint64) {
 	c.gpu.wakes.earlier(c.id, now)
 }
 
-// removeWorkgroup frees a completed (or aborted) workgroup's resources.
+// removeWorkgroup frees a completed (or aborted) workgroup's resources and
+// parks the shell in the core's arena for reuse. The arena is per-core so a
+// phase-A retire under the parallel scheduler never races another core's
+// placement or retire, and it is capacity-bounded by the core's concurrent-
+// workgroup limit (a core can never have retired more shells than it can
+// host). The run pointer is dropped so a pooled shell does not keep a
+// finished launch alive.
 func (c *coreState) removeWorkgroup(wg *workgroup) {
 	for i, x := range c.wgs {
 		if x == wg {
@@ -126,15 +227,22 @@ func (c *coreState) removeWorkgroup(wg *workgroup) {
 		}
 	}
 	kept := c.warps[:0]
-	for _, w := range c.warps {
+	sched := c.sched[:0]
+	for i, w := range c.warps {
 		if w.wg != wg {
+			w.slot = len(kept)
 			kept = append(kept, w)
+			sched = append(sched, c.sched[i])
 		}
 	}
-	c.warps = kept
+	c.warps, c.sched = kept, sched
 	c.threadsUsed -= wg.run.launch.Block
 	if c.lastWarp >= len(c.warps) {
 		c.lastWarp = 0
+	}
+	if len(c.wgPool) < c.gpu.cfg.MaxWGsPerCore {
+		wg.run = nil
+		c.wgPool = append(c.wgPool, wg)
 	}
 	// Freed capacity may admit a pending workgroup; run dispatch this step.
 	// Under the parallel scheduler the flag is GPU-global shared state, so a
@@ -168,29 +276,40 @@ type issuePick struct {
 func (c *coreState) selectWarp(now uint64) issuePick {
 	n := len(c.warps)
 	pick := issuePick{idx: -1, next: farFuture}
+	sched := c.sched
+	idx := c.lastWarp
 	for k := 0; k < n; k++ {
-		idx := (c.lastWarp + k) % n
-		w := c.warps[idx]
-		if w.done || w.atBarrier {
-			continue
-		}
-		if w.readyAt > now {
-			if w.readyAt < pick.next {
-				pick.next = w.readyAt
+		if r := sched[idx]; r > now {
+			// Not ready: done and at-barrier warps carry farFuture here and
+			// so never advance pick.next.
+			if r < pick.next {
+				pick.next = r
 			}
-			continue
-		}
-		in := &w.wg.run.launch.Kernel.Code[w.reconverge()]
-		if in.Op.IsMemory() && in.Space != kernel.SpaceShared && c.lsuFreeAt > now {
-			if c.lsuFreeAt < pick.next {
-				pick.next = c.lsuFreeAt
+		} else {
+			w := c.warps[idx]
+			in := &w.code[w.reconverge()]
+			if in.Op.IsMemory() && in.Space != kernel.SpaceShared && c.lsuFreeAt > now {
+				if c.lsuFreeAt < pick.next {
+					pick.next = c.lsuFreeAt
+				}
+			} else {
+				pick.idx, pick.w, pick.in = idx, w, in
+				return pick
 			}
-			continue
 		}
-		pick.idx, pick.w, pick.in = idx, w, in
-		return pick
+		if idx++; idx == n {
+			idx = 0
+		}
 	}
 	return pick
+}
+
+// wake records the warp's next possible issue cycle in both the warp and the
+// scheduler's scan array. Transitions of done/atBarrier maintain the array
+// directly (farFuture while blocked).
+func (c *coreState) wake(w *warp, t uint64) {
+	w.readyAt = t
+	c.sched[w.slot] = t
 }
 
 // tryIssue issues at most one instruction on this core at cycle now.
@@ -246,12 +365,17 @@ func (w *warp) guardMask(in *kernel.Instr) uint64 {
 
 // execute runs one warp instruction: functional semantics plus timing.
 func (c *coreState) execute(w *warp, in *kernel.Instr, now uint64) {
+	if w.sbLeft > 0 {
+		// Replay issue of a pre-executed superblock instruction: timing and
+		// stats only, the arithmetic already happened at block entry.
+		c.replayIssue(w, in, now)
+		return
+	}
 	r := w.wg.run
 	st := c.statsFor(r)
 	gmask := w.guardMask(in)
 	st.WarpInstrs++
 	st.ThreadInstrs += uint64(bits.OnesCount64(gmask))
-	cfg := &c.gpu.cfg
 
 	switch {
 	case in.Op.IsMemory():
@@ -261,6 +385,7 @@ func (c *coreState) execute(w *warp, in *kernel.Instr, now uint64) {
 	case in.Op == kernel.OpBar:
 		w.pc++
 		w.atBarrier = true
+		c.sched[w.slot] = farFuture
 		w.wg.arrived++
 		c.releaseBarrier(w.wg, now)
 		return
@@ -282,7 +407,7 @@ func (c *coreState) execute(w *warp, in *kernel.Instr, now uint64) {
 				return
 			}
 		}
-		w.readyAt = now + 1
+		c.wake(w, now+1)
 		return
 
 	case in.Op.IsBranch():
@@ -290,10 +415,16 @@ func (c *coreState) execute(w *warp, in *kernel.Instr, now uint64) {
 		return
 	}
 
-	// ALU path.
-	c.execALUWarp(w, in, gmask)
+	// ALU path. An unpredicated ALU instruction that begins a pre-decoded
+	// superblock executes the whole block's arithmetic now; this issue then
+	// completes normally and the rest of the block replays (superblock.go).
+	if lens := r.sbLens; lens != nil && lens[w.pc] >= sbMinLen {
+		c.execSuperblock(w, int(lens[w.pc]), now)
+	} else {
+		c.execALUWarp(w, in, gmask)
+	}
 	w.pc++
-	w.readyAt = now + uint64(aluLatency(cfg, in.Op))
+	c.wake(w, now+uint64(c.gpu.aluLat[in.Op]))
 }
 
 // retireWarp marks the warp done and completes its workgroup when it was
@@ -303,17 +434,21 @@ func (c *coreState) retireWarp(w *warp, now uint64) {
 		return
 	}
 	w.done = true
+	c.sched[w.slot] = farFuture
 	wg := w.wg
 	wg.live--
 	c.releaseBarrier(wg, now)
 	if wg.live == 0 {
+		// Capture the run first: removeWorkgroup may park the shell in the
+		// arena, which drops its run pointer.
+		run := wg.run
 		c.removeWorkgroup(wg)
 		// The live-workgroup count is owned by the run (shared across
 		// cores); a phase-A retire defers the decrement to the commit.
 		if c.pend != nil {
-			c.pend.retired = wg.run
+			c.pend.retired = run
 		} else {
-			wg.run.liveWGs--
+			run.liveWGs--
 		}
 	}
 }
@@ -327,7 +462,7 @@ func (c *coreState) releaseBarrier(wg *workgroup, now uint64) {
 	for _, w := range wg.warps {
 		if !w.done && w.atBarrier {
 			w.atBarrier = false
-			w.readyAt = now + 1
+			c.wake(w, now+1)
 		}
 	}
 	// Released warps are ready next cycle; wake the core for them. A
@@ -342,7 +477,7 @@ func (c *coreState) releaseBarrier(wg *workgroup, now uint64) {
 
 func (c *coreState) execBranch(w *warp, in *kernel.Instr, gmask uint64, now uint64) {
 	cfg := &c.gpu.cfg
-	w.readyAt = now + uint64(cfg.ALULatency)
+	c.wake(w, now+uint64(cfg.ALULatency))
 	switch in.Op {
 	case kernel.OpBraUni:
 		w.pc = in.Label
@@ -491,6 +626,13 @@ func (c *coreState) execALUWarp(w *warp, in *kernel.Instr, gmask uint64) {
 	ps[0] = c.plan(w, in.Src[0])
 	ps[1] = c.plan(w, in.Src[1])
 	ps[2] = c.plan(w, in.Src[2])
+	c.execALUWarpPlanned(w, in, gmask, &ps)
+}
+
+// execALUWarpPlanned is execALUWarp with the operand plans already resolved;
+// superblock bulk execution resolves all plans up front and calls this per
+// block instruction.
+func (c *coreState) execALUWarpPlanned(w *warp, in *kernel.Instr, gmask uint64, ps *[3]srcPlan) {
 	dst := in.Dst
 	if dst < 0 {
 		// Destination-less integer ALU ops have no architectural effect;
@@ -498,7 +640,7 @@ func (c *coreState) execALUWarp(w *warp, in *kernel.Instr, gmask uint64) {
 		for lanes := gmask; lanes != 0; {
 			lane := bits.TrailingZeros64(lanes)
 			lanes &^= 1 << uint(lane)
-			execALU(w, in, lane, &ps)
+			execALU(w, in, lane, ps)
 		}
 		return
 	}
@@ -633,7 +775,7 @@ func (c *coreState) execALUWarp(w *warp, in *kernel.Instr, gmask uint64) {
 		for lanes := gmask; lanes != 0; {
 			lane := bits.TrailingZeros64(lanes)
 			lanes &^= 1 << uint(lane)
-			execALU(w, in, lane, &ps)
+			execALU(w, in, lane, ps)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"gpushield/internal/core"
 	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
 	"gpushield/internal/memsys"
 )
 
@@ -80,6 +81,26 @@ type GPU struct {
 	// resolve same-address atomics one at a time in the L2 atomic units,
 	// which is what makes massively parallel device malloc slow (§5.2.1).
 	atomicBusy map[uint64]uint64
+
+	// sbCache memoizes per-kernel superblock pre-decode tables (see
+	// superblock.go); noSuperblocks is the resolved NoSuperblocks flag.
+	sbCache       map[*kernel.Kernel][]int32
+	noSuperblocks bool
+
+	// aluLat is aluLatency pre-resolved per opcode, indexed by kernel.Op:
+	// one load on the per-issue path instead of a switch.
+	aluLat [256]uint16
+
+	// Per-invocation scratch, recycled so a steady-state launch on a warm
+	// GPU allocates nothing beyond its caller-escaping report: run shells
+	// (runPool), the active-run list (runs), the per-core dispatch lists
+	// (allowed), and the single-launch slice RunCtx hands to
+	// RunConcurrentCtx (oneLaunch). The shells' launch/stats/pages/sbLens
+	// pointers are cleared on release so a parked shell pins nothing.
+	runPool   []*kernelRun
+	runs      []*kernelRun
+	allowed   [][]*kernelRun
+	oneLaunch [1]*driver.Launch
 }
 
 // TxVerdict is a fault-injection decision for one memory instruction's
@@ -107,8 +128,13 @@ func NewGPU(cfg Config, dev *driver.Device) (*GPU, error) {
 		dram:       memsys.NewDRAM(cfg.DRAM),
 		atomicBusy: make(map[uint64]uint64),
 		wakes:      newWakeHeap(cfg.Cores),
+		sbCache:    make(map[*kernel.Kernel][]int32),
 	}
 	g.coreWidth = cfg.resolveCoreParallel()
+	g.noSuperblocks = cfg.resolveNoSuperblocks()
+	for op := range g.aluLat {
+		g.aluLat[op] = uint16(aluLatency(&g.cfg, kernel.Op(op)))
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		c := &coreState{
 			id:    i,
@@ -217,6 +243,44 @@ type kernelRun struct {
 	pages     []map[uint64]struct{} // per arg index
 	cores     []int                 // cores this kernel may occupy
 	coresUsed map[int]struct{}      // cores that actually ran workgroups
+	sbLens    []int32               // superblock pre-decode table (nil = disabled)
+}
+
+// runPoolCap bounds how many retired run shells a GPU parks for reuse.
+const runPoolCap = 64
+
+// acquireRun returns a reset run shell, recycling a parked one when
+// available. The stats report is always freshly allocated by the caller:
+// it escapes to the user and must outlive the shell.
+func (g *GPU) acquireRun() *kernelRun {
+	if n := len(g.runPool); n > 0 {
+		r := g.runPool[n-1]
+		g.runPool[n-1] = nil
+		g.runPool = g.runPool[:n-1]
+		*r = kernelRun{cores: r.cores[:0], coresUsed: r.coresUsed}
+		clear(r.coresUsed)
+		return r
+	}
+	return &kernelRun{coresUsed: make(map[int]struct{})}
+}
+
+// releaseRuns parks the finished invocation's run shells for reuse and
+// clears every pointer they (and the dispatch scratch) hold, so the pool
+// pins neither the escaped reports nor the launches.
+func (g *GPU) releaseRuns() {
+	for i, r := range g.runs {
+		r.launch, r.stats, r.pages, r.sbLens = nil, nil, nil, nil
+		if len(g.runPool) < runPoolCap {
+			g.runPool = append(g.runPool, r)
+		}
+		g.runs[i] = nil
+	}
+	g.runs = g.runs[:0]
+	for i := range g.allowed {
+		s := g.allowed[i][:cap(g.allowed[i])]
+		clear(s)
+		g.allowed[i] = s[:0]
+	}
 }
 
 func (r *kernelRun) dispatched() bool { return r.nextWG >= r.launch.Grid }
@@ -237,7 +301,9 @@ func (g *GPU) Run(l *driver.Launch) (*LaunchStats, error) {
 // partial report together with an error matching ErrCanceled. A background
 // context makes RunCtx identical to Run, including its cost.
 func (g *GPU) RunCtx(ctx context.Context, l *driver.Launch) (*LaunchStats, error) {
-	res, err := g.RunConcurrentCtx(ctx, []*driver.Launch{l}, ShareIntraCore)
+	g.oneLaunch[0] = l
+	res, err := g.RunConcurrentCtx(ctx, g.oneLaunch[:], ShareIntraCore)
+	g.oneLaunch[0] = nil
 	if len(res) == 1 {
 		return res[0], err
 	}
@@ -259,8 +325,7 @@ func (g *GPU) RunConcurrentCtx(ctx context.Context, launches []*driver.Launch, m
 	if len(launches) == 0 {
 		return nil, fmt.Errorf("%w: no launches", driver.ErrInvalidLaunch)
 	}
-	runs := make([]*kernelRun, len(launches))
-	for i, l := range launches {
+	for _, l := range launches {
 		if l == nil || l.Kernel == nil {
 			return nil, fmt.Errorf("%w: nil launch", driver.ErrInvalidLaunch)
 		}
@@ -268,21 +333,25 @@ func (g *GPU) RunConcurrentCtx(ctx context.Context, launches []*driver.Launch, m
 			return nil, fmt.Errorf("%w: %s: block of %d exceeds %d threads per core",
 				driver.ErrInvalidLaunch, l.Kernel.Name, l.Block, g.cfg.MaxThreadsPerCore)
 		}
-		r := &kernelRun{
-			launch: l,
-			stats: &LaunchStats{
-				Kernel: l.Kernel.Name, Mode: l.Mode.String(), StartCycle: g.now,
-			},
-			coresUsed: make(map[int]struct{}),
+	}
+	runs := g.runs[:0]
+	for _, l := range launches {
+		r := g.acquireRun()
+		r.launch = l
+		r.stats = &LaunchStats{
+			Kernel: l.Kernel.Name, Mode: l.Mode.String(), StartCycle: g.now,
 		}
+		r.sbLens = g.superblocks(l.Kernel)
 		if g.trackPages {
 			r.pages = make([]map[uint64]struct{}, len(l.Args))
 			for j := range r.pages {
 				r.pages[j] = make(map[uint64]struct{})
 			}
 		}
-		runs[i] = r
+		runs = append(runs, r)
 	}
+	g.runs = runs
+	defer g.releaseRuns()
 
 	// Core assignment.
 	switch {
@@ -319,7 +388,13 @@ func (g *GPU) RunConcurrentCtx(ctx context.Context, launches []*driver.Launch, m
 	}
 
 	// Round-robin dispatch cursors per core over the runs allowed there.
-	allowed := make([][]*kernelRun, g.cfg.Cores)
+	if len(g.allowed) != g.cfg.Cores {
+		g.allowed = make([][]*kernelRun, g.cfg.Cores)
+	}
+	allowed := g.allowed
+	for i := range allowed {
+		allowed[i] = allowed[i][:0]
+	}
 	for _, r := range runs {
 		for _, ci := range r.cores {
 			allowed[ci] = append(allowed[ci], r)
@@ -457,14 +532,15 @@ func (g *GPU) RunConcurrentCtx(ctx context.Context, launches []*driver.Launch, m
 // prove abort-free.
 func (g *GPU) stepSerial() bool {
 	issued := false
-	for _, c := range g.cores {
-		// Skip cores that provably cannot issue yet: their wake time —
-		// maintained at issue, barrier release, retire, and dispatch —
-		// is still in the future.
-		if g.wakes.at(c.id) > g.now {
+	now := g.now
+	// Iterate the wake array directly: cores that provably cannot issue yet
+	// — their wake time is maintained at issue, barrier release, retire, and
+	// dispatch — cost one load and compare each.
+	for id, t := range g.wakes.wake {
+		if t > now {
 			continue
 		}
-		if c.tryIssue(g.now) {
+		if g.cores[id].tryIssue(now) {
 			issued = true
 		}
 	}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/kernel"
+)
+
+func buildAllocKernel(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	kb := kernel.NewBuilder("allocprobe")
+	p := kb.BufferParam("p", false)
+	gtid := kb.GlobalTID()
+	acc := kb.Mov(gtid)
+	kb.ForRange(kernel.Imm(0), kernel.Imm(8), kernel.Imm(1), func(i kernel.Operand) {
+		v := kb.LoadGlobal(kb.AddScaled(p, kb.And(kb.Add(gtid, i), kernel.Imm(4095)), 4), 4)
+		kb.MovTo(acc, kb.Add(acc, v))
+	})
+	kb.StoreGlobal(kb.AddScaled(p, gtid, 4), acc, 4)
+	return kb.MustBuild()
+}
+
+// BenchmarkLaunchAllocs isolates the per-launch allocation cost on a warm
+// GPU: one op is PrepareLaunch + Run with the device, kernel, and simulator
+// all reused. The B/op and allocs/op columns are the numbers the bench
+// guard (scripts/bench_compare.sh) watches; the regression test below pins
+// the Run half to its floor.
+func BenchmarkLaunchAllocs(b *testing.B) {
+	k := buildAllocKernel(b)
+	dev := driver.NewDevice(1)
+	buf := dev.Malloc("p", 4096*4, false)
+	gpu := New(NvidiaConfig(), dev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := dev.PrepareLaunch(k, 16, 256, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gpu.Run(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSteadyStateLaunchAllocs pins the steady-state launch path — the
+// second and every later launch on a reused GPU — to its allocation floor.
+// gpu.Run itself must allocate nothing beyond the two objects that escape
+// to the caller and therefore cannot be pooled: the *LaunchStats report and
+// the report slice RunConcurrentCtx returns. Everything else (run shells,
+// dispatch lists, workgroups, warps, register files, lowered superblocks)
+// comes from the GPU's arenas once they are warm.
+func TestSteadyStateLaunchAllocs(t *testing.T) {
+	k := buildAllocKernel(t)
+	dev := driver.NewDevice(1)
+	buf := dev.Malloc("p", 4096*4, false)
+	// The floor below is a property of the serial scheduler; parallel
+	// core-stepping legitimately allocates per-launch worker scratch, so pin
+	// the width against the GPUSHIELD_CORE_PARALLEL matrix override.
+	cfg := NvidiaConfig()
+	cfg.CoreParallel = 1
+	gpu := New(cfg, dev)
+	mk := func() *driver.Launch {
+		l, err := dev.PrepareLaunch(k, 16, 256, []driver.Arg{driver.BufArg(buf)}, driver.ModeOff, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	// First launch warms every arena: workgroup shells, flat register
+	// files, run shells, dispatch scratch, superblock pre-decode.
+	if _, err := gpu.Run(mk()); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 50
+	launches := make([]*driver.Launch, rounds+1)
+	for i := range launches {
+		launches[i] = mk()
+	}
+	i := 0
+	runOnly := testing.AllocsPerRun(rounds, func() {
+		if _, err := gpu.Run(launches[i]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// The caller-escaping report (*LaunchStats) and the returned report
+	// slice are the entire allocation budget of a steady-state Run.
+	if runOnly > 2 {
+		t.Errorf("steady-state gpu.Run allocated %.1f objects/launch, want <= 2 (report + report slice)", runOnly)
+	}
+
+	prepAndRun := testing.AllocsPerRun(rounds, func() {
+		if _, err := gpu.Run(mk()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// PrepareLaunch builds per-launch driver state (launch, args, RBT
+	// image) that legitimately allocates; the PR 8 acceptance bound for the
+	// whole steady-state path is <= 100 objects per launch, measured at
+	// ~2,276 before the arena work.
+	if prepAndRun > 100 {
+		t.Errorf("steady-state PrepareLaunch+Run allocated %.1f objects/launch, want <= 100", prepAndRun)
+	}
+}

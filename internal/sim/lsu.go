@@ -45,7 +45,7 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 	}
 	if gmask == 0 {
 		w.pc++
-		w.readyAt = now + 1
+		c.wake(w, now+1)
 		return
 	}
 	if p := c.pend; p != nil {
@@ -430,7 +430,7 @@ func (c *coreState) memCommit(w *warp, in *kernel.Instr, gmask uint64, now uint6
 	if busy > c.lsuFreeAt {
 		c.lsuFreeAt = busy
 	}
-	w.readyAt = now + maxLat + extra + uint64(stall)
+	c.wake(w, now+maxLat+extra+uint64(stall))
 	w.pc++
 }
 
@@ -475,7 +475,7 @@ func (c *coreState) execShared(w *warp, in *kernel.Instr, gmask uint64, now uint
 		}
 	}
 	w.pc++
-	w.readyAt = now + uint64(c.gpu.cfg.SharedLatency)
+	c.wake(w, now+uint64(c.gpu.cfg.SharedLatency))
 }
 
 // loadValue reads one element, applying the IR's width and type rules:

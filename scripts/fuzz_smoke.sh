@@ -9,14 +9,20 @@
 #   2. determinism: stdout is byte-identical across -parallel widths and
 #      across repeat runs at the same seed
 #   3. race freedom: the full run passes under the race detector
+#   4. superblock equivalence: a 200-kernel leg at -core-parallel 2 is
+#      byte-identical with superblock stepping forced off via
+#      GPUSHIELD_NO_SUPERBLOCKS, so the pre-decoded fast path (PR 8) is
+#      fuzzed against reference single-stepping on every CI run
 #
 # Usage: scripts/fuzz_smoke.sh
 # Env:   SEED (default 1), COUNT (default 500) — COUNT >= 500 keeps this an
-#        actual soundness sweep, not a token one.
+#        actual soundness sweep, not a token one. SB_COUNT (default 200)
+#        sizes the superblock differential leg.
 set -euo pipefail
 
 SEED=${SEED:-1}
 COUNT=${COUNT:-500}
+SB_COUNT=${SB_COUNT:-200}
 cd "$(dirname "$0")/.."
 
 work=$(mktemp -d)
@@ -47,8 +53,22 @@ if ! diff -u "$work/p1.out" "$work/p4c2.out" >&2; then
     exit 1
 fi
 
+# -parallel 1 leaves the whole machine budget to per-run core stepping, so
+# the width-2 request survives the engine's oversubscription cap on any
+# host with >= 2 CPUs (on a 1-CPU host it degrades to serial stepping,
+# which still diffs superblocks against the reference path).
+echo "== superblock differential: $SB_COUNT kernels, -core-parallel 2"
+"$work/experiments" -run fuzz -seed "$SEED" -fuzz-count "$SB_COUNT" \
+    -parallel 1 -core-parallel 2 >"$work/sb_on.out"
+GPUSHIELD_NO_SUPERBLOCKS=1 "$work/experiments" -run fuzz -seed "$SEED" \
+    -fuzz-count "$SB_COUNT" -parallel 1 -core-parallel 2 >"$work/sb_off.out"
+if ! diff -u "$work/sb_off.out" "$work/sb_on.out" >&2; then
+    echo "FAIL: superblock path diverges from single-step reference" >&2
+    exit 1
+fi
+
 echo "== race detector pass (-parallel 4)"
 go run -race ./cmd/experiments -run fuzz -seed "$SEED" -fuzz-count "$COUNT" \
     -parallel 4 >/dev/null
 
-echo "PASS: $COUNT kernels at seed $SEED, zero findings, deterministic across widths"
+echo "PASS: $COUNT kernels at seed $SEED, zero findings, deterministic across widths, superblock path equivalent on $SB_COUNT"
