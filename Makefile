@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-guard experiments experiments-smoke soak-smoke resume-smoke service-smoke fuzz-smoke examples attackdemo vet fmt clean
+.PHONY: all build test test-race bench bench-json bench-guard experiments experiments-smoke soak-smoke resume-smoke service-smoke fuzz-smoke fleet-smoke examples attackdemo vet fmt clean
 
 all: build test
 
@@ -26,7 +26,7 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR8.json;
+# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR9.json;
 # the service-level numbers live separately in loadgen's BENCH_PR6.json).
 # BENCHTIME=1x gives a fast smoke run (CI); the checked-in file is made with
 # the default 2s x 3 repeats on a quiet machine — benchjson folds the
@@ -37,7 +37,7 @@ bench:
 # different file.
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 3
-BENCHOUT ?= BENCH_PR8.json
+BENCHOUT ?= BENCH_PR9.json
 BENCH ?= BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput|BenchmarkSimulatorThroughput|BenchmarkFunctionalMemPath|BenchmarkBackingReadUint|BenchmarkCoreParallelLaunch|BenchmarkLaunchAllocs
 bench-json:
 	$(GO) test ./internal/sim -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -benchmem \
@@ -45,13 +45,13 @@ bench-json:
 
 # Fail if the serial hot paths — warp issue, cycle-level and functional
 # mem-instr, backing-store reads — regressed >15%, or the launch path
-# regrew allocations, against the pre-PR8 baseline. The baseline
-# (BENCH_PR8_base.json) is the PR 8 parent revision re-measured
-# back-to-back with BENCH_PR8.json, because the shared benchmark host had
-# drifted since BENCH_PR6_hot.json was recorded (see the snapshot protocol
-# in scripts/bench_compare.sh).
+# regrew allocations, against the pre-PR9 baseline (BENCH_PR8.json,
+# recorded on the same host class; see the snapshot protocol in
+# scripts/bench_compare.sh). PR 9's orchestration layer must be free for
+# the simulator core: the run hash is computed once per unique config,
+# never per launch, and memo hits never hash at all.
 bench-guard:
-	bash scripts/bench_compare.sh BENCH_PR8_base.json BENCH_PR8.json
+	bash scripts/bench_compare.sh BENCH_PR8.json BENCH_PR9.json
 
 # Regenerate every table and figure at full fidelity.
 experiments:
@@ -85,6 +85,12 @@ service-smoke:
 # Any disagreement fails with a shrunk reproducer in the error message.
 fuzz-smoke:
 	bash scripts/fuzz_smoke.sh
+
+# Distribute a store-backed sweep over worker processes, kill -9 one
+# mid-campaign, and assert completion, stdout byte-identical to a serial
+# run, and a warm re-run that re-simulates zero configs.
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -27,6 +27,25 @@
 // stats, the journal stays valid); a second signal hard-exits. -soak loops
 // fault-injection campaigns until the duration elapses, watching for memory
 // growth between iterations.
+//
+// Fleet mode (fault-tolerant sweep orchestration):
+//
+//	experiments -run all -store results/                 # incremental sweep
+//	experiments -run all -store results/ -fleet 4        # 4 worker processes
+//	experiments -worker                                  # one worker (spawned by -fleet)
+//
+// -store DIR keeps every completed run in a content-addressed result store
+// (keyed by the canonical run hash over benchmark, arch, mode, BCU config,
+// scale, seed, and sim version): a warm re-run re-simulates only configs
+// whose hash is absent, and a coordinator killed at any point resumes from
+// the store with byte-identical final stdout. -fleet N spawns N worker
+// subprocesses (this binary with -worker) and leases them job shards;
+// workers heartbeat while executing and stream results back append-only,
+// leases expire on missed heartbeats and shards are reassigned with capped
+// exponential backoff, so any worker can die — kill -9 included — and the
+// sweep still completes with stdout byte-identical to a serial local run.
+// Interrupted coordinators and SIGTERM'd workers both exit 130 with the
+// partial store intact.
 package main
 
 import (
@@ -42,7 +61,9 @@ import (
 
 	"gpushield/internal/experiments"
 	"gpushield/internal/faults"
+	"gpushield/internal/fleet"
 	"gpushield/internal/lifecycle"
+	"gpushield/internal/resultstore"
 )
 
 // expTiming is one experiment's entry in the -json timing output.
@@ -60,6 +81,8 @@ type runReport struct {
 	CoreParallel int                           `json:"core_parallel"`
 	Experiments  []expTiming                   `json:"experiments"`
 	Engine       experiments.EngineStats       `json:"engine"`
+	Store        *resultstore.Stats            `json:"store,omitempty"`
+	Fleet        *fleet.Stats                  `json:"fleet,omitempty"`
 	Quarantined  []experiments.QuarantineEntry `json:"quarantined,omitempty"`
 	Interrupted  bool                          `json:"interrupted,omitempty"`
 	TotalWallMS  float64                       `json:"total_wall_ms"`
@@ -97,6 +120,12 @@ func realMain() int {
 	journalPath := flag.String("journal", "", "append every completed run to this write-ahead journal (JSON lines, fsync'd)")
 	journalMaxBytes := flag.Int64("journal-max-bytes", 64<<20, "compact the journal (last record per key, atomic rewrite) when it grows past this many bytes; 0 = unbounded. Keeps soak-length loops from growing the journal with wall-clock time")
 	resumePath := flag.String("resume", "", "replay a journal into the run cache before starting (continue an interrupted sweep)")
+	storePath := flag.String("store", "", "content-addressed result store directory: completed runs persist under their run hash, warm re-runs re-simulate only absent configs")
+	fleetN := flag.Int("fleet", 0, "coordinator mode: spawn N worker subprocesses (-worker) and lease them job shards; 0 = compute in-process")
+	workerMode := flag.Bool("worker", false, "worker mode: read shard leases on stdin, stream results on stdout (spawned by -fleet)")
+	fleetShard := flag.Int("fleet-shard", 0, "jobs per leased shard in -fleet mode (0 = default 4)")
+	fleetHeartbeat := flag.Duration("fleet-heartbeat", 0, "worker heartbeat period in -fleet mode (0 = default 500ms)")
+	fleetLease := flag.Duration("fleet-lease", 0, "silence tolerated before a worker's lease expires and its shard is reassigned (0 = default 4x heartbeat)")
 	soak := flag.Duration("soak", 0, "loop fault-injection campaigns for this duration, checking for memory growth")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
@@ -105,6 +134,10 @@ func realMain() int {
 	fuzzShrink := flag.Int("fuzz-shrink", 0, "shrink budget (oracle evaluations) per fuzz disagreement (0 = default 300)")
 	fuzzCorpus := flag.String("fuzz-corpus", "", "directory to write shrunk fuzz reproducers to (e.g. testdata/bugcorpus); empty = don't persist")
 	flag.Parse()
+
+	if *workerMode {
+		return runWorker()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -159,13 +192,16 @@ func realMain() int {
 	// Replay before opening for append: -resume and -journal may (and in the
 	// resume workflow do) name the same file.
 	if *resumePath != "" {
-		entries, err := experiments.LoadJournal(*resumePath)
+		entries, prep, err := experiments.LoadJournalReport(*resumePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
 			return 1
 		}
 		n := experiments.PrimeJournal(entries)
 		fmt.Fprintf(os.Stderr, "resume: replayed %d completed runs from %s\n", n, *resumePath)
+		if prep.Damaged() {
+			fmt.Fprintf(os.Stderr, "resume: journal damage tolerated (%s); skipped runs re-execute\n", prep)
+		}
 	}
 	var journal *experiments.Journal
 	if *journalPath != "" {
@@ -182,6 +218,51 @@ func realMain() int {
 			if err := j.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "journal: %v (resume coverage may be incomplete)\n", err)
 			}
+		}()
+	}
+
+	// Durable layer below the memo cache: completed runs persist under their
+	// content hash, so warm re-runs (and resumed coordinator kills) only
+	// re-simulate configs that were never delivered.
+	var store *resultstore.Store
+	if *storePath != "" {
+		st, err := resultstore.Open(*storePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store: %v\n", err)
+			return 1
+		}
+		store = st
+		experiments.SetStore(store)
+		defer experiments.SetStore(nil)
+	}
+
+	// Coordinator mode: lease job shards to worker subprocesses. Results
+	// are stored durably on delivery (when -store is set) before the engine
+	// is unblocked, so killing this process mid-merge loses nothing.
+	var coord *fleet.Coordinator
+	if *fleetN > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			return 1
+		}
+		c, err := fleet.Start(fleet.Config{
+			Workers:   *fleetN,
+			Argv:      []string{exe, "-worker"},
+			ShardSize: *fleetShard,
+			Heartbeat: *fleetHeartbeat,
+			Lease:     *fleetLease,
+			Store:     store,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			return 1
+		}
+		coord = c
+		experiments.SetRemote(c.Run)
+		defer func() {
+			experiments.SetRemote(nil)
+			c.Close()
 		}()
 	}
 
@@ -258,6 +339,14 @@ func realMain() int {
 			Speedup:      speedup,
 			Failed:       len(failures),
 		}
+		if store != nil {
+			ss := store.Stats()
+			rep.Store = &ss
+		}
+		if coord != nil {
+			fs := coord.Stats()
+			rep.Fleet = &fs
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -266,8 +355,8 @@ func realMain() int {
 		}
 	} else {
 		fmt.Fprintf(os.Stderr,
-			"engine: %d jobs (%d unique runs, %d cache hits, %d replayed), parallel=%d, core-parallel=%d, wall %v, serial-equivalent %v, speedup %.2fx\n",
-			es.Jobs, es.UniqueRuns, es.CacheHits, es.Replayed, experiments.Parallelism(), experiments.CoreParallelism(),
+			"engine: %d jobs (%d unique runs, %d store hits, %d cache hits, %d bespoke, %d replayed), parallel=%d, core-parallel=%d, wall %v, serial-equivalent %v, speedup %.2fx\n",
+			es.Jobs, es.UniqueRuns, es.StoreHits, es.CacheHits, es.Bespoke, es.Replayed, experiments.Parallelism(), experiments.CoreParallelism(),
 			wall.Round(time.Millisecond), time.Duration(es.SerialSeconds*float64(time.Second)).Round(time.Millisecond),
 			speedup)
 		fmt.Fprintf(os.Stderr, "experiments: %d passed, %d failed\n", len(timings)-len(failures), len(failures))
@@ -280,11 +369,31 @@ func realMain() int {
 			fmt.Fprintf(os.Stderr, "journal: %v (resume coverage may be incomplete)\n", err)
 		}
 	}
+	if store != nil {
+		ss := store.Stats()
+		fmt.Fprintf(os.Stderr, "store: %d hits, %d puts, %d dups, %d quarantined (%s)\n",
+			ss.Hits, ss.Puts, ss.Dups, ss.Quarantined, *storePath)
+		for _, p := range store.Quarantined() {
+			fmt.Fprintf(os.Stderr, "store: quarantined corrupt entry: %s\n", p)
+		}
+		if err := experiments.StoreErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "store: %v (warm coverage may be incomplete)\n", err)
+		}
+	}
+	if coord != nil {
+		fs := coord.Stats()
+		fmt.Fprintf(os.Stderr,
+			"fleet: %d workers, %d shards leased, %d results, %d dup deliveries, %d worker deaths, %d lease expiries, %d requeues\n",
+			*fleetN, fs.ShardsLeased, fs.Results, fs.DupDeliveries, fs.WorkerDeaths, fs.LeaseExpiries, fs.Requeues)
+	}
 	if interrupted {
-		if *journalPath != "" {
+		switch {
+		case *storePath != "":
+			fmt.Fprintf(os.Stderr, "interrupted: rerun with -store %s to continue (completed runs are already durable)\n", *storePath)
+		case *journalPath != "":
 			fmt.Fprintf(os.Stderr, "interrupted: rerun with -resume %s -journal %s to continue\n", *journalPath, *journalPath)
-		} else {
-			fmt.Fprintln(os.Stderr, "interrupted: rerun with -journal FILE next time to make sweeps resumable")
+		default:
+			fmt.Fprintln(os.Stderr, "interrupted: rerun with -journal FILE or -store DIR next time to make sweeps resumable")
 		}
 		return lifecycle.ExitInterrupted
 	}
@@ -328,4 +437,45 @@ func runSoak(ctx context.Context, d time.Duration) int {
 		fmt.Fprintf(os.Stderr, "soak: note: %d silent corruptions among injected faults (expected for undetectable classes)\n", rep.SDC)
 	}
 	return 0
+}
+
+// runWorker is the -worker entry point: a fleet worker reading shard leases
+// on stdin and streaming results on stdout. SIGTERM (the coordinator killing
+// an expired lease, or an operator interrupting the fleet) maps to exit 130 —
+// the same interrupted status the serial path uses — so the coordinator can
+// tell "interrupted" from "crashed".
+func runWorker() int {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	lifecycle.Notify(func(s os.Signal) {
+		cancel(lifecycle.CancelCause(s))
+	})
+
+	hooks := workerHooksFromEnv()
+	err := fleet.Worker(ctx, os.Stdin, os.Stdout, experiments.ExecuteKey, hooks)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		return lifecycle.ExitInterrupted
+	default:
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		return 1
+	}
+}
+
+// workerHooksFromEnv decodes chaos-test failure hooks from the environment.
+// Production fleets never set these; the chaos suite uses them to make a
+// spawned worker stall, truncate a record, or double-deliver on cue.
+func workerHooksFromEnv() *fleet.Hooks {
+	var h fleet.Hooks
+	if v := os.Getenv("GPUSHIELD_HOOK_STALL_AFTER"); v != "" {
+		fmt.Sscanf(v, "%d", &h.StallAfterResults)
+	}
+	h.TruncateOncePath = os.Getenv("GPUSHIELD_HOOK_TRUNCATE_ONCE")
+	h.DuplicateResults = os.Getenv("GPUSHIELD_HOOK_DUPLICATE") != ""
+	if h == (fleet.Hooks{}) {
+		return nil
+	}
+	return &h
 }

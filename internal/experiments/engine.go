@@ -10,6 +10,7 @@ import (
 	"gpushield/internal/core"
 	"gpushield/internal/driver"
 	"gpushield/internal/pool"
+	"gpushield/internal/resultstore"
 	"gpushield/internal/sim"
 	"gpushield/internal/workloads"
 )
@@ -78,8 +79,10 @@ type QuarantineEntry struct {
 // `-run all` footer and the `-json` timing output.
 type EngineStats struct {
 	Jobs           int     `json:"jobs"`            // runs requested through the engine
-	UniqueRuns     int     `json:"unique_runs"`     // simulations actually executed
+	UniqueRuns     int     `json:"unique_runs"`     // simulations actually executed (locally or by a fleet worker)
 	CacheHits      int     `json:"cache_hits"`      // requests served from the memo cache
+	StoreHits      int     `json:"store_hits"`      // configs served from the content-addressed result store
+	Bespoke        int     `json:"bespoke"`         // ForEachErr jobs: not keyable, so never cached, stored, or journaled
 	Retries        int     `json:"retries"`         // re-attempts after a failed execution
 	Quarantined    int     `json:"quarantined"`     // runs that exhausted their retries
 	Replayed       int     `json:"replayed"`        // memo entries primed from a resume journal
@@ -113,14 +116,19 @@ type Engine struct {
 	coreParallel int // requested core-stepping width; 0 = auto
 	memo         map[memoKey]*memoEntry
 	journal      *Journal
+	store        *resultstore.Store // durable content-addressed layer under the memo cache
+	remote       RemoteFunc         // fleet coordinator hook; nil = compute locally
 
 	retries int
 	backoff time.Duration
 
 	jobs       int
 	uniqueRuns int
+	bespoke    int
 	retryCount int
 	replayed   int
+	storeHits  int
+	storeErr   error // first store write failure (sticky, like journal errors)
 	quarantine []QuarantineEntry
 	compute    time.Duration
 	serial     time.Duration
@@ -190,6 +198,36 @@ func (e *Engine) SetJournal(j *Journal) {
 	e.mu.Unlock()
 }
 
+// SetStore attaches (or detaches, with nil) the content-addressed result
+// store. On every memo miss the engine consults the store before computing
+// (the run hash is computed exactly once per unique config — memo hits
+// never hash), and every executed run is stored durably before its result
+// is reported. Store write failures are sticky warnings (StoreErr), never
+// run failures: losing durability must not lose the sweep.
+func (e *Engine) SetStore(s *resultstore.Store) {
+	e.mu.Lock()
+	e.store = s
+	e.mu.Unlock()
+}
+
+// SetRemote attaches (or detaches, with nil) the remote execution hook —
+// the fleet coordinator in coordinator mode. Runs whose benchmark resolves
+// in a fresh process (CanExecuteRemotely) are leased out; test-local
+// benchmarks fall back to the local compute path.
+func (e *Engine) SetRemote(fn RemoteFunc) {
+	e.mu.Lock()
+	e.remote = fn
+	e.mu.Unlock()
+}
+
+// StoreErr reports the first result-store write failure, if any: results
+// completed after it may not be durable for future warm runs.
+func (e *Engine) StoreErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.storeErr
+}
+
 // SetRetryPolicy overrides the retry count (re-attempts after the first
 // failure; < 0 keeps the current value) and backoff base (<= 0 keeps the
 // current value).
@@ -228,8 +266,9 @@ func (e *Engine) Prime(entries []JournalEntry) int {
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	e.memo = map[memoKey]*memoEntry{}
-	e.jobs, e.uniqueRuns = 0, 0
+	e.jobs, e.uniqueRuns, e.bespoke = 0, 0, 0
 	e.retryCount, e.replayed = 0, 0
+	e.storeHits, e.storeErr = 0, nil
 	e.quarantine = nil
 	e.compute, e.serial = 0, 0
 	e.mu.Unlock()
@@ -242,7 +281,9 @@ func (e *Engine) Stats() EngineStats {
 	return EngineStats{
 		Jobs:           e.jobs,
 		UniqueRuns:     e.uniqueRuns,
-		CacheHits:      e.jobs - e.uniqueRuns,
+		CacheHits:      e.jobs - e.uniqueRuns - e.storeHits - e.bespoke,
+		StoreHits:      e.storeHits,
+		Bespoke:        e.bespoke,
 		Retries:        e.retryCount,
 		Quarantined:    len(e.quarantine),
 		Replayed:       e.replayed,
@@ -336,6 +377,13 @@ func (e *Engine) computeWithRetry(ctx context.Context, b workloads.Benchmark, o 
 // defensive copy of its stats: every caller owns its result outright.
 // Cancellation surfaces as an error matching sim.ErrCanceled and leaves the
 // run uncached so it re-executes under a live context.
+//
+// Layering on a memo miss: the content-addressed store is consulted first
+// (the run hash is computed here, once per unique config — the memo-hit
+// fast path never hashes); on a store miss the run executes, remotely when
+// a fleet coordinator is attached and the benchmark resolves out-of-process,
+// locally otherwise; the completed run is then made durable (store, journal)
+// before the result is reported.
 func (e *Engine) RunBenchmark(ctx context.Context, b workloads.Benchmark, o RunOpts) (*sim.LaunchStats, error) {
 	key := o.memoKey(b.Name)
 	e.mu.Lock()
@@ -346,12 +394,71 @@ func (e *Engine) RunBenchmark(ctx context.Context, b workloads.Benchmark, o RunO
 	}
 	e.mu.Unlock()
 
-	executed := false
+	executed, fromStore := false, false
 	ent.once.Do(func() {
+		e.mu.Lock()
+		store, remote := e.store, e.remote
+		e.mu.Unlock()
+
+		var sk resultstore.Key
+		var hash string
+		if store != nil || remote != nil {
+			sk = key.storeKey()
+			hash = sk.Hash()
+		}
+		if store != nil {
+			if se, ok := store.GetHash(sk, hash); ok {
+				ent.st = se.Stats
+				if se.Err != "" {
+					ent.err = errors.New(se.Err)
+				}
+				ent.dur = time.Duration(se.DurNS)
+				fromStore = true
+				return
+			}
+		}
+
 		start := time.Now()
-		ent.st, ent.err = e.computeWithRetry(ctx, b, o)
-		ent.dur = time.Since(start)
+		viaRemote := false
+		if remote != nil && CanExecuteRemotely(b.Name) {
+			viaRemote = true
+			var dur time.Duration
+			ent.st, dur, ent.err = remote(ctx, sk)
+			ent.dur = dur
+			if ent.dur <= 0 {
+				ent.dur = time.Since(start)
+			}
+			if ent.err != nil && !canceled(ent.err) {
+				// The coordinator exhausted its reassignment budget (or the
+				// run fails deterministically on every worker): quarantine,
+				// mirroring the local retry policy's terminal state.
+				e.mu.Lock()
+				e.quarantine = append(e.quarantine, QuarantineEntry{
+					Bench: b.Name, Mode: o.Mode.String(), Attempts: 1, Err: ent.err.Error(),
+				})
+				e.mu.Unlock()
+			}
+		} else {
+			ent.st, ent.err = e.computeWithRetry(ctx, b, o)
+			ent.dur = time.Since(start)
+		}
 		executed = true
+
+		// Durability before reporting: a killed sweep never re-pays for a
+		// reported run. Canceled runs are healthy-but-unfinished and are
+		// never stored. Remote results are already durable — the coordinator
+		// commits each delivery write-ahead before unblocking this call —
+		// and a remote *failure* here means the lease budget ran out, an
+		// infrastructure failure a warm re-run should retry, not a result.
+		if store != nil && !viaRemote && !(ent.err != nil && canceled(ent.err)) {
+			if perr := store.PutHash(sk, hash, ent.st, ent.err, ent.dur); perr != nil {
+				e.mu.Lock()
+				if e.storeErr == nil {
+					e.storeErr = perr
+				}
+				e.mu.Unlock()
+			}
+		}
 	})
 
 	if ent.err != nil && canceled(ent.err) {
@@ -385,6 +492,9 @@ func (e *Engine) RunBenchmark(ctx context.Context, b workloads.Benchmark, o RunO
 		e.uniqueRuns++
 		e.compute += ent.dur
 	}
+	if fromStore {
+		e.storeHits++
+	}
 	e.mu.Unlock()
 	return ent.st.Clone(), ent.err
 }
@@ -408,9 +518,12 @@ func (e *Engine) RunSet(ctx context.Context, jobs []Job) ([]*sim.LaunchStats, er
 
 // ForEachErr runs n bespoke jobs (multi-kernel pairs, microbenchmark
 // variants, tool models — anything that is not a plain RunBenchmark) across
-// the pool. The jobs are timed into the engine accounting but not memoized
-// or journaled; fn must write its result into an index-addressed slot. A
-// panicking job becomes that index's error.
+// the pool. The jobs are timed into the engine accounting but — having no
+// run key — are never memoized, journaled, or stored: they re-execute on
+// every sweep, warm or cold, and are counted as Bespoke rather than
+// UniqueRuns so "0 unique runs" remains an exact warm-sweep assertion. fn
+// must write its result into an index-addressed slot. A panicking job
+// becomes that index's error.
 func (e *Engine) ForEachErr(ctx context.Context, n int, fn func(i int) error) error {
 	return pool.ForEachErrCtx(ctx, e.Workers(), n, func(i int) error {
 		start := time.Now()
@@ -418,7 +531,7 @@ func (e *Engine) ForEachErr(ctx context.Context, n int, fn func(i int) error) er
 		dur := time.Since(start)
 		e.mu.Lock()
 		e.jobs++
-		e.uniqueRuns++
+		e.bespoke++
 		e.compute += dur
 		e.serial += dur
 		e.mu.Unlock()
@@ -448,6 +561,17 @@ func CoreParallelism() int { return defaultEngine.CoreParallelism() }
 // SetJournal attaches the write-ahead run journal to the default engine;
 // cmd/experiments wires its -journal flag here.
 func SetJournal(j *Journal) { defaultEngine.SetJournal(j) }
+
+// SetStore attaches the content-addressed result store to the default
+// engine; cmd/experiments wires its -store flag here.
+func SetStore(s *resultstore.Store) { defaultEngine.SetStore(s) }
+
+// SetRemote attaches the fleet coordinator's execution hook to the default
+// engine; cmd/experiments wires coordinator mode here.
+func SetRemote(fn RemoteFunc) { defaultEngine.SetRemote(fn) }
+
+// StoreErr reports the default engine's first store write failure, if any.
+func StoreErr() error { return defaultEngine.StoreErr() }
 
 // PrimeJournal replays journal entries into the default engine's memo
 // cache (the -resume path), returning how many distinct runs were primed.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"sort"
 	"sync"
@@ -289,18 +290,56 @@ func (j *Journal) Close() error {
 	return cerr
 }
 
+// JournalParseReport accounts for everything a tolerant parse skipped, so
+// damage is reported instead of silently shrinking the replay. Skipping is
+// the right recovery — a journal never aborts a resume — but the operator
+// deserves to know the resume is partial.
+type JournalParseReport struct {
+	Entries   int  // replayable entries recovered
+	Malformed int  // undecodable lines / key-less or stats-less records skipped
+	Foreign   int  // well-formed records with an unknown schema version skipped
+	TornTail  bool // trailing record had no newline: the writer died mid-write
+}
+
+// Skipped is the number of damaged or foreign lines the parse dropped.
+func (r JournalParseReport) Skipped() int { return r.Malformed + r.Foreign }
+
+// Damaged reports whether the parse saw anything other than clean records.
+func (r JournalParseReport) Damaged() bool { return r.Skipped() > 0 || r.TornTail }
+
+func (r JournalParseReport) String() string {
+	s := fmt.Sprintf("%d replayable", r.Entries)
+	if r.Malformed > 0 {
+		s += fmt.Sprintf(", %d malformed skipped", r.Malformed)
+	}
+	if r.Foreign > 0 {
+		s += fmt.Sprintf(", %d foreign-version skipped", r.Foreign)
+	}
+	if r.TornTail {
+		s += ", torn final record dropped"
+	}
+	return s
+}
+
 // LoadJournal reads and parses a journal file. A missing file is not an
 // error — it is an empty journal (first run with -resume pointing at the
 // -journal path it is about to create).
 func LoadJournal(path string) ([]JournalEntry, error) {
+	entries, _, err := LoadJournalReport(path)
+	return entries, err
+}
+
+// LoadJournalReport is LoadJournal plus the damage accounting.
+func LoadJournalReport(path string) ([]JournalEntry, JournalParseReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil, nil
+			return nil, JournalParseReport{}, nil
 		}
-		return nil, err
+		return nil, JournalParseReport{}, err
 	}
-	return ParseJournal(data), nil
+	entries, rep := ParseJournalReport(data)
+	return entries, rep, nil
 }
 
 // ParseJournal decodes journal bytes into replayable entries, tolerating
@@ -314,13 +353,26 @@ func LoadJournal(path string) ([]JournalEntry, error) {
 //     journal degrades to partial replay, never to a wrong replay)
 //   - duplicate keys are all returned in order; the replayer applies them
 //     last-wins
+//
+// Damage never stops the scan: a malformed line in the middle of the file —
+// including the glued half-record an interleaved second producer can leave —
+// costs exactly that line, and every valid record after it is still
+// recovered. Trailing valid records are never silently dropped.
 func ParseJournal(data []byte) []JournalEntry {
+	entries, _ := ParseJournalReport(data)
+	return entries
+}
+
+// ParseJournalReport is ParseJournal plus the damage accounting.
+func ParseJournalReport(data []byte) ([]JournalEntry, JournalParseReport) {
 	var out []JournalEntry
+	var rep JournalParseReport
 	for len(data) > 0 {
 		nl := bytes.IndexByte(data, '\n')
 		if nl < 0 {
 			// Torn final record: the '\n' is written with the record, so a
 			// complete record always has one. Skip it.
+			rep.TornTail = true
 			break
 		}
 		line := data[:nl]
@@ -331,9 +383,15 @@ func ParseJournal(data []byte) []JournalEntry {
 		}
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
+			rep.Malformed++
 			continue
 		}
-		if rec.V != journalVersion || rec.Key.Bench == "" {
+		if rec.V != journalVersion {
+			rep.Foreign++
+			continue
+		}
+		if rec.Key.Bench == "" {
+			rep.Malformed++
 			continue
 		}
 		ent := JournalEntry{
@@ -347,9 +405,11 @@ func ParseJournal(data []byte) []JournalEntry {
 			ent.err = errors.New(rec.Err)
 		} else if rec.Stats == nil {
 			// A success with no stats cannot be served; skip it.
+			rep.Malformed++
 			continue
 		}
 		out = append(out, ent)
 	}
-	return out
+	rep.Entries = len(out)
+	return out, rep
 }

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpushield/internal/driver"
+	"gpushield/internal/sim"
+)
+
+func journalLine(t *testing.T, bench string, cycles uint64) string {
+	t.Helper()
+	k := RunOpts{Mode: driver.ModeShield}.memoKey(bench).journal()
+	rec := journalRecord{V: journalVersion, Key: k, DurNS: 5, Stats: &sim.LaunchStats{Kernel: bench, FinishCycle: cycles}}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+// TestJournalTruncationAtCompactionBoundary: compact a journal, then cut the
+// file at every byte offset — most importantly *exactly* at each record
+// boundary, the cut a crash immediately after compaction's rename can leave.
+// At a boundary cut nothing is torn and every record in the prefix must be
+// recovered; mid-record cuts lose exactly the torn record, never a complete
+// one before it.
+func TestJournalTruncationAtCompactionBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetMaxBytes(1) // every append crosses the cap: compaction each time
+	for i := 0; i < 6; i++ {
+		key := RunOpts{Mode: driver.ModeShield}.memoKey(fmt.Sprintf("bench-%d", i%3))
+		j.append(key, &sim.LaunchStats{Kernel: key.bench, FinishCycle: uint64(100 + i)}, nil, time.Millisecond)
+	}
+	if j.Compactions() == 0 {
+		t.Fatal("compaction never ran; the test is not exercising the boundary")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record boundaries: byte offsets just past each newline.
+	var boundaries []int
+	for i, b := range data {
+		if b == '\n' {
+			boundaries = append(boundaries, i+1)
+		}
+	}
+	if len(boundaries) < 2 {
+		t.Fatalf("compacted journal has %d records, want several", len(boundaries))
+	}
+
+	recordsIn := func(prefix []byte) int {
+		return bytes.Count(prefix, []byte{'\n'})
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		prefix := data[:cut]
+		entries, rep := ParseJournalReport(prefix)
+		complete := recordsIn(prefix)
+		if len(entries) != complete {
+			t.Fatalf("cut at %d: parsed %d entries, want the %d complete records in the prefix", cut, len(entries), complete)
+		}
+		atBoundary := cut == 0
+		for _, b := range boundaries {
+			if cut == b {
+				atBoundary = true
+			}
+		}
+		if atBoundary && rep.TornTail {
+			t.Fatalf("cut at %d is exactly a record boundary but the parser reported a torn tail", cut)
+		}
+		if !atBoundary && !rep.TornTail {
+			t.Fatalf("cut at %d is mid-record but the parser missed the torn tail", cut)
+		}
+		if rep.Malformed != 0 || rep.Foreign != 0 {
+			t.Fatalf("cut at %d: clean truncation misreported as damage: %+v", cut, rep)
+		}
+	}
+}
+
+// TestJournalInterleavedProducers: two Journal handles append to the same
+// file concurrently (two producers — a misconfiguration the format must
+// survive). O_APPEND plus one Write per record keeps lines whole, so every
+// record from both producers is recovered and replay stays last-wins sane.
+func TestJournalInterleavedProducers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perProducer = 40
+	var wg sync.WaitGroup
+	for p, j := range []*Journal{j1, j2} {
+		wg.Add(1)
+		go func(p int, j *Journal) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				key := RunOpts{Mode: driver.ModeShield}.memoKey(fmt.Sprintf("p%d-bench-%d", p, i))
+				j.append(key, &sim.LaunchStats{Kernel: key.bench, FinishCycle: uint64(i)}, nil, time.Millisecond)
+			}
+		}(p, j)
+	}
+	wg.Wait()
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, rep, err := LoadJournalReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged() {
+		t.Fatalf("interleaved appends produced damage: %+v", rep)
+	}
+	if len(entries) != 2*perProducer {
+		t.Fatalf("recovered %d entries, want %d", len(entries), 2*perProducer)
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		seen[e.key.bench] = true
+	}
+	if len(seen) != 2*perProducer {
+		t.Fatalf("recovered %d distinct keys, want %d", len(seen), 2*perProducer)
+	}
+}
+
+// TestJournalGluedHalfRecordCostsOneLine: the nastier two-producer artifact —
+// a producer dies mid-write and the other's complete record lands on the
+// same line, gluing half a record to a whole one. That line is unsalvageable
+// and must cost exactly itself: every complete record after it is still
+// recovered, and the damage is reported, not swallowed.
+func TestJournalGluedHalfRecordCostsOneLine(t *testing.T) {
+	a := journalLine(t, "before", 1)
+	victim := journalLine(t, "glued-into", 2)
+	half := strings.TrimSuffix(journalLine(t, "dying-producer", 3), "\n")
+	glued := half[:len(half)/2] + victim
+	trailing := journalLine(t, "after-1", 4) + journalLine(t, "after-2", 5)
+
+	entries, rep := ParseJournalReport([]byte(a + glued + trailing))
+	var got []string
+	for _, e := range entries {
+		got = append(got, e.key.bench)
+	}
+	want := []string{"before", "after-1", "after-2"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("recovered %v, want %v (trailing valid records must survive mid-file damage)", got, want)
+	}
+	if rep.Malformed != 1 || rep.TornTail || rep.Foreign != 0 {
+		t.Fatalf("report %+v, want exactly one malformed line", rep)
+	}
+}
+
+// TestParseJournalReportCounts pins each damage class to its counter.
+func TestParseJournalReportCounts(t *testing.T) {
+	valid := journalLine(t, "ok", 1)
+	foreign := strings.Replace(journalLine(t, "future", 2), `"v":1`, `"v":99`, 1)
+	garbage := "not json\n"
+	statless := strings.Replace(journalLine(t, "nostats", 3), `"stats"`, `"notstats"`, 1)
+	torn := `{"v":1,"key":{"bench":"torn"`
+
+	entries, rep := ParseJournalReport([]byte(valid + foreign + garbage + statless + valid + torn))
+	if len(entries) != 2 || rep.Entries != 2 {
+		t.Fatalf("entries = %d (report %+v), want 2", len(entries), rep)
+	}
+	if rep.Foreign != 1 || rep.Malformed != 2 || !rep.TornTail {
+		t.Fatalf("report %+v, want 1 foreign, 2 malformed, torn tail", rep)
+	}
+	if !rep.Damaged() || rep.Skipped() != 3 {
+		t.Fatalf("Damaged/Skipped disagree with report %+v", rep)
+	}
+	if s := rep.String(); !strings.Contains(s, "malformed") || !strings.Contains(s, "torn") {
+		t.Fatalf("String() = %q, want damage spelled out", s)
+	}
+
+	clean, crep := ParseJournalReport([]byte(valid + valid))
+	if crep.Damaged() || crep.Entries != len(clean) || crep.Entries != 2 {
+		t.Fatalf("clean parse misreported: %+v", crep)
+	}
+}

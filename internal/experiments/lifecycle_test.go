@@ -286,14 +286,33 @@ func FuzzJournalParse(f *testing.F) {
 	f.Add(append(append([]byte{}, valid...), valid[:10]...))          // complete + torn
 	f.Add([]byte("\xff\xfe garbage \x00\n"))                          // binary noise
 	f.Add([]byte(`{"v":1,"key":null,"stats":{"Kernel":"x"}}` + "\n")) // null key
+	// A file truncated exactly at a record boundary — the cut a crash right
+	// after compaction's atomic rename can leave. Nothing is torn here.
+	twoRecords := append(append(append([]byte{}, valid...), '\n'), append(valid, '\n')...)
+	f.Add(twoRecords)
+	// Two producers interleaved: one died mid-write, gluing half its record
+	// onto the other's complete line; valid records follow the damage.
+	glued := append(append(append([]byte{}, valid[:len(valid)/2]...), append(valid, '\n')...), append(valid, '\n')...)
+	f.Add(glued)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		entries := ParseJournal(data)
+		entries, rep := ParseJournalReport(data)
 		for _, e := range entries {
 			if e.key.bench == "" {
 				t.Fatal("parser admitted an entry with an empty benchmark key")
 			}
 			if e.err == nil && e.st == nil {
 				t.Fatal("parser admitted a success entry with no stats")
+			}
+		}
+		if rep.Entries != len(entries) {
+			t.Fatalf("report says %d entries, parser returned %d", rep.Entries, len(entries))
+		}
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			// Anything not newline-terminated has, by definition, a torn tail
+			// (possibly an empty-whitespace one — TrimSpace runs after the
+			// newline scan, so even spaces count).
+			if !rep.TornTail {
+				t.Fatal("input lacks a trailing newline but no torn tail was reported")
 			}
 		}
 	})

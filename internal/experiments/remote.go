@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gpushield/internal/resultstore"
+	"gpushield/internal/sim"
+	"gpushield/internal/workloads"
+)
+
+// This file is the bridge between the engine's private memo key and the
+// exported content-addressed world: converting keys, resolving a key back
+// to a runnable benchmark (what a fleet worker does with a leased job), and
+// executing one key from scratch. internal/fleet imports these; experiments
+// deliberately does not import fleet, so the dependency is one-way and the
+// coordinator plugs into the engine through the RemoteFunc hook alone.
+
+// RemoteFunc executes one run on behalf of the engine — the fleet
+// coordinator's Run method is the production implementation. It returns the
+// stats, the worker-measured compute duration (for serial-equivalent
+// accounting), and the run's error. Infrastructure failures (dead workers,
+// expired leases) are the implementation's to retry; an error returned here
+// is treated as the run's final outcome.
+type RemoteFunc func(ctx context.Context, key resultstore.Key) (*sim.LaunchStats, time.Duration, error)
+
+// variantBenchmarks are the benchmarks the figure runners construct
+// directly instead of registering (names still unique corpus-wide). A
+// worker process must resolve every name the coordinator can lease out, so
+// every such variant needs an entry here.
+var variantBenchmarks = map[string]func() workloads.Benchmark{
+	"streamcluster-tiny": workloads.StreamclusterTiny,
+}
+
+// ResolveBenchmark resolves a benchmark name to its corpus entry, covering
+// both the registry and the unregistered variants.
+func ResolveBenchmark(name string) (workloads.Benchmark, bool) {
+	if b, err := workloads.ByName(name); err == nil {
+		return b, true
+	}
+	if mk, ok := variantBenchmarks[name]; ok {
+		return mk(), true
+	}
+	return workloads.Benchmark{}, false
+}
+
+// CanExecuteRemotely reports whether a benchmark name resolves in a fresh
+// process. Engine jobs whose benchmark is test-local (constructed inside a
+// test binary) fall back to local execution instead of being leased out.
+func CanExecuteRemotely(name string) bool {
+	_, ok := ResolveBenchmark(name)
+	return ok
+}
+
+// storeKey lifts the engine's memo key into the exported content-addressed
+// key, stamping the current simulator semantics version: a sim.Version bump
+// re-addresses every run, which is how stale stored results are invalidated.
+func (k memoKey) storeKey() resultstore.Key {
+	return resultstore.Key{
+		Bench: k.bench, Arch: k.arch, Mode: k.mode, BCU: k.bcu,
+		Scale: k.scale, Seed: k.seed, TrackPages: k.trackPages,
+		SimVersion: sim.Version,
+	}
+}
+
+// RunKey returns the content-addressed key for one benchmark run — what the
+// engine hashes, what the store files entries under, and what the
+// coordinator leases to workers.
+func RunKey(bench string, o RunOpts) resultstore.Key {
+	return o.memoKey(bench).storeKey()
+}
+
+// keyOpts reverses RunKey: the RunOpts a worker executes a leased key
+// under. The seed is pinned explicitly (zero included) — a key always names
+// a concrete seed, never the default sentinel.
+func keyOpts(k resultstore.Key) RunOpts {
+	return RunOpts{
+		Arch: k.Arch, Mode: k.Mode, BCU: k.BCU, Scale: k.Scale,
+		Seed: FixedSeed(k.Seed), TrackPages: k.TrackPages,
+	}
+}
+
+// ExecuteKey runs one content-addressed job from scratch: resolve the
+// benchmark, build a private device, simulate, and time it. This is the
+// fleet worker's compute path; panics are contained into the run's error
+// exactly like the engine's local path. A key minted by a different
+// simulator version is refused — the worker's results would not be the
+// bytes the hash promises.
+func ExecuteKey(ctx context.Context, key resultstore.Key) (*sim.LaunchStats, time.Duration, error) {
+	if key.SimVersion != sim.Version {
+		return nil, 0, fmt.Errorf("experiments: key sim version %d, this binary simulates version %d", key.SimVersion, sim.Version)
+	}
+	b, ok := ResolveBenchmark(key.Bench)
+	if !ok {
+		return nil, 0, fmt.Errorf("experiments: benchmark %q not resolvable in this process", key.Bench)
+	}
+	start := time.Now()
+	st, err := runSafe(ctx, b, keyOpts(key))
+	return st, time.Since(start), err
+}

@@ -1,0 +1,607 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"gpushield/internal/resultstore"
+	"gpushield/internal/sim"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// Workers is the number of worker processes to keep alive (≥ 1).
+	Workers int
+	// Argv is the worker command line; Argv[0] is the executable. The
+	// production command is the experiments binary itself with -worker.
+	Argv []string
+	// Env is appended to the coordinator's own environment for workers.
+	Env []string
+	// ShardSize caps how many jobs ride one lease (default 4): large
+	// enough to amortize the protocol, small enough that a dead worker
+	// forfeits little.
+	ShardSize int
+	// Heartbeat is how often executing workers must prove liveness
+	// (default 500ms).
+	Heartbeat time.Duration
+	// Lease is how much silence the coordinator tolerates before declaring
+	// a worker dead, killing it, and reassigning its shard (default 4×
+	// Heartbeat). Every heartbeat and every delivered result renews it.
+	Lease time.Duration
+	// MaxAttempts caps how many leases one job may burn before the
+	// coordinator gives up on it (default 5). Reassignments back off
+	// exponentially (Backoff << attempts, capped at BackoffCap) so a
+	// poisoned job cannot hot-loop the fleet.
+	MaxAttempts int
+	// Backoff is the reassignment backoff base (default 100ms).
+	Backoff time.Duration
+	// BackoffCap bounds the exponential backoff (default 2s).
+	BackoffCap time.Duration
+	// Store, when set, receives every delivered result via an atomic,
+	// idempotent PutEntry *before* the waiting engine is unblocked — the
+	// write-ahead discipline that makes a killed coordinator resumable.
+	Store *resultstore.Store
+	// Log receives progress and fault lines (worker deaths, lease
+	// expiries, quarantines). Defaults to os.Stderr; tests quiet it.
+	Log io.Writer
+	// WorkerStderr is where worker stderr goes (default os.Stderr).
+	WorkerStderr io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.ShardSize < 1 {
+		c.ShardSize = 4
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 500 * time.Millisecond
+	}
+	if c.Lease <= 0 {
+		c.Lease = 4 * c.Heartbeat
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 5
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 2 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = os.Stderr
+	}
+	if c.WorkerStderr == nil {
+		c.WorkerStderr = os.Stderr
+	}
+	return c
+}
+
+// Stats is the coordinator's cumulative fault and progress accounting.
+type Stats struct {
+	ShardsLeased   int `json:"shards_leased"`
+	Results        int `json:"results"`
+	DupDeliveries  int `json:"dup_deliveries"`
+	LeaseExpiries  int `json:"lease_expiries"`
+	WorkerDeaths   int `json:"worker_deaths"`
+	Respawns       int `json:"respawns"`
+	Requeues       int `json:"requeues"`
+	FailedJobs     int `json:"failed_jobs"`
+	ProtocolErrors int `json:"protocol_errors"`
+}
+
+// future states.
+const (
+	stateQueued = iota
+	stateLeased
+	stateCompleted
+)
+
+// future is one in-flight job: Run callers wait on done; delivery (from any
+// worker, any number of times) completes it exactly once.
+type future struct {
+	key       resultstore.Key
+	done      chan struct{}
+	st        *sim.LaunchStats
+	dur       time.Duration
+	err       error
+	state     int
+	attempts  int       // leases burned
+	notBefore time.Time // reassignment backoff gate
+}
+
+func (f *future) complete(st *sim.LaunchStats, dur time.Duration, err error) {
+	if f.state == stateCompleted {
+		return
+	}
+	f.st, f.dur, f.err = st, dur, err
+	f.state = stateCompleted
+	close(f.done)
+}
+
+// liveShard is one outstanding lease.
+type liveShard struct {
+	id        int
+	remaining map[string]*future // hash → future, removed as results land
+	deadline  time.Time
+}
+
+// workerProc is one spawned worker process.
+type workerProc struct {
+	id    int
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	shard *liveShard // nil = idle
+	gone  bool
+}
+
+// Coordinator owns a fleet of worker processes and executes content-
+// addressed jobs on them with leases, heartbeats, and idempotent merging.
+// It implements the engine's RemoteFunc via Run.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	pending map[string]*future
+	queue   []string // hashes awaiting (re)assignment, FIFO
+	workers map[int]*workerProc
+	nextWID int
+	nextSID int
+	stats   Stats
+	closed  bool
+
+	stop chan struct{} // closed by Close
+	wake chan struct{} // kicks the dispatcher
+	wg   sync.WaitGroup
+}
+
+// Start spawns the fleet and its dispatcher. Callers must Close it.
+func Start(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Argv) == 0 {
+		return nil, errors.New("fleet: Config.Argv is empty")
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		pending: map[string]*future{},
+		workers: map[int]*workerProc{},
+		stop:    make(chan struct{}),
+		wake:    make(chan struct{}, 1),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < cfg.Workers; i++ {
+		if err := c.spawnLocked(); err != nil {
+			c.closed = true // readers must not respawn while we tear down
+			for _, w := range c.workers {
+				w.cmd.Process.Kill()
+			}
+			return nil, err
+		}
+	}
+	c.wg.Add(2)
+	go c.dispatcher()
+	go c.leaseChecker()
+	return c, nil
+}
+
+// Run executes one job on the fleet: enqueue (deduplicated by hash — a job
+// already pending or leased is simply awaited), wait for delivery. It is
+// the engine's RemoteFunc: safe for concurrent use, returns ctx.Err() on
+// cancellation without abandoning the job (another waiter may still want
+// it; Close reaps everything).
+func (c *Coordinator) Run(ctx context.Context, key resultstore.Key) (*sim.LaunchStats, time.Duration, error) {
+	h := key.Hash()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, errors.New("fleet: coordinator closed")
+	}
+	f, ok := c.pending[h]
+	if !ok {
+		f = &future{key: key, done: make(chan struct{})}
+		c.pending[h] = f
+		c.queue = append(c.queue, h)
+		c.kickLocked()
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.st, f.dur, f.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	case <-c.stop:
+		return nil, 0, errors.New("fleet: coordinator closed")
+	}
+}
+
+// Stats snapshots the fault accounting.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// WorkerPIDs lists the live worker process IDs (chaos tests kill them).
+func (c *Coordinator) WorkerPIDs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var pids []int
+	for _, w := range c.workers {
+		if !w.gone && w.cmd.Process != nil {
+			pids = append(pids, w.cmd.Process.Pid)
+		}
+	}
+	return pids
+}
+
+// Close tears the fleet down: workers are killed (their results are
+// already durable — workers are disposable by design), readers drained,
+// and every incomplete future failed so no Run caller hangs.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.stop)
+	procs := make([]*workerProc, 0, len(c.workers))
+	for _, w := range c.workers {
+		procs = append(procs, w)
+	}
+	for _, f := range c.pending {
+		f.complete(nil, 0, errors.New("fleet: coordinator closed"))
+	}
+	c.mu.Unlock()
+
+	for _, w := range procs {
+		// Best-effort graceful line, then the hammer: results are durable,
+		// so worker shutdown owes nobody anything.
+		if data, err := json.Marshal(coordMsg{T: "exit"}); err == nil {
+			w.stdin.Write(append(data, '\n'))
+		}
+		w.stdin.Close()
+		w.cmd.Process.Kill()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// kickLocked nudges the dispatcher (callers hold mu).
+func (c *Coordinator) kickLocked() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// spawnLocked starts one worker process (callers hold mu).
+func (c *Coordinator) spawnLocked() error {
+	cmd := exec.Command(c.cfg.Argv[0], c.cfg.Argv[1:]...)
+	cmd.Env = append(os.Environ(), c.cfg.Env...)
+	cmd.Stderr = c.cfg.WorkerStderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	w := &workerProc{id: c.nextWID, cmd: cmd, stdin: stdin}
+	c.nextWID++
+	c.workers[w.id] = w
+	c.wg.Add(1)
+	go c.readWorker(w, stdout)
+	return nil
+}
+
+// readWorker consumes one worker's result stream until it dies or closes.
+// A trailing fragment with no newline — the truncated-mid-record crash —
+// is dropped; every complete line before it has already been applied, so
+// nothing valid is lost.
+func (c *Coordinator) readWorker(w *workerProc, stdout io.Reader) {
+	defer c.wg.Done()
+	r := bufio.NewReaderSize(stdout, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == nil {
+			c.handleLine(w, line)
+			continue
+		}
+		c.workerGone(w, err)
+		w.cmd.Wait() // reap; safe: all pipe reads are finished
+		return
+	}
+}
+
+// handleLine applies one complete worker line. Malformed lines are counted
+// and skipped — a confused worker gets to keep talking until its lease
+// runs out.
+func (c *Coordinator) handleLine(w *workerProc, line []byte) {
+	var msg workerMsg
+	if err := json.Unmarshal(line, &msg); err != nil {
+		c.mu.Lock()
+		c.stats.ProtocolErrors++
+		c.mu.Unlock()
+		return
+	}
+	switch msg.T {
+	case "hb":
+		c.mu.Lock()
+		if w.shard != nil && w.shard.id == msg.Shard {
+			w.shard.deadline = time.Now().Add(c.cfg.Lease)
+		}
+		c.mu.Unlock()
+
+	case "res":
+		if msg.Rec == nil || !msg.Rec.Valid() {
+			c.mu.Lock()
+			c.stats.ProtocolErrors++
+			c.mu.Unlock()
+			return
+		}
+		h := msg.Rec.Key.Hash()
+		// Write-ahead: durable before any waiter is unblocked. PutEntry is
+		// idempotent, so double delivery is absorbed here and below.
+		if c.cfg.Store != nil {
+			if err := c.cfg.Store.PutEntry(h, *msg.Rec); err != nil {
+				fmt.Fprintf(c.cfg.Log, "fleet: store put %.12s: %v\n", h, err)
+			}
+		}
+		var runErr error
+		if msg.Rec.Err != "" {
+			runErr = errors.New(msg.Rec.Err)
+		}
+		c.mu.Lock()
+		f := c.pending[h]
+		if f == nil || f.state == stateCompleted {
+			c.stats.DupDeliveries++
+		} else {
+			f.complete(msg.Rec.Stats, time.Duration(msg.Rec.DurNS), runErr)
+			c.stats.Results++
+		}
+		if w.shard != nil {
+			delete(w.shard.remaining, h)
+			w.shard.deadline = time.Now().Add(c.cfg.Lease) // a result is liveness too
+		}
+		c.mu.Unlock()
+
+	case "done":
+		c.mu.Lock()
+		if w.shard != nil && w.shard.id == msg.Shard {
+			// Defensive: a worker that returns its lease with jobs silently
+			// missing (it should never) forfeits them back to the queue.
+			for h, f := range w.shard.remaining {
+				c.requeueLocked(h, f)
+			}
+			w.shard = nil
+			c.kickLocked()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// workerGone handles a dead worker stream: requeue its lease, respawn a
+// replacement. Called from the reader goroutine exactly once per worker.
+func (c *Coordinator) workerGone(w *workerProc, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.gone {
+		return
+	}
+	w.gone = true
+	delete(c.workers, w.id)
+	if c.closed {
+		return
+	}
+	c.stats.WorkerDeaths++
+	fmt.Fprintf(c.cfg.Log, "fleet: worker %d died (%v); reassigning\n", w.id, cause)
+	if w.shard != nil {
+		for h, f := range w.shard.remaining {
+			c.requeueLocked(h, f)
+		}
+		w.shard = nil
+	}
+	if err := c.spawnLocked(); err != nil {
+		fmt.Fprintf(c.cfg.Log, "fleet: respawn failed: %v\n", err)
+	} else {
+		c.stats.Respawns++
+	}
+	c.kickLocked()
+}
+
+// requeueLocked puts a forfeited job back in the queue under the capped
+// exponential backoff, or fails it once its lease budget is spent. Callers
+// hold mu.
+func (c *Coordinator) requeueLocked(h string, f *future) {
+	if f.state == stateCompleted {
+		return
+	}
+	if f.attempts >= c.cfg.MaxAttempts {
+		c.stats.FailedJobs++
+		f.complete(nil, 0, fmt.Errorf("fleet: job %s (%.12s) failed after %d lease attempts",
+			f.key.Bench, h, f.attempts))
+		return
+	}
+	backoff := c.cfg.Backoff
+	if f.attempts > 1 {
+		backoff <<= f.attempts - 1
+	}
+	if backoff > c.cfg.BackoffCap || backoff <= 0 {
+		backoff = c.cfg.BackoffCap
+	}
+	f.notBefore = time.Now().Add(backoff)
+	f.state = stateQueued
+	c.queue = append(c.queue, h)
+	c.stats.Requeues++
+}
+
+// dispatcher assigns ready jobs to idle workers, sleeping until woken (new
+// jobs, freed workers) or until the earliest backoff gate opens.
+func (c *Coordinator) dispatcher() {
+	defer c.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		next := c.assignReady()
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		wait := time.Hour
+		if !next.IsZero() {
+			if d := time.Until(next); d < wait {
+				wait = d
+			}
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-c.stop:
+			return
+		case <-c.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// assignReady leases as many ready jobs to as many idle workers as it can,
+// returning the earliest future backoff gate (zero if none pending).
+func (c *Coordinator) assignReady() (next time.Time) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return time.Time{}
+		}
+		var idle *workerProc
+		for _, w := range c.workers {
+			if w.shard == nil && !w.gone {
+				idle = w
+				break
+			}
+		}
+		now := time.Now()
+		// Partition the queue into ready jobs (up to one shard) and the rest.
+		var jobs []*future
+		var hashes []string
+		var rest []string
+		next = time.Time{}
+		for _, h := range c.queue {
+			f := c.pending[h]
+			if f == nil || f.state != stateQueued {
+				continue // completed or already leased elsewhere
+			}
+			if idle != nil && len(jobs) < c.cfg.ShardSize && !f.notBefore.After(now) {
+				jobs = append(jobs, f)
+				hashes = append(hashes, h)
+				continue
+			}
+			rest = append(rest, h)
+			if f.notBefore.After(now) && (next.IsZero() || f.notBefore.Before(next)) {
+				next = f.notBefore
+			}
+		}
+		if idle == nil || len(jobs) == 0 {
+			c.mu.Unlock()
+			return next
+		}
+		c.queue = rest
+		sh := &liveShard{id: c.nextSID, remaining: map[string]*future{}, deadline: now.Add(c.cfg.Lease)}
+		c.nextSID++
+		keys := make([]resultstore.Key, 0, len(jobs))
+		for i, f := range jobs {
+			f.state = stateLeased
+			f.attempts++
+			sh.remaining[hashes[i]] = f
+			keys = append(keys, f.key)
+		}
+		idle.shard = sh
+		c.stats.ShardsLeased++
+		msg := coordMsg{T: "shard", Shard: &Shard{ID: sh.id, HeartbeatMS: c.cfg.Heartbeat.Milliseconds(), Jobs: keys}}
+		data, err := json.Marshal(msg)
+		c.mu.Unlock()
+
+		if err != nil {
+			// Cannot happen for plain key data; treat as a dead worker so
+			// the jobs recycle rather than vanish.
+			c.failLease(idle, fmt.Errorf("fleet: marshal shard: %w", err))
+			continue
+		}
+		if _, werr := idle.stdin.Write(append(data, '\n')); werr != nil {
+			// The worker died between spawn and lease: recycle. Its reader
+			// goroutine will (or already did) run workerGone; forcing the
+			// shard back immediately keeps latency off the lease timer.
+			c.failLease(idle, werr)
+		}
+	}
+}
+
+// failLease returns a just-leased shard to the queue after a send failure.
+func (c *Coordinator) failLease(w *workerProc, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.shard != nil {
+		for h, f := range w.shard.remaining {
+			c.requeueLocked(h, f)
+		}
+		w.shard = nil
+	}
+	fmt.Fprintf(c.cfg.Log, "fleet: lease send to worker %d failed (%v)\n", w.id, cause)
+	c.kickLocked()
+}
+
+// leaseChecker expires silent leases: a worker past its deadline is killed
+// outright (it may be wedged mid-simulation); its death path requeues the
+// shard and respawns a replacement.
+func (c *Coordinator) leaseChecker() {
+	defer c.wg.Done()
+	period := c.cfg.Lease / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var victims []*workerProc
+		c.mu.Lock()
+		for _, w := range c.workers {
+			if w.shard != nil && now.After(w.shard.deadline) && !w.gone {
+				c.stats.LeaseExpiries++
+				victims = append(victims, w)
+			}
+		}
+		c.mu.Unlock()
+		for _, w := range victims {
+			fmt.Fprintf(c.cfg.Log, "fleet: worker %d missed its lease; killing\n", w.id)
+			w.cmd.Process.Kill()
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"gpushield/internal/resultstore"
+	"gpushield/internal/sim"
+)
+
+// ExecFunc executes one content-addressed job from scratch and times it —
+// experiments.ExecuteKey in production, something cheaper in tests.
+type ExecFunc func(ctx context.Context, key resultstore.Key) (*sim.LaunchStats, time.Duration, error)
+
+// Hooks injects deterministic failures into a worker for the chaos test
+// suite. Production workers run with nil hooks; nothing here is reachable
+// from the normal protocol.
+type Hooks struct {
+	// StallAfterResults > 0: after delivering that many results, stop
+	// heartbeating and hang forever — the missed-heartbeat scenario. The
+	// coordinator must expire the lease, kill this worker, and reassign
+	// the shard's remaining jobs.
+	StallAfterResults int
+	// TruncateOncePath names a sentinel file; the first worker process to
+	// claim it writes half of its first result line (no newline) and exits
+	// nonzero — the stream-truncated-mid-record scenario. Later workers
+	// (which find the sentinel already claimed) behave normally, so the
+	// campaign still completes.
+	TruncateOncePath string
+	// DuplicateResults emits every result line twice — the double-delivery
+	// scenario the idempotent store and coordinator must absorb.
+	DuplicateResults bool
+}
+
+// ErrHookExit is returned by Worker when a failure hook forced an abnormal
+// exit; the harness maps it to a nonzero process exit.
+var ErrHookExit = errors.New("fleet: worker hook forced exit")
+
+// defaultHeartbeat guards against a coordinator that forgot to set one.
+const defaultHeartbeat = 500 * time.Millisecond
+
+// Worker runs the worker side of the protocol: read shard leases from in,
+// execute each job with exec, stream results and heartbeats to out. It
+// returns nil when the coordinator closes the stream (clean shutdown) and
+// the context's error when canceled — the command maps that to exit 130,
+// the same interrupted status as the serial path.
+func Worker(ctx context.Context, in io.Reader, out io.Writer, exec ExecFunc, hooks *Hooks) error {
+	if hooks == nil {
+		hooks = &Hooks{}
+	}
+	w := &workerState{out: out, exec: exec, hooks: hooks}
+
+	// Decouple reading from executing so cancellation (SIGTERM) interrupts
+	// a worker that is blocked waiting for its next lease.
+	lines := make(chan []byte)
+	readErr := make(chan error, 1)
+	go func() {
+		r := bufio.NewReaderSize(in, 1<<20)
+		for {
+			line, err := r.ReadBytes('\n')
+			if err != nil {
+				// A torn trailing fragment (no newline) is dropped: it can
+				// only mean the coordinator died mid-write.
+				readErr <- err
+				return
+			}
+			select {
+			case lines <- line:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case err := <-readErr:
+			if errors.Is(err, io.EOF) {
+				return nil // coordinator closed the stream: clean exit
+			}
+			return err
+		case line := <-lines:
+			var msg coordMsg
+			if err := json.Unmarshal(line, &msg); err != nil {
+				continue // tolerate a malformed line; the coordinator owns the stream
+			}
+			switch msg.T {
+			case "exit":
+				return nil
+			case "shard":
+				if msg.Shard == nil {
+					continue
+				}
+				if err := w.runShard(ctx, msg.Shard); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// workerState serializes writes so heartbeat lines and result lines never
+// interleave mid-line on the shared stream.
+type workerState struct {
+	mu    sync.Mutex
+	out   io.Writer
+	exec  ExecFunc
+	hooks *Hooks
+
+	delivered int
+}
+
+func (w *workerState) send(msg workerMsg) error {
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err = w.out.Write(data)
+	return err
+}
+
+// runShard executes one leased shard: heartbeat in the background, execute
+// jobs in order, stream each result as soon as it completes, return the
+// lease with "done". Cancellation mid-job surfaces as an error (the worker
+// dies; the coordinator reassigns); a deterministic run failure is itself a
+// result and is delivered like any other.
+func (w *workerState) runShard(ctx context.Context, sh *Shard) error {
+	hb := time.Duration(sh.HeartbeatMS) * time.Millisecond
+	if hb <= 0 {
+		hb = defaultHeartbeat
+	}
+	hbStop := make(chan struct{})
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := w.send(workerMsg{T: "hb", Shard: sh.ID}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	stopHB := func() { close(hbStop); hbDone.Wait() }
+
+	for _, key := range sh.Jobs {
+		if ctx.Err() != nil {
+			stopHB()
+			return ctx.Err()
+		}
+		st, dur, err := w.exec(ctx, key)
+		if err != nil && (errors.Is(err, sim.ErrCanceled) || ctx.Err() != nil) {
+			// Canceled, not failed: deliver nothing — the run is healthy
+			// and must re-execute somewhere with a live context.
+			stopHB()
+			return fmt.Errorf("fleet: worker canceled: %w", err)
+		}
+		ent := resultstore.NewEntry(key, st, err, dur)
+
+		if p := w.hooks.TruncateOncePath; p != "" && w.claimSentinel(p) {
+			// Chaos: die mid-record. Write roughly half the line with no
+			// newline, then exit abnormally.
+			stopHB()
+			line, _ := ent.Encode()
+			w.mu.Lock()
+			w.out.Write(line[:len(line)/2])
+			w.mu.Unlock()
+			return ErrHookExit
+		}
+
+		if err := w.send(workerMsg{T: "res", Shard: sh.ID, Rec: &ent}); err != nil {
+			stopHB()
+			return err
+		}
+		if w.hooks.DuplicateResults {
+			if err := w.send(workerMsg{T: "res", Shard: sh.ID, Rec: &ent}); err != nil {
+				stopHB()
+				return err
+			}
+		}
+		w.delivered++
+
+		if n := w.hooks.StallAfterResults; n > 0 && w.delivered >= n {
+			// Chaos: go silent without dying. Heartbeats stop; the lease
+			// must expire and the coordinator must kill us.
+			stopHB()
+			<-ctx.Done()
+			return ctx.Err()
+		}
+	}
+	stopHB()
+	return w.send(workerMsg{T: "done", Shard: sh.ID})
+}
+
+// claimSentinel atomically claims a one-shot failure sentinel: true for
+// exactly one worker process across the fleet.
+func (w *workerState) claimSentinel(path string) bool {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
+}

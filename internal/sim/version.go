@@ -1,0 +1,14 @@
+package sim
+
+// Version identifies the simulator's observable-semantics revision: two
+// builds with the same Version produce bit-identical LaunchStats for the
+// same launch. It is part of the content-addressed run hash
+// (internal/resultstore), so bumping it invalidates every stored result and
+// forces a clean re-simulation — which is exactly what must happen when the
+// timing model, the stats accounting, or the instruction semantics change.
+//
+// Bump this when a change alters any LaunchStats field for any workload
+// (golden tests re-recorded is the usual tell). Pure performance work that
+// keeps stats byte-identical — PR 3/5/8 style — must NOT bump it, so stored
+// sweeps stay warm across optimization PRs.
+const Version = 8

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — end-to-end check of the fault-tolerant orchestration
+# contract: a store-backed `experiments -run all` distributed over worker
+# processes, with one worker kill -9'd mid-campaign, must (1) complete,
+# (2) produce stdout byte-identical to a plain serial run, and (3) leave a
+# store warm enough that an immediate re-run re-simulates zero configs.
+#
+# Usage: scripts/fleet_smoke.sh [kill-after-seconds]
+# Env:   PARALLEL (default 4) — engine width (the coordinator only sees the
+#        concurrency the engine offers it); WORKERS (default 3).
+set -euo pipefail
+
+KILL_AFTER=${1:-5}
+PARALLEL=${PARALLEL:-4}
+WORKERS=${WORKERS:-3}
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== build"
+go build -o "$work/experiments" ./cmd/experiments
+
+echo "== reference: plain serial sweep"
+"$work/experiments" -run all >"$work/ref.out" 2>"$work/ref.err"
+
+echo "== fleet: $WORKERS workers, kill -9 one after ${KILL_AFTER}s"
+store="$work/store"
+"$work/experiments" -run all -parallel "$PARALLEL" \
+    -fleet "$WORKERS" -store "$store" \
+    >"$work/fleet.out" 2>"$work/fleet.err" &
+pid=$!
+sleep "$KILL_AFTER"
+victim=$(pgrep -f "$work/experiments -worker" | head -1 || true)
+if [[ -n "$victim" ]]; then
+    kill -9 "$victim"
+    echo "   killed worker pid $victim"
+else
+    echo "   note: no worker alive at ${KILL_AFTER}s (campaign may have finished); murder skipped"
+fi
+if ! wait "$pid"; then
+    echo "FAIL: fleet run did not complete cleanly" >&2
+    tail -20 "$work/fleet.err" >&2
+    exit 1
+fi
+grep '^fleet:' "$work/fleet.err" || true
+if [[ -n "$victim" ]] && ! grep -q 'worker .* died' "$work/fleet.err"; then
+    echo "FAIL: killed a worker but the coordinator never reported a death" >&2
+    exit 1
+fi
+
+echo "== compare fleet stdout against the serial reference"
+if ! cmp -s "$work/ref.out" "$work/fleet.out"; then
+    echo "FAIL: fleet stdout differs from the serial reference:" >&2
+    diff "$work/ref.out" "$work/fleet.out" | head -40 >&2
+    exit 1
+fi
+echo "   byte-identical at $WORKERS workers with a mid-campaign kill -9"
+
+echo "== warm re-run: must re-simulate nothing"
+"$work/experiments" -run all -store "$store" >"$work/warm.out" 2>"$work/warm.err"
+grep '^engine:' "$work/warm.err" || true
+if ! grep -q '(0 unique runs' "$work/warm.err"; then
+    echo "FAIL: warm re-run re-simulated configs despite a complete store:" >&2
+    grep '^engine:\|^store:' "$work/warm.err" >&2
+    exit 1
+fi
+if ! cmp -s "$work/ref.out" "$work/warm.out"; then
+    echo "FAIL: warm stdout differs from the serial reference:" >&2
+    diff "$work/ref.out" "$work/warm.out" | head -40 >&2
+    exit 1
+fi
+echo "PASS: fleet campaign survived kill -9, stdout byte-identical, warm re-run re-simulated 0 configs"
