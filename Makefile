@@ -26,7 +26,7 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR9.json;
+# Hot-path benchmark snapshot as machine-readable JSON (BENCH_PR10.json;
 # the service-level numbers live separately in loadgen's BENCH_PR6.json).
 # BENCHTIME=1x gives a fast smoke run (CI); the checked-in file is made with
 # the default 2s x 3 repeats on a quiet machine — benchjson folds the
@@ -37,21 +37,21 @@ bench:
 # different file.
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 3
-BENCHOUT ?= BENCH_PR9.json
-BENCH ?= BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput|BenchmarkSimulatorThroughput|BenchmarkFunctionalMemPath|BenchmarkBackingReadUint|BenchmarkCoreParallelLaunch|BenchmarkLaunchAllocs
+BENCHOUT ?= BENCH_PR10.json
+BENCH ?= BenchmarkWarpIssueThroughput|BenchmarkMemInstrThroughput|BenchmarkMemPlanPaths|BenchmarkSimulatorThroughput|BenchmarkFunctionalMemPath|BenchmarkBackingReadUint|BenchmarkCoreParallelLaunch|BenchmarkLaunchAllocs
 bench-json:
 	$(GO) test ./internal/sim -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -benchmem \
 		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
 # Fail if the serial hot paths — warp issue, cycle-level and functional
 # mem-instr, backing-store reads — regressed >15%, or the launch path
-# regrew allocations, against the pre-PR9 baseline (BENCH_PR8.json,
+# regrew allocations, against the pre-PR10 baseline (BENCH_PR10_base.json,
 # recorded on the same host class; see the snapshot protocol in
-# scripts/bench_compare.sh). PR 9's orchestration layer must be free for
-# the simulator core: the run hash is computed once per unique config,
-# never per launch, and memo hits never hash at all.
+# scripts/bench_compare.sh). PR 10 rebuilds the memory hot path around
+# warp memory plans and transaction-granularity BCU checking; the guard
+# holds the warp-issue and allocation lines while the mem-path lines move.
 bench-guard:
-	bash scripts/bench_compare.sh BENCH_PR8.json BENCH_PR9.json
+	bash scripts/bench_compare.sh BENCH_PR10_base.json BENCH_PR10.json
 
 # Regenerate every table and figure at full fidelity.
 experiments:

@@ -135,6 +135,12 @@ type BCU struct {
 	violations []Violation
 	faulted    bool
 	fault      Violation
+
+	// gen counts mutations of per-kernel decrypt state (kernel install or
+	// removal, key perturbation): any CheckMemo stamped with an older gen
+	// is stale. RCache/RBT corruption does not bump it — bounds are always
+	// read live from the caches and table, never memoized.
+	gen uint64
 }
 
 // NewBCU builds a BCU from cfg.
@@ -171,12 +177,14 @@ func (b *BCU) SetRBTFetcher(f RBTFetcher) { b.fetch = f }
 // InstallKernel programs the per-kernel secret key and RBT location into
 // the core, as the driver does at kernel launch (§5.4).
 func (b *BCU) InstallKernel(kernelID uint16, key uint64, rbt *RBT, rbtBase uint64) {
+	b.gen++
 	b.kernels[kernelID] = &kernelCtx{key: key, rbt: rbt, rbtBase: rbtBase}
 }
 
 // RemoveKernel tears down per-kernel state and flushes the kernel's RCache
 // bank, as on kernel termination or context switch (§5.5).
 func (b *BCU) RemoveKernel(kernelID uint16) {
+	b.gen++
 	delete(b.kernels, kernelID)
 	b.l1[b.bank(kernelID)].Flush()
 	b.l2[b.bank(kernelID)].Flush()
@@ -300,6 +308,53 @@ func (b *BCU) Check(req CheckRequest) CheckResult {
 	}
 }
 
+// CheckMemo is a caller-held decrypt memo for CheckWarm: the (kernel,
+// pointer tag) → (buffer ID, kernel context) resolution of the last Type-2
+// check through this call site. The key is the pointer's top 16 bits
+// (class + encrypted payload) — the only pointer bits the resolution reads
+// — so a streaming access whose address advances under a constant buffer
+// tag keeps hitting. A memo is valid only while the BCU's per-kernel
+// decrypt state is unchanged (same gen); the zero value is an empty memo.
+// It memoizes nothing timing-visible — bounds, RCache walks, stall
+// accounting, and violations are always recomputed live — so CheckWarm and
+// Check are observably identical.
+type CheckMemo struct {
+	gen     uint64
+	ctx     *kernelCtx
+	kernel  uint16
+	tag     uint16 // pointer class + payload bits (>> AddrBits)
+	id      uint16
+	resolve bool
+}
+
+// CheckWarm is Check with a decrypt memo: when memo holds this (kernel,
+// pointer tag) pair at the current generation, the kernel-table lookup and
+// the Feistel payload decryption are skipped. Every counter, RCache access,
+// bubble, and violation fires exactly as in Check.
+func (b *BCU) CheckWarm(req CheckRequest, memo *CheckMemo) CheckResult {
+	switch Class(req.Pointer) {
+	case ClassUnprotected:
+		b.Stats.Skipped++
+		return CheckResult{OK: true, Level: ServedSkip}
+	case ClassSize:
+		return b.checkType3(req)
+	}
+	b.Stats.Checks++
+	tag := uint16(req.Pointer >> AddrBits)
+	if memo.resolve && memo.gen == b.gen && memo.kernel == req.KernelID && memo.tag == tag {
+		return b.checkType2Resolved(req, memo.ctx, memo.id)
+	}
+	ctx := b.kernels[req.KernelID]
+	if ctx == nil {
+		// No key installed for this kernel: treat as a forged pointer.
+		return b.fail(req, Violation{Kind: ViolationInvalidID, KernelID: req.KernelID,
+			PC: req.PC, MinAddr: req.MinAddr, MaxAddr: req.MaxAddr, IsStore: req.IsStore})
+	}
+	id := DecryptID(Payload(req.Pointer), ctx.key)
+	*memo = CheckMemo{gen: b.gen, ctx: ctx, kernel: req.KernelID, tag: tag, id: id, resolve: true}
+	return b.checkType2Resolved(req, ctx, id)
+}
+
 func (b *BCU) checkType3(req CheckRequest) CheckResult {
 	b.Stats.Type3Checks++
 	size := int64(1) << (Payload(req.Pointer) & 0x3F)
@@ -327,7 +382,13 @@ func (b *BCU) checkType2(req CheckRequest) CheckResult {
 			PC: req.PC, MinAddr: req.MinAddr, MaxAddr: req.MaxAddr, IsStore: req.IsStore})
 	}
 	id := DecryptID(Payload(req.Pointer), ctx.key)
+	return b.checkType2Resolved(req, ctx, id)
+}
 
+// checkType2Resolved is the RCache walk and bounds comparison shared by
+// checkType2 and CheckWarm, after the pointer payload has been decrypted
+// (or recalled from a memo) into a buffer ID.
+func (b *BCU) checkType2Resolved(req CheckRequest, ctx *kernelCtx, id uint16) CheckResult {
 	var (
 		bounds Bounds
 		stall  int

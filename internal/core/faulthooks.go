@@ -65,6 +65,7 @@ func (b *BCU) PerturbKey(kernelID uint16, mask uint64) bool {
 		return false
 	}
 	ctx.key ^= mask
+	b.gen++ // decrypt state changed: invalidate outstanding CheckMemos
 	return true
 }
 

@@ -139,6 +139,22 @@ func (d *Device) Mapped(vaddr uint64) bool {
 	return d.mapped[vaddr/PageBytes]
 }
 
+// MappedRange reports whether every page overlapping the byte range
+// [lo, hi] is mapped. Callers must guarantee lo <= hi; the LSU uses this to
+// clear a whole coalesced transaction's page-fault check in one sweep when
+// the warp's addresses span a small contiguous window.
+func (d *Device) MappedRange(lo, hi uint64) bool {
+	last := hi / PageBytes
+	for p := lo / PageBytes; ; p++ {
+		if !d.mapped[p] {
+			return false
+		}
+		if p >= last {
+			return true
+		}
+	}
+}
+
 // Malloc allocates a device buffer (cudaMalloc analogue). Buffers are
 // padded to the next power of two so Type-3 size-embedded pointers are
 // always constructible (§5.3.3); the padding models the fragmentation cost

@@ -41,6 +41,22 @@ func (m *Backing) chunk(addr uint64) []byte {
 	return c
 }
 
+// Span returns the live backing bytes for [addr, addr+n) when the range
+// lies inside one chunk, materializing the chunk on first touch; a
+// chunk-straddling (or out-of-range n) request returns nil and the caller
+// falls back to the element-at-a-time path. The slice aliases the store —
+// reads see current memory and writes through it are real stores — which is
+// what lets the LSU batch a dense unit-stride transaction into one copy
+// without allocating.
+func (m *Backing) Span(addr uint64, n int) []byte {
+	off := int(addr % chunkBytes)
+	if n < 0 || off+n > chunkBytes {
+		return nil
+	}
+	c := m.chunk(addr)
+	return c[off : off+n]
+}
+
 // ReadBytes copies n bytes starting at addr into a new slice.
 func (m *Backing) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
@@ -84,15 +100,23 @@ func (m *Backing) ReadUint(addr uint64, n int) uint64 {
 		case 1:
 			return uint64(c[off])
 		}
-		var v uint64
-		for i := n - 1; i >= 0; i-- {
-			v = v<<8 | uint64(c[off+i])
-		}
-		return v
+		return readOddWidth(c, off, n)
 	}
 	var buf [8]byte
 	m.readInto(addr, buf[:n])
 	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// readOddWidth handles the non-power-of-two widths the IR validator never
+// emits (kept for API completeness, off the hot path).
+//
+//go:noinline
+func readOddWidth(c []byte, off, n int) uint64 {
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(c[off+i])
+	}
+	return v
 }
 
 // WriteUint writes the low n bytes of v little-endian at addr (n in 1..8),
@@ -111,15 +135,22 @@ func (m *Backing) WriteUint(addr uint64, v uint64, n int) {
 		case 1:
 			c[off] = byte(v)
 		default:
-			for i := 0; i < n; i++ {
-				c[off+i] = byte(v >> (8 * uint(i)))
-			}
+			writeOddWidth(c, off, n, v)
 		}
 		return
 	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	m.WriteBytes(addr, buf[:n])
+}
+
+// writeOddWidth is readOddWidth's store-side twin.
+//
+//go:noinline
+func writeOddWidth(c []byte, off, n int, v uint64) {
+	for i := 0; i < n; i++ {
+		c[off+i] = byte(v >> (8 * uint(i)))
+	}
 }
 
 // ReadUint64 reads a 64-bit little-endian value.

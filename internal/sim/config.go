@@ -72,6 +72,16 @@ type Config struct {
 	// escape hatch. The GPUSHIELD_NO_SUPERBLOCKS environment variable
 	// (any non-empty value) forces it on for an unmodified binary.
 	NoSuperblocks bool
+
+	// NoMemPlans disables warp memory plans (per-warp cached address
+	// generation, stride classification, transaction-granularity check
+	// batching, and the bulk functional path; see internal/sim/memplan.go),
+	// forcing the reference per-lane LSU path. The planned path is
+	// byte-identical to the reference by construction, so this exists for
+	// the equivalence tests and the fuzz gate that prove it, and as an
+	// escape hatch. The GPUSHIELD_NO_MEMPLANS environment variable (any
+	// non-empty value) forces it on for an unmodified binary.
+	NoMemPlans bool
 }
 
 // noSuperblocksEnv force-disables superblock stepping, letting CI diff the
@@ -81,6 +91,15 @@ const noSuperblocksEnv = "GPUSHIELD_NO_SUPERBLOCKS"
 // resolveNoSuperblocks folds the environment override into the config flag.
 func (c Config) resolveNoSuperblocks() bool {
 	return c.NoSuperblocks || os.Getenv(noSuperblocksEnv) != ""
+}
+
+// noMemPlansEnv force-disables warp memory plans, letting CI diff the LSU
+// fast path against the reference per-lane path without a rebuild.
+const noMemPlansEnv = "GPUSHIELD_NO_MEMPLANS"
+
+// resolveNoMemPlans folds the environment override into the config flag.
+func (c Config) resolveNoMemPlans() bool {
+	return c.NoMemPlans || os.Getenv(noMemPlansEnv) != ""
 }
 
 // coreParallelEnv overrides CoreParallel == 0, which is what lets the

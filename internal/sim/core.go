@@ -58,6 +58,21 @@ type warp struct {
 	sbMask  uint64
 	sbOffs  []int
 	sbLanes []int64
+
+	// Lowered memory-plan cache (the LSU analogue of sbIdx/sbEnt, see
+	// memplan.go): mpIdx is indexed by pc and holds 1+entry-index into
+	// mpEnt (0 = not lowered yet); placeWorkgroup clears it when the warp
+	// is reused, but the entries' backing arrays survive so steady-state
+	// relowering allocates nothing.
+	mpIdx []int32
+	mpEnt []memPlan
+
+	// Dense active-lane cache shared by every memory pc: the lane indices
+	// of memMask, rebuilt only when the guard mask diverges from it.
+	// memMask = 0 (placeWorkgroup) forces a rebuild — a memory instruction
+	// with no active lanes never reaches address generation.
+	memMask  uint64
+	memLanes []int32
 }
 
 // workgroup is one resident thread block.
@@ -112,6 +127,13 @@ type coreState struct {
 	// sbPlans is reusable scratch for superblock bulk execution: one operand
 	// plan triple per block instruction (superblock.go).
 	sbPlans [][3]srcPlan
+
+	// sPrep is the serial scheduler's memory-instruction scratch: execMem
+	// reuses it instead of zeroing a fresh ~1.6KB memPrep per instruction.
+	// Safe because memGen overwrites every field a commit reads (only
+	// active-lane entries of the big arrays are ever consumed), and the
+	// serial path never has two instructions in flight on one core.
+	sPrep memPrep
 }
 
 // statsFor returns the LaunchStats sink for counters incremented during the
@@ -177,11 +199,18 @@ func (c *coreState) placeWorkgroup(r *kernelRun, wgID int, now uint64) {
 		w.stack = w.stack[:0]
 		w.readyAt, w.atBarrier, w.done = now, false, false
 		w.sbLeft, w.sbEnt, w.sbMask = 0, w.sbEnt[:0], 0
+		w.mpEnt, w.memMask = w.mpEnt[:0], 0
 		if nc := len(l.Kernel.Code); cap(w.sbIdx) >= nc {
 			w.sbIdx = w.sbIdx[:nc]
 			clear(w.sbIdx)
 		} else {
 			w.sbIdx = make([]int32, nc)
+		}
+		if nc := len(l.Kernel.Code); cap(w.mpIdx) >= nc {
+			w.mpIdx = w.mpIdx[:nc]
+			clear(w.mpIdx)
+		} else {
+			w.mpIdx = make([]int32, nc)
 		}
 		n := ww * nregs
 		reslice := w.nregs != nregs

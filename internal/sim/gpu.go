@@ -87,6 +87,10 @@ type GPU struct {
 	sbCache       map[*kernel.Kernel][]int32
 	noSuperblocks bool
 
+	// noMemPlans is the resolved NoMemPlans flag: it forces the reference
+	// per-lane LSU path instead of warp memory plans (see memplan.go).
+	noMemPlans bool
+
 	// aluLat is aluLatency pre-resolved per opcode, indexed by kernel.Op:
 	// one load on the per-issue path instead of a switch.
 	aluLat [256]uint16
@@ -132,6 +136,7 @@ func NewGPU(cfg Config, dev *driver.Device) (*GPU, error) {
 	}
 	g.coreWidth = cfg.resolveCoreParallel()
 	g.noSuperblocks = cfg.resolveNoSuperblocks()
+	g.noMemPlans = cfg.resolveNoMemPlans()
 	for op := range g.aluLat {
 		g.aluLat[op] = uint16(aluLatency(&g.cfg, kernel.Op(op)))
 	}

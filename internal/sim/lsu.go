@@ -25,6 +25,17 @@ type memPrep struct {
 	minAddr, maxAddr uint64
 	minOfs, maxOfs   int64
 	ptr              uint64
+
+	// Plan-path metadata (memplan.go): class/stride/wrapped classify the
+	// generated address vector, lanes is the dense active-lane list, and
+	// plan points at the warp's lowered entry (decrypt memo, skip flag,
+	// store operand). class == memClassRef means the reference generator
+	// ran and the rest is unset.
+	class   uint8
+	wrapped bool
+	stride  int64
+	lanes   []int32
+	plan    *memPlan
 }
 
 // execMem executes one warp-level memory instruction: address generation,
@@ -55,15 +66,33 @@ func (c *coreState) execMem(w *warp, in *kernel.Instr, gmask uint64, now uint64)
 		p.memPend = true
 		return
 	}
-	var prep memPrep
-	c.memGen(w, in, gmask, &prep)
-	c.memCommit(w, in, gmask, now, &prep)
+	// The serial scheduler reuses the core's scratch memPrep: zeroing a
+	// fresh ~1.6KB struct per instruction was measurable, and only
+	// active-lane entries of the arrays are ever read downstream.
+	prep := &c.sPrep
+	c.memGen(w, in, gmask, prep)
+	c.memCommit(w, in, gmask, now, prep)
 }
 
 // memGen runs address generation and coalescing for one global-memory
-// instruction into prep. It reads warp registers and launch metadata only —
-// no shared or timing state — and leaves the warp untouched.
+// instruction into prep: through the warp's lowered memory plan when
+// enabled and applicable (memplan.go), through the reference per-lane
+// generator otherwise. Both fill prep identically; the planned path
+// additionally classifies the access so memCommit can batch. It reads warp
+// registers and launch metadata only — no shared or timing state.
 func (c *coreState) memGen(w *warp, in *kernel.Instr, gmask uint64, prep *memPrep) {
+	prep.class, prep.wrapped, prep.stride = memClassRef, false, 0
+	prep.lanes, prep.plan = nil, nil
+	if !c.gpu.noMemPlans && c.memGenFast(w, in, gmask, prep) {
+		return
+	}
+	c.memGenRef(w, in, gmask, prep)
+}
+
+// memGenRef is the reference address generator and coalescer — the
+// semantics memGenFast must reproduce bit-for-bit, kept as the
+// GPUSHIELD_NO_MEMPLANS path and as the fallback for unplannable shapes.
+func (c *coreState) memGenRef(w *warp, in *kernel.Instr, gmask uint64, prep *memPrep) {
 	l := w.wg.run.launch
 	ww := c.gpu.cfg.WarpWidth
 
@@ -176,6 +205,9 @@ func (c *coreState) memGen(w *warp, in *kernel.Instr, gmask uint64, prep *memPre
 // the fault is observed, but such a cycle simply falls back to the serial
 // scheduler, which sequences (or suppresses) the abort exactly.
 func (c *coreState) anyUnmapped(gmask uint64, prep *memPrep) bool {
+	if c.rangeMapped(prep) {
+		return false
+	}
 	for lanes := gmask; lanes != 0; {
 		lane := bits.TrailingZeros64(lanes)
 		lanes &^= 1 << uint(lane)
@@ -199,13 +231,9 @@ func (c *coreState) memCommit(w *warp, in *kernel.Instr, gmask uint64, now uint6
 	st := r.stats
 	l := r.launch
 	addrs := &prep.addrs
-	offs := &prep.offs
 	lines := &prep.lines
 	nLines := prep.nLines
-	minAddr, maxAddr := prep.minAddr, prep.maxAddr
-	minOfs, maxOfs := prep.minOfs, prep.maxOfs
-	ptr := prep.ptr
-	bytes := uint64(in.Bytes)
+	minAddr := prep.minAddr
 
 	// Timing: each transaction walks the TLB + cache hierarchy.
 	var maxLat uint64
@@ -248,78 +276,21 @@ func (c *coreState) memCommit(w *warp, in *kernel.Instr, gmask uint64, now uint6
 		extra        uint64
 	)
 	protect := c.gpu.cfg.EnableBCU && l.Mode != driver.ModeOff
-	if protect && l.SkipCheck[w.pc] {
+	skipCheck := false
+	if protect {
+		if e := prep.plan; e != nil {
+			skipCheck = e.skip // memoized l.SkipCheck[w.pc]
+		} else {
+			skipCheck = l.SkipCheck[w.pc]
+		}
+	}
+	if protect && skipCheck {
 		st.Skipped++
 	} else if protect {
-		var fault *core.Violation
-		tally := func(res core.CheckResult) {
-			if !res.OK && fault == nil {
-				fault = res.Violation
-			}
-			if !res.OK && l.Mailbox != nil {
-				c.postViolation(l, res.Violation)
-			}
-			switch res.Level {
-			case core.ServedL1:
-				st.Checks++
-				st.RL1Hits++
-			case core.ServedL2:
-				st.Checks++
-				st.RL2Hits++
-			case core.ServedRBT:
-				st.Checks++
-				st.RBTFetches++
-			case core.ServedType3:
-				st.Type3Checks++
-			case core.ServedSkip:
-				st.Skipped++
-			}
-			stall += res.Stall
-			if res.ExtraLatency > extra {
-				extra = res.ExtraLatency
-			}
-			st.BCUStalls += uint64(res.Stall)
-			squash = squash || res.SquashLoad
-			drop = drop || res.DropStore
-		}
-		req := core.CheckRequest{
-			KernelID:          l.KernelID,
-			Pointer:           ptr,
-			MinAddr:           minAddr,
-			MaxAddr:           maxAddr,
-			MinOfs:            minOfs,
-			MaxOfs:            maxOfs,
-			IsStore:           in.Op.IsStore(),
-			PC:                w.pc,
-			SingleTransaction: nLines == 1,
-			L1DHit:            allHit,
-		}
-		if c.gpu.cfg.BCU.PerThread {
-			// Ablation: one check per active lane instead of one per warp
-			// instruction — the cost the address-gathering unit avoids.
-			// The BCU retires one check per cycle, so the extra checks
-			// occupy it (and hence the LSU slot) for lanes-1 extra cycles.
-			nchecks := 0
-			for lanes := gmask; lanes != 0; {
-				lane := bits.TrailingZeros64(lanes)
-				lanes &^= 1 << uint(lane)
-				lr := req
-				lr.MinAddr = addrs[lane]
-				lr.MaxAddr = addrs[lane] + bytes - 1
-				lr.MinOfs = offs[lane]
-				lr.MaxOfs = offs[lane] + int64(bytes) - 1
-				tally(c.bcu.Check(lr))
-				nchecks++
-			}
-			if nchecks > 1 {
-				stall += nchecks - 1
-				st.BCUStalls += uint64(nchecks - 1)
-			}
-		} else {
-			tally(c.bcu.Check(req))
-		}
-		if fault != nil && c.gpu.cfg.BCU.Mode == core.FailFault {
-			c.gpu.abortRun(r, fmt.Sprintf("GPUShield fault: %s", fault))
+		out := c.checkTransaction(w, in, gmask, prep, nLines == 1, allHit, st, l)
+		squash, drop, stall, extra = out.squash, out.drop, out.stall, out.extra
+		if out.fault != nil && c.gpu.cfg.BCU.Mode == core.FailFault {
+			c.gpu.abortRun(r, fmt.Sprintf("GPUShield fault: %s", out.fault))
 			return
 		}
 	}
@@ -332,8 +303,11 @@ func (c *coreState) memCommit(w *warp, in *kernel.Instr, gmask uint64, now uint6
 
 	// Page-fault check: an access to an unmapped page aborts the kernel
 	// (the Fig. 4 case-3 behaviour) unless GPUShield already suppressed the
-	// access.
-	if !squash && !drop {
+	// access. A plan-classified wrap-free transaction clears the whole warp
+	// with one mapped-range sweep; the per-lane walk remains the fallback
+	// (and, on a fault, the exact first-offender reporter — a failed sweep
+	// always reaches it, so the abort address and message are identical).
+	if !squash && !drop && !c.rangeMapped(prep) {
 		for lanes := gmask; lanes != 0; {
 			lane := bits.TrailingZeros64(lanes)
 			lanes &^= 1 << uint(lane)
@@ -359,28 +333,34 @@ func (c *coreState) memCommit(w *warp, in *kernel.Instr, gmask uint64, now uint6
 		}
 	}
 
-	// Functional access.
+	// Functional access. Dense unit-stride transactions inside one backing
+	// chunk go through the bulk span path; everything else (and any squash
+	// or drop) takes the per-lane reference path.
 	mem := c.gpu.dev.Mem
 	switch in.Op {
 	case kernel.OpLd:
 		if in.Dst >= 0 { // a discard-destination load still paid its timing above
-			for lanes := gmask; lanes != 0; {
-				lane := bits.TrailingZeros64(lanes)
-				lanes &^= 1 << uint(lane)
-				var v int64
-				if !squash {
-					v = loadValue(mem, addrs[lane], in)
+			if squash || prep.class != memClassUnit || prep.wrapped || !c.batchLoad(w, in, prep) {
+				for lanes := gmask; lanes != 0; {
+					lane := bits.TrailingZeros64(lanes)
+					lanes &^= 1 << uint(lane)
+					var v int64
+					if !squash {
+						v = loadValue(mem, addrs[lane], in)
+					}
+					w.flat[lane*w.nregs+in.Dst] = v
 				}
-				w.flat[lane*w.nregs+in.Dst] = v
 			}
 		}
 	case kernel.OpSt:
 		if !drop {
-			p2 := c.plan(w, in.Src[2])
-			for lanes := gmask; lanes != 0; {
-				lane := bits.TrailingZeros64(lanes)
-				lanes &^= 1 << uint(lane)
-				storeValue(mem, addrs[lane], in, p2.eval(w, lane))
+			if prep.class != memClassUnit || prep.wrapped || !c.batchStore(w, in, prep) {
+				p2 := c.plan(w, in.Src[2])
+				for lanes := gmask; lanes != 0; {
+					lane := bits.TrailingZeros64(lanes)
+					lanes &^= 1 << uint(lane)
+					storeValue(mem, addrs[lane], in, p2.eval(w, lane))
+				}
 			}
 		}
 	case kernel.OpAtomAdd:
@@ -432,6 +412,96 @@ func (c *coreState) memCommit(w *warp, in *kernel.Instr, gmask uint64, now uint6
 	}
 	c.wake(w, now+maxLat+extra+uint64(stall))
 	w.pc++
+}
+
+// checkOutcome is the protection verdict for one coalesced transaction.
+type checkOutcome struct {
+	squash bool // loads must return zero
+	drop   bool // stores must be discarded
+	stall  int
+	extra  uint64
+	fault  *core.Violation // first violation, for FailFault aborts
+}
+
+// checkTransaction is the single seam between the LSU and the protection
+// mechanism: one call per warp-level memory instruction, after address
+// generation and coalescing, carrying the transaction's pointer tag, byte
+// range, and LSU visibility context (transaction count, L1D hit). All
+// violation accounting, RCache service-level counters, and stall folding
+// live here; a future ProtectionBackend interface (ROADMAP item 1) slots
+// in at this boundary without the LSU knowing which mechanism is wired.
+func (c *coreState) checkTransaction(w *warp, in *kernel.Instr, gmask uint64, prep *memPrep, singleTx, allHit bool, st *LaunchStats, l *driver.Launch) checkOutcome {
+	var out checkOutcome
+	tally := func(res core.CheckResult) {
+		if !res.OK && out.fault == nil {
+			out.fault = res.Violation
+		}
+		if !res.OK && l.Mailbox != nil {
+			c.postViolation(l, res.Violation)
+		}
+		switch res.Level {
+		case core.ServedL1:
+			st.Checks++
+			st.RL1Hits++
+		case core.ServedL2:
+			st.Checks++
+			st.RL2Hits++
+		case core.ServedRBT:
+			st.Checks++
+			st.RBTFetches++
+		case core.ServedType3:
+			st.Type3Checks++
+		case core.ServedSkip:
+			st.Skipped++
+		}
+		out.stall += res.Stall
+		if res.ExtraLatency > out.extra {
+			out.extra = res.ExtraLatency
+		}
+		st.BCUStalls += uint64(res.Stall)
+		out.squash = out.squash || res.SquashLoad
+		out.drop = out.drop || res.DropStore
+	}
+	req := core.CheckRequest{
+		KernelID:          l.KernelID,
+		Pointer:           prep.ptr,
+		MinAddr:           prep.minAddr,
+		MaxAddr:           prep.maxAddr,
+		MinOfs:            prep.minOfs,
+		MaxOfs:            prep.maxOfs,
+		IsStore:           in.Op.IsStore(),
+		PC:                w.pc,
+		SingleTransaction: singleTx,
+		L1DHit:            allHit,
+	}
+	if c.gpu.cfg.BCU.PerThread {
+		// Ablation: one check per active lane instead of one per warp
+		// instruction — the cost the address-gathering unit avoids.
+		// The BCU retires one check per cycle, so the extra checks
+		// occupy it (and hence the LSU slot) for lanes-1 extra cycles.
+		bytes := uint64(in.Bytes)
+		nchecks := 0
+		for lanes := gmask; lanes != 0; {
+			lane := bits.TrailingZeros64(lanes)
+			lanes &^= 1 << uint(lane)
+			lr := req
+			lr.MinAddr = prep.addrs[lane]
+			lr.MaxAddr = prep.addrs[lane] + bytes - 1
+			lr.MinOfs = prep.offs[lane]
+			lr.MaxOfs = prep.offs[lane] + int64(bytes) - 1
+			tally(c.bcu.Check(lr))
+			nchecks++
+		}
+		if nchecks > 1 {
+			out.stall += nchecks - 1
+			st.BCUStalls += uint64(nchecks - 1)
+		}
+	} else if e := prep.plan; e != nil {
+		tally(c.bcu.CheckWarm(req, &e.vc))
+	} else {
+		tally(c.bcu.Check(req))
+	}
+	return out
 }
 
 // execShared handles on-chip scratchpad accesses: fixed latency, no

@@ -108,6 +108,77 @@ func BenchmarkMemInstrThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkMemPlanPaths crosses the two addressing methods the memory-plan
+// cache distinguishes — Method B (full tagged address materialised in a
+// register, LoadGlobal) and Method C (parameter base + register offset,
+// LoadGlobalOfs) — with the three stride classes the planner recognises:
+// unit-stride (dense lines, batched functional path), strided (arithmetic
+// line walk with dedup) and indirect (hashed indices; classification fails
+// and the reference coalescer replays). All six run under the BCU so the
+// verdict-cache hit path is on the measured path.
+func BenchmarkMemPlanPaths(b *testing.B) {
+	const n = 16384
+	build := func(method string, pattern string) *kernel.Kernel {
+		kb := kernel.NewBuilder("memplan-" + method + "-" + pattern)
+		p := kb.BufferParam("p", false)
+		gtid := kb.GlobalTID()
+		acc := kb.Mov(kernel.Imm(0))
+		kb.ForRange(kernel.Imm(0), kernel.Imm(16), kernel.Imm(1), func(i kernel.Operand) {
+			var idx kernel.Operand
+			switch pattern {
+			case "unit":
+				// Adjacent lanes touch adjacent words: stride == bytes.
+				idx = kb.And(kb.Add(gtid, kb.Mul(i, kernel.Imm(512))), kernel.Imm(n-1))
+			case "strided":
+				// Adjacent lanes are 4 words apart: monotone, stride 16B.
+				idx = kb.And(kb.Add(kb.Mul(gtid, kernel.Imm(4)), i), kernel.Imm(n-1))
+			default: // indirect
+				// Hashed index: non-monotone per lane, defeats the
+				// arithmetic coalescers.
+				idx = kb.And(kb.Mul(kb.Add(gtid, i), kernel.Imm(2654435761)), kernel.Imm(n-1))
+			}
+			var v kernel.Operand
+			if method == "B" {
+				v = kb.LoadGlobal(kb.AddScaled(p, idx, 4), 4)
+			} else {
+				v = kb.LoadGlobalOfs(p, kb.Mul(idx, kernel.Imm(4)), 4)
+			}
+			kb.MovTo(acc, kb.Add(acc, v))
+		})
+		if method == "B" {
+			kb.StoreGlobal(kb.AddScaled(p, gtid, 4), acc, 4)
+		} else {
+			kb.StoreGlobalOfs(p, kb.Mul(gtid, kernel.Imm(4)), acc, 4)
+		}
+		return kb.MustBuild()
+	}
+	for _, method := range []string{"B", "C"} {
+		for _, pattern := range []string{"unit", "strided", "indirect"} {
+			b.Run(method+"/"+pattern, func(b *testing.B) {
+				k := build(method, pattern)
+				dev := driver.NewDevice(1)
+				buf := dev.Malloc("p", n*4, false)
+				gpu := New(NvidiaConfig().WithShield(core.DefaultBCUConfig()), dev)
+				var mem uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					l, err := dev.PrepareLaunch(k, n/256, 256, []driver.Arg{driver.BufArg(buf)}, driver.ModeShield, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					st, err := gpu.Run(l)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mem += st.MemInstrs
+				}
+				b.ReportMetric(float64(mem)/b.Elapsed().Seconds(), "mem-instrs/s")
+			})
+		}
+	}
+}
+
 // BenchmarkFunctionalMemPath measures the steady-state functional load/store
 // path in isolation: one op is one store + one load against the sparse
 // backing store. The zero-allocation criterion for PR 3 is asserted here

@@ -13,11 +13,15 @@
 #      byte-identical with superblock stepping forced off via
 #      GPUSHIELD_NO_SUPERBLOCKS, so the pre-decoded fast path (PR 8) is
 #      fuzzed against reference single-stepping on every CI run
+#   5. memory-plan equivalence: the same leg repeated with the warp
+#      memory-plan / transaction-check path forced off via
+#      GPUSHIELD_NO_MEMPLANS, so the planned AGU + verdict cache (PR 10)
+#      is fuzzed against the reference per-lane memory path every CI run
 #
 # Usage: scripts/fuzz_smoke.sh
 # Env:   SEED (default 1), COUNT (default 500) — COUNT >= 500 keeps this an
 #        actual soundness sweep, not a token one. SB_COUNT (default 200)
-#        sizes the superblock differential leg.
+#        sizes the superblock and memory-plan differential legs.
 set -euo pipefail
 
 SEED=${SEED:-1}
@@ -67,8 +71,19 @@ if ! diff -u "$work/sb_off.out" "$work/sb_on.out" >&2; then
     exit 1
 fi
 
+# Same shape for the PR 10 memory path: plans + transaction-granularity
+# checking + verdict cache on (default) vs the reference per-lane path.
+# sb_on.out doubles as the plans-on run — same seed, count, and widths.
+echo "== memory-plan differential: $SB_COUNT kernels, -core-parallel 2"
+GPUSHIELD_NO_MEMPLANS=1 "$work/experiments" -run fuzz -seed "$SEED" \
+    -fuzz-count "$SB_COUNT" -parallel 1 -core-parallel 2 >"$work/mp_off.out"
+if ! diff -u "$work/mp_off.out" "$work/sb_on.out" >&2; then
+    echo "FAIL: memory-plan path diverges from per-lane reference" >&2
+    exit 1
+fi
+
 echo "== race detector pass (-parallel 4)"
 go run -race ./cmd/experiments -run fuzz -seed "$SEED" -fuzz-count "$COUNT" \
     -parallel 4 >/dev/null
 
-echo "PASS: $COUNT kernels at seed $SEED, zero findings, deterministic across widths, superblock path equivalent on $SB_COUNT"
+echo "PASS: $COUNT kernels at seed $SEED, zero findings, deterministic across widths, superblock and memory-plan paths equivalent on $SB_COUNT"
